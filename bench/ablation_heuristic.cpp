@@ -1,0 +1,66 @@
+// Ablation: how much of the exhaustive auto-tuner's benefit does the
+// paper's Sec.-6 heuristic (static coalescing/divergence analysis +
+// "3 or 7 slaves") capture, at zero tuning cost?
+//
+// The paper argues the search space is small enough to tune
+// exhaustively; this ablation quantifies the alternative it sketches.
+#include <vector>
+
+#include "bench_common.hpp"
+#include "np/heuristic.hpp"
+
+using namespace cudanp;
+
+int main(int argc, char** argv) {
+  auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Ablation: static heuristic pick vs exhaustive auto-tuning",
+      "Sec. 6: coalescing/divergence decide inter vs intra; 3 or 7 "
+      "slaves are close-to-optimal",
+      opt);
+
+  auto spec = sim::DeviceSpec::gtx680();
+  np::Runner runner(spec);
+  Table table({"Name", "heuristic pick", "rationale", "heuristic speedup",
+               "exhaustive best", "captured"});
+  std::vector<double> captured;
+
+  for (auto& b : kernels::make_benchmark_suite(opt.scale)) {
+    auto probe = b->make_workload();
+    int master = static_cast<int>(probe.launch.block.count());
+    auto choice = np::suggest_config(b->kernel(), master, spec);
+
+    double heuristic_speedup = 0;
+    std::string note;
+    try {
+      auto variant = np::NpCompiler::transform(b->kernel(), choice.config);
+      auto w = b->make_workload();
+      auto run = runner.run_variant(variant, w);
+      std::string msg;
+      if (w.validate && !w.validate(*w.mem, &msg)) throw SimError(msg);
+      double baseline = bench::run_baseline_seconds(*b, spec);
+      heuristic_speedup = baseline / run.timing.seconds;
+    } catch (const std::exception& e) {
+      note = e.what();
+    }
+
+    auto tune = bench::tune_benchmark(*b, spec);
+    double best = tune.best_speedup();
+    double frac = best > 0 ? heuristic_speedup / best : 0;
+    captured.push_back(std::max(frac, 1e-6));
+    table.add_row({b->name(), choice.config.describe(),
+                   choice.rationale.substr(0, 44),
+                   heuristic_speedup > 0
+                       ? bench::fmt(heuristic_speedup, 3) + "x"
+                       : note.substr(0, 24),
+                   bench::fmt(best, 3) + "x",
+                   bench::fmt(100 * frac, 3) + "%"});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nGM of captured fraction: %.1f%% — a single static pick vs %s\n",
+      100 * geometric_mean(captured),
+      "testing every version on the simulator (the paper's approach).");
+  return 0;
+}

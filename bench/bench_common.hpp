@@ -1,0 +1,81 @@
+// Shared scaffolding for the paper-figure bench binaries.
+//
+// Every binary regenerates one table or figure from the paper's
+// evaluation section and prints (a) the measured rows and (b) the paper's
+// reported values where the paper gives them, so shape agreement can be
+// checked at a glance. Common flags:
+//   --scale=<f>   shrink input sizes (default 1.0 = paper sizes)
+//   --quick       equivalent to --scale=0.25
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "kernels/benchmark.hpp"
+#include "kernels/reference_kernels.hpp"
+#include "kernels/suite.hpp"
+#include "np/autotuner.hpp"
+#include "support/stats.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace cudanp::bench {
+
+struct BenchOptions {
+  double scale = 1.0;
+
+  static BenchOptions parse(int argc, char** argv) {
+    BenchOptions opt;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--scale=", 8) == 0)
+        opt.scale = std::atof(argv[i] + 8);
+      else if (std::strcmp(argv[i], "--quick") == 0)
+        opt.scale = 0.25;
+      else if (std::strcmp(argv[i], "--help") == 0) {
+        std::printf("usage: %s [--scale=<f>] [--quick]\n", argv[0]);
+        std::exit(0);
+      }
+    }
+    return opt;
+  }
+};
+
+inline void print_header(const char* figure, const char* claim,
+                         const BenchOptions& opt) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("Device model: GTX 680 (GK104) simulator; scale=%.2f\n",
+              opt.scale);
+  std::printf("==============================================================\n\n");
+}
+
+/// Autotunes one benchmark and returns the result (validating outputs).
+inline np::TuneResult tune_benchmark(const kernels::Benchmark& bench,
+                                     const sim::DeviceSpec& spec,
+                                     np::TuneOptions opts = {}) {
+  np::Autotuner tuner{np::Runner(spec)};
+  return tuner.tune(bench.kernel(), [&] { return bench.make_workload(); },
+                    opts);
+}
+
+/// Runs one kernel (no NP) and returns simulated seconds.
+inline double run_baseline_seconds(const kernels::Benchmark& bench,
+                                   const sim::DeviceSpec& spec) {
+  np::Runner runner(spec);
+  auto w = bench.make_workload();
+  auto r = runner.run(bench.kernel(), w);
+  std::string msg;
+  if (w.validate && !w.validate(*w.mem, &msg))
+    throw SimError(bench.name() + " failed validation: " + msg);
+  return r.timing.seconds;
+}
+
+inline std::string fmt(double v, int digits = 3) {
+  return format_double(v, digits);
+}
+
+}  // namespace cudanp::bench

@@ -1,0 +1,63 @@
+// Figure 11: inter-warp vs intra-warp NP across slave sizes.
+//
+// Paper observations this bench regenerates:
+//  - LU and NN are the only benchmarks where intra-warp beats inter-warp
+//    (LU: the `master_id < 16` divergence disappears intra-warp; NN:
+//    memory-access pattern);
+//  - MC/LIB/LE suffer slave imbalance intra-warp (loop counts 12/80/150
+//    do not divide the power-of-two group sizes);
+//  - larger slave counts eventually stop helping (CFD with LC=4 most
+//    visibly).
+#include "bench_common.hpp"
+
+using namespace cudanp;
+
+int main(int argc, char** argv) {
+  auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Figure 11: inter-warp vs intra-warp NP across slave sizes "
+      "(speedup over baseline; '-' = configuration not applicable)",
+      "intra wins only for LU and NN; more slaves is not always better",
+      opt);
+
+  auto spec = sim::DeviceSpec::gtx680();
+  const int sizes[] = {2, 4, 8, 16, 32};
+  std::vector<std::string> header = {"Name", "type"};
+  for (int s : sizes) header.push_back("S=" + std::to_string(s));
+  Table table(header);
+
+  for (auto& b : kernels::make_benchmark_suite(opt.scale)) {
+    auto probe = b->make_workload();
+    int master = static_cast<int>(probe.launch.block.count());
+    double baseline = bench::run_baseline_seconds(*b, spec);
+    np::Runner runner(spec);
+
+    for (auto type : {ir::NpType::kInterWarp, ir::NpType::kIntraWarp}) {
+      std::vector<std::string> row = {
+          b->name(), type == ir::NpType::kInterWarp ? "inter" : "intra"};
+      for (int s : sizes) {
+        transform::NpConfig cfg;
+        cfg.np_type = type;
+        cfg.slave_size = s;
+        cfg.master_count = master;
+        std::string cell = "-";
+        try {
+          auto variant = np::NpCompiler::transform(b->kernel(), cfg);
+          auto w = b->make_workload();
+          auto run = runner.run_variant(variant, w);
+          std::string msg;
+          if (w.validate && !w.validate(*w.mem, &msg))
+            throw SimError("validation: " + msg);
+          cell = bench::fmt(baseline / run.timing.seconds, 3);
+        } catch (const CompileError&) {
+        } catch (const SimError&) {
+        }
+        row.push_back(cell);
+      }
+      table.add_row(std::move(row));
+    }
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

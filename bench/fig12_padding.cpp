@@ -1,0 +1,69 @@
+// Figure 12: padding vs no-padding on LE (inter-warp NP).
+//
+// LE's loop count is 150. Power-of-two slave counts require padding the
+// loop to a multiple of the group size, which adds idle guarded
+// iterations; slave counts that divide 150 exactly (3, 5, 10, 15) need no
+// padding. The paper compares adjacent pairs (2P vs 3NP, 4P vs 5NP,
+// 8P vs 10NP, 16P vs 15NP) and finds no-padding always wins; the best
+// no-padding version reaches 2.25x over baseline.
+#include "bench_common.hpp"
+
+using namespace cudanp;
+
+int main(int argc, char** argv) {
+  auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Figure 12: impact of padding on LE (inter-warp NP, loop count 150)",
+      "no-padding (slave counts dividing 150) beats padding at comparable "
+      "slave counts; best version 2.25x over baseline",
+      opt);
+
+  auto spec = sim::DeviceSpec::gtx680();
+  auto bench = kernels::make_benchmark("LE", opt.scale);
+  double baseline = bench::run_baseline_seconds(*bench, spec);
+  np::Runner runner(spec);
+
+  auto measure = [&](int slave, bool pad) -> double {
+    transform::NpConfig cfg;
+    cfg.np_type = ir::NpType::kInterWarp;
+    cfg.slave_size = slave;
+    cfg.master_count = 32;
+    cfg.pad_loops = pad;
+    auto variant = np::NpCompiler::transform(bench->kernel(), cfg);
+    auto w = bench->make_workload();
+    auto run = runner.run_variant(variant, w);
+    std::string msg;
+    if (w.validate && !w.validate(*w.mem, &msg))
+      throw SimError("LE validation failed: " + msg);
+    return baseline / run.timing.seconds;
+  };
+
+  Table table({"pair", "padded (P)", "speedup", "no padding (NP)",
+               "speedup", "NP wins?"});
+  struct Pair {
+    int padded;
+    int unpadded;
+  };
+  // The paper's comparable-slave-count pairs.
+  const Pair pairs[] = {{2, 3}, {4, 5}, {8, 10}, {16, 15}};
+  double best = 0;
+  for (const auto& p : pairs) {
+    double sp_p = measure(p.padded, /*pad=*/true);
+    double sp_np = measure(p.unpadded, /*pad=*/false);
+    best = std::max({best, sp_p, sp_np});
+    table.add_row({std::to_string(p.padded) + "P vs " +
+                       std::to_string(p.unpadded) + "NP",
+                   std::to_string(p.padded) + " slaves (pad 150->" +
+                       std::to_string((150 + p.padded - 1) / p.padded *
+                                      p.padded) +
+                       ")",
+                   bench::fmt(sp_p, 3) + "x",
+                   std::to_string(p.unpadded) + " slaves",
+                   bench::fmt(sp_np, 3) + "x",
+                   sp_np > sp_p ? "yes" : "no"});
+  }
+  table.print(std::cout);
+  std::printf("\nbest LE speedup over baseline: %.2fx (paper: 2.25x)\n",
+              best);
+  return 0;
+}

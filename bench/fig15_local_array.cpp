@@ -1,0 +1,73 @@
+// Figure 15: comparing the three ways to re-home a live local-memory
+// array (paper Sec. 3.3) on LE and LIB, the two benchmarks where all
+// three apply.
+//
+// Paper: global memory does not help (off-chip vs L1-cached local);
+// shared memory helps LIB but hurts LE (LE's array is ~2x larger, so the
+// shared-memory pressure kills occupancy); the register-file partition is
+// best for both.
+#include "bench_common.hpp"
+
+using namespace cudanp;
+
+int main(int argc, char** argv) {
+  auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Figure 15: local-array placement (speedup over baseline, best "
+      "slave size per placement)",
+      "register > shared (helps LIB, hurts LE) > global",
+      opt);
+
+  auto spec = sim::DeviceSpec::gtx680();
+  np::Runner runner(spec);
+  Table table({"benchmark", "placement", "best speedup", "best config",
+               "notes"});
+
+  for (const char* name : {"LE", "LIB"}) {
+    auto bench = kernels::make_benchmark(name, opt.scale);
+    double baseline = bench::run_baseline_seconds(*bench, spec);
+    auto probe = bench->make_workload();
+    int master = static_cast<int>(probe.launch.block.count());
+
+    for (auto placement :
+         {transform::LocalPlacement::kRegister,
+          transform::LocalPlacement::kShared,
+          transform::LocalPlacement::kGlobal}) {
+      double best = 0;
+      std::string best_cfg = "(none applicable)";
+      std::string note;
+      for (auto type : {ir::NpType::kInterWarp, ir::NpType::kIntraWarp}) {
+        for (int s : {2, 4, 8, 16}) {
+          transform::NpConfig cfg;
+          cfg.np_type = type;
+          cfg.slave_size = s;
+          cfg.master_count = master;
+          cfg.placement = placement;
+          try {
+            auto variant = np::NpCompiler::transform(bench->kernel(), cfg);
+            auto w = bench->make_workload();
+            auto run = runner.run_variant(variant, w);
+            std::string msg;
+            if (w.validate && !w.validate(*w.mem, &msg))
+              throw SimError(msg);
+            double sp = baseline / run.timing.seconds;
+            if (sp > best) {
+              best = sp;
+              best_cfg = cfg.describe();
+            }
+          } catch (const CompileError& e) {
+            note = e.what();
+          } catch (const SimError& e) {
+            note = e.what();
+          }
+        }
+      }
+      table.add_row({name, transform::to_string(placement),
+                     best > 0 ? bench::fmt(best, 3) + "x" : "-", best_cfg,
+                     best > 0 ? "" : note.substr(0, 48)});
+      std::fflush(stdout);
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 16: benefit of the __shfl instruction for reduction/scan when
+// applying intra-warp NP, normalized to the best inter-warp version.
+//
+// Paper: shfl helps most on MC and LU (their shared memory is already
+// under pressure, so shared-memory reductions hurt occupancy); the impact
+// is minor elsewhere because reductions are a small share of runtime.
+#include "bench_common.hpp"
+
+using namespace cudanp;
+
+int main(int argc, char** argv) {
+  auto opt = bench::BenchOptions::parse(argc, argv);
+  bench::print_header(
+      "Figure 16: __shfl vs shared-memory reduction/scan under intra-warp "
+      "NP (normalized to the best inter-warp version)",
+      "shfl is a big win for the smem-pressured MC and LU, minor "
+      "elsewhere",
+      opt);
+
+  auto spec = sim::DeviceSpec::gtx680();
+  np::Runner runner(spec);
+  Table table({"benchmark", "best inter us", "intra+smem / inter",
+               "intra+shfl / inter", "shfl speedup over smem"});
+
+  for (auto& b : kernels::make_benchmark_suite(opt.scale)) {
+    if (std::string(b->table1().reduce_scan) == "X") continue;  // needs R/S
+    auto probe = b->make_workload();
+    int master = static_cast<int>(probe.launch.block.count());
+
+    auto best_time = [&](ir::NpType type, bool use_shfl) -> double {
+      double best = 1e18;
+      for (int s : {2, 4, 8, 16, 32}) {
+        transform::NpConfig cfg;
+        cfg.np_type = type;
+        cfg.slave_size = s;
+        cfg.master_count = master;
+        cfg.use_shfl = use_shfl;
+        try {
+          auto variant = np::NpCompiler::transform(b->kernel(), cfg);
+          auto w = b->make_workload();
+          auto run = runner.run_variant(variant, w);
+          std::string msg;
+          if (w.validate && !w.validate(*w.mem, &msg)) continue;
+          best = std::min(best, run.timing.seconds);
+        } catch (const CompileError&) {
+        } catch (const SimError&) {
+        }
+      }
+      return best;
+    };
+
+    double inter = best_time(ir::NpType::kInterWarp, false);
+    double intra_smem = best_time(ir::NpType::kIntraWarp, false);
+    double intra_shfl = best_time(ir::NpType::kIntraWarp, true);
+    table.add_row({b->name(), bench::fmt(inter * 1e6, 4),
+                   bench::fmt(inter / intra_smem, 3) + "x",
+                   bench::fmt(inter / intra_shfl, 3) + "x",
+                   bench::fmt(intra_smem / intra_shfl, 3) + "x"});
+    std::fflush(stdout);
+  }
+  table.print(std::cout);
+  return 0;
+}

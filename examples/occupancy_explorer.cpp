@@ -1,0 +1,73 @@
+// Example: exploring WHY CUDA-NP helps, using the simulator's occupancy
+// calculator and timing breakdown.
+//
+// For one benchmark (default LE) it prints, per slave size, the
+// transformed kernel's resource usage, the resident warps per SMX, and
+// which term of the timing model bounds the run — making the latency ->
+// throughput transition of the paper's Sec. 2.2 argument visible.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "analysis/resources.hpp"
+#include "kernels/benchmark.hpp"
+#include "np/autotuner.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+using namespace cudanp;
+
+int main(int argc, char** argv) {
+  std::string name = argc > 1 ? argv[1] : "LE";
+  auto spec = sim::DeviceSpec::gtx680();
+  auto bench = kernels::make_benchmark(name, 0.25);
+  np::Runner runner(spec);
+
+  Table table({"version", "threads/blk", "regs", "smemB", "localB",
+               "warps/SMX", "bound", "us", "speedup"});
+
+  auto w0 = bench->make_workload();
+  auto base = runner.run(bench->kernel(), w0);
+  auto base_res = runner.resources(bench->kernel());
+  table.add_row({"baseline",
+                 std::to_string(w0.launch.block.count()),
+                 std::to_string(base_res.usage.registers_per_thread),
+                 std::to_string(base_res.usage.shared_mem_per_block),
+                 std::to_string(base_res.usage.local_mem_per_thread),
+                 std::to_string(base.occupancy.active_warps),
+                 base.timing.bound,
+                 format_double(base.timing.seconds * 1e6, 4), "1.00x"});
+
+  for (int s : {2, 4, 8, 16}) {
+    transform::NpConfig cfg;
+    cfg.np_type = ir::NpType::kInterWarp;
+    cfg.slave_size = s;
+    cfg.master_count = static_cast<int>(w0.launch.block.count());
+    if (cfg.block_threads() > spec.max_threads_per_block) continue;
+    try {
+      auto variant = np::NpCompiler::transform(bench->kernel(), cfg);
+      auto res = runner.resources(*variant.kernel);
+      auto w = bench->make_workload();
+      auto run = runner.run_variant(variant, w);
+      char label[32];
+      std::snprintf(label, sizeof(label), "inter S=%d", s);
+      table.add_row(
+          {label, std::to_string(cfg.block_threads()),
+           std::to_string(res.usage.registers_per_thread),
+           std::to_string(res.usage.shared_mem_per_block),
+           std::to_string(res.usage.local_mem_per_thread),
+           std::to_string(run.occupancy.active_warps), run.timing.bound,
+           format_double(run.timing.seconds * 1e6, 4),
+           format_double(base.timing.seconds / run.timing.seconds, 3) +
+               "x"});
+    } catch (const std::exception& e) {
+      table.add_row({"inter S=" + std::to_string(s), "-", "-", "-", "-",
+                     "-", "error", e.what(), "-"});
+    }
+  }
+  std::printf("How CUDA-NP shifts '%s' from latency-bound to "
+              "throughput-bound (GTX 680 model):\n\n", name.c_str());
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,255 @@
+#include "analysis/access_pattern.hpp"
+
+#include <set>
+#include <unordered_map>
+
+#include "analysis/loop_info.hpp"
+
+namespace cudanp::analysis {
+
+using namespace cudanp::ir;
+
+namespace {
+
+/// Internal linear value: tracks the master and iterator coefficients
+/// *independently* — an `i * w` term (iterator times a symbolic width)
+/// has an unknown iterator stride but is still known to be
+/// master-invariant, which is exactly what the coalescing question
+/// needs.
+struct Lin {
+  bool cm_known = true;
+  bool ci_known = true;
+  std::int64_t cm = 0;
+  std::int64_t ci = 0;
+  bool is_const = false;
+  std::int64_t cval = 0;
+
+  static Lin constant(std::int64_t v) {
+    Lin l;
+    l.is_const = true;
+    l.cval = v;
+    return l;
+  }
+  static Lin unknown() {
+    Lin l;
+    l.cm_known = false;
+    l.ci_known = false;
+    return l;
+  }
+  [[nodiscard]] bool invariant_known() const {
+    return cm_known && ci_known && cm == 0 && ci == 0;
+  }
+};
+
+/// Flow-insensitive scalar definition map (last definition wins); good
+/// enough to resolve `tx = threadIdx.x + blockIdx.x * blockDim.x`.
+std::unordered_map<std::string, const Expr*> build_defs(const Kernel& k) {
+  std::unordered_map<std::string, const Expr*> defs;
+  for_each_stmt(*k.body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kDecl) {
+      const auto& d = static_cast<const DeclStmt&>(s);
+      if (d.init && d.type.is_scalar()) defs[d.name] = d.init.get();
+    } else if (s.kind() == StmtKind::kAssign) {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      if (a.op == AssignOp::kAssign && a.lhs->kind() == ExprKind::kVarRef)
+        defs[static_cast<const VarRef&>(*a.lhs).name] = a.rhs.get();
+    }
+  });
+  return defs;
+}
+
+class Decomposer {
+ public:
+  Decomposer(std::string master, std::string iter,
+             const std::unordered_map<std::string, const Expr*>& defs)
+      : master_(std::move(master)), iter_(std::move(iter)), defs_(defs) {}
+
+  Lin decompose(const Expr& e, int depth = 0) {
+    switch (e.kind()) {
+      case ExprKind::kIntLit:
+        return Lin::constant(static_cast<const IntLit&>(e).value);
+      case ExprKind::kFloatLit:
+        return Lin::unknown();  // float indexing is not a thing here
+      case ExprKind::kVarRef: {
+        const auto& name = static_cast<const VarRef&>(e).name;
+        if (name == master_) {
+          Lin l;
+          l.cm = 1;
+          return l;
+        }
+        if (name == iter_) {
+          Lin l;
+          l.ci = 1;
+          return l;
+        }
+        if (is_builtin_geometry(name)) return Lin{};  // block-uniform
+        // Resolve through the definition map (bounded, cycle-guarded).
+        auto it = defs_.find(name);
+        if (it != defs_.end() && depth < 6 && !visiting_.count(name)) {
+          visiting_.insert(name);
+          Lin l = decompose(*it->second, depth + 1);
+          visiting_.erase(name);
+          return l;
+        }
+        return Lin{};  // unknown scalar: lane-invariant offset
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        Lin l = decompose(*b.lhs, depth);
+        Lin r = decompose(*b.rhs, depth);
+        switch (b.op) {
+          case BinOp::kAdd:
+          case BinOp::kSub: {
+            std::int64_t sign = b.op == BinOp::kAdd ? 1 : -1;
+            Lin out;
+            out.is_const = l.is_const && r.is_const;
+            out.cval = l.cval + sign * r.cval;
+            out.cm_known = l.cm_known && r.cm_known;
+            out.ci_known = l.ci_known && r.ci_known;
+            out.cm = l.cm + sign * r.cm;
+            out.ci = l.ci + sign * r.ci;
+            return out;
+          }
+          case BinOp::kMul: {
+            if (l.is_const || r.is_const) {
+              const Lin& c = l.is_const ? l : r;
+              Lin out = l.is_const ? r : l;
+              out.cval *= c.cval;
+              out.cm *= c.cval;
+              out.ci *= c.cval;
+              out.is_const = l.is_const && r.is_const;
+              return out;
+            }
+            // var * var: each coefficient is known (zero) only when both
+            // factors are invariant in that variable.
+            Lin out;
+            out.cm_known = l.cm_known && r.cm_known && l.cm == 0 &&
+                           r.cm == 0;
+            out.ci_known = l.ci_known && r.ci_known && l.ci == 0 &&
+                           r.ci == 0;
+            return out;
+          }
+          default: {
+            if (l.is_const && r.is_const && b.op == BinOp::kDiv &&
+                r.cval != 0)
+              return Lin::constant(l.cval / r.cval);
+            Lin out;
+            out.cm_known = l.cm_known && r.cm_known && l.cm == 0 &&
+                           r.cm == 0;
+            out.ci_known = l.ci_known && r.ci_known && l.ci == 0 &&
+                           r.ci == 0;
+            return out;
+          }
+        }
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        Lin l = decompose(*u.operand, depth);
+        if (u.op == UnOp::kNeg) {
+          l.cval = -l.cval;
+          l.cm = -l.cm;
+          l.ci = -l.ci;
+        } else {
+          // Logical not of anything lane-varying is unknown.
+          if (!l.invariant_known()) return Lin::unknown();
+          l = Lin{};
+        }
+        return l;
+      }
+      case ExprKind::kCast:
+        return decompose(*static_cast<const CastExpr&>(e).operand, depth);
+      default:
+        return Lin::unknown();
+    }
+  }
+
+ private:
+  std::string master_;
+  std::string iter_;
+  const std::unordered_map<std::string, const Expr*>& defs_;
+  std::set<std::string> visiting_;
+};
+
+}  // namespace
+
+LinearForm decompose_linear(const Expr& e, const std::string& master,
+                            const std::string& iter) {
+  std::unordered_map<std::string, const Expr*> empty;
+  Decomposer d(master, iter, empty);
+  Lin l = d.decompose(e);
+  LinearForm out;
+  out.affine = l.cm_known || l.ci_known;
+  if (l.cm_known) out.master_coeff = l.cm;
+  if (l.ci_known) out.iter_coeff = l.ci;
+  return out;
+}
+
+AccessPatternSummary summarize_access_patterns(const Kernel& kernel) {
+  AccessPatternSummary out;
+  auto defs = build_defs(kernel);
+  std::set<std::string> pointer_params;
+  for (const auto& p : kernel.params)
+    if (p.type.is_pointer) pointer_params.insert(p.name);
+
+  // Walk annotated loops; inspect their bodies' global accesses.
+  for_each_stmt(*kernel.body, [&](const Stmt& s) {
+    if (s.kind() != StmtKind::kFor) return;
+    const auto& f = static_cast<const ForStmt&>(s);
+    if (!f.pragma) return;
+    auto info = analyze_loop(f);
+    if (!info) return;
+    if (info->const_trip_count)
+      out.max_const_trip = std::max(out.max_const_trip,
+                                    *info->const_trip_count);
+
+    Decomposer d("threadIdx.x", info->iterator, defs);
+    for_each_expr_in(*f.body, [&](const Expr& e) {
+      if (e.kind() != ExprKind::kArrayIndex) return;
+      const auto& ai = static_cast<const ArrayIndex&>(e);
+      if (ai.base->kind() != ExprKind::kVarRef) return;
+      if (!pointer_params.count(static_cast<const VarRef&>(*ai.base).name))
+        return;
+      if (ai.indices.size() != 1) return;
+      ++out.global_accesses;
+      Lin l = d.decompose(*ai.indices[0]);
+      if (l.cm_known && l.cm == 1) {
+        ++out.coalesced_by_master;
+      } else if (l.ci_known && l.ci == 1 &&
+                 (!l.cm_known || l.cm == 0 || l.cm >= 32 || l.cm <= -32)) {
+        // Master stride large or unknown, iterator unit-stride: an
+        // intra-warp group walks consecutive addresses.
+        ++out.recoalesced_by_iterator;
+      }
+    });
+  });
+
+  // LU-shaped master-dependent guards around annotated loops.
+  for_each_stmt(*kernel.body, [&](const Stmt& s) {
+    if (s.kind() != StmtKind::kIf) return;
+    const auto& i = static_cast<const IfStmt&>(s);
+    bool has_parallel = false;
+    for_each_stmt(*i.then_body, [&](const Stmt& c) {
+      if (c.kind() == StmtKind::kFor &&
+          static_cast<const ForStmt&>(c).pragma)
+        has_parallel = true;
+    });
+    if (i.else_body) {
+      for_each_stmt(*i.else_body, [&](const Stmt& c) {
+        if (c.kind() == StmtKind::kFor &&
+            static_cast<const ForStmt&>(c).pragma)
+          has_parallel = true;
+      });
+    }
+    if (!has_parallel) return;
+    bool master_dep = false;
+    for_each_expr(*i.cond, [&](const Expr& e) {
+      if (e.kind() == ExprKind::kVarRef &&
+          static_cast<const VarRef&>(e).name == "threadIdx.x")
+        master_dep = true;
+    });
+    if (master_dep) out.master_divergent_guard = true;
+  });
+  return out;
+}
+
+}  // namespace cudanp::analysis

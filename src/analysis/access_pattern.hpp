@@ -1,0 +1,62 @@
+// Static memory-access-pattern analysis for the heuristic tuner.
+//
+// Paper Sec. 6: "our experiments also reveal some key factors to find
+// the optimal version for CUDA-NP. First, memory coalescing and
+// intra-warp divergence can be used to determine the priority between
+// intra-warp NP and inter-warp NP. Second, using 3 or 7 slave threads
+// achieves close-to-optimal performance."
+//
+// This analysis inspects every global-memory access inside annotated
+// loops and decomposes the index expression into a linear form
+//     index = cm * master_id + ci * iterator + (rest)
+// (best-effort; nullopt coefficients mean "not affine"). From the
+// coefficients:
+//   - cm == 1            -> the *baseline* access is coalesced across
+//                           masters; intra-warp NP would break it;
+//   - cm > warp width    -> the baseline is scattered; if ci == 1 the
+//                           iterator is contiguous and intra-warp NP
+//                           re-coalesces it (the SS/NN effect).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+
+namespace cudanp::analysis {
+
+/// Linear decomposition of an index expression.
+struct LinearForm {
+  /// Coefficient of `master_id` (nullopt when the term is non-affine).
+  std::optional<std::int64_t> master_coeff;
+  /// Coefficient of the enclosing parallel loop's iterator.
+  std::optional<std::int64_t> iter_coeff;
+  bool affine = true;  // false when unknown constructs appear
+};
+
+/// Decomposes `e` with respect to variables `master` and `iter`. Other
+/// variables are treated as lane-invariant offsets (sound for the
+/// coalescing question: they are uniform across the group after
+/// broadcast).
+[[nodiscard]] LinearForm decompose_linear(const ir::Expr& e,
+                                          const std::string& master,
+                                          const std::string& iter);
+
+struct AccessPatternSummary {
+  int global_accesses = 0;          // in annotated loops
+  int coalesced_by_master = 0;      // cm == 1: intra would break these
+  int recoalesced_by_iterator = 0;  // cm large/unknown, ci == 1
+  /// Parallel loops guarded by master-dependent control flow (the LU
+  /// `master_id < 16` shape): intra-warp NP removes that divergence.
+  bool master_divergent_guard = false;
+  /// Largest constant trip count among annotated loops (0 if none).
+  std::int64_t max_const_trip = 0;
+};
+
+/// Analyzes the (un-transformed) kernel: `master_var` is the name that
+/// plays the master id in the baseline ("threadIdx.x").
+[[nodiscard]] AccessPatternSummary summarize_access_patterns(
+    const ir::Kernel& kernel);
+
+}  // namespace cudanp::analysis

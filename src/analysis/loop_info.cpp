@@ -1,0 +1,136 @@
+#include "analysis/loop_info.hpp"
+
+namespace cudanp::analysis {
+
+using namespace cudanp::ir;
+
+namespace {
+
+bool fail(std::string* why, const char* msg) {
+  if (why) *why = msg;
+  return false;
+}
+
+/// `i < bound` or `i <= bound-1`-style conditions; returns bound expr.
+const Expr* match_bound(const Expr& cond, const std::string& iter,
+                        std::string* why) {
+  if (cond.kind() != ExprKind::kBinary) {
+    fail(why, "loop condition is not a comparison");
+    return nullptr;
+  }
+  const auto& b = static_cast<const BinaryExpr&>(cond);
+  if (b.op != BinOp::kLt) {
+    fail(why, "loop condition must be `iterator < bound`");
+    return nullptr;
+  }
+  if (b.lhs->kind() != ExprKind::kVarRef ||
+      static_cast<const VarRef&>(*b.lhs).name != iter) {
+    fail(why, "loop condition LHS must be the iterator");
+    return nullptr;
+  }
+  return b.rhs.get();
+}
+
+/// `i++`, `i += c` forms; returns step or 0.
+std::int64_t match_step(const Stmt& inc, const std::string& iter,
+                        std::string* why) {
+  if (inc.kind() != StmtKind::kAssign) {
+    fail(why, "loop increment is not an assignment");
+    return 0;
+  }
+  const auto& a = static_cast<const AssignStmt&>(inc);
+  if (a.lhs->kind() != ExprKind::kVarRef ||
+      static_cast<const VarRef&>(*a.lhs).name != iter) {
+    fail(why, "loop increment must update the iterator");
+    return 0;
+  }
+  if (a.op == AssignOp::kAdd && a.rhs->kind() == ExprKind::kIntLit) {
+    std::int64_t s = static_cast<const IntLit&>(*a.rhs).value;
+    if (s > 0) return s;
+  }
+  // `i = i + c`
+  if (a.op == AssignOp::kAssign && a.rhs->kind() == ExprKind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(*a.rhs);
+    if (b.op == BinOp::kAdd && b.lhs->kind() == ExprKind::kVarRef &&
+        static_cast<const VarRef&>(*b.lhs).name == iter &&
+        b.rhs->kind() == ExprKind::kIntLit) {
+      std::int64_t s = static_cast<const IntLit&>(*b.rhs).value;
+      if (s > 0) return s;
+    }
+  }
+  fail(why, "loop step must be a positive integer constant");
+  return 0;
+}
+
+/// True if the iterator is assigned anywhere in the body.
+bool iterator_modified(const Block& body, const std::string& iter) {
+  bool modified = false;
+  for_each_stmt(body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kAssign) {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      if (a.lhs->kind() == ExprKind::kVarRef &&
+          static_cast<const VarRef&>(*a.lhs).name == iter)
+        modified = true;
+    }
+    if (s.kind() == StmtKind::kDecl &&
+        static_cast<const DeclStmt&>(s).name == iter)
+      modified = true;
+  });
+  return modified;
+}
+
+}  // namespace
+
+std::optional<LoopInfo> analyze_loop(const ForStmt& loop,
+                                     std::string* why_not) {
+  LoopInfo info;
+  if (!loop.init || !loop.cond || !loop.inc) {
+    fail(why_not, "loop must have init, condition and increment");
+    return std::nullopt;
+  }
+
+  if (loop.init->kind() == StmtKind::kDecl) {
+    const auto& d = static_cast<const DeclStmt&>(*loop.init);
+    if (!d.init) {
+      fail(why_not, "iterator declaration has no initializer");
+      return std::nullopt;
+    }
+    info.iterator = d.name;
+    info.init = d.init.get();
+    info.declares_iterator = true;
+  } else if (loop.init->kind() == StmtKind::kAssign) {
+    const auto& a = static_cast<const AssignStmt&>(*loop.init);
+    if (a.op != AssignOp::kAssign ||
+        a.lhs->kind() != ExprKind::kVarRef) {
+      fail(why_not, "loop init must assign the iterator");
+      return std::nullopt;
+    }
+    info.iterator = static_cast<const VarRef&>(*a.lhs).name;
+    info.init = a.rhs.get();
+  } else {
+    fail(why_not, "unsupported loop init form");
+    return std::nullopt;
+  }
+
+  info.bound = match_bound(*loop.cond, info.iterator, why_not);
+  if (!info.bound) return std::nullopt;
+
+  info.step = match_step(*loop.inc, info.iterator, why_not);
+  if (info.step == 0) return std::nullopt;
+
+  if (iterator_modified(*loop.body, info.iterator)) {
+    fail(why_not, "iterator is modified inside the loop body");
+    return std::nullopt;
+  }
+
+  if (info.init->kind() == ExprKind::kIntLit &&
+      info.bound->kind() == ExprKind::kIntLit) {
+    std::int64_t lo = static_cast<const IntLit&>(*info.init).value;
+    std::int64_t hi = static_cast<const IntLit&>(*info.bound).value;
+    info.const_trip_count =
+        hi > lo ? (hi - lo + info.step - 1) / info.step : 0;
+  }
+  return info;
+}
+
+}  // namespace cudanp::analysis

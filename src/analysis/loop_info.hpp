@@ -1,0 +1,35 @@
+// Canonical-loop recognition for `#pragma np parallel for` loops.
+//
+// CUDA-NP distributes loop iterations over slave threads, which requires
+// the loop to be in canonical form:
+//     for (i = <init>; i < <bound>; i += <step>)    (step a positive const)
+// with the iterator not otherwise modified in the body. This mirrors the
+// OpenMP canonical-form requirement the paper's pragmas inherit.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ir/stmt.hpp"
+
+namespace cudanp::analysis {
+
+struct LoopInfo {
+  std::string iterator;
+  /// Cloneable expressions (owned by the loop; do not outlive it).
+  const ir::Expr* init = nullptr;   // initial value of the iterator
+  const ir::Expr* bound = nullptr;  // exclusive upper bound (i < bound)
+  std::int64_t step = 1;
+  /// Iterator is declared in the init clause (vs assigned).
+  bool declares_iterator = false;
+  /// Compile-time trip count when init/bound are integer constants
+  /// (after #define substitution); nullopt for runtime bounds.
+  std::optional<std::int64_t> const_trip_count;
+};
+
+/// Recognizes the canonical form; returns nullopt (with a reason in
+/// `why_not` if non-null) otherwise.
+[[nodiscard]] std::optional<LoopInfo> analyze_loop(const ir::ForStmt& loop,
+                                                   std::string* why_not = nullptr);
+
+}  // namespace cudanp::analysis

@@ -1,0 +1,105 @@
+#include "analysis/resources.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace cudanp::analysis {
+
+using namespace cudanp::ir;
+
+namespace {
+
+/// Depth of the widest expression tree in the kernel — a proxy for
+/// temporary-register pressure.
+int expr_depth(const Expr& e) {
+  switch (e.kind()) {
+    case ExprKind::kIntLit:
+    case ExprKind::kFloatLit:
+    case ExprKind::kVarRef:
+      return 1;
+    case ExprKind::kArrayIndex: {
+      const auto& ai = static_cast<const ArrayIndex&>(e);
+      int d = 1;
+      for (const auto& i : ai.indices) d = std::max(d, expr_depth(*i));
+      return d + 1;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return 1 + std::max(expr_depth(*b.lhs), expr_depth(*b.rhs));
+    }
+    case ExprKind::kUnary:
+      return 1 + expr_depth(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      int d = 1;
+      for (const auto& a : c.args) d = std::max(d, expr_depth(*a));
+      return d + 1;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = static_cast<const TernaryExpr&>(e);
+      return 1 + std::max({expr_depth(*t.cond), expr_depth(*t.then_value),
+                           expr_depth(*t.else_value)});
+    }
+    case ExprKind::kCast:
+      return 1 + expr_depth(*static_cast<const CastExpr&>(e).operand);
+  }
+  return 1;
+}
+
+}  // namespace
+
+ResourceEstimate estimate_resources(const Kernel& kernel,
+                                    const sim::DeviceSpec& spec) {
+  ResourceEstimate out;
+
+  // ABI base: kernel arguments and special registers.
+  const int kBaseRegisters = 10;
+  int scalar_regs = 0;
+  int reg_array_elems = 0;
+  int max_depth = 1;
+  std::set<std::string> counted;
+
+  for_each_stmt(*kernel.body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kDecl) {
+      const auto& d = static_cast<const DeclStmt&>(s);
+      if (counted.count(d.name)) return;
+      counted.insert(d.name);
+      switch (d.type.space) {
+        case AddrSpace::kShared:
+          out.usage.shared_mem_per_block += d.type.size_bytes();
+          break;
+        case AddrSpace::kLocal:
+          out.declared_local_bytes += d.type.size_bytes();
+          break;
+        case AddrSpace::kRegister:
+          if (d.type.is_array())
+            reg_array_elems += static_cast<int>(d.type.element_count());
+          else
+            ++scalar_regs;
+          break;
+        case AddrSpace::kConstant:
+        case AddrSpace::kGlobal:
+          break;
+      }
+    }
+  });
+  for_each_expr_in(*kernel.body, [&](const Expr& e) {
+    max_depth = std::max(max_depth, expr_depth(e));
+  });
+
+  out.estimated_registers_raw = kBaseRegisters +
+                                static_cast<int>(kernel.params.size()) +
+                                scalar_regs + reg_array_elems + max_depth;
+  int limit = spec.max_registers_per_thread;
+  out.usage.registers_per_thread =
+      std::min(out.estimated_registers_raw, limit);
+  if (out.estimated_registers_raw > limit)
+    out.register_spill_bytes =
+        static_cast<std::int64_t>(out.estimated_registers_raw - limit) * 4;
+
+  out.usage.local_mem_per_thread =
+      out.declared_local_bytes + out.register_spill_bytes;
+  return out;
+}
+
+}  // namespace cudanp::analysis

@@ -1,0 +1,31 @@
+// Static resource estimation: registers / shared memory / local memory
+// per thread, reproducing the accounting of the paper's Table 1.
+//
+// Shared memory and local memory are exact (sums of declared sizes).
+// Registers are estimated the way a developer reads `ptxas -v` output:
+// a base allocation for the ABI plus live scalar variables plus
+// expression temporaries, with per-thread arrays that the compiler can
+// promote (AddrSpace::kRegister after CUDA-NP's partitioning) counted at
+// one register per element; anything beyond the per-thread architectural
+// limit spills to local memory.
+#pragma once
+
+#include "ir/kernel.hpp"
+#include "sim/device.hpp"
+
+namespace cudanp::analysis {
+
+struct ResourceEstimate {
+  sim::ResourceUsage usage;          // what the occupancy calculator needs
+  int estimated_registers_raw = 0;   // before clamping to the arch limit
+  std::int64_t register_spill_bytes = 0;  // raw regs beyond the limit
+  std::int64_t declared_local_bytes = 0;  // local arrays kept in local mem
+};
+
+/// Estimates resources for `kernel` launched with `threads_per_block`
+/// threads (shared memory is per block, so the block size matters only
+/// for reporting).
+[[nodiscard]] ResourceEstimate estimate_resources(const ir::Kernel& kernel,
+                                                  const sim::DeviceSpec& spec);
+
+}  // namespace cudanp::analysis

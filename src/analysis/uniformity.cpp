@@ -1,0 +1,109 @@
+#include "analysis/uniformity.hpp"
+
+#include "analysis/liveness.hpp"
+
+namespace cudanp::analysis {
+
+using namespace cudanp::ir;
+
+UniformityTracker::UniformityTracker(
+    std::unordered_map<std::string, Type> symbols,
+    std::set<std::string> uniform_seed)
+    : symbols_(std::move(symbols)), uniform_(std::move(uniform_seed)) {}
+
+bool UniformityTracker::is_uniform_pure(const Expr& e) const {
+  switch (e.kind()) {
+    case ExprKind::kIntLit:
+    case ExprKind::kFloatLit:
+      return true;
+    case ExprKind::kVarRef: {
+      const auto& v = static_cast<const VarRef&>(e);
+      // blockIdx/blockDim/gridDim are uniform across the whole block;
+      // threadIdx.* is not (the transformer rewrites the master dimension
+      // to master_id, which it seeds as uniform).
+      if (is_builtin_geometry(v.name))
+        return v.name.rfind("threadIdx", 0) != 0;
+      if (uniform_.count(v.name)) return true;
+      // Scalar kernel parameters are uniform (they have no DeclStmt, so
+      // they are in the symbol table but never killed).
+      auto it = symbols_.find(v.name);
+      if (it != symbols_.end() && it->second.is_scalar() &&
+          uniform_.count(v.name) == 0) {
+        // Only parameters are implicitly uniform; locals must be tracked.
+        return false;
+      }
+      return false;
+    }
+    case ExprKind::kArrayIndex:
+      return false;  // memory access: never redundantly computed
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      return is_uniform_pure(*b.lhs) && is_uniform_pure(*b.rhs);
+    }
+    case ExprKind::kUnary:
+      return is_uniform_pure(*static_cast<const UnaryExpr&>(e).operand);
+    case ExprKind::kCall: {
+      const auto& c = static_cast<const CallExpr&>(e);
+      // Pure math builtins only; __shfl/__syncthreads/etc. are not
+      // redundant-computation candidates.
+      static const std::set<std::string> kPure = {
+          "sqrtf", "sqrt", "fabsf", "fabs", "expf", "exp",  "logf",
+          "log",   "sinf", "cosf",  "powf", "min",  "max",  "fminf",
+          "fmaxf", "abs",  "floorf", "rsqrtf"};
+      if (!kPure.count(c.callee)) return false;
+      for (const auto& a : c.args)
+        if (!is_uniform_pure(*a)) return false;
+      return true;
+    }
+    case ExprKind::kTernary: {
+      const auto& t = static_cast<const TernaryExpr&>(e);
+      return is_uniform_pure(*t.cond) && is_uniform_pure(*t.then_value) &&
+             is_uniform_pure(*t.else_value);
+    }
+    case ExprKind::kCast:
+      return is_uniform_pure(*static_cast<const CastExpr&>(e).operand);
+  }
+  return false;
+}
+
+bool UniformityTracker::step(const Stmt& s) {
+  switch (s.kind()) {
+    case StmtKind::kDecl: {
+      const auto& d = static_cast<const DeclStmt&>(s);
+      if (d.type.is_scalar() && d.init && is_uniform_pure(*d.init)) {
+        uniform_.insert(d.name);
+        return true;
+      }
+      if (!d.init) {
+        // A bare declaration is "uniform" to execute (it computes
+        // nothing), but the variable holds no uniform value yet.
+        uniform_.erase(d.name);
+        return true;
+      }
+      uniform_.erase(d.name);
+      return false;
+    }
+    case StmtKind::kAssign: {
+      const auto& a = static_cast<const AssignStmt&>(s);
+      if (a.lhs->kind() == ExprKind::kVarRef) {
+        const auto& v = static_cast<const VarRef&>(*a.lhs);
+        bool rhs_uniform = is_uniform_pure(*a.rhs);
+        bool self_ok = a.op == AssignOp::kAssign || uniform_.count(v.name);
+        if (rhs_uniform && self_ok) {
+          uniform_.insert(v.name);
+          return true;
+        }
+        uniform_.erase(v.name);
+        return false;
+      }
+      // Stores to arrays/global memory must not be duplicated by slaves.
+      return false;
+    }
+    default:
+      // Control flow, calls, returns: handled structurally by the
+      // transformer, not classified here. Kill nothing.
+      return false;
+  }
+}
+
+}  // namespace cudanp::analysis

@@ -1,0 +1,55 @@
+// Group-uniformity ("uniform vector") analysis, paper Sec. 3.1.
+//
+// After the master/slave remap, every thread in a master group shares:
+// literals, kernel parameters, blockIdx/blockDim/gridDim, and master_id.
+// A sequential-section statement whose result depends only on such values
+// (through pure arithmetic — no memory reads) can be executed redundantly
+// by all slave threads instead of being computed by the master and
+// broadcast; the paper reports this is usually cheaper than a broadcast
+// because it removes shared-memory traffic and control flow.
+//
+// The analysis is flow-sensitive over a straight-line statement sequence:
+// it maintains the set of variables currently holding group-uniform
+// values and classifies each statement.
+#pragma once
+
+#include <set>
+#include <string>
+#include <unordered_map>
+
+#include "ir/kernel.hpp"
+
+namespace cudanp::analysis {
+
+class UniformityTracker {
+ public:
+  /// `symbols` is the kernel symbol table; `uniform_seed` pre-seeds names
+  /// that are group-uniform by construction (e.g. "master_id").
+  UniformityTracker(std::unordered_map<std::string, ir::Type> symbols,
+                    std::set<std::string> uniform_seed);
+
+  /// True when `e` computes a group-uniform value *and* performs no memory
+  /// access (redundant memory reads would multiply traffic, so the
+  /// transformer keeps them in the master + broadcast path).
+  [[nodiscard]] bool is_uniform_pure(const ir::Expr& e) const;
+
+  /// Classifies a sequential statement: returns true when the statement
+  /// can run redundantly in every thread of the group. Updates the
+  /// tracked uniform set either way (a non-uniform def kills uniformity
+  /// of its target).
+  bool step(const ir::Stmt& s);
+
+  /// Is this variable currently group-uniform?
+  [[nodiscard]] bool is_uniform_var(const std::string& name) const {
+    return uniform_.count(name) > 0;
+  }
+
+  void mark_uniform(const std::string& name) { uniform_.insert(name); }
+  void mark_nonuniform(const std::string& name) { uniform_.erase(name); }
+
+ private:
+  std::unordered_map<std::string, ir::Type> symbols_;
+  std::set<std::string> uniform_;
+};
+
+}  // namespace cudanp::analysis

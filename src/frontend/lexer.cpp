@@ -1,0 +1,203 @@
+#include "frontend/lexer.hpp"
+
+#include <array>
+#include <cctype>
+#include <cstdlib>
+
+namespace cudanp::frontend {
+
+namespace {
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, cudanp::DiagnosticEngine& diags)
+      : src_(src), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_ws_and_comments();
+      if (at_end()) break;
+      SourceLoc loc = here();
+      char c = peek();
+      if (c == '#') {
+        out.push_back(lex_directive(loc));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        out.push_back(lex_ident(loc));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '.' &&
+                  pos_ + 1 < src_.size() &&
+                  std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        out.push_back(lex_number(loc));
+      } else {
+        out.push_back(lex_punct(loc));
+      }
+    }
+    Token eof;
+    eof.kind = TokKind::kEof;
+    eof.loc = here();
+    out.push_back(eof);
+    return out;
+  }
+
+ private:
+  [[nodiscard]] bool at_end() const { return pos_ >= src_.size(); }
+  [[nodiscard]] char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  [[nodiscard]] SourceLoc here() const { return {line_, col_}; }
+
+  void skip_ws_and_comments() {
+    while (!at_end()) {
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (!at_end()) {
+          advance();
+          advance();
+        } else {
+          diags_.error(here(), "unterminated block comment");
+        }
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token lex_directive(SourceLoc loc) {
+    advance();  // '#'
+    std::string text;
+    // A directive may be continued with trailing backslash.
+    while (!at_end() && peek() != '\n') {
+      char c = advance();
+      if (c == '\\' && peek() == '\n') {
+        advance();
+        continue;
+      }
+      text += c;
+    }
+    Token t;
+    t.kind = TokKind::kDirective;
+    t.text = std::move(text);
+    t.loc = loc;
+    return t;
+  }
+
+  Token lex_ident(SourceLoc loc) {
+    std::string text;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_'))
+      text += advance();
+    Token t;
+    t.kind = TokKind::kIdent;
+    t.text = std::move(text);
+    t.loc = loc;
+    return t;
+  }
+
+  Token lex_number(SourceLoc loc) {
+    std::string text;
+    bool is_float = false;
+    bool is_hex = false;
+    if (peek() == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+      is_hex = true;
+      text += advance();
+      text += advance();
+      while (!at_end() &&
+             std::isxdigit(static_cast<unsigned char>(peek())))
+        text += advance();
+    } else {
+      while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+        text += advance();
+      if (peek() == '.') {
+        is_float = true;
+        text += advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+          text += advance();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        is_float = true;
+        text += advance();
+        if (peek() == '+' || peek() == '-') text += advance();
+        while (!at_end() && std::isdigit(static_cast<unsigned char>(peek())))
+          text += advance();
+      }
+    }
+    // Suffixes: f/F force float, u/U/l/L are ignored for ints.
+    if (peek() == 'f' || peek() == 'F') {
+      is_float = true;
+      advance();
+    } else {
+      while (peek() == 'u' || peek() == 'U' || peek() == 'l' || peek() == 'L')
+        advance();
+    }
+    Token t;
+    t.loc = loc;
+    t.text = text;
+    if (is_float) {
+      t.kind = TokKind::kFloatLit;
+      t.float_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      t.kind = TokKind::kIntLit;
+      t.int_value = std::strtoll(text.c_str(), nullptr, is_hex ? 16 : 10);
+    }
+    return t;
+  }
+
+  Token lex_punct(SourceLoc loc) {
+    static constexpr std::array<std::string_view, 19> kTwoChar = {
+        "&&", "||", "==", "!=", "<=", ">=", "<<", ">>", "+=", "-=",
+        "*=", "/=", "%=", "++", "--", "->", "&=", "|=", "^="};
+    Token t;
+    t.kind = TokKind::kPunct;
+    t.loc = loc;
+    char c0 = peek();
+    char c1 = peek(1);
+    std::string two{c0, c1};
+    for (auto tc : kTwoChar) {
+      if (two == tc) {
+        advance();
+        advance();
+        t.text = two;
+        return t;
+      }
+    }
+    advance();
+    t.text = std::string(1, c0);
+    static constexpr std::string_view kSingles = "+-*/%<>=!&|^~?:;,.(){}[]";
+    if (kSingles.find(c0) == std::string_view::npos)
+      diags_.error(loc, std::string("unexpected character '") + c0 + "'");
+    return t;
+  }
+
+  std::string_view src_;
+  cudanp::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  std::uint32_t line_ = 1;
+  std::uint32_t col_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source,
+                            cudanp::DiagnosticEngine& diags) {
+  return Lexer(source, diags).run();
+}
+
+}  // namespace cudanp::frontend

@@ -1,0 +1,46 @@
+// Lexer for the CUDA-C kernel subset.
+//
+// Preprocessor lines (`#define`, `#pragma np ...`) are emitted as whole-line
+// kDirective tokens; the parser interprets them. Comments (// and /* */)
+// are skipped.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/diagnostics.hpp"
+#include "support/source_location.hpp"
+
+namespace cudanp::frontend {
+
+enum class TokKind : std::uint8_t {
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  kPunct,      // operators & punctuation, multi-char ops pre-merged
+  kDirective,  // full `#...` line, text excludes the leading '#'
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+  SourceLoc loc;
+
+  [[nodiscard]] bool is_punct(std::string_view p) const {
+    return kind == TokKind::kPunct && text == p;
+  }
+  [[nodiscard]] bool is_ident(std::string_view id) const {
+    return kind == TokKind::kIdent && text == id;
+  }
+};
+
+/// Tokenizes `source`; lexical errors are reported to `diags` and lexing
+/// continues so multiple problems surface in one pass.
+[[nodiscard]] std::vector<Token> tokenize(std::string_view source,
+                                          cudanp::DiagnosticEngine& diags);
+
+}  // namespace cudanp::frontend

@@ -1,0 +1,600 @@
+#include "frontend/parser.hpp"
+
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "frontend/lexer.hpp"
+#include "frontend/pragma_parser.hpp"
+#include "support/string_utils.hpp"
+
+namespace cudanp::frontend {
+
+using namespace cudanp::ir;
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, cudanp::DiagnosticEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::unique_ptr<Program> run() {
+    auto prog = std::make_unique<Program>();
+    prog_ = prog.get();
+    while (!at(TokKind::kEof)) {
+      if (at(TokKind::kDirective)) {
+        handle_top_level_directive();
+      } else if (cur().is_ident("__global__")) {
+        prog->kernels.push_back(parse_kernel());
+      } else {
+        throw cudanp::CompileError(
+            cur().loc, "expected '__global__' kernel or directive, got '" +
+                           cur().text + "'");
+      }
+    }
+    return prog;
+  }
+
+ private:
+  // ---- token helpers ----
+  [[nodiscard]] const Token& cur() const { return toks_[pos_]; }
+  [[nodiscard]] const Token& peek(std::size_t off = 1) const {
+    std::size_t i = pos_ + off;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  [[nodiscard]] bool at(TokKind k) const { return cur().kind == k; }
+  const Token& take() { return toks_[pos_++]; }
+  bool accept_punct(std::string_view p) {
+    if (cur().is_punct(p)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect_punct(std::string_view p) {
+    if (!accept_punct(p))
+      throw cudanp::CompileError(cur().loc, "expected '" + std::string(p) +
+                                                "', got '" + cur().text + "'");
+  }
+  bool accept_ident(std::string_view id) {
+    if (cur().is_ident(id)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  std::string expect_ident() {
+    if (!at(TokKind::kIdent))
+      throw cudanp::CompileError(cur().loc,
+                                 "expected identifier, got '" + cur().text +
+                                     "'");
+    return take().text;
+  }
+
+  // ---- directives ----
+  void handle_top_level_directive() {
+    const Token& tok = take();
+    std::string_view text = tok.text;
+    auto trimmed = cudanp::trim(text);
+    if (cudanp::starts_with(trimmed, "define")) {
+      std::istringstream is{std::string(trimmed.substr(6))};
+      std::string name;
+      std::int64_t value = 0;
+      if (!(is >> name >> value))
+        throw cudanp::CompileError(
+            tok.loc, "only `#define NAME <int>` defines are supported");
+      prog_->defines[name] = value;
+    } else if (cudanp::starts_with(trimmed, "pragma")) {
+      // `#pragma np` must precede a loop inside a kernel body; elsewhere it
+      // is dangling.
+      diags_.warning(tok.loc, "ignoring pragma outside a kernel body");
+    } else if (cudanp::starts_with(trimmed, "include")) {
+      // Accepted and ignored: kernels are self-contained.
+    } else {
+      diags_.warning(tok.loc, "ignoring unknown directive: #" +
+                                  std::string(trimmed));
+    }
+  }
+
+  // ---- types ----
+  [[nodiscard]] static std::optional<ScalarType> scalar_keyword(
+      const Token& t) {
+    if (t.is_ident("int")) return ScalarType::kInt;
+    if (t.is_ident("float")) return ScalarType::kFloat;
+    if (t.is_ident("bool")) return ScalarType::kBool;
+    if (t.is_ident("void")) return ScalarType::kVoid;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool starts_decl() const {
+    const Token& t = cur();
+    if (t.is_ident("__shared__") || t.is_ident("__constant__")) return true;
+    return scalar_keyword(t).has_value();
+  }
+
+  // ---- kernel ----
+  std::unique_ptr<Kernel> parse_kernel() {
+    take();  // __global__
+    if (!accept_ident("void"))
+      throw cudanp::CompileError(cur().loc, "kernels must return void");
+    auto kernel = std::make_unique<Kernel>();
+    kernel->name = expect_ident();
+    expect_punct("(");
+    if (!cur().is_punct(")")) {
+      do {
+        kernel->params.push_back(parse_param());
+      } while (accept_punct(","));
+    }
+    expect_punct(")");
+    kernel->body = parse_block();
+    return kernel;
+  }
+
+  Param parse_param() {
+    accept_ident("const");
+    auto st = scalar_keyword(cur());
+    if (!st)
+      throw cudanp::CompileError(cur().loc,
+                                 "expected parameter type, got '" +
+                                     cur().text + "'");
+    take();
+    bool is_ptr = accept_punct("*");
+    accept_ident("__restrict__");
+    Param p;
+    p.name = expect_ident();
+    p.type = is_ptr ? Type::pointer_to(*st) : Type::scalar_of(*st);
+    return p;
+  }
+
+  // ---- statements ----
+  BlockPtr parse_block() {
+    SourceLoc loc = cur().loc;
+    expect_punct("{");
+    auto block = std::make_unique<Block>(loc);
+    std::optional<NpPragma> pending_pragma;
+    while (!cur().is_punct("}")) {
+      if (at(TokKind::kEof))
+        throw cudanp::CompileError(cur().loc, "unterminated block");
+      if (at(TokKind::kDirective)) {
+        const Token& tok = take();
+        auto pragma = parse_np_pragma(tok.text, tok.loc, diags_);
+        if (pragma) {
+          if (pending_pragma)
+            diags_.warning(tok.loc, "pragma overrides a previous pragma");
+          pending_pragma = pragma;
+        }
+        continue;
+      }
+      // Multi-declarator lists splice directly into the enclosing block
+      // so each declaration is an independent statement.
+      if (starts_decl()) {
+        auto decls = parse_decl_list();
+        expect_punct(";");
+        if (pending_pragma) {
+          diags_.error(decls.front()->loc(),
+                       "#pragma np must be followed by a for loop");
+          pending_pragma.reset();
+        }
+        for (auto& d : decls) block->push(std::move(d));
+        continue;
+      }
+      StmtPtr s = parse_stmt();
+      if (pending_pragma) {
+        if (s->kind() == StmtKind::kFor) {
+          static_cast<ForStmt&>(*s).pragma = std::move(pending_pragma);
+        } else {
+          diags_.error(s->loc(),
+                       "#pragma np must be followed by a for loop");
+        }
+        pending_pragma.reset();
+      }
+      block->push(std::move(s));
+    }
+    expect_punct("}");
+    return block;
+  }
+
+  /// Single statement or `{...}`; single statements are wrapped in a Block
+  /// when used as a control-flow body.
+  BlockPtr parse_body() {
+    if (cur().is_punct("{")) return parse_block();
+    auto block = std::make_unique<Block>(cur().loc);
+    block->push(parse_stmt());
+    return block;
+  }
+
+  StmtPtr parse_stmt() {
+    SourceLoc loc = cur().loc;
+    if (cur().is_punct("{")) return parse_block();
+    if (cur().is_punct(";")) {
+      take();
+      return std::make_unique<Block>(loc);  // empty statement
+    }
+    if (cur().is_ident("if")) return parse_if();
+    if (cur().is_ident("for")) return parse_for();
+    if (cur().is_ident("while")) return parse_while();
+    if (cur().is_ident("return")) {
+      take();
+      expect_punct(";");
+      return std::make_unique<ReturnStmt>(loc);
+    }
+    if (cur().is_ident("break")) {
+      take();
+      expect_punct(";");
+      return std::make_unique<BreakStmt>(loc);
+    }
+    if (cur().is_ident("continue")) {
+      take();
+      expect_punct(";");
+      return std::make_unique<ContinueStmt>(loc);
+    }
+    if (starts_decl()) {
+      auto stmts = parse_decl_list();
+      expect_punct(";");
+      if (stmts.size() == 1) return std::move(stmts.front());
+      auto block = std::make_unique<Block>(loc);
+      for (auto& s : stmts) block->push(std::move(s));
+      return block;
+    }
+    StmtPtr s = parse_assign_or_expr();
+    expect_punct(";");
+    return s;
+  }
+
+  /// `[qualifier] type declarator (, declarator)*` without the ';'.
+  std::vector<StmtPtr> parse_decl_list() {
+    SourceLoc loc = cur().loc;
+    AddrSpace space = AddrSpace::kRegister;
+    if (accept_ident("__shared__")) space = AddrSpace::kShared;
+    else if (accept_ident("__constant__")) space = AddrSpace::kConstant;
+    auto st = scalar_keyword(cur());
+    if (!st)
+      throw cudanp::CompileError(cur().loc, "expected type in declaration");
+    take();
+    std::vector<StmtPtr> out;
+    do {
+      bool is_ptr = accept_punct("*");
+      std::string name = expect_ident();
+      std::vector<std::int64_t> dims;
+      while (accept_punct("[")) {
+        dims.push_back(parse_const_int());
+        expect_punct("]");
+      }
+      ExprPtr init;
+      std::vector<ExprPtr> init_list;
+      if (accept_punct("=")) {
+        if (accept_punct("{")) {
+          if (dims.empty())
+            throw cudanp::CompileError(cur().loc,
+                                       "brace initializer requires an array");
+          if (!cur().is_punct("}")) {
+            do {
+              init_list.push_back(parse_expr());
+            } while (accept_punct(","));
+          }
+          expect_punct("}");
+        } else {
+          init = parse_expr();
+        }
+      }
+      Type type;
+      if (is_ptr) {
+        type = Type::pointer_to(*st);
+      } else if (!dims.empty()) {
+        // A per-thread array defaults to local memory (paper Sec. 3.3);
+        // __shared__/__constant__ qualifiers override.
+        AddrSpace arr_space =
+            space == AddrSpace::kRegister ? AddrSpace::kLocal : space;
+        type = Type::array_of(*st, std::move(dims), arr_space);
+      } else {
+        type = Type::scalar_of(*st, space);
+      }
+      auto decl = std::make_unique<DeclStmt>(type, std::move(name),
+                                             std::move(init), loc);
+      decl->init_list = std::move(init_list);
+      out.push_back(std::move(decl));
+    } while (accept_punct(","));
+    return out;
+  }
+
+  std::int64_t parse_const_int() {
+    ExprPtr e = parse_expr();
+    return fold_const(*e);
+  }
+
+  std::int64_t fold_const(const Expr& e) {
+    switch (e.kind()) {
+      case ExprKind::kIntLit:
+        return static_cast<const IntLit&>(e).value;
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        std::int64_t l = fold_const(*b.lhs);
+        std::int64_t r = fold_const(*b.rhs);
+        switch (b.op) {
+          case BinOp::kAdd: return l + r;
+          case BinOp::kSub: return l - r;
+          case BinOp::kMul: return l * r;
+          case BinOp::kDiv: return r == 0 ? 0 : l / r;
+          case BinOp::kMod: return r == 0 ? 0 : l % r;
+          case BinOp::kShl: return l << r;
+          case BinOp::kShr: return l >> r;
+          default: break;
+        }
+        break;
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        if (u.op == UnOp::kNeg) return -fold_const(*u.operand);
+        break;
+      }
+      default:
+        break;
+    }
+    throw cudanp::CompileError(e.loc(),
+                               "array dimension is not a compile-time "
+                               "integer constant");
+  }
+
+  StmtPtr parse_if() {
+    SourceLoc loc = take().loc;  // if
+    expect_punct("(");
+    ExprPtr cond = parse_expr();
+    expect_punct(")");
+    BlockPtr then_body = parse_body();
+    BlockPtr else_body;
+    if (accept_ident("else")) else_body = parse_body();
+    return std::make_unique<IfStmt>(std::move(cond), std::move(then_body),
+                                    std::move(else_body), loc);
+  }
+
+  StmtPtr parse_for() {
+    SourceLoc loc = take().loc;  // for
+    expect_punct("(");
+    StmtPtr init;
+    if (!cur().is_punct(";")) {
+      if (starts_decl()) {
+        auto decls = parse_decl_list();
+        if (decls.size() == 1) {
+          init = std::move(decls.front());
+        } else {
+          // `int i = 0, k = 0`: a compound init clause.
+          auto b = std::make_unique<Block>(loc);
+          for (auto& d : decls) b->push(std::move(d));
+          init = std::move(b);
+        }
+      } else {
+        init = parse_assign_or_expr();
+      }
+    }
+    expect_punct(";");
+    ExprPtr cond;
+    if (!cur().is_punct(";")) cond = parse_expr();
+    expect_punct(";");
+    StmtPtr inc;
+    if (!cur().is_punct(")")) {
+      inc = parse_assign_or_expr();
+      if (cur().is_punct(",")) {
+        // Comma-operator increment: `i += 8, k += 1`.
+        auto b = std::make_unique<Block>(loc);
+        b->push(std::move(inc));
+        while (accept_punct(",")) b->push(parse_assign_or_expr());
+        inc = std::move(b);
+      }
+    }
+    expect_punct(")");
+    BlockPtr body = parse_body();
+    return std::make_unique<ForStmt>(std::move(init), std::move(cond),
+                                     std::move(inc), std::move(body), loc);
+  }
+
+  StmtPtr parse_while() {
+    SourceLoc loc = take().loc;  // while
+    expect_punct("(");
+    ExprPtr cond = parse_expr();
+    expect_punct(")");
+    BlockPtr body = parse_body();
+    return std::make_unique<WhileStmt>(std::move(cond), std::move(body), loc);
+  }
+
+  /// Assignment (incl. compound and ++/--) or bare expression statement.
+  StmtPtr parse_assign_or_expr() {
+    SourceLoc loc = cur().loc;
+    // `++x` prefix form.
+    if (cur().is_punct("++") || cur().is_punct("--")) {
+      bool inc = take().text == "++";
+      ExprPtr lhs = parse_unary();
+      return std::make_unique<AssignStmt>(
+          std::move(lhs), inc ? AssignOp::kAdd : AssignOp::kSub, make_int(1),
+          loc);
+    }
+    ExprPtr lhs = parse_expr();
+    if (cur().is_punct("=") || cur().is_punct("+=") || cur().is_punct("-=") ||
+        cur().is_punct("*=") || cur().is_punct("/=")) {
+      std::string op_text = take().text;
+      AssignOp op = AssignOp::kAssign;
+      if (op_text == "+=") op = AssignOp::kAdd;
+      else if (op_text == "-=") op = AssignOp::kSub;
+      else if (op_text == "*=") op = AssignOp::kMul;
+      else if (op_text == "/=") op = AssignOp::kDiv;
+      ExprPtr rhs = parse_expr();
+      require_lvalue(*lhs);
+      return std::make_unique<AssignStmt>(std::move(lhs), op, std::move(rhs),
+                                          loc);
+    }
+    if (cur().is_punct("++") || cur().is_punct("--")) {
+      bool inc = take().text == "++";
+      require_lvalue(*lhs);
+      return std::make_unique<AssignStmt>(
+          std::move(lhs), inc ? AssignOp::kAdd : AssignOp::kSub, make_int(1),
+          loc);
+    }
+    return std::make_unique<ExprStmt>(std::move(lhs), loc);
+  }
+
+  void require_lvalue(const Expr& e) {
+    if (e.kind() != ExprKind::kVarRef && e.kind() != ExprKind::kArrayIndex)
+      throw cudanp::CompileError(e.loc(), "assignment target is not an "
+                                          "lvalue");
+  }
+
+  // ---- expressions (precedence climbing) ----
+  ExprPtr parse_expr() { return parse_ternary(); }
+
+  ExprPtr parse_ternary() {
+    ExprPtr cond = parse_binary(1);
+    if (accept_punct("?")) {
+      ExprPtr t = parse_expr();
+      expect_punct(":");
+      ExprPtr f = parse_expr();
+      return std::make_unique<TernaryExpr>(std::move(cond), std::move(t),
+                                           std::move(f));
+    }
+    return cond;
+  }
+
+  [[nodiscard]] static std::optional<BinOp> binop_of(const Token& t) {
+    if (t.kind != TokKind::kPunct) return std::nullopt;
+    const std::string& p = t.text;
+    if (p == "*") return BinOp::kMul;
+    if (p == "/") return BinOp::kDiv;
+    if (p == "%") return BinOp::kMod;
+    if (p == "+") return BinOp::kAdd;
+    if (p == "-") return BinOp::kSub;
+    if (p == "<<") return BinOp::kShl;
+    if (p == ">>") return BinOp::kShr;
+    if (p == "<") return BinOp::kLt;
+    if (p == "<=") return BinOp::kLe;
+    if (p == ">") return BinOp::kGt;
+    if (p == ">=") return BinOp::kGe;
+    if (p == "==") return BinOp::kEq;
+    if (p == "!=") return BinOp::kNe;
+    if (p == "&") return BinOp::kBitAnd;
+    if (p == "^") return BinOp::kBitXor;
+    if (p == "|") return BinOp::kBitOr;
+    if (p == "&&") return BinOp::kLAnd;
+    if (p == "||") return BinOp::kLOr;
+    return std::nullopt;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      auto op = binop_of(cur());
+      if (!op) break;
+      int prec = precedence(*op);
+      if (prec < min_prec) break;
+      SourceLoc loc = take().loc;
+      ExprPtr rhs = parse_binary(prec + 1);
+      lhs = std::make_unique<BinaryExpr>(*op, std::move(lhs), std::move(rhs),
+                                         loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_unary() {
+    SourceLoc loc = cur().loc;
+    if (accept_punct("-"))
+      return std::make_unique<UnaryExpr>(UnOp::kNeg, parse_unary(), loc);
+    if (accept_punct("!"))
+      return std::make_unique<UnaryExpr>(UnOp::kLNot, parse_unary(), loc);
+    if (accept_punct("+")) return parse_unary();
+    // Cast: `(int) e` / `(float) e`.
+    if (cur().is_punct("(") &&
+        (peek(1).is_ident("int") || peek(1).is_ident("float")) &&
+        peek(2).is_punct(")")) {
+      take();
+      ScalarType to =
+          take().is_ident("int") ? ScalarType::kInt : ScalarType::kFloat;
+      take();
+      return std::make_unique<CastExpr>(to, parse_unary(), loc);
+    }
+    return parse_postfix();
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (cur().is_punct("[")) {
+      std::vector<ExprPtr> indices;
+      while (accept_punct("[")) {
+        indices.push_back(parse_expr());
+        expect_punct("]");
+      }
+      e = std::make_unique<ArrayIndex>(std::move(e), std::move(indices),
+                                       e->loc());
+    }
+    return e;
+  }
+
+  ExprPtr parse_primary() {
+    SourceLoc loc = cur().loc;
+    if (at(TokKind::kIntLit)) return std::make_unique<IntLit>(take().int_value, loc);
+    if (at(TokKind::kFloatLit))
+      return std::make_unique<FloatLit>(take().float_value, loc);
+    if (accept_punct("(")) {
+      ExprPtr e = parse_expr();
+      expect_punct(")");
+      return e;
+    }
+    if (at(TokKind::kIdent)) {
+      std::string name = take().text;
+      // Builtin geometry: threadIdx.x etc.
+      if ((name == "threadIdx" || name == "blockIdx" || name == "blockDim" ||
+           name == "gridDim") &&
+          cur().is_punct(".")) {
+        take();
+        std::string member = expect_ident();
+        if (member != "x" && member != "y" && member != "z")
+          throw cudanp::CompileError(loc, name + " has no member '" + member +
+                                              "'");
+        return std::make_unique<VarRef>(name + "." + member, loc);
+      }
+      // Call.
+      if (cur().is_punct("(")) {
+        take();
+        std::vector<ExprPtr> args;
+        if (!cur().is_punct(")")) {
+          do {
+            args.push_back(parse_expr());
+          } while (accept_punct(","));
+        }
+        expect_punct(")");
+        return std::make_unique<CallExpr>(std::move(name), std::move(args),
+                                          loc);
+      }
+      // #define substitution.
+      auto it = prog_->defines.find(name);
+      if (it != prog_->defines.end())
+        return std::make_unique<IntLit>(it->second, loc);
+      return std::make_unique<VarRef>(std::move(name), loc);
+    }
+    throw cudanp::CompileError(loc, "unexpected token '" + cur().text +
+                                        "' in expression");
+  }
+
+  std::vector<Token> toks_;
+  cudanp::DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  Program* prog_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Program> parse_program(std::string_view source,
+                                       cudanp::DiagnosticEngine& diags) {
+  auto toks = tokenize(source, diags);
+  if (diags.has_errors())
+    throw cudanp::CompileError("lexical errors:\n" + diags.summary());
+  Parser parser(std::move(toks), diags);
+  auto prog = parser.run();
+  if (diags.has_errors())
+    throw cudanp::CompileError("parse errors:\n" + diags.summary());
+  return prog;
+}
+
+std::unique_ptr<Program> parse_program_or_throw(std::string_view source) {
+  cudanp::DiagnosticEngine diags;
+  return parse_program(source, diags);
+}
+
+}  // namespace cudanp::frontend

@@ -1,0 +1,33 @@
+// Recursive-descent parser for the CUDA-C kernel subset.
+//
+// Supported surface syntax (everything the ten paper benchmarks need):
+//   - `__global__ void k(float* a, int n) { ... }`
+//   - declarations: `float x = e;`, `__shared__ float t[16][16];`,
+//     per-thread arrays `float grad[150];` (local-memory resident),
+//     multi-declarator lists `__shared__ float a[N][N], b[N][N];`
+//   - statements: assignment (=, +=, -=, *=, /=, ++, --), if/else, for,
+//     while, break, continue, return, expression statements
+//   - expressions: full C operator set with standard precedence, calls,
+//     ?:, casts, multi-dim indexing, `threadIdx.x`-style builtins
+//   - `#define NAME <int>` constants (substituted at parse time)
+//   - `#pragma np parallel for ...` attached to the following loop
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/kernel.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::frontend {
+
+/// Parses a translation unit. Throws CompileError on unrecoverable syntax
+/// errors; accumulated diagnostics are in `diags`.
+[[nodiscard]] std::unique_ptr<cudanp::ir::Program> parse_program(
+    std::string_view source, cudanp::DiagnosticEngine& diags);
+
+/// Convenience: parse and throw on any error, returning the program.
+[[nodiscard]] std::unique_ptr<cudanp::ir::Program> parse_program_or_throw(
+    std::string_view source);
+
+}  // namespace cudanp::frontend

@@ -1,0 +1,194 @@
+#include "frontend/pragma_parser.hpp"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "support/string_utils.hpp"
+
+namespace cudanp::frontend {
+
+using cudanp::ir::NpPragma;
+using cudanp::ir::NpType;
+using cudanp::ir::ReduceOp;
+using cudanp::ir::ReductionClause;
+
+namespace {
+
+/// Cursor over the directive text.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view s) : s_(s) {}
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+  [[nodiscard]] bool at_end() {
+    skip_ws();
+    return pos_ >= s_.size();
+  }
+  /// Reads an identifier-like word; empty when none.
+  std::string word() {
+    skip_ws();
+    std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           (std::isalnum(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '_'))
+      ++pos_;
+    return std::string(s_.substr(start, pos_ - start));
+  }
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  /// Reads up to (not including) `stop`, returning the raw contents.
+  std::string until(char stop) {
+    std::size_t start = pos_;
+    while (pos_ < s_.size() && s_[pos_] != stop) ++pos_;
+    return std::string(s_.substr(start, pos_ - start));
+  }
+
+ private:
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+bool parse_reduce_op(std::string_view text, ReduceOp& op) {
+  if (text == "+") {
+    op = ReduceOp::kAdd;
+    return true;
+  }
+  if (text == "*") {
+    op = ReduceOp::kMul;
+    return true;
+  }
+  if (text == "min") {
+    op = ReduceOp::kMin;
+    return true;
+  }
+  if (text == "max") {
+    op = ReduceOp::kMax;
+    return true;
+  }
+  return false;
+}
+
+/// Parses `(op:var,var,...)` following a reduction/scan keyword.
+bool parse_reduction_clause(Cursor& cur, ReductionClause& clause) {
+  if (!cur.consume('(')) return false;
+  std::string inner = cur.until(')');
+  if (!cur.consume(')')) return false;
+  auto colon = inner.find(':');
+  if (colon == std::string::npos) return false;
+  std::string op_text(cudanp::trim(inner.substr(0, colon)));
+  if (!parse_reduce_op(op_text, clause.op)) return false;
+  for (const auto& piece : cudanp::split(inner.substr(colon + 1), ',')) {
+    std::string var(cudanp::trim(piece));
+    if (!cudanp::is_identifier(var)) return false;
+    clause.vars.push_back(std::move(var));
+  }
+  return !clause.vars.empty();
+}
+
+bool parse_paren_int(Cursor& cur, int& out) {
+  if (!cur.consume('(')) return false;
+  std::string inner = cur.until(')');
+  if (!cur.consume(')')) return false;
+  try {
+    out = std::stoi(std::string(cudanp::trim(inner)));
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<NpPragma> parse_np_pragma(std::string_view text,
+                                        cudanp::SourceLoc loc,
+                                        cudanp::DiagnosticEngine& diags) {
+  Cursor cur(text);
+  if (cur.word() != "pragma") return std::nullopt;
+  if (cur.word() != "np") return std::nullopt;  // other pragma family
+
+  NpPragma pragma;
+  // Accept both `parallel for` and the shorthand `for` used in Fig. 5.
+  std::string w = cur.word();
+  if (w == "parallel") w = cur.word();
+  if (w != "for") {
+    diags.error(loc, "expected 'parallel for' after '#pragma np'");
+    return std::nullopt;
+  }
+  pragma.parallel_for = true;
+
+  while (!cur.at_end()) {
+    std::string clause = cur.word();
+    if (clause == "reduction") {
+      ReductionClause rc;
+      if (!parse_reduction_clause(cur, rc)) {
+        diags.error(loc, "malformed reduction clause");
+        return std::nullopt;
+      }
+      pragma.reductions.push_back(std::move(rc));
+    } else if (clause == "scan") {
+      ReductionClause rc;
+      if (!parse_reduction_clause(cur, rc)) {
+        diags.error(loc, "malformed scan clause");
+        return std::nullopt;
+      }
+      pragma.scans.push_back(std::move(rc));
+    } else if (clause == "copyin") {
+      if (!cur.consume('(')) {
+        diags.error(loc, "malformed copyin clause");
+        return std::nullopt;
+      }
+      std::string inner = cur.until(')');
+      cur.consume(')');
+      for (const auto& piece : cudanp::split(inner, ',')) {
+        std::string var(cudanp::trim(piece));
+        if (!cudanp::is_identifier(var)) {
+          diags.error(loc, "bad identifier in copyin: '" + var + "'");
+          return std::nullopt;
+        }
+        pragma.copy_in.push_back(std::move(var));
+      }
+    } else if (clause == "num_threads") {
+      if (!parse_paren_int(cur, pragma.num_threads)) {
+        diags.error(loc, "malformed num_threads clause");
+        return std::nullopt;
+      }
+    } else if (clause == "sm_version") {
+      if (!parse_paren_int(cur, pragma.sm_version)) {
+        diags.error(loc, "malformed sm_version clause");
+        return std::nullopt;
+      }
+    } else if (clause == "np_type") {
+      if (!cur.consume('(')) {
+        diags.error(loc, "malformed np_type clause");
+        return std::nullopt;
+      }
+      std::string inner(cudanp::trim(cur.until(')')));
+      cur.consume(')');
+      if (inner == "inter") {
+        pragma.np_type = NpType::kInterWarp;
+      } else if (inner == "intra") {
+        pragma.np_type = NpType::kIntraWarp;
+      } else {
+        diags.error(loc, "np_type must be 'inter' or 'intra'");
+        return std::nullopt;
+      }
+    } else {
+      diags.error(loc, "unknown np pragma clause '" + clause + "'");
+      return std::nullopt;
+    }
+  }
+  return pragma;
+}
+
+}  // namespace cudanp::frontend

@@ -1,0 +1,20 @@
+// Parser for the `#pragma np` directive mini-language (paper Sec. 3.6).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "ir/pragma.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::frontend {
+
+/// Parses the text of a `#pragma` directive (without the leading '#').
+/// Returns nullopt for pragmas that are not `np` pragmas (they are ignored,
+/// like unknown pragmas in a real compiler); reports malformed np pragmas
+/// to `diags` and returns nullopt.
+[[nodiscard]] std::optional<cudanp::ir::NpPragma> parse_np_pragma(
+    std::string_view directive_text, cudanp::SourceLoc loc,
+    cudanp::DiagnosticEngine& diags);
+
+}  // namespace cudanp::frontend

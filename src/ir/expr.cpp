@@ -1,0 +1,123 @@
+#include "ir/expr.hpp"
+
+namespace cudanp::ir {
+
+const char* to_string(BinOp op) {
+  switch (op) {
+    case BinOp::kAdd: return "+";
+    case BinOp::kSub: return "-";
+    case BinOp::kMul: return "*";
+    case BinOp::kDiv: return "/";
+    case BinOp::kMod: return "%";
+    case BinOp::kLt: return "<";
+    case BinOp::kLe: return "<=";
+    case BinOp::kGt: return ">";
+    case BinOp::kGe: return ">=";
+    case BinOp::kEq: return "==";
+    case BinOp::kNe: return "!=";
+    case BinOp::kLAnd: return "&&";
+    case BinOp::kLOr: return "||";
+    case BinOp::kBitAnd: return "&";
+    case BinOp::kBitOr: return "|";
+    case BinOp::kBitXor: return "^";
+    case BinOp::kShl: return "<<";
+    case BinOp::kShr: return ">>";
+  }
+  return "?";
+}
+
+const char* to_string(UnOp op) {
+  switch (op) {
+    case UnOp::kNeg: return "-";
+    case UnOp::kLNot: return "!";
+  }
+  return "?";
+}
+
+int precedence(BinOp op) {
+  switch (op) {
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kMod: return 10;
+    case BinOp::kAdd:
+    case BinOp::kSub: return 9;
+    case BinOp::kShl:
+    case BinOp::kShr: return 8;
+    case BinOp::kLt:
+    case BinOp::kLe:
+    case BinOp::kGt:
+    case BinOp::kGe: return 7;
+    case BinOp::kEq:
+    case BinOp::kNe: return 6;
+    case BinOp::kBitAnd: return 5;
+    case BinOp::kBitXor: return 4;
+    case BinOp::kBitOr: return 3;
+    case BinOp::kLAnd: return 2;
+    case BinOp::kLOr: return 1;
+  }
+  return 0;
+}
+
+ExprPtr ArrayIndex::clone() const {
+  std::vector<ExprPtr> idx;
+  idx.reserve(indices.size());
+  for (const auto& i : indices) idx.push_back(i->clone());
+  return std::make_unique<ArrayIndex>(base->clone(), std::move(idx), loc());
+}
+
+ExprPtr CallExpr::clone() const {
+  std::vector<ExprPtr> a;
+  a.reserve(args.size());
+  for (const auto& e : args) a.push_back(e->clone());
+  return std::make_unique<CallExpr>(callee, std::move(a), loc());
+}
+
+bool is_builtin_geometry(const std::string& name) {
+  return name == "threadIdx.x" || name == "threadIdx.y" ||
+         name == "threadIdx.z" || name == "blockIdx.x" ||
+         name == "blockIdx.y" || name == "blockIdx.z" ||
+         name == "blockDim.x" || name == "blockDim.y" ||
+         name == "blockDim.z" || name == "gridDim.x" ||
+         name == "gridDim.y" || name == "gridDim.z";
+}
+
+void for_each_expr(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  fn(e);
+  switch (e.kind()) {
+    case ExprKind::kIntLit:
+    case ExprKind::kFloatLit:
+    case ExprKind::kVarRef:
+      break;
+    case ExprKind::kArrayIndex: {
+      const auto& ai = static_cast<const ArrayIndex&>(e);
+      for_each_expr(*ai.base, fn);
+      for (const auto& i : ai.indices) for_each_expr(*i, fn);
+      break;
+    }
+    case ExprKind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      for_each_expr(*b.lhs, fn);
+      for_each_expr(*b.rhs, fn);
+      break;
+    }
+    case ExprKind::kUnary:
+      for_each_expr(*static_cast<const UnaryExpr&>(e).operand, fn);
+      break;
+    case ExprKind::kCall:
+      for (const auto& a : static_cast<const CallExpr&>(e).args)
+        for_each_expr(*a, fn);
+      break;
+    case ExprKind::kTernary: {
+      const auto& t = static_cast<const TernaryExpr&>(e);
+      for_each_expr(*t.cond, fn);
+      for_each_expr(*t.then_value, fn);
+      for_each_expr(*t.else_value, fn);
+      break;
+    }
+    case ExprKind::kCast:
+      for_each_expr(*static_cast<const CastExpr&>(e).operand, fn);
+      break;
+  }
+}
+
+}  // namespace cudanp::ir

@@ -1,0 +1,205 @@
+// Expression AST for the CUDA-C kernel subset.
+//
+// Builtin thread-geometry values (threadIdx.x, blockDim.y, ...) are
+// represented as VarRef nodes with their dotted name; the interpreter and
+// the transformation passes both special-case those names. Builtin
+// functions (sqrtf, min, __shfl, tex1Dfetch, ...) are CallExpr nodes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+#include "support/source_location.hpp"
+
+namespace cudanp::ir {
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kVarRef,
+  kArrayIndex,
+  kBinary,
+  kUnary,
+  kCall,
+  kTernary,
+  kCast,
+};
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLAnd, kLOr,
+  kBitAnd, kBitOr, kBitXor, kShl, kShr,
+};
+
+enum class UnOp : std::uint8_t { kNeg, kLNot };
+
+[[nodiscard]] const char* to_string(BinOp op);
+[[nodiscard]] const char* to_string(UnOp op);
+/// Operator precedence for the printer (higher binds tighter).
+[[nodiscard]] int precedence(BinOp op);
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+class Expr {
+ public:
+  explicit Expr(ExprKind kind, SourceLoc loc = {}) : kind_(kind), loc_(loc) {}
+  virtual ~Expr() = default;
+  Expr(const Expr&) = delete;
+  Expr& operator=(const Expr&) = delete;
+
+  [[nodiscard]] ExprKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+  [[nodiscard]] virtual ExprPtr clone() const = 0;
+
+ private:
+  ExprKind kind_;
+  SourceLoc loc_;
+};
+
+class IntLit final : public Expr {
+ public:
+  explicit IntLit(std::int64_t v, SourceLoc loc = {})
+      : Expr(ExprKind::kIntLit, loc), value(v) {}
+  std::int64_t value;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<IntLit>(value, loc());
+  }
+};
+
+class FloatLit final : public Expr {
+ public:
+  explicit FloatLit(double v, SourceLoc loc = {})
+      : Expr(ExprKind::kFloatLit, loc), value(v) {}
+  double value;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<FloatLit>(value, loc());
+  }
+};
+
+class VarRef final : public Expr {
+ public:
+  explicit VarRef(std::string n, SourceLoc loc = {})
+      : Expr(ExprKind::kVarRef, loc), name(std::move(n)) {}
+  std::string name;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<VarRef>(name, loc());
+  }
+};
+
+/// `base[i]` or `base[i][j]`; `base` is a VarRef naming an array or a
+/// pointer parameter.
+class ArrayIndex final : public Expr {
+ public:
+  ArrayIndex(ExprPtr b, std::vector<ExprPtr> idx, SourceLoc loc = {})
+      : Expr(ExprKind::kArrayIndex, loc),
+        base(std::move(b)),
+        indices(std::move(idx)) {}
+  ExprPtr base;
+  std::vector<ExprPtr> indices;
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(BinOp o, ExprPtr l, ExprPtr r, SourceLoc loc = {})
+      : Expr(ExprKind::kBinary, loc),
+        op(o),
+        lhs(std::move(l)),
+        rhs(std::move(r)) {}
+  BinOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<BinaryExpr>(op, lhs->clone(), rhs->clone(), loc());
+  }
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(UnOp o, ExprPtr e, SourceLoc loc = {})
+      : Expr(ExprKind::kUnary, loc), op(o), operand(std::move(e)) {}
+  UnOp op;
+  ExprPtr operand;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<UnaryExpr>(op, operand->clone(), loc());
+  }
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string c, std::vector<ExprPtr> a, SourceLoc loc = {})
+      : Expr(ExprKind::kCall, loc), callee(std::move(c)), args(std::move(a)) {}
+  std::string callee;
+  std::vector<ExprPtr> args;
+  [[nodiscard]] ExprPtr clone() const override;
+};
+
+class TernaryExpr final : public Expr {
+ public:
+  TernaryExpr(ExprPtr c, ExprPtr t, ExprPtr f, SourceLoc loc = {})
+      : Expr(ExprKind::kTernary, loc),
+        cond(std::move(c)),
+        then_value(std::move(t)),
+        else_value(std::move(f)) {}
+  ExprPtr cond;
+  ExprPtr then_value;
+  ExprPtr else_value;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<TernaryExpr>(cond->clone(), then_value->clone(),
+                                         else_value->clone(), loc());
+  }
+};
+
+/// `(int)x` / `(float)x`.
+class CastExpr final : public Expr {
+ public:
+  CastExpr(ScalarType t, ExprPtr e, SourceLoc loc = {})
+      : Expr(ExprKind::kCast, loc), to(t), operand(std::move(e)) {}
+  ScalarType to;
+  ExprPtr operand;
+  [[nodiscard]] ExprPtr clone() const override {
+    return std::make_unique<CastExpr>(to, operand->clone(), loc());
+  }
+};
+
+// ---- convenience builders (used heavily by the transformation passes) ----
+
+[[nodiscard]] inline ExprPtr make_int(std::int64_t v) {
+  return std::make_unique<IntLit>(v);
+}
+[[nodiscard]] inline ExprPtr make_float(double v) {
+  return std::make_unique<FloatLit>(v);
+}
+[[nodiscard]] inline ExprPtr make_var(std::string name) {
+  return std::make_unique<VarRef>(std::move(name));
+}
+[[nodiscard]] inline ExprPtr make_bin(BinOp op, ExprPtr l, ExprPtr r) {
+  return std::make_unique<BinaryExpr>(op, std::move(l), std::move(r));
+}
+[[nodiscard]] inline ExprPtr make_call(std::string callee,
+                                       std::vector<ExprPtr> args) {
+  return std::make_unique<CallExpr>(std::move(callee), std::move(args));
+}
+[[nodiscard]] inline ExprPtr make_index(ExprPtr base,
+                                        std::vector<ExprPtr> idx) {
+  return std::make_unique<ArrayIndex>(std::move(base), std::move(idx));
+}
+[[nodiscard]] inline ExprPtr make_index1(std::string array, ExprPtr idx) {
+  std::vector<ExprPtr> v;
+  v.push_back(std::move(idx));
+  return make_index(make_var(std::move(array)), std::move(v));
+}
+
+/// True when the expression names one of the CUDA builtin geometry values.
+[[nodiscard]] bool is_builtin_geometry(const std::string& name);
+
+/// Calls `fn` on `e` and every sub-expression (pre-order).
+void for_each_expr(const Expr& e, const std::function<void(const Expr&)>& fn);
+
+}  // namespace cudanp::ir

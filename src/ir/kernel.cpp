@@ -1,0 +1,33 @@
+#include "ir/kernel.hpp"
+
+namespace cudanp::ir {
+
+std::size_t Kernel::parallel_loop_count() const {
+  std::size_t n = 0;
+  for_each_stmt(*body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kFor &&
+        static_cast<const ForStmt&>(s).pragma.has_value())
+      ++n;
+  });
+  return n;
+}
+
+const Param* Kernel::find_param(const std::string& n) const {
+  for (const auto& p : params)
+    if (p.name == n) return &p;
+  return nullptr;
+}
+
+Kernel* Program::find_kernel(const std::string& n) {
+  for (auto& k : kernels)
+    if (k->name == n) return k.get();
+  return nullptr;
+}
+
+const Kernel* Program::find_kernel(const std::string& n) const {
+  for (const auto& k : kernels)
+    if (k->name == n) return k.get();
+  return nullptr;
+}
+
+}  // namespace cudanp::ir

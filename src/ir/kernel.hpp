@@ -1,0 +1,51 @@
+// Kernel and Program containers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace cudanp::ir {
+
+struct Param {
+  Type type;
+  std::string name;
+};
+
+/// One `__global__` function.
+class Kernel {
+ public:
+  std::string name;
+  std::vector<Param> params;
+  BlockPtr body;
+
+  [[nodiscard]] std::unique_ptr<Kernel> clone() const {
+    auto k = std::make_unique<Kernel>();
+    k->name = name;
+    k->params = params;
+    k->body = body->clone_block();
+    return k;
+  }
+
+  /// Number of `#pragma np parallel for` loops anywhere in the kernel.
+  [[nodiscard]] std::size_t parallel_loop_count() const;
+
+  /// Finds a parameter by name; nullptr if absent.
+  [[nodiscard]] const Param* find_param(const std::string& n) const;
+};
+
+/// A translation unit: `#define` constants plus kernels.
+class Program {
+ public:
+  std::unordered_map<std::string, std::int64_t> defines;
+  std::vector<std::unique_ptr<Kernel>> kernels;
+
+  [[nodiscard]] Kernel* find_kernel(const std::string& n);
+  [[nodiscard]] const Kernel* find_kernel(const std::string& n) const;
+};
+
+}  // namespace cudanp::ir

@@ -1,0 +1,85 @@
+#include "ir/pragma.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+namespace cudanp::ir {
+
+const char* to_string(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kAdd: return "+";
+    case ReduceOp::kMul: return "*";
+    case ReduceOp::kMin: return "min";
+    case ReduceOp::kMax: return "max";
+  }
+  return "?";
+}
+
+double identity_of(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kAdd: return 0.0;
+    case ReduceOp::kMul: return 1.0;
+    case ReduceOp::kMin: return std::numeric_limits<double>::infinity();
+    case ReduceOp::kMax: return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+const char* to_string(NpType t) {
+  switch (t) {
+    case NpType::kAuto: return "auto";
+    case NpType::kInterWarp: return "inter";
+    case NpType::kIntraWarp: return "intra";
+  }
+  return "?";
+}
+
+namespace {
+bool clause_names(const std::vector<ReductionClause>& clauses,
+                  const std::string& v) {
+  return std::any_of(clauses.begin(), clauses.end(), [&](const auto& c) {
+    return std::find(c.vars.begin(), c.vars.end(), v) != c.vars.end();
+  });
+}
+
+void append_clauses(std::ostringstream& os, const char* name,
+                    const std::vector<ReductionClause>& clauses) {
+  for (const auto& c : clauses) {
+    os << ' ' << name << '(' << to_string(c.op) << ':';
+    for (std::size_t i = 0; i < c.vars.size(); ++i) {
+      if (i) os << ',';
+      os << c.vars[i];
+    }
+    os << ')';
+  }
+}
+}  // namespace
+
+bool NpPragma::names_reduction_var(const std::string& v) const {
+  return clause_names(reductions, v);
+}
+
+bool NpPragma::names_scan_var(const std::string& v) const {
+  return clause_names(scans, v);
+}
+
+std::string NpPragma::str() const {
+  std::ostringstream os;
+  os << "#pragma np parallel for";
+  append_clauses(os, "reduction", reductions);
+  append_clauses(os, "scan", scans);
+  if (!copy_in.empty()) {
+    os << " copyin(";
+    for (std::size_t i = 0; i < copy_in.size(); ++i) {
+      if (i) os << ',';
+      os << copy_in[i];
+    }
+    os << ')';
+  }
+  if (num_threads > 0) os << " num_threads(" << num_threads << ')';
+  if (np_type != NpType::kAuto) os << " np_type(" << to_string(np_type) << ')';
+  return os.str();
+}
+
+}  // namespace cudanp::ir

@@ -1,0 +1,61 @@
+// Representation of `#pragma np ...` directives (paper Sec. 3.6).
+//
+// CUDA-NP adapts OpenMP syntax:
+//
+//   #pragma np parallel for [reduction(op:var,...)] [scan(op:var,...)]
+//                           [copyin(var,...)] [num_threads(n)]
+//                           [np_type(inter|intra)] [sm_version(n)]
+//
+// A pragma attaches to the `for` loop that immediately follows it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cudanp::ir {
+
+/// Associative operators supported for reduction / scan clauses.
+enum class ReduceOp : std::uint8_t { kAdd, kMul, kMin, kMax };
+
+[[nodiscard]] const char* to_string(ReduceOp op);
+
+/// Identity element of a reduction operator (paper Sec. 3.2: slave copies
+/// of a reduction variable are initialized to the identity so the final
+/// cross-thread combine recovers the master's running value).
+[[nodiscard]] double identity_of(ReduceOp op);
+
+struct ReductionClause {
+  ReduceOp op = ReduceOp::kAdd;
+  std::vector<std::string> vars;
+};
+
+/// Which warp-mapping the user asked for (Sec. 3.4); kAuto lets the
+/// auto-tuner try both.
+enum class NpType : std::uint8_t { kAuto, kInterWarp, kIntraWarp };
+
+[[nodiscard]] const char* to_string(NpType t);
+
+struct NpPragma {
+  bool parallel_for = false;
+  std::vector<ReductionClause> reductions;
+  std::vector<ReductionClause> scans;
+  /// Variables the user explicitly asked to broadcast master -> slaves;
+  /// when empty the compiler's liveness analysis finds live-ins itself.
+  std::vector<std::string> copy_in;
+  /// Preferred number of threads per master (master + slaves); 0 = auto.
+  int num_threads = 0;
+  NpType np_type = NpType::kAuto;
+  /// Target compute capability *10 (30 = sm_30). __shfl requires >= 30.
+  int sm_version = 30;
+
+  [[nodiscard]] bool has_reduction_or_scan() const {
+    return !reductions.empty() || !scans.empty();
+  }
+  [[nodiscard]] bool names_reduction_var(const std::string& v) const;
+  [[nodiscard]] bool names_scan_var(const std::string& v) const;
+  /// Renders back to `#pragma np parallel for ...` source form.
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace cudanp::ir

@@ -1,0 +1,274 @@
+#include "ir/printer.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "support/string_utils.hpp"
+
+namespace cudanp::ir {
+
+namespace {
+
+class Printer {
+ public:
+  explicit Printer(const PrintOptions& opts) : opts_(opts) {}
+
+  std::string expr(const Expr& e, int parent_prec = 0) {
+    switch (e.kind()) {
+      case ExprKind::kIntLit:
+        return std::to_string(static_cast<const IntLit&>(e).value);
+      case ExprKind::kFloatLit: {
+        std::string s =
+            cudanp::format_double(static_cast<const FloatLit&>(e).value, 9);
+        // Ensure a float-looking literal so the round-trip keeps its type.
+        if (s.find('.') == std::string::npos &&
+            s.find('e') == std::string::npos &&
+            s.find("inf") == std::string::npos &&
+            s.find("nan") == std::string::npos)
+          s += ".0";
+        return s + "f";
+      }
+      case ExprKind::kVarRef:
+        return static_cast<const VarRef&>(e).name;
+      case ExprKind::kArrayIndex: {
+        const auto& ai = static_cast<const ArrayIndex&>(e);
+        std::string s = expr(*ai.base, 100);
+        for (const auto& i : ai.indices) s += "[" + expr(*i) + "]";
+        return s;
+      }
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        int prec = precedence(b.op);
+        std::string s = expr(*b.lhs, prec) + " " + to_string(b.op) + " " +
+                        expr(*b.rhs, prec + 1);
+        if (prec < parent_prec) return "(" + s + ")";
+        return s;
+      }
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        return std::string(to_string(u.op)) + expr(*u.operand, 50);
+      }
+      case ExprKind::kCall: {
+        const auto& c = static_cast<const CallExpr&>(e);
+        std::string s = c.callee + "(";
+        for (std::size_t i = 0; i < c.args.size(); ++i) {
+          if (i) s += ", ";
+          s += expr(*c.args[i]);
+        }
+        return s + ")";
+      }
+      case ExprKind::kTernary: {
+        const auto& t = static_cast<const TernaryExpr&>(e);
+        std::string s = expr(*t.cond, 1) + " ? " + expr(*t.then_value) +
+                        " : " + expr(*t.else_value);
+        if (parent_prec > 0) return "(" + s + ")";
+        return s;
+      }
+      case ExprKind::kCast: {
+        const auto& c = static_cast<const CastExpr&>(e);
+        return std::string("(") + to_string(c.to) + ")" +
+               expr(*c.operand, 50);
+      }
+    }
+    return "?";
+  }
+
+  void stmt(const Stmt& s, int depth) {
+    switch (s.kind()) {
+      case StmtKind::kBlock: {
+        for (const auto& c : static_cast<const Block&>(s).stmts)
+          stmt(*c, depth);
+        break;
+      }
+      case StmtKind::kDecl: {
+        const auto& d = static_cast<const DeclStmt&>(s);
+        indent(depth);
+        if (d.type.space == AddrSpace::kShared) os_ << "__shared__ ";
+        if (d.type.space == AddrSpace::kConstant) os_ << "__constant__ ";
+        os_ << to_string(d.type.scalar);
+        if (d.type.is_pointer) os_ << '*';
+        os_ << ' ' << d.name;
+        for (auto dim : d.type.array_dims) os_ << '[' << dim << ']';
+        if (d.init) os_ << " = " << expr(*d.init);
+        if (!d.init_list.empty()) {
+          os_ << " = {";
+          for (std::size_t i = 0; i < d.init_list.size(); ++i) {
+            if (i) os_ << ", ";
+            os_ << expr(*d.init_list[i]);
+          }
+          os_ << "}";
+        }
+        os_ << ";\n";
+        break;
+      }
+      case StmtKind::kAssign: {
+        const auto& a = static_cast<const AssignStmt&>(s);
+        indent(depth);
+        os_ << expr(*a.lhs, 100) << ' ' << to_string(a.op) << ' '
+            << expr(*a.rhs) << ";\n";
+        break;
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        indent(depth);
+        os_ << "if (" << expr(*i.cond) << ") {\n";
+        stmt(*i.then_body, depth + 1);
+        indent(depth);
+        os_ << "}";
+        if (i.else_body) {
+          os_ << " else {\n";
+          stmt(*i.else_body, depth + 1);
+          indent(depth);
+          os_ << "}";
+        }
+        os_ << "\n";
+        break;
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.pragma && opts_.print_pragmas) {
+          indent(depth);
+          os_ << f.pragma->str() << "\n";
+        }
+        indent(depth);
+        os_ << "for (" << inline_stmt(f.init) << "; "
+            << (f.cond ? expr(*f.cond) : std::string()) << "; "
+            << inline_stmt(f.inc) << ") {\n";
+        stmt(*f.body, depth + 1);
+        indent(depth);
+        os_ << "}\n";
+        break;
+      }
+      case StmtKind::kWhile: {
+        const auto& w = static_cast<const WhileStmt&>(s);
+        indent(depth);
+        os_ << "while (" << expr(*w.cond) << ") {\n";
+        stmt(*w.body, depth + 1);
+        indent(depth);
+        os_ << "}\n";
+        break;
+      }
+      case StmtKind::kExpr: {
+        indent(depth);
+        os_ << expr(*static_cast<const ExprStmt&>(s).expr) << ";\n";
+        break;
+      }
+      case StmtKind::kReturn:
+        indent(depth);
+        os_ << "return;\n";
+        break;
+      case StmtKind::kBreak:
+        indent(depth);
+        os_ << "break;\n";
+        break;
+      case StmtKind::kContinue:
+        indent(depth);
+        os_ << "continue;\n";
+        break;
+    }
+  }
+
+  /// Renders init/inc clauses of a for-header without trailing ';'.
+  /// Blocks of same-type declarations render as `int a = x, b = y`;
+  /// blocks of assignments render with the comma operator.
+  std::string inline_stmt(const StmtPtr& s) {
+    if (!s) return "";
+    if (s->kind() == StmtKind::kDecl) {
+      const auto& d = static_cast<const DeclStmt&>(*s);
+      std::string out = std::string(to_string(d.type.scalar)) + " " + d.name;
+      if (d.init) out += " = " + expr(*d.init);
+      return out;
+    }
+    if (s->kind() == StmtKind::kAssign) {
+      const auto& a = static_cast<const AssignStmt&>(*s);
+      return expr(*a.lhs, 100) + " " + to_string(a.op) + " " + expr(*a.rhs);
+    }
+    if (s->kind() == StmtKind::kBlock) {
+      const auto& b = static_cast<const Block&>(*s);
+      std::string out;
+      for (std::size_t i = 0; i < b.stmts.size(); ++i) {
+        const Stmt& c = *b.stmts[i];
+        if (i == 0) {
+          out = inline_stmt(b.stmts[i]);
+          continue;
+        }
+        out += ", ";
+        if (c.kind() == StmtKind::kDecl) {
+          // Further declarators share the leading type keyword.
+          const auto& d = static_cast<const DeclStmt&>(c);
+          out += d.name;
+          if (d.init) out += " = " + expr(*d.init);
+        } else {
+          out += inline_stmt(b.stmts[i]);
+        }
+      }
+      return out;
+    }
+    return "/*?*/";
+  }
+
+  void kernel(const Kernel& k) {
+    os_ << "__global__ void " << k.name << "(";
+    for (std::size_t i = 0; i < k.params.size(); ++i) {
+      if (i) os_ << ", ";
+      const auto& p = k.params[i];
+      os_ << to_string(p.type.scalar);
+      if (p.type.is_pointer) os_ << '*';
+      os_ << ' ' << p.name;
+    }
+    os_ << ") {\n";
+    stmt(*k.body, 1);
+    os_ << "}\n";
+  }
+
+  std::string take() { return os_.str(); }
+
+ private:
+  void indent(int depth) {
+    for (int i = 0; i < depth * opts_.indent_width; ++i) os_ << ' ';
+  }
+
+  const PrintOptions& opts_;
+  std::ostringstream os_;
+};
+
+}  // namespace
+
+std::string print_expr(const Expr& e) {
+  PrintOptions opts;
+  Printer p(opts);
+  return p.expr(e);
+}
+
+std::string print_stmt(const Stmt& s, const PrintOptions& opts) {
+  Printer p(opts);
+  p.stmt(s, 0);
+  return p.take();
+}
+
+std::string print_kernel(const Kernel& k, const PrintOptions& opts) {
+  Printer p(opts);
+  p.kernel(k);
+  return p.take();
+}
+
+std::string print_program(const Program& prog, const PrintOptions& opts) {
+  std::string out;
+  // Deterministic order regardless of hash-map iteration.
+  std::vector<std::pair<std::string, std::int64_t>> defines(
+      prog.defines.begin(), prog.defines.end());
+  std::sort(defines.begin(), defines.end());
+  for (const auto& [name, value] : defines)
+    out += "#define " + name + " " + std::to_string(value) + "\n";
+  if (!prog.defines.empty()) out += "\n";
+  for (const auto& k : prog.kernels) {
+    Printer p(opts);
+    p.kernel(*k);
+    out += p.take();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cudanp::ir

@@ -1,0 +1,28 @@
+// Source printer: renders the AST back to CUDA-like source text.
+//
+// This is the "source-to-source" half of CUDA-NP: the transformed kernel is
+// emitted as compilable-looking CUDA so a developer can inspect (and the
+// round-trip tests re-parse) exactly what the compiler produced.
+#pragma once
+
+#include <string>
+
+#include "ir/kernel.hpp"
+
+namespace cudanp::ir {
+
+struct PrintOptions {
+  int indent_width = 2;
+  /// Emit `#pragma np ...` lines above annotated loops.
+  bool print_pragmas = true;
+};
+
+[[nodiscard]] std::string print_expr(const Expr& e);
+[[nodiscard]] std::string print_stmt(const Stmt& s,
+                                     const PrintOptions& opts = {});
+[[nodiscard]] std::string print_kernel(const Kernel& k,
+                                       const PrintOptions& opts = {});
+[[nodiscard]] std::string print_program(const Program& p,
+                                        const PrintOptions& opts = {});
+
+}  // namespace cudanp::ir

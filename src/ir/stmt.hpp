@@ -1,0 +1,206 @@
+// Statement AST for the CUDA-C kernel subset.
+//
+// Control flow is fully structured (if / for / while, no goto), which is
+// what lets the simulator use block-lockstep vector interpretation with
+// per-lane active masks (see src/sim/interpreter.hpp) and what lets the
+// CUDA-NP section splitter reason about sequential vs parallel regions.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+#include "ir/pragma.hpp"
+#include "ir/type.hpp"
+
+namespace cudanp::ir {
+
+enum class StmtKind : std::uint8_t {
+  kDecl,
+  kAssign,
+  kIf,
+  kFor,
+  kWhile,
+  kExpr,
+  kBlock,
+  kReturn,
+  kBreak,
+  kContinue,
+};
+
+enum class AssignOp : std::uint8_t { kAssign, kAdd, kSub, kMul, kDiv };
+[[nodiscard]] const char* to_string(AssignOp op);
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+class Block;
+using BlockPtr = std::unique_ptr<Block>;
+
+class Stmt {
+ public:
+  explicit Stmt(StmtKind kind, SourceLoc loc = {}) : kind_(kind), loc_(loc) {}
+  virtual ~Stmt() = default;
+  Stmt(const Stmt&) = delete;
+  Stmt& operator=(const Stmt&) = delete;
+
+  [[nodiscard]] StmtKind kind() const { return kind_; }
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+  [[nodiscard]] virtual StmtPtr clone() const = 0;
+
+ private:
+  StmtKind kind_;
+  SourceLoc loc_;
+};
+
+class Block final : public Stmt {
+ public:
+  explicit Block(SourceLoc loc = {}) : Stmt(StmtKind::kBlock, loc) {}
+  std::vector<StmtPtr> stmts;
+
+  void push(StmtPtr s) { stmts.push_back(std::move(s)); }
+  [[nodiscard]] StmtPtr clone() const override;
+  [[nodiscard]] BlockPtr clone_block() const;
+};
+
+/// `float x = e;` / `__shared__ float a[16][16];` / `float g[150];`
+/// (a per-thread array, i.e. local-memory resident — paper Sec. 3.3).
+class DeclStmt final : public Stmt {
+ public:
+  DeclStmt(Type t, std::string n, ExprPtr i = nullptr, SourceLoc loc = {})
+      : Stmt(StmtKind::kDecl, loc),
+        type(std::move(t)),
+        name(std::move(n)),
+        init(std::move(i)) {}
+  Type type;
+  std::string name;
+  ExprPtr init;  // may be null
+  /// Array initializer list: `int t[4] = {3, 1, 4, 1};` — used for the
+  /// constant index tables the re-rolling preprocessor builds
+  /// (paper Sec. 3.7 item 2) and for lookup tables like MC's edge table.
+  std::vector<ExprPtr> init_list;
+  [[nodiscard]] StmtPtr clone() const override {
+    auto d = std::make_unique<DeclStmt>(
+        type, name, init ? init->clone() : nullptr, loc());
+    d->init_list.reserve(init_list.size());
+    for (const auto& e : init_list) d->init_list.push_back(e->clone());
+    return d;
+  }
+};
+
+/// `lhs op= rhs` where lhs is a VarRef or ArrayIndex.
+class AssignStmt final : public Stmt {
+ public:
+  AssignStmt(ExprPtr l, AssignOp o, ExprPtr r, SourceLoc loc = {})
+      : Stmt(StmtKind::kAssign, loc),
+        lhs(std::move(l)),
+        op(o),
+        rhs(std::move(r)) {}
+  ExprPtr lhs;
+  AssignOp op;
+  ExprPtr rhs;
+  [[nodiscard]] StmtPtr clone() const override {
+    return std::make_unique<AssignStmt>(lhs->clone(), op, rhs->clone(), loc());
+  }
+};
+
+class IfStmt final : public Stmt {
+ public:
+  IfStmt(ExprPtr c, BlockPtr t, BlockPtr e = nullptr, SourceLoc loc = {})
+      : Stmt(StmtKind::kIf, loc),
+        cond(std::move(c)),
+        then_body(std::move(t)),
+        else_body(std::move(e)) {}
+  ExprPtr cond;
+  BlockPtr then_body;
+  BlockPtr else_body;  // may be null
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// `for (init; cond; inc) body`, optionally carrying a `#pragma np`.
+class ForStmt final : public Stmt {
+ public:
+  ForStmt(StmtPtr i, ExprPtr c, StmtPtr in, BlockPtr b, SourceLoc loc = {})
+      : Stmt(StmtKind::kFor, loc),
+        init(std::move(i)),
+        cond(std::move(c)),
+        inc(std::move(in)),
+        body(std::move(b)) {}
+  StmtPtr init;  // DeclStmt or AssignStmt; may be null
+  ExprPtr cond;  // may be null (infinite loop)
+  StmtPtr inc;   // AssignStmt; may be null
+  BlockPtr body;
+  std::optional<NpPragma> pragma;
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+class WhileStmt final : public Stmt {
+ public:
+  WhileStmt(ExprPtr c, BlockPtr b, SourceLoc loc = {})
+      : Stmt(StmtKind::kWhile, loc), cond(std::move(c)), body(std::move(b)) {}
+  ExprPtr cond;
+  BlockPtr body;
+  [[nodiscard]] StmtPtr clone() const override;
+};
+
+/// An expression evaluated for side effects: `__syncthreads();`.
+class ExprStmt final : public Stmt {
+ public:
+  explicit ExprStmt(ExprPtr e, SourceLoc loc = {})
+      : Stmt(StmtKind::kExpr, loc), expr(std::move(e)) {}
+  ExprPtr expr;
+  [[nodiscard]] StmtPtr clone() const override {
+    return std::make_unique<ExprStmt>(expr->clone(), loc());
+  }
+};
+
+class ReturnStmt final : public Stmt {
+ public:
+  explicit ReturnStmt(SourceLoc loc = {}) : Stmt(StmtKind::kReturn, loc) {}
+  [[nodiscard]] StmtPtr clone() const override {
+    return std::make_unique<ReturnStmt>(loc());
+  }
+};
+
+class BreakStmt final : public Stmt {
+ public:
+  explicit BreakStmt(SourceLoc loc = {}) : Stmt(StmtKind::kBreak, loc) {}
+  [[nodiscard]] StmtPtr clone() const override {
+    return std::make_unique<BreakStmt>(loc());
+  }
+};
+
+class ContinueStmt final : public Stmt {
+ public:
+  explicit ContinueStmt(SourceLoc loc = {}) : Stmt(StmtKind::kContinue, loc) {}
+  [[nodiscard]] StmtPtr clone() const override {
+    return std::make_unique<ContinueStmt>(loc());
+  }
+};
+
+// ---- convenience builders for the transformation passes ----
+
+[[nodiscard]] inline StmtPtr make_assign(ExprPtr lhs, ExprPtr rhs) {
+  return std::make_unique<AssignStmt>(std::move(lhs), AssignOp::kAssign,
+                                      std::move(rhs));
+}
+[[nodiscard]] inline BlockPtr make_block() {
+  return std::make_unique<Block>();
+}
+[[nodiscard]] inline StmtPtr make_decl_int(std::string name, ExprPtr init) {
+  return std::make_unique<DeclStmt>(Type::scalar_of(ScalarType::kInt),
+                                    std::move(name), std::move(init));
+}
+
+/// Calls `fn` on `s` and every nested statement (pre-order).
+void for_each_stmt(const Stmt& s, const std::function<void(const Stmt&)>& fn);
+
+/// Calls `fn` on every expression appearing anywhere in `s`.
+void for_each_expr_in(const Stmt& s,
+                      const std::function<void(const Expr&)>& fn);
+
+/// Mutable pre-order walk over nested statements.
+void for_each_stmt_mut(Stmt& s, const std::function<void(Stmt&)>& fn);
+
+}  // namespace cudanp::ir

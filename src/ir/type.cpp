@@ -1,0 +1,40 @@
+#include "ir/type.hpp"
+
+namespace cudanp::ir {
+
+const char* to_string(ScalarType t) {
+  switch (t) {
+    case ScalarType::kVoid: return "void";
+    case ScalarType::kBool: return "bool";
+    case ScalarType::kInt: return "int";
+    case ScalarType::kFloat: return "float";
+  }
+  return "?";
+}
+
+const char* to_string(AddrSpace s) {
+  switch (s) {
+    case AddrSpace::kRegister: return "";
+    case AddrSpace::kGlobal: return "__device__";
+    case AddrSpace::kShared: return "__shared__";
+    case AddrSpace::kLocal: return "__local__";
+    case AddrSpace::kConstant: return "__constant__";
+  }
+  return "?";
+}
+
+std::string Type::str() const {
+  std::string out;
+  const char* space_kw = to_string(space);
+  if (space_kw[0] != '\0' && space != AddrSpace::kGlobal) {
+    out += space_kw;
+    out += ' ';
+  }
+  out += to_string(scalar);
+  if (is_pointer) out += '*';
+  for (std::int64_t d : array_dims)
+    out += "[" + std::to_string(d) + "]";
+  return out;
+}
+
+}  // namespace cudanp::ir

@@ -1,0 +1,100 @@
+// Type system for the CUDA-C kernel subset.
+//
+// The kernel language is deliberately small: 32-bit int, 32-bit float, bool,
+// pointers to global memory (kernel parameters), and statically sized arrays
+// in any of the GPU address spaces. That covers every construct used by the
+// ten paper benchmarks while keeping the interpreter and the transformation
+// passes tractable.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <string>
+#include <vector>
+
+namespace cudanp::ir {
+
+enum class ScalarType : std::uint8_t { kVoid, kBool, kInt, kFloat };
+
+/// GPU address spaces, following the CUDA model (Sec. 2.1 of the paper).
+/// kRegister is the default for scalar locals; kLocal holds per-thread
+/// arrays that the hardware would spill to L1-cached local memory (the
+/// subject of Sec. 3.3); kShared is per-block scratchpad; kGlobal is
+/// device memory; kConstant is the broadcast-optimized read-only space.
+enum class AddrSpace : std::uint8_t {
+  kRegister,
+  kGlobal,
+  kShared,
+  kLocal,
+  kConstant,
+};
+
+[[nodiscard]] const char* to_string(ScalarType t);
+[[nodiscard]] const char* to_string(AddrSpace s);
+
+struct Type {
+  ScalarType scalar = ScalarType::kVoid;
+  bool is_pointer = false;
+  /// Non-empty for array declarations, e.g. `float a[16][16]` -> {16, 16}.
+  std::vector<std::int64_t> array_dims;
+  AddrSpace space = AddrSpace::kRegister;
+
+  [[nodiscard]] static Type scalar_of(ScalarType s,
+                                      AddrSpace sp = AddrSpace::kRegister) {
+    Type t;
+    t.scalar = s;
+    t.space = sp;
+    return t;
+  }
+  [[nodiscard]] static Type pointer_to(ScalarType s,
+                                       AddrSpace sp = AddrSpace::kGlobal) {
+    Type t;
+    t.scalar = s;
+    t.is_pointer = true;
+    t.space = sp;
+    return t;
+  }
+  [[nodiscard]] static Type array_of(ScalarType s,
+                                     std::vector<std::int64_t> dims,
+                                     AddrSpace sp) {
+    Type t;
+    t.scalar = s;
+    t.array_dims = std::move(dims);
+    t.space = sp;
+    return t;
+  }
+
+  [[nodiscard]] bool is_array() const { return !array_dims.empty(); }
+  [[nodiscard]] bool is_scalar() const { return !is_pointer && !is_array(); }
+
+  /// Total number of elements for arrays (product of dims), 1 for scalars.
+  [[nodiscard]] std::int64_t element_count() const {
+    return std::accumulate(array_dims.begin(), array_dims.end(),
+                           std::int64_t{1}, std::multiplies<>());
+  }
+
+  /// Size of one scalar element in bytes (int/float are 32-bit, as on GPUs).
+  [[nodiscard]] static std::int64_t scalar_size_bytes(ScalarType s) {
+    switch (s) {
+      case ScalarType::kVoid: return 0;
+      case ScalarType::kBool: return 1;
+      case ScalarType::kInt:
+      case ScalarType::kFloat: return 4;
+    }
+    return 0;
+  }
+  [[nodiscard]] std::int64_t size_bytes() const {
+    if (is_pointer) return 8;
+    return scalar_size_bytes(scalar) * element_count();
+  }
+
+  /// Renders the declaration type, e.g. "__shared__ float [16][16]".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.scalar == b.scalar && a.is_pointer == b.is_pointer &&
+           a.array_dims == b.array_dims && a.space == b.space;
+  }
+};
+
+}  // namespace cudanp::ir

@@ -1,0 +1,54 @@
+#include "kernels/benchmark.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "frontend/parser.hpp"
+#include "kernels/suite.hpp"
+#include "kernels/workload_utils.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::kernels {
+
+const ir::Kernel& Benchmark::kernel() const {
+  if (!program_) program_ = frontend::parse_program_or_throw(source());
+  const ir::Kernel* k = program_->find_kernel(kernel_name());
+  if (!k)
+    throw CompileError("benchmark '" + name() + "' source does not define "
+                       "kernel '" + kernel_name() + "'");
+  return *k;
+}
+
+const std::vector<std::string>& benchmark_names() {
+  static const std::vector<std::string> kNames = {
+      "MC", "LU", "LE", "MV", "SS", "LIB", "CFD", "BK", "TMV", "NN"};
+  return kNames;
+}
+
+std::unique_ptr<Benchmark> make_benchmark(const std::string& name,
+                                          double scale) {
+  std::string up = name;
+  std::transform(up.begin(), up.end(), up.begin(),
+                 [](unsigned char c) { return std::toupper(c); });
+  // Paper input sizes (Table 1), scaled per DESIGN.md Sec. 6. Loop
+  // *shapes* (LC) are never scaled; only the number of threads is.
+  if (up == "TMV") return make_tmv(scaled(2048, scale), 2048);
+  if (up == "MV") return make_mv(2048, scaled(2048, scale));
+  if (up == "NN") return make_nn(1024, scaled(4096, scale));
+  if (up == "LU") return make_lu(std::max(scaled(1024, scale, 64), 64));
+  if (up == "LE") return make_le(scaled(4096, scale));
+  if (up == "SS") return make_ss(2048, scaled(2048, scale, 128));
+  if (up == "LIB") return make_lib(scaled(16384, scale, 64));
+  if (up == "CFD") return make_cfd(scaled(65536, scale, 128));
+  if (up == "BK") return make_bk(scaled(65536, scale, 2048));
+  if (up == "MC") return make_mc(scale >= 1.0 ? 16 : 8);
+  throw CompileError("unknown benchmark '" + name + "'");
+}
+
+std::vector<std::unique_ptr<Benchmark>> make_benchmark_suite(double scale) {
+  std::vector<std::unique_ptr<Benchmark>> out;
+  for (const auto& n : benchmark_names()) out.push_back(make_benchmark(n, scale));
+  return out;
+}
+
+}  // namespace cudanp::kernels

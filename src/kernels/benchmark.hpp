@@ -1,0 +1,61 @@
+// The paper's benchmark suite (Table 1), rebuilt as self-contained kernel
+// sources in the CUDA-C subset with deterministic synthetic inputs and
+// CPU reference validators.
+//
+// Every benchmark preserves the *shape* that matters to CUDA-NP: the
+// number of parallel loops (PL), their trip counts (LC), the presence of
+// reduction/scan live-outs (R/S), and the resource profile (shared /
+// local memory pressure) that limits baseline TLP. Inputs that only set
+// problem size are scaled (see DESIGN.md Sec. 6) and configurable.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "np/workload.hpp"
+
+namespace cudanp::kernels {
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  /// Short paper name: "TMV", "LU", ...
+  [[nodiscard]] virtual std::string name() const = 0;
+  [[nodiscard]] virtual std::string description() const = 0;
+  /// Kernel source in the CUDA-C subset, with `#pragma np` annotations.
+  [[nodiscard]] virtual std::string source() const = 0;
+  [[nodiscard]] virtual std::string kernel_name() const = 0;
+  /// Fresh workload: inputs filled, launch config set, validator bound.
+  [[nodiscard]] virtual np::Workload make_workload() const = 0;
+
+  /// Table 1 metadata (paper values, for the Table 1 bench report).
+  struct Table1Row {
+    int parallel_loops = 0;
+    int max_loop_count = 0;
+    const char* reduce_scan = "X";  // "R", "S" or "X"
+  };
+  [[nodiscard]] virtual Table1Row table1() const = 0;
+
+  /// Parses (and caches) the program; returns the benchmark kernel.
+  [[nodiscard]] const ir::Kernel& kernel() const;
+
+ private:
+  mutable std::unique_ptr<ir::Program> program_;
+};
+
+/// Factory by paper name (case-insensitive); throws on unknown name.
+/// `scale` in (0, 1] shrinks the input sizes proportionally (tests use
+/// small scales; the paper harness uses 1.0).
+[[nodiscard]] std::unique_ptr<Benchmark> make_benchmark(
+    const std::string& name, double scale = 1.0);
+
+/// All ten paper benchmarks in Table 1 order.
+[[nodiscard]] std::vector<std::unique_ptr<Benchmark>> make_benchmark_suite(
+    double scale = 1.0);
+
+[[nodiscard]] const std::vector<std::string>& benchmark_names();
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,120 @@
+// BK: the bucket-count phase of Hybrid Sort's bucket sort. Each thread
+// classifies a 32-element strip against 32 pivots held in shared memory
+// (PL=2, LC=32, no reduction — the X row of Table 1): one loop assigns
+// bucket ids by branchless binary search over the pivot table (as the
+// original does), a second computes the within-bucket rank key used by
+// the scatter phase. Elements are laid out grid-stride so the baseline
+// is coalesced.
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+#define STRIP 32
+#define NPIV 32
+__global__ void bk(float* data, float* pivots, int* bucket, float* key,
+                   int n) {
+  __shared__ float piv[NPIV];
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  int nt = blockDim.x * gridDim.x;
+  if (threadIdx.x < NPIV) {
+    piv[threadIdx.x] = pivots[threadIdx.x];
+  }
+  __syncthreads();
+  #pragma np parallel for
+  for (int e = 0; e < STRIP; e++) {
+    float v = data[e * nt + tid];
+    int b = 0;
+    if (piv[b + 15] <= v) { b += 16; }
+    if (piv[b + 7] <= v) { b += 8; }
+    if (piv[b + 3] <= v) { b += 4; }
+    if (piv[b + 1] <= v) { b += 2; }
+    if (piv[b] <= v) { b += 1; }
+    if (piv[b] <= v) { b += 1; }
+    bucket[e * nt + tid] = b;
+  }
+  #pragma np parallel for
+  for (int e = 0; e < STRIP; e++) {
+    int b = bucket[e * nt + tid];
+    float lo = 0.0f;
+    if (b > 0) {
+      lo = piv[b - 1];
+    }
+    key[e * nt + tid] = data[e * nt + tid] - lo;
+  }
+}
+)";
+
+class BkBenchmark final : public Benchmark {
+ public:
+  explicit BkBenchmark(int elements) : n_(elements) {}
+
+  std::string name() const override { return "BK"; }
+  std::string description() const override {
+    return "bucket classification of " + std::to_string(n_) +
+           " elements against 32 pivots";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "bk"; }
+  Table1Row table1() const override { return {2, 32, "X"}; }
+
+  np::Workload make_workload() const override {
+    constexpr int kStrip = 32;
+    constexpr int kPiv = 32;
+    const int nthreads = n_ / kStrip;
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto D = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(n_));
+    auto P = mem.alloc(ir::ScalarType::kFloat, kPiv);
+    auto B = mem.alloc(ir::ScalarType::kInt, static_cast<std::size_t>(n_));
+    auto K = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(n_));
+    SplitMix64 rng(0xb0c8e7);
+    fill_uniform(mem.buffer(D), rng, 0.0f, 1.0f);
+    {
+      auto piv = mem.buffer(P).f32();
+      for (int p = 0; p < kPiv; ++p)
+        piv[static_cast<std::size_t>(p)] =
+            static_cast<float>(p + 1) / (kPiv + 1);
+    }
+
+    std::vector<std::int32_t> expect_b(static_cast<std::size_t>(n_));
+    std::vector<float> expect_k(static_cast<std::size_t>(n_));
+    {
+      auto d = mem.buffer(D).f32();
+      auto piv = mem.buffer(P).f32();
+      for (int i = 0; i < n_; ++i) {
+        int b = 0;
+        for (int p = 0; p < kPiv; ++p)
+          if (piv[static_cast<std::size_t>(p)] <= d[static_cast<std::size_t>(i)]) ++b;
+        expect_b[static_cast<std::size_t>(i)] = b;
+        float lo = b > 0 ? piv[static_cast<std::size_t>(b - 1)] : 0.0f;
+        expect_k[static_cast<std::size_t>(i)] = d[static_cast<std::size_t>(i)] - lo;
+      }
+    }
+
+    w.launch.grid = {nthreads / 64, 1, 1};
+    w.launch.block = {64, 1, 1};
+    w.launch.args = {D, P, B, K, sim::Value::of_int(n_)};
+    w.validate = [B, K, expect_b = std::move(expect_b),
+                  expect_k = std::move(expect_k)](const sim::DeviceMemory& m,
+                                                  std::string* msg) {
+      return exact_equal(m.buffer(B).i32(), expect_b, msg) &&
+             approx_equal(m.buffer(K).f32(), expect_k, 1e-5, msg);
+    };
+    return w;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_bk(int elements) {
+  return std::make_unique<BkBenchmark>(elements);
+}
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,138 @@
+// CFD: the flux-accumulation step of Rodinia's Euler solver. Each thread
+// gathers its cell's 4 neighbors and accumulates density/momentum/energy
+// fluxes — a 4-iteration parallel loop with four simultaneous sum
+// reductions and heavy per-thread arithmetic (the register-pressure
+// benchmark of Table 1). LC = 4 makes CFD the case where large slave
+// counts stop paying off (Fig. 11).
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+__global__ void cfd(float* density, float* momx, float* momy,
+                    float* energy, int* nbr, float* flux, int ncells) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  float de = density[i];
+  float mx = momx[i];
+  float my = momy[i];
+  float en = energy[i];
+  float pres = 0.4f * (en - 0.5f * (mx * mx + my * my) / de);
+  float fd = 0.0f;
+  float fx = 0.0f;
+  float fy = 0.0f;
+  float fe = 0.0f;
+  #pragma np parallel for reduction(+:fd,fx,fy,fe)
+  for (int k = 0; k < 4; k++) {
+    int nb = nbr[i * 4 + k];
+    float dn = density[nb];
+    float nx = momx[nb];
+    float ny = momy[nb];
+    float ne = energy[nb];
+    float np = 0.4f * (ne - 0.5f * (nx * nx + ny * ny) / dn);
+    float a = sqrtf(1.4f * (pres + np) / (de + dn));
+    fd += 0.5f * a * (dn - de);
+    fx += 0.5f * (a * (nx - mx) + (np - pres));
+    fy += 0.5f * (a * (ny - my) + (np - pres));
+    fe += 0.5f * a * (ne - en + np - pres);
+  }
+  flux[i * 4 + 0] = fd;
+  flux[i * 4 + 1] = fx;
+  flux[i * 4 + 2] = fy;
+  flux[i * 4 + 3] = fe;
+}
+)";
+
+class CfdBenchmark final : public Benchmark {
+ public:
+  explicit CfdBenchmark(int cells) : n_(cells) {}
+
+  std::string name() const override { return "CFD"; }
+  std::string description() const override {
+    return "flux accumulation over 4 neighbors, " + std::to_string(n_) +
+           " cells";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "cfd"; }
+  Table1Row table1() const override { return {1, 4, "R"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    std::size_t n = static_cast<std::size_t>(n_);
+    auto De = mem.alloc(ir::ScalarType::kFloat, n);
+    auto Mx = mem.alloc(ir::ScalarType::kFloat, n);
+    auto My = mem.alloc(ir::ScalarType::kFloat, n);
+    auto En = mem.alloc(ir::ScalarType::kFloat, n);
+    auto Nb = mem.alloc(ir::ScalarType::kInt, n * 4);
+    auto Fl = mem.alloc(ir::ScalarType::kFloat, n * 4);
+    SplitMix64 rng(0xcfdcfd);
+    fill_uniform(mem.buffer(De), rng, 0.8f, 1.2f);
+    fill_uniform(mem.buffer(Mx), rng, -0.3f, 0.3f);
+    fill_uniform(mem.buffer(My), rng, -0.3f, 0.3f);
+    fill_uniform(mem.buffer(En), rng, 2.0f, 3.0f);
+    // Structured-mesh-like neighbor lists (wrap-around 1-D stencil of
+    // radius 2), matching the irregular-gather pattern of the original.
+    {
+      auto nb = mem.buffer(Nb).i32();
+      for (int i = 0; i < n_; ++i) {
+        nb[static_cast<std::size_t>(i) * 4 + 0] = (i + 1) % n_;
+        nb[static_cast<std::size_t>(i) * 4 + 1] = (i + n_ - 1) % n_;
+        nb[static_cast<std::size_t>(i) * 4 + 2] = (i + 64) % n_;
+        nb[static_cast<std::size_t>(i) * 4 + 3] = (i + n_ - 64) % n_;
+      }
+    }
+
+    std::vector<float> expect(n * 4);
+    {
+      auto de = mem.buffer(De).f32();
+      auto mx = mem.buffer(Mx).f32();
+      auto my = mem.buffer(My).f32();
+      auto en = mem.buffer(En).f32();
+      auto nb = mem.buffer(Nb).i32();
+      for (int i = 0; i < n_; ++i) {
+        std::size_t ii = static_cast<std::size_t>(i);
+        float pres =
+            0.4f * (en[ii] - 0.5f * (mx[ii] * mx[ii] + my[ii] * my[ii]) /
+                                 de[ii]);
+        float fd = 0, fx = 0, fy = 0, fe = 0;
+        for (int k = 0; k < 4; ++k) {
+          std::size_t j = static_cast<std::size_t>(nb[ii * 4 + static_cast<std::size_t>(k)]);
+          float np =
+              0.4f * (en[j] - 0.5f * (mx[j] * mx[j] + my[j] * my[j]) / de[j]);
+          float a = std::sqrt(1.4f * (pres + np) / (de[ii] + de[j]));
+          fd += 0.5f * a * (de[j] - de[ii]);
+          fx += 0.5f * (a * (mx[j] - mx[ii]) + (np - pres));
+          fy += 0.5f * (a * (my[j] - my[ii]) + (np - pres));
+          fe += 0.5f * a * (en[j] - en[ii] + np - pres);
+        }
+        expect[ii * 4 + 0] = fd;
+        expect[ii * 4 + 1] = fx;
+        expect[ii * 4 + 2] = fy;
+        expect[ii * 4 + 3] = fe;
+      }
+    }
+
+    w.launch.grid = {n_ / 128, 1, 1};
+    w.launch.block = {128, 1, 1};
+    w.launch.args = {De, Mx, My, En, Nb, Fl, sim::Value::of_int(n_)};
+    w.validate = [Fl, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(Fl).f32(), expect, 2e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_cfd(int cells) {
+  return std::make_unique<CfdBenchmark>(cells);
+}
+
+}  // namespace cudanp::kernels

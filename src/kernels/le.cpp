@@ -1,0 +1,124 @@
+// LE: leukocyte ellipse matching (Rodinia, array-order version [4];
+// gradient samples are stored sample-major so baseline warp accesses are
+// coalesced, which is exactly what [4]'s array reordering achieved) —
+// the paper's Fig. 5 kernel. Each thread evaluates the GICOV score of an
+// ellipse at one pixel: a 150-point gradient sample held in a per-thread
+// local array (600 B of local memory, Table 1), then sum / variance
+// reductions over it. This is the flagship Sec.-3.3 benchmark: the local
+// array can be re-homed to registers (partitioned), shared, or global
+// memory (Figs. 12 and 15).
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+#define NPOINTS 150
+__global__ void le(float* gradx, float* grady, float* gicov, int npix) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  float grad[NPOINTS];
+  float sum = 0.0f;
+  #pragma np parallel for
+  for (int n = 0; n < NPOINTS; n++) {
+    grad[n] = gradx[n * npix + tid] * (1.5f + cosf(0.0418879f * n))
+            + grady[n * npix + tid] * sinf(0.0418879f * n);
+  }
+  #pragma np parallel for reduction(+:sum)
+  for (int n = 0; n < NPOINTS; n++)
+    sum += grad[n];
+  float ave = sum / 150.0f;
+  float var = 0.0f;
+  float ep = 0.0f;
+  #pragma np parallel for reduction(+:var,ep)
+  for (int n = 0; n < NPOINTS; n++) {
+    float d = grad[n] - ave;
+    var += d * d;
+    ep += d;
+  }
+  var = (var - ep * ep / 150.0f) / 149.0f;
+  if (ave * ave / var > 0.5f) {
+    gicov[tid] = ave / sqrtf(var);
+  } else {
+    gicov[tid] = 0.0f;
+  }
+}
+)";
+
+class LeBenchmark final : public Benchmark {
+ public:
+  explicit LeBenchmark(int pixels) : npix_(pixels) {}
+
+  std::string name() const override { return "LE"; }
+  std::string description() const override {
+    return "GICOV score at " + std::to_string(npix_) +
+           " pixels, 150-point local gradient array";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "le"; }
+  Table1Row table1() const override { return {3, 150, "R"}; }
+
+  np::Workload make_workload() const override {
+    constexpr int kNPoints = 150;
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto Gx = mem.alloc(ir::ScalarType::kFloat,
+                        static_cast<std::size_t>(npix_) * kNPoints);
+    auto Gy = mem.alloc(ir::ScalarType::kFloat,
+                        static_cast<std::size_t>(npix_) * kNPoints);
+    auto Out = mem.alloc(ir::ScalarType::kFloat,
+                         static_cast<std::size_t>(npix_));
+    SplitMix64 rng(0x1e1e1e);
+    fill_uniform(mem.buffer(Gx), rng, 0.5f, 1.5f);
+    fill_uniform(mem.buffer(Gy), rng);
+
+    std::vector<float> expect(static_cast<std::size_t>(npix_));
+    {
+      auto gx = mem.buffer(Gx).f32();
+      auto gy = mem.buffer(Gy).f32();
+      for (int t = 0; t < npix_; ++t) {
+        float grad[kNPoints];
+        float sum = 0.0f;
+        for (int n = 0; n < kNPoints; ++n) {
+          grad[n] = gx[static_cast<std::size_t>(n) * static_cast<std::size_t>(npix_) + static_cast<std::size_t>(t)] *
+                        (1.5f + std::cos(0.0418879f * static_cast<float>(n))) +
+                    gy[static_cast<std::size_t>(n) * static_cast<std::size_t>(npix_) + static_cast<std::size_t>(t)] *
+                        std::sin(0.0418879f * static_cast<float>(n));
+          sum += grad[n];
+        }
+        float ave = sum / 150.0f;
+        float var = 0.0f;
+        float ep = 0.0f;
+        for (int n = 0; n < kNPoints; ++n) {
+          float d = grad[n] - ave;
+          var += d * d;
+          ep += d;
+        }
+        var = (var - ep * ep / 150.0f) / 149.0f;
+        expect[static_cast<std::size_t>(t)] =
+            (ave * ave / var > 0.5f) ? ave / std::sqrt(var) : 0.0f;
+      }
+    }
+
+    w.launch.grid = {npix_ / 32, 1, 1};
+    w.launch.block = {32, 1, 1};
+    w.launch.args = {Gx, Gy, Out, sim::Value::of_int(npix_)};
+    w.validate = [Out, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(Out).f32(), expect, 5e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int npix_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_le(int pixels) {
+  return std::make_unique<LeBenchmark>(pixels);
+}
+
+}  // namespace cudanp::kernels

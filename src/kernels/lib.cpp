@@ -1,0 +1,114 @@
+// LIB: LIBOR swaption pricing by Monte Carlo (the GPGPU-Sim benchmark).
+// Each thread simulates one path over NMAT=80 maturities: per-maturity
+// volatility and forward-rate updates (parallel loops over three local
+// arrays, 960 B of local memory per thread in the baseline — Table 1),
+// a running log-discount accumulation (the paper's scan case, S), and a
+// payoff reduction.
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+#define NMAT 80
+__global__ void lib(float* z, float* lambda, float* price, int npath) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  float zi = z[tid];
+  float vol[NMAT];
+  float fwd[NMAT];
+  float disc[NMAT];
+  #pragma np parallel for
+  for (int i = 0; i < NMAT; i++) {
+    vol[i] = lambda[i] * (0.2f + 0.01f * sinf(0.08f * i));
+  }
+  #pragma np parallel for
+  for (int i = 0; i < NMAT; i++) {
+    fwd[i] = 0.05f * expf(vol[i] * zi - 0.125f * vol[i] * vol[i]);
+  }
+  float acc = 0.0f;
+  #pragma np parallel for scan(+:acc)
+  for (int i = 0; i < NMAT; i++) {
+    acc += logf(1.0f + 0.25f * fwd[i]);
+    disc[i] = expf(0.0f - acc);
+  }
+  float v = 0.0f;
+  #pragma np parallel for reduction(+:v)
+  for (int i = 0; i < NMAT; i++) {
+    v += disc[i] * (fwd[i] - 0.045f) * 0.25f;
+  }
+  price[tid] = fmaxf(v, 0.0f) * 100.0f;
+}
+)";
+
+constexpr int kNMat = 80;
+
+class LibBenchmark final : public Benchmark {
+ public:
+  explicit LibBenchmark(int paths) : npath_(paths) {}
+
+  std::string name() const override { return "LIB"; }
+  std::string description() const override {
+    return std::to_string(npath_) + " Monte-Carlo paths, 80 maturities, "
+           "scan-based discounting";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "lib"; }
+  Table1Row table1() const override { return {4, kNMat, "S"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto Z = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(npath_));
+    auto L = mem.alloc(ir::ScalarType::kFloat, kNMat);
+    auto P = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(npath_));
+    SplitMix64 rng(0x11b0b);
+    fill_uniform(mem.buffer(Z), rng, -2.0f, 2.0f);
+    fill_uniform(mem.buffer(L), rng, 0.5f, 1.5f);
+
+    std::vector<float> expect(static_cast<std::size_t>(npath_));
+    {
+      auto z = mem.buffer(Z).f32();
+      auto lam = mem.buffer(L).f32();
+      for (int t = 0; t < npath_; ++t) {
+        float zi = z[static_cast<std::size_t>(t)];
+        float vol[kNMat], fwd[kNMat], disc[kNMat];
+        for (int i = 0; i < kNMat; ++i)
+          vol[i] = lam[static_cast<std::size_t>(i)] *
+                   (0.2f + 0.01f * std::sin(0.08f * static_cast<float>(i)));
+        for (int i = 0; i < kNMat; ++i)
+          fwd[i] = 0.05f * std::exp(vol[i] * zi - 0.125f * vol[i] * vol[i]);
+        float acc = 0.0f;
+        for (int i = 0; i < kNMat; ++i) {
+          acc += std::log(1.0f + 0.25f * fwd[i]);
+          disc[i] = std::exp(-acc);
+        }
+        float v = 0.0f;
+        for (int i = 0; i < kNMat; ++i)
+          v += disc[i] * (fwd[i] - 0.045f) * 0.25f;
+        expect[static_cast<std::size_t>(t)] = std::max(v, 0.0f) * 100.0f;
+      }
+    }
+
+    w.launch.grid = {npath_ / 64, 1, 1};
+    w.launch.block = {64, 1, 1};
+    w.launch.args = {Z, L, P, sim::Value::of_int(npath_)};
+    w.validate = [P, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(P).f32(), expect, 5e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int npath_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_lib(int paths) {
+  return std::make_unique<LibBenchmark>(paths);
+}
+
+}  // namespace cudanp::kernels

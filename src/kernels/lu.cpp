@@ -1,0 +1,176 @@
+// LU: the LUD perimeter kernel (Rodinia), the paper's Fig. 3 example.
+// BLOCK_SIZE = 16, TB = 32: the first 16 threads own perimeter-row
+// columns, the last 16 own perimeter-col rows — the `master_id < 16`
+// control flow whose divergence intra-warp NP removes (Sec. 5 / Fig. 11).
+// Parallel loops: the three tile loads and the two triangular-solve
+// inner products (R).
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+#define BS 16
+__global__ void lud_perimeter(float* m, int dim, int offset) {
+  __shared__ float dia[BS][BS];
+  __shared__ float peri_row[BS][BS];
+  __shared__ float peri_col[BS][BS];
+  int idx;
+  int array_offset = offset * dim + offset;
+  if (threadIdx.x < BS) {
+    idx = threadIdx.x;
+    #pragma np parallel for
+    for (int i = 0; i < BS; i++)
+      dia[i][idx] = m[array_offset + i * dim + idx];
+    #pragma np parallel for
+    for (int i = 0; i < BS; i++)
+      peri_row[i][idx] = m[array_offset + (blockIdx.x + 1) * BS + i * dim + idx];
+  } else {
+    idx = threadIdx.x - BS;
+    #pragma np parallel for
+    for (int i = 0; i < BS; i++)
+      peri_col[i][idx] = m[array_offset + (blockIdx.x + 1) * BS * dim + i * dim + idx];
+  }
+  __syncthreads();
+  if (threadIdx.x < BS) {
+    idx = threadIdx.x;
+    for (int i = 1; i < BS; i++) {
+      float s = 0.0f;
+      #pragma np parallel for reduction(+:s)
+      for (int j = 0; j < BS; j++) {
+        if (j < i) {
+          s += dia[i][j] * peri_row[j][idx];
+        }
+      }
+      peri_row[i][idx] = peri_row[i][idx] - s;
+    }
+  } else {
+    idx = threadIdx.x - BS;
+    for (int i = 0; i < BS; i++) {
+      float s = 0.0f;
+      #pragma np parallel for reduction(+:s)
+      for (int j = 0; j < BS; j++) {
+        if (j < i) {
+          s += peri_col[idx][j] * dia[j][i];
+        }
+      }
+      peri_col[idx][i] = (peri_col[idx][i] - s) / dia[i][i];
+    }
+  }
+  __syncthreads();
+  if (threadIdx.x < BS) {
+    idx = threadIdx.x;
+    #pragma np parallel for
+    for (int i = 0; i < BS; i++)
+      m[array_offset + (blockIdx.x + 1) * BS + i * dim + idx] = peri_row[i][idx];
+  } else {
+    idx = threadIdx.x - BS;
+    #pragma np parallel for
+    for (int i = 0; i < BS; i++)
+      m[array_offset + (blockIdx.x + 1) * BS * dim + idx * dim + i] = peri_col[idx][i];
+  }
+}
+)";
+
+constexpr int kBS = 16;
+
+/// CPU reference of the perimeter update for one (offset, block) pair.
+void reference_perimeter(std::vector<float>& m, int dim, int offset,
+                         int block) {
+  const std::size_t base =
+      static_cast<std::size_t>(offset) * dim + static_cast<std::size_t>(offset);
+  auto dia = [&](int r, int c) {
+    return m[base + static_cast<std::size_t>(r) * dim + c];
+  };
+  // Row panel: peri_row[i][idx] -= sum_{j<i} dia[i][j] * peri_row[j][idx]
+  std::size_t row_base = base + static_cast<std::size_t>(block + 1) * kBS;
+  for (int idx = 0; idx < kBS; ++idx) {
+    float col[kBS];
+    for (int i = 0; i < kBS; ++i)
+      col[i] = m[row_base + static_cast<std::size_t>(i) * dim + idx];
+    for (int i = 1; i < kBS; ++i) {
+      float s = 0.0f;
+      for (int j = 0; j < i; ++j) s += dia(i, j) * col[j];
+      col[i] = col[i] - s;
+    }
+    for (int i = 0; i < kBS; ++i)
+      m[row_base + static_cast<std::size_t>(i) * dim + idx] = col[i];
+  }
+  // Column panel: peri_col[idx][i] = (peri_col[idx][i] - sum) / dia[i][i]
+  std::size_t col_base =
+      base + static_cast<std::size_t>(block + 1) * kBS * dim;
+  for (int idx = 0; idx < kBS; ++idx) {
+    float row[kBS];
+    for (int i = 0; i < kBS; ++i)
+      row[i] = m[col_base + static_cast<std::size_t>(idx) * dim + i];
+    for (int i = 0; i < kBS; ++i) {
+      float s = 0.0f;
+      for (int j = 0; j < i; ++j) s += row[j] * dia(j, i);
+      row[i] = (row[i] - s) / dia(i, i);
+    }
+    for (int i = 0; i < kBS; ++i)
+      m[col_base + static_cast<std::size_t>(idx) * dim + i] = row[i];
+  }
+}
+
+class LuBenchmark final : public Benchmark {
+ public:
+  explicit LuBenchmark(int dim) : dim_(dim) {}
+
+  std::string name() const override { return "LU"; }
+  std::string description() const override {
+    return "LUD perimeter update, " + std::to_string(dim_) + "x" +
+           std::to_string(dim_) + " matrix, BS=16";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "lud_perimeter"; }
+  // The paper counts 4 parallel loops for LU; our kernel additionally
+  // annotates the write-back loops, giving 7.
+  Table1Row table1() const override { return {7, 16, "R"}; }
+
+  np::Workload make_workload() const override {
+    const int offset = 0;
+    const int nblocks = dim_ / kBS - 1;
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto M = mem.alloc(ir::ScalarType::kFloat,
+                       static_cast<std::size_t>(dim_) * dim_);
+    SplitMix64 rng(0x10d10d);
+    {
+      auto m = mem.buffer(M).f32();
+      for (auto& x : m) x = rng.next_float(0.1f, 1.0f);
+      // Diagonally dominant diagonal tile keeps the solve stable.
+      for (int i = 0; i < kBS; ++i)
+        m[static_cast<std::size_t>(offset) * dim_ + offset +
+          static_cast<std::size_t>(i) * dim_ + i] += 16.0f;
+    }
+
+    std::vector<float> expect(mem.buffer(M).f32().begin(),
+                              mem.buffer(M).f32().end());
+    for (int b = 0; b < nblocks; ++b)
+      reference_perimeter(expect, dim_, offset, b);
+
+    w.launch.grid = {nblocks, 1, 1};
+    w.launch.block = {32, 1, 1};
+    w.launch.args = {M, sim::Value::of_int(dim_),
+                     sim::Value::of_int(offset)};
+    w.validate = [M, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(M).f32(), expect, 2e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int dim_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_lu(int matrix_dim) {
+  return std::make_unique<LuBenchmark>(matrix_dim);
+}
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,155 @@
+// MC: marching-cubes vertex generation (Nvidia SDK). Each thread
+// processes one voxel: samples the 8 cube corners into a per-thread
+// local array via constant corner-offset tables (parallel loop, LC=8),
+// derives the cube's case index, then interpolates the 12 edge vertices
+// in three component loops (LC=12, PL=4 total, no reduction — the X row
+// of Table 1). The corner array is accessed through edge-endpoint tables
+// inside the interpolation loops, so it is *not* register-partitionable
+// and exercises the shared/global re-homing paths of Sec. 3.3.
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+__global__ void mc(float* field, float* verts, int* caseidx,
+                   int gx, int gy, int gz, float iso) {
+  __constant__ int cox[8] = {0, 1, 1, 0, 0, 1, 1, 0};
+  __constant__ int coy[8] = {0, 0, 1, 1, 0, 0, 1, 1};
+  __constant__ int coz[8] = {0, 0, 0, 0, 1, 1, 1, 1};
+  __constant__ int ev0[12] = {0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3};
+  __constant__ int ev1[12] = {1, 2, 3, 0, 5, 6, 7, 4, 4, 5, 6, 7};
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  int vx = tid % gx;
+  int vy = (tid / gx) % gy;
+  int vz = tid / (gx * gy);
+  float corner[8];
+  #pragma np parallel for
+  for (int v = 0; v < 8; v++) {
+    corner[v] = field[(vz + coz[v]) * (gx + 1) * (gy + 1)
+                    + (vy + coy[v]) * (gx + 1) + vx + cox[v]];
+  }
+  int cube = 0;
+  for (int v = 0; v < 8; v++) {
+    if (corner[v] < iso) {
+      cube = cube + (1 << v);
+    }
+  }
+  caseidx[tid] = cube;
+  #pragma np parallel for
+  for (int e = 0; e < 12; e++) {
+    float a = corner[ev0[e]];
+    float b = corner[ev1[e]];
+    float t = (iso - a) / (b - a + 0.000001f);
+    verts[tid * 36 + e * 3 + 0] = vx + t * (cox[ev1[e]] - cox[ev0[e]]);
+  }
+  #pragma np parallel for
+  for (int e = 0; e < 12; e++) {
+    float a = corner[ev0[e]];
+    float b = corner[ev1[e]];
+    float t = (iso - a) / (b - a + 0.000001f);
+    verts[tid * 36 + e * 3 + 1] = vy + t * (coy[ev1[e]] - coy[ev0[e]]);
+  }
+  #pragma np parallel for
+  for (int e = 0; e < 12; e++) {
+    float a = corner[ev0[e]];
+    float b = corner[ev1[e]];
+    float t = (iso - a) / (b - a + 0.000001f);
+    verts[tid * 36 + e * 3 + 2] = vz + t * (coz[ev1[e]] - coz[ev0[e]]);
+  }
+}
+)";
+
+constexpr int kCox[8] = {0, 1, 1, 0, 0, 1, 1, 0};
+constexpr int kCoy[8] = {0, 0, 1, 1, 0, 0, 1, 1};
+constexpr int kCoz[8] = {0, 0, 0, 0, 1, 1, 1, 1};
+constexpr int kEv0[12] = {0, 1, 2, 3, 4, 5, 6, 7, 0, 1, 2, 3};
+constexpr int kEv1[12] = {1, 2, 3, 0, 5, 6, 7, 4, 4, 5, 6, 7};
+
+class McBenchmark final : public Benchmark {
+ public:
+  explicit McBenchmark(int grid) : g_(grid) {}
+
+  std::string name() const override { return "MC"; }
+  std::string description() const override {
+    return "marching cubes on a " + std::to_string(g_) + "^3 voxel grid";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "mc"; }
+  Table1Row table1() const override { return {4, 12, "X"}; }
+
+  np::Workload make_workload() const override {
+    const int voxels = g_ * g_ * g_;
+    const std::size_t fieldn = static_cast<std::size_t>(g_ + 1) * (g_ + 1) *
+                               (g_ + 1);
+    const float iso = 0.5f;
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto F = mem.alloc(ir::ScalarType::kFloat, fieldn);
+    auto V = mem.alloc(ir::ScalarType::kFloat,
+                       static_cast<std::size_t>(voxels) * 36);
+    auto C = mem.alloc(ir::ScalarType::kInt, static_cast<std::size_t>(voxels));
+    SplitMix64 rng(0x3c3c3c);
+    fill_uniform(mem.buffer(F), rng, 0.0f, 1.0f);
+
+    std::vector<float> expect_v(static_cast<std::size_t>(voxels) * 36);
+    std::vector<std::int32_t> expect_c(static_cast<std::size_t>(voxels));
+    {
+      auto f = mem.buffer(F).f32();
+      for (int tid = 0; tid < voxels; ++tid) {
+        int vx = tid % g_;
+        int vy = (tid / g_) % g_;
+        int vz = tid / (g_ * g_);
+        float corner[8];
+        for (int v = 0; v < 8; ++v)
+          corner[v] =
+              f[static_cast<std::size_t>(vz + kCoz[v]) * (g_ + 1) * (g_ + 1) +
+                static_cast<std::size_t>(vy + kCoy[v]) * (g_ + 1) +
+                static_cast<std::size_t>(vx + kCox[v])];
+        int cube = 0;
+        for (int v = 0; v < 8; ++v)
+          if (corner[v] < iso) cube += 1 << v;
+        expect_c[static_cast<std::size_t>(tid)] = cube;
+        for (int e = 0; e < 12; ++e) {
+          float a = corner[kEv0[e]];
+          float b = corner[kEv1[e]];
+          float t = (iso - a) / (b - a + 0.000001f);
+          std::size_t base = static_cast<std::size_t>(tid) * 36 +
+                             static_cast<std::size_t>(e) * 3;
+          expect_v[base + 0] =
+              static_cast<float>(vx) + t * static_cast<float>(kCox[kEv1[e]] - kCox[kEv0[e]]);
+          expect_v[base + 1] =
+              static_cast<float>(vy) + t * static_cast<float>(kCoy[kEv1[e]] - kCoy[kEv0[e]]);
+          expect_v[base + 2] =
+              static_cast<float>(vz) + t * static_cast<float>(kCoz[kEv1[e]] - kCoz[kEv0[e]]);
+        }
+      }
+    }
+
+    w.launch.grid = {voxels / 32, 1, 1};
+    w.launch.block = {32, 1, 1};
+    w.launch.args = {F, V, C,
+                     sim::Value::of_int(g_), sim::Value::of_int(g_),
+                     sim::Value::of_int(g_), sim::Value::of_float(iso)};
+    w.validate = [V, C, expect_v = std::move(expect_v),
+                  expect_c = std::move(expect_c)](const sim::DeviceMemory& m,
+                                                  std::string* msg) {
+      return exact_equal(m.buffer(C).i32(), expect_c, msg) &&
+             approx_equal(m.buffer(V).f32(), expect_v, 1e-4, msg);
+    };
+    return w;
+  }
+
+ private:
+  int g_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_mc(int grid) {
+  return std::make_unique<McBenchmark>(grid);
+}
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,91 @@
+// MV: matrix-vector multiplication, shared-memory-tiled baseline after
+// [42] (Yang et al., PACT'12). One thread per output row; the matrix is
+// stored column-major so a warp's row accesses are fully coalesced (the
+// paper's baselines are "already optimized"); the input vector is staged
+// tile-by-tile through shared memory, and the per-tile dot product is
+// the annotated parallel loop (LC = tile = 32, matching Table 1's MV
+// row). Intra-warp NP *breaks* this coalescing (Sec. 3.4 trade-off).
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+#define TILE 32
+__global__ void mv(float* a, float* b, float* c, int w, int h) {
+  __shared__ float bs[TILE];
+  int row = threadIdx.x + blockIdx.x * blockDim.x;
+  float sum = 0.0f;
+  for (int t = 0; t < w / TILE; t++) {
+    bs[threadIdx.x] = b[t * TILE + threadIdx.x];
+    __syncthreads();
+    #pragma np parallel for reduction(+:sum)
+    for (int j = 0; j < TILE; j++)
+      sum += a[(t * TILE + j) * h + row] * bs[j];
+    __syncthreads();
+  }
+  c[row] = sum;
+}
+)";
+
+class MvBenchmark final : public Benchmark {
+ public:
+  MvBenchmark(int width, int height) : w_(width), h_(height) {}
+
+  std::string name() const override { return "MV"; }
+  std::string description() const override {
+    return "matrix(" + std::to_string(h_) + "x" + std::to_string(w_) +
+           ") * vector, smem tiled";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "mv"; }
+  Table1Row table1() const override { return {1, 32, "R"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto A = mem.alloc(ir::ScalarType::kFloat,
+                       static_cast<std::size_t>(w_) * h_);
+    auto B = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(w_));
+    auto C = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(h_));
+    SplitMix64 rng(0x37a20c2);
+    fill_uniform(mem.buffer(A), rng);
+    fill_uniform(mem.buffer(B), rng);
+
+    std::vector<float> expect(static_cast<std::size_t>(h_));
+    {
+      auto a = mem.buffer(A).f32();
+      auto b = mem.buffer(B).f32();
+      for (int r = 0; r < h_; ++r) {
+        float s = 0.0f;
+        for (int j = 0; j < w_; ++j)
+          s += a[static_cast<std::size_t>(j) * h_ + r] * b[static_cast<std::size_t>(j)];
+        expect[static_cast<std::size_t>(r)] = s;
+      }
+    }
+
+    w.launch.grid = {h_ / 32, 1, 1};
+    w.launch.block = {32, 1, 1};
+    w.launch.args = {A, B, C, sim::Value::of_int(w_),
+                     sim::Value::of_int(h_)};
+    w.validate = [C, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(C).f32(), expect, 2e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int w_;
+  int h_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_mv(int width, int height) {
+  return std::make_unique<MvBenchmark>(width, height);
+}
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,99 @@
+// NN: nearest neighbor (Rodinia). Each thread finds the closest record
+// to its query point — a min-reduction over the record list (LC = 1K).
+// Following the paper (Sec. 4), the baseline uses 32-thread blocks (the
+// original Rodinia kernel used one thread per block; the paper's
+// modified 32-thread version is 2.89x faster and is the baseline here).
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+__global__ void nn(float* lat, float* lng, float* qlat, float* qlng,
+                   float* dist, int nrec, int nq) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  float qla = qlat[tid];
+  float qlo = qlng[tid];
+  float best = 3.0e38f;
+  #pragma np parallel for reduction(min:best)
+  for (int i = 0; i < nrec; i++) {
+    float dla = lat[i] - qla;
+    float dlo = lng[i] - qlo;
+    float d = dla * dla + dlo * dlo;
+    best = fminf(best, d);
+  }
+  dist[tid] = sqrtf(best);
+}
+)";
+
+class NnBenchmark final : public Benchmark {
+ public:
+  NnBenchmark(int records, int queries) : nrec_(records), nq_(queries) {}
+
+  std::string name() const override { return "NN"; }
+  std::string description() const override {
+    return std::to_string(nq_) + " queries over " + std::to_string(nrec_) +
+           " records";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "nn"; }
+  Table1Row table1() const override { return {1, nrec_, "R"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto Lat = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(nrec_));
+    auto Lng = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(nrec_));
+    auto QLat = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(nq_));
+    auto QLng = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(nq_));
+    auto Dist = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(nq_));
+    SplitMix64 rng(0x4e4e4e);
+    fill_uniform(mem.buffer(Lat), rng, 0.0f, 90.0f);
+    fill_uniform(mem.buffer(Lng), rng, 0.0f, 180.0f);
+    fill_uniform(mem.buffer(QLat), rng, 0.0f, 90.0f);
+    fill_uniform(mem.buffer(QLng), rng, 0.0f, 180.0f);
+
+    std::vector<float> expect(static_cast<std::size_t>(nq_));
+    {
+      auto lat = mem.buffer(Lat).f32();
+      auto lng = mem.buffer(Lng).f32();
+      auto qlat = mem.buffer(QLat).f32();
+      auto qlng = mem.buffer(QLng).f32();
+      for (int q = 0; q < nq_; ++q) {
+        float best = 3.0e38f;
+        for (int i = 0; i < nrec_; ++i) {
+          float dla = lat[static_cast<std::size_t>(i)] - qlat[static_cast<std::size_t>(q)];
+          float dlo = lng[static_cast<std::size_t>(i)] - qlng[static_cast<std::size_t>(q)];
+          best = std::min(best, dla * dla + dlo * dlo);
+        }
+        expect[static_cast<std::size_t>(q)] = std::sqrt(best);
+      }
+    }
+
+    w.launch.grid = {nq_ / 32, 1, 1};
+    w.launch.block = {32, 1, 1};
+    w.launch.args = {Lat, Lng,
+                     QLat, QLng,
+                     Dist, sim::Value::of_int(nrec_),
+                     sim::Value::of_int(nq_)};
+    w.validate = [Dist, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(Dist).f32(), expect, 1e-4, msg);
+    };
+    return w;
+  }
+
+ private:
+  int nrec_;
+  int nq_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_nn(int records, int queries) {
+  return std::make_unique<NnBenchmark>(records, queries);
+}
+
+}  // namespace cudanp::kernels

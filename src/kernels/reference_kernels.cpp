@@ -1,0 +1,233 @@
+#include "kernels/reference_kernels.hpp"
+
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+// ---------------------------------------------------------------- gemv-T
+// CUBLAS's sgemv-T on a row-major matrix reads columns coalesced with one
+// thread per output element, using larger thread blocks than the paper's
+// 32-thread baseline — structurally the Fig. 2 kernel at library tuning.
+// (Paper Sec. 5: "our baseline has similar performance to CUBLAS".)
+constexpr const char* kTmvCublasSource = R"(
+#define TB 128
+__global__ void tmv_cublas(float* a, float* b, float* c, int w, int h) {
+  int col = threadIdx.x + blockIdx.x * blockDim.x;
+  float s = 0.0f;
+  for (int i = 0; i < h; i++)
+    s += a[i * w + col] * b[i];
+  c[col] = s;
+}
+)";
+
+class TmvCublasBenchmark final : public Benchmark {
+ public:
+  TmvCublasBenchmark(int width, int height) : w_(width), h_(height) {}
+  std::string name() const override { return "TMV-CUBLAS"; }
+  std::string description() const override {
+    return "library-style gemv-T, block-per-column";
+  }
+  std::string source() const override { return kTmvCublasSource; }
+  std::string kernel_name() const override { return "tmv_cublas"; }
+  Table1Row table1() const override { return {0, 0, "X"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto A = mem.alloc(ir::ScalarType::kFloat,
+                       static_cast<std::size_t>(w_) * h_);
+    auto B = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(h_));
+    auto C = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(w_));
+    SplitMix64 rng(0x7a11f001);  // same inputs as the TMV benchmark
+    fill_uniform(mem.buffer(A), rng);
+    fill_uniform(mem.buffer(B), rng);
+    std::vector<float> expect(static_cast<std::size_t>(w_));
+    {
+      auto a = mem.buffer(A).f32();
+      auto b = mem.buffer(B).f32();
+      for (int x = 0; x < w_; ++x) {
+        float s = 0.0f;
+        for (int i = 0; i < h_; ++i)
+          s += a[static_cast<std::size_t>(i) * w_ + x] *
+               b[static_cast<std::size_t>(i)];
+        expect[static_cast<std::size_t>(x)] = s;
+      }
+    }
+    w.launch.grid = {w_ / 128, 1, 1};
+    w.launch.block = {128, 1, 1};
+    w.launch.args = {A, B, C, sim::Value::of_int(w_), sim::Value::of_int(h_)};
+    w.validate = [C, expect = std::move(expect)](const sim::DeviceMemory& m,
+                                                 std::string* msg) {
+      return approx_equal(m.buffer(C).f32(), expect, 2e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int w_;
+  int h_;
+};
+
+// ---------------------------------------------------------------- gemv-N
+// CUBLAS's sgemv-N on a column-major matrix: one thread per output row,
+// coalesced column reads, 128-thread blocks, no shared-memory staging.
+constexpr const char* kMvCublasSource = R"(
+#define TB 128
+__global__ void mv_cublas(float* a, float* b, float* c, int w, int h) {
+  int row = threadIdx.x + blockIdx.x * blockDim.x;
+  float s = 0.0f;
+  for (int i = 0; i < w; i++)
+    s += a[i * h + row] * b[i];
+  c[row] = s;
+}
+)";
+
+// ---------------------------------------------------------------- SMM MV
+constexpr const char* kMvSmmSource = R"(
+#define TILE 32
+#define TB 256
+__global__ void mv_smm(float* a, float* b, float* c, int w, int h) {
+  __shared__ float bs[TILE];
+  int row = threadIdx.x + blockIdx.x * blockDim.x;
+  float sum = 0.0f;
+  for (int t = 0; t < w / TILE; t++) {
+    if (threadIdx.x < TILE) {
+      bs[threadIdx.x] = b[t * TILE + threadIdx.x];
+    }
+    __syncthreads();
+    for (int j = 0; j < TILE; j++)
+      sum += a[(t * TILE + j) * h + row] * bs[j];
+    __syncthreads();
+  }
+  c[row] = sum;
+}
+)";
+
+class MvRefBenchmark final : public Benchmark {
+ public:
+  MvRefBenchmark(std::string name, std::string kernel, const char* src,
+                 int block, bool grid_per_row, int width, int height)
+      : name_(std::move(name)),
+        kernel_(std::move(kernel)),
+        src_(src),
+        block_(block),
+        grid_per_row_(grid_per_row),
+        w_(width),
+        h_(height) {}
+
+  std::string name() const override { return name_; }
+  std::string description() const override { return "MV comparator"; }
+  std::string source() const override { return src_; }
+  std::string kernel_name() const override { return kernel_; }
+  Table1Row table1() const override { return {0, 0, "X"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto A = mem.alloc(ir::ScalarType::kFloat,
+                       static_cast<std::size_t>(w_) * h_);
+    auto B = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(w_));
+    auto C = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(h_));
+    SplitMix64 rng(0x37a20c2);  // same inputs as the MV benchmark
+    fill_uniform(mem.buffer(A), rng);
+    fill_uniform(mem.buffer(B), rng);
+    std::vector<float> expect(static_cast<std::size_t>(h_));
+    {
+      auto a = mem.buffer(A).f32();
+      auto b = mem.buffer(B).f32();
+      for (int r = 0; r < h_; ++r) {
+        float s = 0.0f;
+        for (int j = 0; j < w_; ++j)
+          s += a[static_cast<std::size_t>(j) * h_ + r] *
+               b[static_cast<std::size_t>(j)];
+        expect[static_cast<std::size_t>(r)] = s;
+      }
+    }
+    w.launch.grid = {grid_per_row_ ? h_ : h_ / block_, 1, 1};
+    w.launch.block = {block_, 1, 1};
+    w.launch.args = {A, B, C, sim::Value::of_int(w_), sim::Value::of_int(h_)};
+    w.validate = [C, expect = std::move(expect)](const sim::DeviceMemory& m,
+                                                 std::string* msg) {
+      return approx_equal(m.buffer(C).f32(), expect, 2e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  std::string name_;
+  std::string kernel_;
+  const char* src_;
+  int block_;
+  bool grid_per_row_;
+  int w_;
+  int h_;
+};
+
+// ---------------------------------------------------------------- copy
+constexpr const char* kMemcopySource = R"(
+__global__ void memcopy(float* dst, float* src, int n) {
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  dst[tid] = src[tid];
+}
+)";
+
+class MemcopyBenchmark final : public Benchmark {
+ public:
+  explicit MemcopyBenchmark(int floats) : n_(floats) {}
+  std::string name() const override { return "MEMCOPY"; }
+  std::string description() const override {
+    return "copy " + std::to_string(n_) + " floats";
+  }
+  std::string source() const override { return kMemcopySource; }
+  std::string kernel_name() const override { return "memcopy"; }
+  Table1Row table1() const override { return {0, 0, "X"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto D = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(n_));
+    auto S = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(n_));
+    SplitMix64 rng(0xc0b1);
+    fill_uniform(mem.buffer(S), rng);
+    std::vector<float> expect(mem.buffer(S).f32().begin(),
+                              mem.buffer(S).f32().end());
+    w.launch.grid = {n_ / 256, 1, 1};
+    w.launch.block = {256, 1, 1};
+    w.launch.args = {D, S, sim::Value::of_int(n_)};
+    w.validate = [D, expect = std::move(expect)](const sim::DeviceMemory& m,
+                                                 std::string* msg) {
+      return approx_equal(m.buffer(D).f32(), expect, 0.0, msg);
+    };
+    return w;
+  }
+
+ private:
+  int n_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_tmv_cublas(int width, int height) {
+  return std::make_unique<TmvCublasBenchmark>(width, height);
+}
+
+std::unique_ptr<Benchmark> make_mv_cublas(int width, int height) {
+  return std::make_unique<MvRefBenchmark>("MV-CUBLAS", "mv_cublas",
+                                          kMvCublasSource, 128,
+                                          /*grid_per_row=*/false, width,
+                                          height);
+}
+
+std::unique_ptr<Benchmark> make_mv_smm(int width, int height) {
+  return std::make_unique<MvRefBenchmark>("MV-SMM", "mv_smm", kMvSmmSource,
+                                          256, /*grid_per_row=*/false, width,
+                                          height);
+}
+
+std::unique_ptr<Benchmark> make_memcopy(int floats) {
+  return std::make_unique<MemcopyBenchmark>(floats);
+}
+
+}  // namespace cudanp::kernels

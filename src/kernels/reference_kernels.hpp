@@ -1,0 +1,34 @@
+// Reference comparator kernels for the Fig. 13/14 library comparison and
+// the Fig. 1 memory-copy microbenchmark.
+//
+// Substitutions (see DESIGN.md): CUBLAS V5.0's gemv is represented by a
+// hand-tuned block-per-output reduction kernel (the classic
+// high-occupancy gemv structure); SMM [42] by the shared-memory-tiled MV
+// with a doubled thread block, which is the shape shared-memory
+// multiplexing produces.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "kernels/benchmark.hpp"
+
+namespace cudanp::kernels {
+
+/// CUBLAS-style TMV (gemv-T): one 128-thread block per output element,
+/// shared-memory tree reduction.
+std::unique_ptr<Benchmark> make_tmv_cublas(int width = 2048,
+                                           int height = 2048);
+
+/// CUBLAS-style MV (gemv-N): one 128-thread block per output row.
+std::unique_ptr<Benchmark> make_mv_cublas(int width = 2048,
+                                          int height = 2048);
+
+/// SMM-style MV [42]: shared-memory-tiled row-per-thread with a 256-wide
+/// block multiplexing the tile buffer.
+std::unique_ptr<Benchmark> make_mv_smm(int width = 2048, int height = 2048);
+
+/// Plain memory copy (one float per thread) — the Fig. 1 baseline.
+std::unique_ptr<Benchmark> make_memcopy(int floats = 1 << 22);
+
+}  // namespace cudanp::kernels

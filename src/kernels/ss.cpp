@@ -1,0 +1,112 @@
+// SS: streamcluster's distance kernel (Rodinia). Each thread evaluates
+// the cost of reassigning its point to two candidate centers: two
+// dimension-loop reductions (PL=2) over a center tile staged in shared
+// memory (the baseline's shared-memory pressure in Table 1).
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+#define TILE 128
+__global__ void ss(float* pts, float* c1, float* c2, float* wt,
+                   float* cost, int dim, int n) {
+  __shared__ float s1[TILE];
+  __shared__ float s2[TILE];
+  int tid = threadIdx.x + blockIdx.x * blockDim.x;
+  float d1 = 0.0f;
+  float d2 = 0.0f;
+  for (int t = 0; t < dim / TILE; t++) {
+    s1[threadIdx.x] = c1[t * TILE + threadIdx.x];
+    s2[threadIdx.x] = c2[t * TILE + threadIdx.x];
+    __syncthreads();
+    #pragma np parallel for reduction(+:d1)
+    for (int j = 0; j < TILE; j++) {
+      float u = pts[tid * dim + t * TILE + j] - s1[j];
+      d1 += u * u;
+    }
+    #pragma np parallel for reduction(+:d2)
+    for (int j = 0; j < TILE; j++) {
+      float u = pts[tid * dim + t * TILE + j] - s2[j];
+      d2 += u * u;
+    }
+    __syncthreads();
+  }
+  cost[tid] = fminf(d1, d2) * wt[tid];
+}
+)";
+
+class SsBenchmark final : public Benchmark {
+ public:
+  SsBenchmark(int dim, int points) : dim_(dim), n_(points) {}
+
+  std::string name() const override { return "SS"; }
+  std::string description() const override {
+    return std::to_string(n_) + " points, DIM=" + std::to_string(dim_) +
+           " two-center assignment cost";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "ss"; }
+  Table1Row table1() const override { return {2, dim_, "R"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto P = mem.alloc(ir::ScalarType::kFloat,
+                       static_cast<std::size_t>(n_) * dim_);
+    auto C1 = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(dim_));
+    auto C2 = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(dim_));
+    auto Wt = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(n_));
+    auto Cost = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(n_));
+    SplitMix64 rng(0x55cc55);
+    fill_uniform(mem.buffer(P), rng);
+    fill_uniform(mem.buffer(C1), rng);
+    fill_uniform(mem.buffer(C2), rng);
+    fill_uniform(mem.buffer(Wt), rng, 0.5f, 2.0f);
+
+    std::vector<float> expect(static_cast<std::size_t>(n_));
+    {
+      auto p = mem.buffer(P).f32();
+      auto c1 = mem.buffer(C1).f32();
+      auto c2 = mem.buffer(C2).f32();
+      auto wt = mem.buffer(Wt).f32();
+      for (int i = 0; i < n_; ++i) {
+        float d1 = 0.0f;
+        float d2 = 0.0f;
+        for (int j = 0; j < dim_; ++j) {
+          float x = p[static_cast<std::size_t>(i) * dim_ + j];
+          float u1 = x - c1[static_cast<std::size_t>(j)];
+          float u2 = x - c2[static_cast<std::size_t>(j)];
+          d1 += u1 * u1;
+          d2 += u2 * u2;
+        }
+        expect[static_cast<std::size_t>(i)] =
+            std::min(d1, d2) * wt[static_cast<std::size_t>(i)];
+      }
+    }
+
+    w.launch.grid = {n_ / 128, 1, 1};
+    w.launch.block = {128, 1, 1};
+    w.launch.args = {P, C1, C2, Wt, Cost, sim::Value::of_int(dim_),
+                     sim::Value::of_int(n_)};
+    w.validate = [Cost, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(Cost).f32(), expect, 2e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int dim_;
+  int n_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_ss(int dim, int points) {
+  return std::make_unique<SsBenchmark>(dim, points);
+}
+
+}  // namespace cudanp::kernels

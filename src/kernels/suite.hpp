@@ -1,0 +1,43 @@
+// Individual benchmark factories with explicit size parameters (the
+// figure benches sweep these; make_benchmark_suite uses paper defaults).
+#pragma once
+
+#include <memory>
+
+#include "kernels/benchmark.hpp"
+
+namespace cudanp::kernels {
+
+/// TMV: transposed-matrix-vector multiplication (paper Fig. 2).
+/// Output vector length = width; dot-product loop length = height.
+std::unique_ptr<Benchmark> make_tmv(int width = 2048, int height = 2048);
+
+/// MV: matrix-vector multiplication with shared-memory tiling ([42]).
+std::unique_ptr<Benchmark> make_mv(int width = 2048, int height = 2048);
+
+/// NN: nearest neighbor (Rodinia), TB fixed at 32 threads per the
+/// paper's modified baseline; min-reduction over the record list.
+std::unique_ptr<Benchmark> make_nn(int records = 1024, int queries = 4096);
+
+/// LU: LUD perimeter kernel (Rodinia, Fig. 3), BLOCK_SIZE=16, TB=32.
+std::unique_ptr<Benchmark> make_lu(int matrix_dim = 2048);
+
+/// LE: leukocyte ellipse-matching (Fig. 5), NPOINTS=150 local array.
+std::unique_ptr<Benchmark> make_le(int pixels = 4096);
+
+/// SS: streamcluster distance kernel, tiled over the dimension.
+std::unique_ptr<Benchmark> make_ss(int dim = 2048, int points = 4096);
+
+/// LIB: LIBOR swaption Monte-Carlo (GPGPU-Sim), 80 maturities, scan.
+std::unique_ptr<Benchmark> make_lib(int paths = 16384);
+
+/// CFD: Euler solver flux accumulation over 4 neighbors (Rodinia).
+std::unique_ptr<Benchmark> make_cfd(int cells = 65536);
+
+/// BK: bucket-count phase of Hybrid Sort's bucket sort.
+std::unique_ptr<Benchmark> make_bk(int elements = 65536);
+
+/// MC: marching cubes vertex generation, 12-edge loops + corner tables.
+std::unique_ptr<Benchmark> make_mc(int grid = 16);
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,84 @@
+// TMV: transposed-matrix-vector multiplication (paper Fig. 2).
+//
+// Each thread produces one element of the output vector by a dot product
+// of one matrix column with the input vector — the paper's canonical
+// example of a parallel loop with a loop-carried reduction. Baseline TB
+// is 32 threads so the NP transformation can expand up to 32 slaves.
+#include "kernels/benchmark.hpp"
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+
+namespace {
+
+constexpr const char* kSource = R"(
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++)
+    sum += a[i * w + tx] * b[i];
+  c[tx] = sum;
+}
+)";
+
+class TmvBenchmark final : public Benchmark {
+ public:
+  TmvBenchmark(int width, int height) : w_(width), h_(height) {}
+
+  std::string name() const override { return "TMV"; }
+  std::string description() const override {
+    return "transposed matrix(" + std::to_string(h_) + "x" +
+           std::to_string(w_) + ") * vector";
+  }
+  std::string source() const override { return kSource; }
+  std::string kernel_name() const override { return "tmv"; }
+  Table1Row table1() const override { return {1, h_, "R"}; }
+
+  np::Workload make_workload() const override {
+    np::Workload w;
+    auto& mem = *w.mem;
+    auto A = mem.alloc(ir::ScalarType::kFloat,
+                       static_cast<std::size_t>(w_) * h_);
+    auto B = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(h_));
+    auto C = mem.alloc(ir::ScalarType::kFloat, static_cast<std::size_t>(w_));
+    SplitMix64 rng(0x7a11f001);
+    fill_uniform(mem.buffer(A), rng);
+    fill_uniform(mem.buffer(B), rng);
+
+    // CPU reference (float accumulation, same element order).
+    std::vector<float> expect(static_cast<std::size_t>(w_));
+    {
+      auto a = mem.buffer(A).f32();
+      auto b = mem.buffer(B).f32();
+      for (int x = 0; x < w_; ++x) {
+        float s = 0.0f;
+        for (int i = 0; i < h_; ++i)
+          s += a[static_cast<std::size_t>(i) * w_ + x] * b[static_cast<std::size_t>(i)];
+        expect[static_cast<std::size_t>(x)] = s;
+      }
+    }
+
+    w.launch.grid = {w_ / 32, 1, 1};
+    w.launch.block = {32, 1, 1};
+    w.launch.args = {A, B, C, sim::Value::of_int(w_),
+                     sim::Value::of_int(h_)};
+    w.validate = [C, expect = std::move(expect)](
+                     const sim::DeviceMemory& m, std::string* msg) {
+      return approx_equal(m.buffer(C).f32(), expect, 2e-3, msg);
+    };
+    return w;
+  }
+
+ private:
+  int w_;
+  int h_;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> make_tmv(int width, int height) {
+  return std::make_unique<TmvBenchmark>(width, height);
+}
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,73 @@
+// Shared helpers for benchmark workload construction and validation.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "np/workload.hpp"
+#include "support/rng.hpp"
+
+namespace cudanp::kernels {
+
+/// Fills a float buffer with uniform values in [lo, hi) from `rng`.
+inline void fill_uniform(sim::DeviceBuffer& buf, SplitMix64& rng,
+                         float lo = -1.0f, float hi = 1.0f) {
+  for (auto& x : buf.f32()) x = rng.next_float(lo, hi);
+}
+
+/// Element-wise comparison with relative tolerance; fills `msg` with the
+/// first mismatch.
+inline bool approx_equal(std::span<const float> got,
+                         std::span<const float> want, double rel_tol,
+                         std::string* msg) {
+  if (got.size() != want.size()) {
+    if (msg) *msg = "size mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    double g = got[i];
+    double w = want[i];
+    double err = std::fabs(g - w) / std::max(1.0, std::fabs(w));
+    if (!(err <= rel_tol) || std::isnan(g)) {
+      if (msg) {
+        char buf[160];
+        std::snprintf(buf, sizeof(buf),
+                      "element %zu: got %.7g want %.7g (rel err %.3g)", i, g,
+                      w, err);
+        *msg = buf;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+inline bool exact_equal(std::span<const std::int32_t> got,
+                        std::span<const std::int32_t> want,
+                        std::string* msg) {
+  if (got.size() != want.size()) {
+    if (msg) *msg = "size mismatch";
+    return false;
+  }
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (got[i] != want[i]) {
+      if (msg)
+        *msg = "element " + std::to_string(i) + ": got " +
+               std::to_string(got[i]) + " want " + std::to_string(want[i]);
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Rounds `v` down to a multiple of `m` (at least m).
+inline int scaled(int v, double scale, int multiple = 32) {
+  int s = static_cast<int>(v * scale);
+  s = std::max(s - s % multiple, multiple);
+  return s;
+}
+
+}  // namespace cudanp::kernels

@@ -1,0 +1,68 @@
+#include "np/compiler.hpp"
+
+#include "frontend/parser.hpp"
+
+namespace cudanp::np {
+
+using transform::NpConfig;
+
+std::unique_ptr<ir::Program> NpCompiler::parse(const std::string& source) {
+  return frontend::parse_program_or_throw(source);
+}
+
+namespace {
+
+/// Reads tuning hints from the kernel's first annotated loop.
+struct PragmaHints {
+  int num_threads = 0;
+  ir::NpType np_type = ir::NpType::kAuto;
+  int sm_version = 30;
+};
+
+PragmaHints collect_hints(const ir::Kernel& k) {
+  PragmaHints h;
+  bool first = true;
+  ir::for_each_stmt(*k.body, [&](const ir::Stmt& s) {
+    if (s.kind() != ir::StmtKind::kFor) return;
+    const auto& f = static_cast<const ir::ForStmt&>(s);
+    if (!f.pragma || !first) return;
+    first = false;
+    h.num_threads = f.pragma->num_threads;
+    h.np_type = f.pragma->np_type;
+    h.sm_version = f.pragma->sm_version;
+  });
+  return h;
+}
+
+}  // namespace
+
+std::vector<NpConfig> NpCompiler::enumerate_configs(
+    const ir::Kernel& kernel, int master_count, const sim::DeviceSpec& spec) {
+  PragmaHints hints = collect_hints(kernel);
+  std::vector<NpConfig> out;
+  const int sm = std::min(hints.sm_version, spec.sm_version);
+  for (ir::NpType type : {ir::NpType::kInterWarp, ir::NpType::kIntraWarp}) {
+    if (hints.np_type != ir::NpType::kAuto && hints.np_type != type) continue;
+    for (int s : {2, 4, 8, 16, 32}) {
+      if (hints.num_threads > 0 && s != hints.num_threads) continue;
+      if (master_count * s > spec.max_threads_per_block) continue;
+      if (type == ir::NpType::kIntraWarp && 32 % s != 0) continue;
+      NpConfig cfg;
+      cfg.np_type = type;
+      cfg.slave_size = s;
+      cfg.master_count = master_count;
+      cfg.sm_version = sm;
+      cfg.use_shfl = sm >= 30;
+      out.push_back(cfg);
+    }
+  }
+  return out;
+}
+
+transform::TransformResult NpCompiler::transform(
+    const ir::Kernel& kernel, const transform::NpConfig& config) {
+  cudanp::DiagnosticEngine diags;
+  return transform::apply_np_transform(kernel, config, diags);
+}
+
+}  // namespace cudanp::np

@@ -1,0 +1,43 @@
+// Public facade of the CUDA-NP source-to-source compiler.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   auto program = np::NpCompiler::parse(kernel_source);
+//   const ir::Kernel* k = program->find_kernel("tmv");
+//   auto configs = np::NpCompiler::enumerate_configs(*k, /*tb=*/32, spec);
+//   auto variant = np::NpCompiler::transform(*k, configs[0]);
+//   std::string cuda_text = ir::print_kernel(*variant.kernel);
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "sim/device.hpp"
+#include "transform/np_config.hpp"
+#include "transform/transformer.hpp"
+
+namespace cudanp::np {
+
+class NpCompiler {
+ public:
+  /// Parses kernel source (throws CompileError with diagnostics on error).
+  [[nodiscard]] static std::unique_ptr<ir::Program> parse(
+      const std::string& source);
+
+  /// Enumerates the candidate configurations the auto-tuner will try for
+  /// `kernel` with baseline block size `master_count`, honoring pragma
+  /// hints (num_threads, np_type, sm_version — paper Sec. 3.6):
+  ///   inter-warp: slave_size in {2,4,8,16,32} with tb <= 1024
+  ///   intra-warp: slave_size in {2,4,8,16,32} (power of two)
+  [[nodiscard]] static std::vector<transform::NpConfig> enumerate_configs(
+      const ir::Kernel& kernel, int master_count,
+      const sim::DeviceSpec& spec);
+
+  /// Applies the NP transformation for one configuration.
+  [[nodiscard]] static transform::TransformResult transform(
+      const ir::Kernel& kernel, const transform::NpConfig& config);
+};
+
+}  // namespace cudanp::np

@@ -1,0 +1,51 @@
+#include "np/heuristic.hpp"
+
+#include <algorithm>
+
+namespace cudanp::np {
+
+using analysis::AccessPatternSummary;
+using transform::NpConfig;
+
+HeuristicChoice suggest_config(const ir::Kernel& kernel, int master_count,
+                               const sim::DeviceSpec& spec) {
+  HeuristicChoice out;
+  out.summary = analysis::summarize_access_patterns(kernel);
+  const AccessPatternSummary& s = out.summary;
+
+  // Warp-mapping priority (paper Sec. 6, first observation).
+  bool intra = false;
+  if (s.master_divergent_guard) {
+    intra = true;
+    out.rationale =
+        "master-dependent guard around parallel loops: intra-warp keeps "
+        "whole groups on one side of the branch";
+  } else if (s.recoalesced_by_iterator > s.coalesced_by_master) {
+    intra = true;
+    out.rationale =
+        "baseline global accesses stride with the master but are "
+        "unit-stride in the iterator: intra-warp re-coalesces them";
+  } else {
+    out.rationale =
+        "baseline accesses are already coalesced across masters: "
+        "inter-warp preserves the pattern";
+  }
+
+  // Group size (paper Sec. 6, second observation: 1+3 or 1+7 threads).
+  int slave = 8;
+  if (s.max_const_trip > 0 && s.max_const_trip < 8)
+    slave = 4;  // tiny loops (CFD's LC=4) cannot feed 7 slaves
+  // Respect the hardware block-size cap.
+  while (master_count * slave > spec.max_threads_per_block && slave > 2)
+    slave /= 2;
+
+  out.config.np_type = intra ? ir::NpType::kIntraWarp
+                             : ir::NpType::kInterWarp;
+  out.config.slave_size = slave;
+  out.config.master_count = master_count;
+  out.config.sm_version = spec.sm_version;
+  out.config.use_shfl = spec.sm_version >= 30;
+  return out;
+}
+
+}  // namespace cudanp::np

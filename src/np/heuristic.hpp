@@ -1,0 +1,37 @@
+// Heuristic configuration selection without running anything — the
+// paper's Sec. 6 observations as code:
+//
+//   "memory coalescing and intra-warp divergence can be used to
+//    determine the priority between intra-warp NP and inter-warp NP.
+//    Second, using 3 or 7 slave threads achieves close-to-optimal
+//    performance for all benchmarks in our study."
+//
+// The heuristic prefers intra-warp when the static access-pattern
+// analysis shows (a) a master-dependent guard around annotated loops
+// (LU's shape — intra removes that divergence) or (b) baseline global
+// accesses that stride with the master but move unit-stride with the
+// loop iterator (SS/NN's shape — intra re-coalesces them); otherwise it
+// preserves the baseline's coalescing with inter-warp NP. Group size is
+// 4 or 8 (1+3 / 1+7 threads), scaled down for tiny loop counts.
+//
+// `bench/ablation_heuristic` measures how much of the exhaustive
+// auto-tuner's benefit this single static pick captures.
+#pragma once
+
+#include "analysis/access_pattern.hpp"
+#include "sim/device.hpp"
+#include "transform/np_config.hpp"
+
+namespace cudanp::np {
+
+struct HeuristicChoice {
+  transform::NpConfig config;
+  analysis::AccessPatternSummary summary;
+  std::string rationale;
+};
+
+[[nodiscard]] HeuristicChoice suggest_config(const ir::Kernel& kernel,
+                                             int master_count,
+                                             const sim::DeviceSpec& spec);
+
+}  // namespace cudanp::np

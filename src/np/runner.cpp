@@ -1,0 +1,26 @@
+#include "np/runner.hpp"
+
+namespace cudanp::np {
+
+sim::RunResult Runner::run(const ir::Kernel& kernel,
+                           Workload& workload) const {
+  auto res = analysis::estimate_resources(kernel, spec_);
+  return sim::run_and_time(spec_, *workload.mem, kernel, workload.launch,
+                           res.usage, opt_);
+}
+
+sim::RunResult Runner::run_variant(const transform::TransformResult& variant,
+                                   Workload& workload) const {
+  sim::LaunchConfig cfg = workload.launch;
+  cfg.block = variant.block_dims;
+  for (const auto& extra : variant.extra_buffers) {
+    std::size_t elems = static_cast<std::size_t>(extra.elems_per_block) *
+                        static_cast<std::size_t>(cfg.grid.count());
+    cfg.args.push_back(workload.mem->alloc(extra.type, elems));
+  }
+  auto res = analysis::estimate_resources(*variant.kernel, spec_);
+  return sim::run_and_time(spec_, *workload.mem, *variant.kernel, cfg,
+                           res.usage, opt_);
+}
+
+}  // namespace cudanp::np

@@ -1,0 +1,41 @@
+// Runner: launches baseline or transformed kernels on the simulator,
+// handling resource estimation, occupancy, extra buffers for globally
+// re-homed local arrays, and timing.
+#pragma once
+
+#include "analysis/resources.hpp"
+#include "np/workload.hpp"
+#include "sim/interpreter.hpp"
+#include "transform/transformer.hpp"
+
+namespace cudanp::np {
+
+class Runner {
+ public:
+  explicit Runner(sim::DeviceSpec spec, sim::Interpreter::Options opt = {})
+      : spec_(std::move(spec)), opt_(opt) {}
+
+  /// Runs `kernel` with the workload's baseline launch config.
+  [[nodiscard]] sim::RunResult run(const ir::Kernel& kernel,
+                                   Workload& workload) const;
+
+  /// Runs a transformed variant: swaps the block dims, allocates the
+  /// variant's extra global buffers (appended to the argument list), and
+  /// launches.
+  [[nodiscard]] sim::RunResult run_variant(
+      const transform::TransformResult& variant, Workload& workload) const;
+
+  [[nodiscard]] const sim::DeviceSpec& spec() const { return spec_; }
+
+  /// Resource estimate used for occupancy (exposed for Table 1).
+  [[nodiscard]] analysis::ResourceEstimate resources(
+      const ir::Kernel& kernel) const {
+    return analysis::estimate_resources(kernel, spec_);
+  }
+
+ private:
+  sim::DeviceSpec spec_;
+  sim::Interpreter::Options opt_;
+};
+
+}  // namespace cudanp::np

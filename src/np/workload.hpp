@@ -1,0 +1,25 @@
+// A Workload is everything needed to launch one kernel on the simulator:
+// device memory with inputs filled in, the baseline launch geometry, and
+// an optional output validator (CPU reference check).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "sim/launch.hpp"
+#include "sim/memory.hpp"
+
+namespace cudanp::np {
+
+struct Workload {
+  std::unique_ptr<sim::DeviceMemory> mem = std::make_unique<sim::DeviceMemory>();
+  sim::LaunchConfig launch;
+  /// Returns true when device outputs match the CPU reference; fills
+  /// `msg` with a description on mismatch. Null when not validating.
+  std::function<bool(const sim::DeviceMemory&, std::string*)> validate;
+};
+
+using WorkloadFactory = std::function<Workload()>;
+
+}  // namespace cudanp::np

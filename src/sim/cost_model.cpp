@@ -1,0 +1,66 @@
+#include "sim/cost_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace cudanp::sim {
+
+TimingBreakdown TimingModel::estimate(const KernelStats& stats,
+                                      const Occupancy& occ) const {
+  TimingBreakdown out;
+  if (stats.blocks == 0) return out;
+  if (occ.blocks_per_smx == 0)
+    throw SimError("kernel cannot launch: occupancy is zero (" +
+                   occ.limiting_factor + " limited)");
+
+  const double blocks = static_cast<double>(stats.blocks);
+  // Per-block averages.
+  const double issue_per_block = stats.issue_slots / blocks;
+  const double dram_per_block =
+      static_cast<double>(stats.dram_transactions) / blocks;
+  const double smem_per_block =
+      static_cast<double>(stats.smem_accesses) / blocks;
+  const double crit_per_block = stats.crit_path_cycles;  // avg block
+
+  // Hardware distributes blocks across SMXs before stacking them, so a
+  // grid smaller than (num_smx * blocks_per_smx) leaves each SMX with
+  // fewer resident blocks than occupancy allows.
+  const double resident = std::min<double>(
+      occ.blocks_per_smx, std::ceil(blocks / spec_.num_smx));
+  out.waves = std::ceil(blocks / (resident * spec_.num_smx));
+
+  // Throughput terms: cycles for one SMX to retire one wave's resident
+  // blocks.
+  out.t_issue_cycles = resident * issue_per_block / spec_.issue_width;
+  const double kBytesPerTransaction = 32.0;
+  out.t_dram_cycles = resident * dram_per_block * kBytesPerTransaction /
+                      spec_.dram_bytes_per_cycle_per_smx();
+  // One warp-wide shared access (or conflict replay) per cycle per SMX.
+  out.t_smem_cycles = resident * smem_per_block;
+
+  // Latency term: resident blocks run concurrently, so a wave can never
+  // finish faster than the slowest warp's dependency chain.
+  out.t_crit_cycles = crit_per_block;
+
+  const double wave_cycles =
+      std::max({out.t_issue_cycles, out.t_dram_cycles, out.t_smem_cycles,
+                out.t_crit_cycles});
+  if (wave_cycles == out.t_crit_cycles)
+    out.bound = "latency";
+  if (wave_cycles == out.t_smem_cycles)
+    out.bound = "smem";
+  if (wave_cycles == out.t_dram_cycles)
+    out.bound = "dram";
+  if (wave_cycles == out.t_issue_cycles)
+    out.bound = "issue";
+
+  // Host-side launch overhead (~5 us), matching a typical CUDA launch.
+  const double kLaunchOverheadSec = 5e-6;
+  out.seconds = out.waves * wave_cycles / (spec_.core_clock_ghz * 1e9) +
+                kLaunchOverheadSec;
+  return out;
+}
+
+}  // namespace cudanp::sim

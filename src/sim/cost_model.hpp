@@ -1,0 +1,118 @@
+// Cost accounting and the analytic timing model.
+//
+// While interpreting a kernel the simulator counts, per thread block:
+//   - warp-instruction issue slots (a warp is charged for a statement iff
+//     at least one of its lanes is active -> SIMD divergence cost falls
+//     out naturally, including the intra-warp-NP imbalance of Sec. 3.4),
+//   - global-memory transactions after coalescing,
+//   - shared-memory accesses and bank-conflict replays,
+//   - local-memory transactions and L1 misses,
+//   - shfl / syncthreads operations,
+// plus the *critical path* of the slowest warp (issue cycles + dependent
+// memory latency), which bounds performance when few warps are resident.
+//
+// TimingModel then combines these with the occupancy calculator's resident
+// block count using a Hong&Kim-flavoured max(throughput, latency) model:
+//
+//   T_wave  = max(T_issue, T_dram, T_smem, T_crit)
+//   T_issue = issue slots of all resident blocks / SMX issue width
+//   T_dram  = DRAM bytes of all resident blocks / per-SMX bandwidth
+//   T_smem  = shared accesses (incl. replays) / smem throughput
+//   T_crit  = slowest single warp's dependency chain (independent of how
+//             many warps are resident -> the latency-bound regime that
+//             CUDA-NP's extra TLP escapes)
+//   total   = #waves * T_wave / clock
+//
+// This reproduces the paper's mechanisms: raising TLP shrinks the number
+// of waves and hides latency until a throughput bound is hit (Fig. 11's
+// "more slaves stops helping" effect), divergence and broken coalescing
+// raise T_issue/T_dram (inter- vs intra-warp trade-offs), and local-memory
+// pressure raises T_dram via L1 misses (Fig. 15).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.hpp"
+
+namespace cudanp::sim {
+
+/// Instruction-class weights in issue slots (fractions model units with
+/// lower throughput than the schedulers).
+struct CostWeights {
+  double alu = 1.0;
+  double fmul_fadd = 1.0;
+  double fdiv_sqrt_transcendental = 8.0;  // SFU-bound
+  double idiv_imod = 10.0;
+  double mem_issue = 1.0;  // issue cost of any LD/ST on top of transactions
+  double shfl = 1.0;
+  double sync = 2.0;
+};
+
+/// Aggregated execution statistics for one kernel launch (summed over all
+/// blocks; `per_block_*` fields are averages used by the wave model).
+struct KernelStats {
+  std::int64_t blocks = 0;
+  std::int64_t warps = 0;
+
+  // Totals across the launch.
+  double issue_slots = 0;             // weighted warp-instructions
+  std::int64_t dram_transactions = 0;  // 32B each (global + local misses)
+  std::int64_t global_transactions = 0;
+  std::int64_t local_transactions = 0;  // local-memory warp accesses
+  std::int64_t local_l1_misses = 0;
+  std::int64_t smem_accesses = 0;  // incl. replays
+  std::int64_t smem_replays = 0;   // conflict overhead only
+  std::int64_t shfl_ops = 0;
+  std::int64_t sync_ops = 0;
+  std::int64_t divergent_branches = 0;
+
+  // Critical path of the slowest warp of an average block, in cycles.
+  double crit_path_cycles = 0;
+
+  void add_block(const KernelStats& b) {
+    blocks += b.blocks;
+    warps += b.warps;
+    issue_slots += b.issue_slots;
+    dram_transactions += b.dram_transactions;
+    global_transactions += b.global_transactions;
+    local_transactions += b.local_transactions;
+    local_l1_misses += b.local_l1_misses;
+    smem_accesses += b.smem_accesses;
+    smem_replays += b.smem_replays;
+    shfl_ops += b.shfl_ops;
+    sync_ops += b.sync_ops;
+    divergent_branches += b.divergent_branches;
+    crit_path_cycles += b.crit_path_cycles;  // averaged later
+  }
+};
+
+/// Timing breakdown returned alongside the headline seconds.
+struct TimingBreakdown {
+  double seconds = 0;
+  double waves = 0;
+  double t_issue_cycles = 0;  // per wave
+  double t_dram_cycles = 0;
+  double t_smem_cycles = 0;
+  double t_crit_cycles = 0;
+  const char* bound = "";  // which term dominated
+};
+
+class TimingModel {
+ public:
+  explicit TimingModel(DeviceSpec spec, CostWeights weights = {})
+      : spec_(std::move(spec)), weights_(weights) {}
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const CostWeights& weights() const { return weights_; }
+
+  /// Estimates wall-clock seconds for a launch with the given aggregate
+  /// stats and occupancy.
+  [[nodiscard]] TimingBreakdown estimate(const KernelStats& stats,
+                                         const Occupancy& occ) const;
+
+ private:
+  DeviceSpec spec_;
+  CostWeights weights_;
+};
+
+}  // namespace cudanp::sim

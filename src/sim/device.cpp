@@ -1,0 +1,95 @@
+#include "sim/device.hpp"
+
+#include <algorithm>
+
+namespace cudanp::sim {
+
+DeviceSpec DeviceSpec::gtx680() {
+  DeviceSpec s;
+  s.name = "GTX 680 (GK104)";
+  s.sm_version = 30;
+  s.num_smx = 8;
+  s.registers_per_smx = 65536;
+  s.shared_mem_per_smx = 48 * 1024;
+  s.core_clock_ghz = 1.006;
+  s.dram_bandwidth_gbs = 192.0;
+  s.supports_dynamic_parallelism = false;
+  return s;
+}
+
+DeviceSpec DeviceSpec::k20c() {
+  DeviceSpec s;
+  s.name = "Tesla K20c (GK110)";
+  s.sm_version = 35;
+  s.num_smx = 13;
+  s.registers_per_smx = 65536;
+  s.max_registers_per_thread = 255;
+  s.shared_mem_per_smx = 48 * 1024;
+  s.core_clock_ghz = 0.706;
+  s.dram_bandwidth_gbs = 208.0;
+  s.supports_dynamic_parallelism = true;
+  return s;
+}
+
+Occupancy compute_occupancy(const DeviceSpec& spec, int threads_per_block,
+                            const ResourceUsage& resources) {
+  Occupancy occ;
+  occ.threads_per_block = threads_per_block;
+  if (threads_per_block <= 0 ||
+      threads_per_block > spec.max_threads_per_block) {
+    occ.limiting_factor = "invalid block size";
+    return occ;
+  }
+
+  occ.warps_per_block =
+      (threads_per_block + spec.warp_size - 1) / spec.warp_size;
+
+  occ.limit_blocks = spec.max_blocks_per_smx;
+  occ.limit_threads = spec.max_threads_per_smx / threads_per_block;
+
+  // Registers are allocated per warp in granular chunks; we use the simple
+  // per-thread model, which matches the paper's Table 1 byte accounting.
+  int regs = std::clamp(resources.registers_per_thread, 1,
+                        spec.max_registers_per_thread);
+  std::int64_t regs_per_block =
+      static_cast<std::int64_t>(regs) * threads_per_block;
+  occ.limit_registers = static_cast<int>(spec.registers_per_smx /
+                                         std::max<std::int64_t>(regs_per_block, 1));
+
+  if (resources.shared_mem_per_block > spec.shared_mem_per_smx) {
+    occ.limiting_factor = "smem";
+    return occ;  // cannot launch
+  }
+  occ.limit_shared_mem =
+      resources.shared_mem_per_block > 0
+          ? static_cast<int>(spec.shared_mem_per_smx /
+                             resources.shared_mem_per_block)
+          : spec.max_blocks_per_smx;
+
+  occ.blocks_per_smx =
+      std::min({occ.limit_blocks, occ.limit_threads, occ.limit_registers,
+                occ.limit_shared_mem});
+  if (occ.blocks_per_smx <= 0) {
+    occ.blocks_per_smx = 0;
+    occ.limiting_factor = "registers";
+    return occ;
+  }
+  occ.active_warps = occ.blocks_per_smx * occ.warps_per_block;
+  if (occ.active_warps > spec.max_warps_per_smx) {
+    occ.blocks_per_smx = spec.max_warps_per_smx / occ.warps_per_block;
+    occ.active_warps = occ.blocks_per_smx * occ.warps_per_block;
+  }
+
+  int b = occ.blocks_per_smx;
+  if (b == occ.limit_shared_mem && resources.shared_mem_per_block > 0)
+    occ.limiting_factor = "smem";
+  else if (b == occ.limit_registers)
+    occ.limiting_factor = "registers";
+  else if (b == occ.limit_threads)
+    occ.limiting_factor = "threads";
+  else
+    occ.limiting_factor = "blocks";
+  return occ;
+}
+
+}  // namespace cudanp::sim

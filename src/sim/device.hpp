@@ -1,0 +1,111 @@
+// GPU device model: architectural parameters and the occupancy calculator.
+//
+// The simulator is calibrated to the two GPUs used in the paper:
+//   - GTX 680 (GK104, sm_30): all main results (Figs. 10-16, Table 1)
+//   - Tesla K20c (GK110, sm_35): the dynamic-parallelism study (Fig. 1)
+//
+// Only parameters that the CUDA-NP mechanisms actually interact with are
+// modeled: SMX count/clock, warp width, per-SMX limits (threads, blocks,
+// registers, shared memory), DRAM bandwidth and latency, L1 behaviour for
+// local memory, and shared-memory banking.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cudanp::sim {
+
+struct DeviceSpec {
+  std::string name;
+
+  // Compute capability * 10; __shfl requires >= 30 (paper Sec. 3.6).
+  int sm_version = 30;
+
+  // ---- execution resources ----
+  int num_smx = 8;             // streaming multiprocessors
+  int warp_size = 32;
+  int max_threads_per_block = 1024;
+  int max_threads_per_smx = 2048;
+  int max_blocks_per_smx = 16;
+  int max_warps_per_smx = 64;
+
+  // ---- register file / memories ----
+  int registers_per_smx = 65536;   // 32-bit registers
+  int max_registers_per_thread = 63;  // GK104/GK110 ABI limit
+  std::int64_t shared_mem_per_smx = 48 * 1024;  // bytes (48 KB config)
+  std::int64_t shared_mem_banks = 32;           // 4-byte banks
+  std::int64_t l1_cache_bytes = 16 * 1024;      // remaining split for L1
+  int l1_line_bytes = 128;
+
+  // ---- timing ----
+  double core_clock_ghz = 1.006;
+  // Warp-instructions the SMX front-end can issue per cycle. GK104 has 4
+  // schedulers with dual issue, but sustained ALU throughput is bounded by
+  // 192 SPs / 32 lanes = 6 warp-ops per cycle; we use the scheduler bound
+  // for issue and let instruction weights capture unit throughput.
+  double issue_width = 6.0;
+  double dram_bandwidth_gbs = 192.0;   // aggregate
+  int dram_latency_cycles = 400;       // load-to-use, L2 miss
+  int l2_latency_cycles = 180;         // (folded into dram path scaling)
+  int l1_latency_cycles = 30;          // local-memory hit
+  int smem_latency_cycles = 30;
+  int shfl_latency_cycles = 2;
+  int sync_latency_cycles = 20;
+
+  // ---- dynamic parallelism (sm_35 only; Fig. 1 / Sec. 6) ----
+  bool supports_dynamic_parallelism = false;
+  // Fixed device-runtime cost per child-kernel launch, microseconds. The
+  // paper's Fig. 1 microbenchmark implies ~ tens of us per launch once the
+  // launch queue saturates.
+  double child_launch_overhead_us = 15.0;
+  // Max child launches the device runtime can retire concurrently.
+  int child_launch_parallelism = 32;
+  // Slowdown factor applied to a kernel merely *compiled* with -rdc (the
+  // "dynamic-parallelism-enabled kernel overhead", Sec. 2.1: 142 -> 63
+  // GB/s for the same code).
+  double rdc_enabled_overhead_factor = 2.25;
+
+  /// Bytes of DRAM moved per cycle per SMX (derived).
+  [[nodiscard]] double dram_bytes_per_cycle_per_smx() const {
+    return dram_bandwidth_gbs / core_clock_ghz / num_smx;
+  }
+
+  [[nodiscard]] static DeviceSpec gtx680();
+  [[nodiscard]] static DeviceSpec k20c();
+};
+
+/// Result of the occupancy calculation for one kernel configuration
+/// (mirrors Nvidia's occupancy calculator).
+struct Occupancy {
+  int threads_per_block = 0;
+  int blocks_per_smx = 0;        // resident blocks
+  int warps_per_block = 0;
+  int active_warps = 0;          // resident warps per SMX
+  int limit_blocks = 0;          // block-count limit
+  int limit_threads = 0;         // thread-count limit
+  int limit_registers = 0;       // register-file limit
+  int limit_shared_mem = 0;      // shared-memory limit
+  /// Which resource bound blocks_per_smx ("threads", "blocks",
+  /// "registers", "smem").
+  std::string limiting_factor;
+
+  [[nodiscard]] double occupancy_fraction(const DeviceSpec& spec) const {
+    return static_cast<double>(active_warps) / spec.max_warps_per_smx;
+  }
+};
+
+/// Per-thread/per-block resource demand of a compiled kernel.
+struct ResourceUsage {
+  int registers_per_thread = 0;
+  std::int64_t shared_mem_per_block = 0;  // bytes
+  std::int64_t local_mem_per_thread = 0;  // bytes
+};
+
+/// Computes how many blocks of `threads_per_block` threads using
+/// `resources` fit on one SMX. Returns blocks_per_smx == 0 when the kernel
+/// cannot launch at all (e.g. shared memory per block exceeds the SMX).
+[[nodiscard]] Occupancy compute_occupancy(const DeviceSpec& spec,
+                                          int threads_per_block,
+                                          const ResourceUsage& resources);
+
+}  // namespace cudanp::sim

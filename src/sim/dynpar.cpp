@@ -1,0 +1,83 @@
+#include "sim/dynpar.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hpp"
+
+namespace cudanp::sim {
+
+namespace {
+/// Fraction of peak DRAM bandwidth a streaming copy achieves in practice
+/// (142 GB/s on a 208 GB/s K20c per the paper's baseline).
+constexpr double kCopyEfficiency = 0.683;
+}  // namespace
+
+double DynamicParallelismModel::baseline_copy_bandwidth_gbs() const {
+  return spec_.dram_bandwidth_gbs * kCopyEfficiency;
+}
+
+double DynamicParallelismModel::launch_overhead_seconds(
+    std::int64_t num_launches) const {
+  if (num_launches <= 0) return 0.0;
+  // The device runtime retires launches with limited concurrency; beyond
+  // `child_launch_parallelism` pending launches the cost is linear. The
+  // per-launch constant is calibrated so the Fig. 1 point (4096 launches
+  // of 16K-thread children -> 34 GB/s) is met.
+  double effective_launches =
+      std::max<double>(1.0, static_cast<double>(num_launches) -
+                                spec_.child_launch_parallelism);
+  return effective_launches * spec_.child_launch_overhead_us * 1e-6 / 10.0;
+}
+
+double DynamicParallelismModel::communication_seconds(
+    std::int64_t bytes) const {
+  if (bytes <= 0) return 0.0;
+  // Parent writes + child reads (and symmetric on the way back) => 2x
+  // traffic each way at achievable bandwidth, plus a DRAM latency floor.
+  double bw = spec_.dram_bandwidth_gbs * kCopyEfficiency * 1e9;
+  double latency_floor = 2.0 * spec_.dram_latency_cycles /
+                         (spec_.core_clock_ghz * 1e9);
+  return 2.0 * static_cast<double>(bytes) / bw + latency_floor;
+}
+
+double DynamicParallelismModel::cdp_copy_bandwidth_gbs(
+    std::int64_t total_floats, std::int64_t child_threads) const {
+  if (!spec_.supports_dynamic_parallelism)
+    throw SimError("device '" + spec_.name +
+                   "' does not support dynamic parallelism (needs sm_35)");
+  if (total_floats <= 0 || child_threads <= 0 ||
+      child_threads > total_floats)
+    throw SimError("invalid CDP copy configuration");
+
+  const double bytes_moved = 2.0 * static_cast<double>(total_floats) * 4.0;
+  // The copy itself pays the rdc-enabled overhead even before launch
+  // costs (paper: 142 -> 63 GB/s for the same kernel).
+  double copy_seconds = bytes_moved / (baseline_copy_bandwidth_gbs() * 1e9) *
+                        spec_.rdc_enabled_overhead_factor;
+  // Children too small to fill the device lower achievable bandwidth.
+  double fill = std::min(
+      1.0, static_cast<double>(child_threads) /
+               (0.25 * spec_.max_threads_per_smx * spec_.num_smx));
+  copy_seconds /= std::max(fill, 1e-3);
+
+  std::int64_t num_launches = total_floats / child_threads;
+  double total = copy_seconds + launch_overhead_seconds(num_launches);
+  return bytes_moved / total / 1e9;
+}
+
+double DynamicParallelismModel::cdp_kernel_seconds(
+    double baseline_seconds, std::int64_t num_launches, double child_fraction,
+    std::int64_t comm_bytes_per_launch) const {
+  // Work still executes (children run the parallel part, parents the
+  // rest), with the rdc overhead applied to all of it; every launch pays
+  // queue management plus its communication round trip.
+  double work = baseline_seconds * spec_.rdc_enabled_overhead_factor *
+                std::max(child_fraction, 1.0);
+  return work + launch_overhead_seconds(num_launches) +
+         static_cast<double>(num_launches) *
+             communication_seconds(comm_bytes_per_launch) /
+             std::max(1, spec_.child_launch_parallelism);
+}
+
+}  // namespace cudanp::sim

@@ -1,0 +1,64 @@
+// Analytic model of Nvidia dynamic parallelism (CDP) costs.
+//
+// The paper uses dynamic parallelism only as the *negative* comparator:
+//   - Fig. 1: a memory-copy microbenchmark on a K20c collapses from
+//     142 GB/s (no CDP) to 63 GB/s (merely compiling with CDP enabled)
+//     to 34 GB/s and below as the copy is split into child launches;
+//   - Sec. 6: CDP versions of NN/TMV/LE/LIB/CFD run 28.9/7.6/13.4/125.7/
+//     52.3x slower than their baselines.
+//
+// The model has three documented components, calibrated to the published
+// Fig. 1 end points:
+//   1. `rdc_enabled_overhead_factor` — the fixed slowdown a kernel pays
+//      for being compiled with the device runtime linked in;
+//   2. a per-child-launch cost (device runtime queue management), paid
+//      once per launch with limited concurrency;
+//   3. parent<->child communication through global memory (a round trip
+//      of the communicated bytes at DRAM bandwidth), because CDP children
+//      cannot see the parent's registers or shared memory.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/device.hpp"
+
+namespace cudanp::sim {
+
+class DynamicParallelismModel {
+ public:
+  explicit DynamicParallelismModel(DeviceSpec spec) : spec_(std::move(spec)) {}
+
+  /// Effective DRAM bandwidth (GB/s) of a plain memory-copy kernel that
+  /// moves `total_floats` floats (read + write), without CDP.
+  [[nodiscard]] double baseline_copy_bandwidth_gbs() const;
+
+  /// Fig. 1: the copy is performed by `num_launches` child kernels of
+  /// `child_threads` threads each (num_launches * child_threads =
+  /// total_floats). Returns achieved GB/s.
+  [[nodiscard]] double cdp_copy_bandwidth_gbs(std::int64_t total_floats,
+                                              std::int64_t child_threads) const;
+
+  /// Seconds of pure launch overhead for `num_launches` child launches.
+  [[nodiscard]] double launch_overhead_seconds(std::int64_t num_launches) const;
+
+  /// Seconds to round-trip `bytes` of parent state through global memory
+  /// (parent writes, child reads, and back for results).
+  [[nodiscard]] double communication_seconds(std::int64_t bytes) const;
+
+  /// Sec. 6 estimate: total seconds for a CDP version of a kernel whose
+  /// baseline takes `baseline_seconds`, where `num_launches` children are
+  /// spawned over the run, each child does `child_fraction` of the
+  /// baseline's work, and `comm_bytes` of parent state round-trips per
+  /// launch.
+  [[nodiscard]] double cdp_kernel_seconds(double baseline_seconds,
+                                          std::int64_t num_launches,
+                                          double child_fraction,
+                                          std::int64_t comm_bytes_per_launch) const;
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  DeviceSpec spec_;
+};
+
+}  // namespace cudanp::sim

@@ -1,0 +1,1034 @@
+#include "sim/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "ir/printer.hpp"
+
+namespace cudanp::sim {
+
+using namespace cudanp::ir;
+
+namespace {
+
+using Mask = std::vector<std::uint8_t>;
+using Lanes = std::vector<Value>;
+
+[[nodiscard]] bool any(const Mask& m) {
+  for (auto b : m)
+    if (b) return true;
+  return false;
+}
+
+/// Per-variable storage within one block.
+struct Slot {
+  Type type;
+  /// Register scalars & register/local arrays: per-lane storage
+  /// (lane-major: lane * elems + idx). Shared arrays/scalars: one copy.
+  Lanes data;
+  /// Word offset inside the block's shared or local space (for bank /
+  /// coalescing math).
+  std::uint64_t base_word = 0;
+  bool is_buffer_param = false;
+  /// Scalar kernel argument: one shared copy, read-only.
+  bool is_uniform_param = false;
+  BufferId buffer = 0;
+  bool initialized = false;
+};
+
+class BlockExec {
+ public:
+  BlockExec(const DeviceSpec& spec, DeviceMemory& mem,
+            const Interpreter::Options& opt, const Kernel& kernel,
+            const LaunchConfig& cfg, Dim3 block_idx, int resident_blocks)
+      : spec_(spec),
+        mem_(mem),
+        opt_(opt),
+        kernel_(kernel),
+        cfg_(cfg),
+        block_idx_(block_idx),
+        nlanes_(static_cast<int>(cfg.block.count())),
+        nwarps_((nlanes_ + spec.warp_size - 1) / spec.warp_size),
+        l1_(spec.l1_cache_bytes / std::max(resident_blocks, 1),
+            spec.l1_line_bytes) {
+    warp_issue_.assign(static_cast<std::size_t>(nwarps_), 0.0);
+    warp_latency_.assign(static_cast<std::size_t>(nwarps_), 0.0);
+    warp_pending_.assign(static_cast<std::size_t>(nwarps_), 0.0);
+    returned_.assign(static_cast<std::size_t>(nlanes_), 0);
+    bind_params();
+  }
+
+  KernelStats run() {
+    Mask mask(static_cast<std::size_t>(nlanes_), 1);
+    exec_block(*kernel_.body, mask);
+    KernelStats s;
+    s.blocks = 1;
+    s.warps = nwarps_;
+    s.global_transactions = global_transactions_;
+    s.local_transactions = local_transactions_;
+    s.local_l1_misses = local_l1_misses_;
+    s.dram_transactions = dram_transactions_;
+    s.smem_accesses = smem_accesses_;
+    s.smem_replays = smem_replays_;
+    s.shfl_ops = shfl_ops_;
+    s.sync_ops = sync_ops_;
+    s.divergent_branches = divergent_branches_;
+    double crit = 0;
+    for (int w = 0; w < nwarps_; ++w) {
+      s.issue_slots += warp_issue_[static_cast<std::size_t>(w)];
+      crit = std::max(crit, warp_issue_[static_cast<std::size_t>(w)] +
+                                warp_latency_[static_cast<std::size_t>(w)] /
+                                    opt_.warp_mlp);
+    }
+    s.crit_path_cycles = crit;
+    return s;
+  }
+
+ private:
+  // ---------------- parameter binding ----------------
+  void bind_params() {
+    if (cfg_.args.size() != kernel_.params.size())
+      throw SimError("kernel '" + kernel_.name + "' expects " +
+                     std::to_string(kernel_.params.size()) + " args, got " +
+                     std::to_string(cfg_.args.size()));
+    for (std::size_t i = 0; i < kernel_.params.size(); ++i) {
+      const Param& p = kernel_.params[i];
+      Slot slot;
+      slot.type = p.type;
+      if (p.type.is_pointer) {
+        const auto* buf = std::get_if<BufferId>(&cfg_.args[i]);
+        if (!buf)
+          throw SimError("arg " + std::to_string(i) + " ('" + p.name +
+                         "') must be a buffer");
+        slot.is_buffer_param = true;
+        slot.buffer = *buf;
+      } else {
+        const auto* v = std::get_if<Value>(&cfg_.args[i]);
+        if (!v)
+          throw SimError("arg " + std::to_string(i) + " ('" + p.name +
+                         "') must be a scalar");
+        Value coerced = p.type.scalar == ScalarType::kFloat
+                            ? Value::of_float(v->as_f()).to_f32()
+                            : Value::of_int(v->as_i());
+        slot.is_uniform_param = true;
+        slot.data.assign(1, coerced);  // uniform scalar, one copy
+      }
+      slot.initialized = true;
+      vars_.emplace(p.name, std::move(slot));
+    }
+  }
+
+  // ---------------- cost charging ----------------
+  /// Iterates warps that have >= 1 active lane.
+  template <typename Fn>
+  void for_each_active_warp(const Mask& mask, Fn&& fn) {
+    for (int w = 0; w < nwarps_; ++w) {
+      int lo = w * spec_.warp_size;
+      int hi = std::min(lo + spec_.warp_size, nlanes_);
+      bool active = false;
+      for (int l = lo; l < hi; ++l) {
+        if (mask[static_cast<std::size_t>(l)]) {
+          active = true;
+          break;
+        }
+      }
+      if (active) fn(w, lo, hi);
+    }
+  }
+
+  void charge_issue(const Mask& mask, double weight) {
+    for_each_active_warp(mask, [&](int w, int, int) {
+      warp_issue_[static_cast<std::size_t>(w)] += weight;
+    });
+  }
+
+  void charge_latency(int warp, double cycles) {
+    warp_pending_[static_cast<std::size_t>(warp)] =
+        std::max(warp_pending_[static_cast<std::size_t>(warp)], cycles);
+  }
+
+  void begin_leaf_stmt() {
+    std::fill(warp_pending_.begin(), warp_pending_.end(), 0.0);
+  }
+  void end_leaf_stmt() {
+    for (int w = 0; w < nwarps_; ++w)
+      warp_latency_[static_cast<std::size_t>(w)] +=
+          warp_pending_[static_cast<std::size_t>(w)];
+  }
+
+  // ---------------- memory access paths ----------------
+  /// One warp-wide global access; `idx` are element indices.
+  void charge_global(const DeviceBuffer& buf, const Lanes& idx,
+                     const Mask& mask) {
+    std::int64_t esize = Type::scalar_size_bytes(buf.type());
+    for_each_active_warp(mask, [&](int w, int lo, int hi) {
+      std::uint64_t addrs[32];
+      std::uint8_t act[32];
+      int n = hi - lo;
+      for (int l = lo; l < hi; ++l) {
+        act[l - lo] = mask[static_cast<std::size_t>(l)];
+        addrs[l - lo] =
+            buf.base_addr() +
+            static_cast<std::uint64_t>(idx[static_cast<std::size_t>(l)].as_i()) *
+                static_cast<std::uint64_t>(esize);
+      }
+      if (buf.is_constant()) {
+        // Constant cache: distinct words serialize, identical broadcast.
+        int replays = smem_replays({addrs, static_cast<std::size_t>(n)},
+                                   {act, static_cast<std::size_t>(n)}, 1);
+        smem_accesses_ += replays;  // books constant traffic with smem
+        warp_issue_[static_cast<std::size_t>(w)] +=
+            opt_.weights.mem_issue * replays;
+        charge_latency(w, spec_.smem_latency_cycles);
+        return;
+      }
+      int trans = coalesced_transactions({addrs, static_cast<std::size_t>(n)},
+                                         {act, static_cast<std::size_t>(n)},
+                                         32);
+      global_transactions_ += trans;
+      dram_transactions_ += trans;
+      warp_issue_[static_cast<std::size_t>(w)] += opt_.weights.mem_issue;
+      charge_latency(w, spec_.dram_latency_cycles);
+    });
+  }
+
+  void charge_shared(const Slot& slot, const Lanes& flat_idx,
+                     const Mask& mask) {
+    for_each_active_warp(mask, [&](int w, int lo, int hi) {
+      std::uint64_t words[32];
+      std::uint8_t act[32];
+      int n = hi - lo;
+      for (int l = lo; l < hi; ++l) {
+        act[l - lo] = mask[static_cast<std::size_t>(l)];
+        words[l - lo] =
+            slot.base_word +
+            static_cast<std::uint64_t>(
+                flat_idx[static_cast<std::size_t>(l)].as_i());
+      }
+      int replays =
+          smem_replays({words, static_cast<std::size_t>(n)},
+                       {act, static_cast<std::size_t>(n)},
+                       static_cast<int>(spec_.shared_mem_banks));
+      smem_accesses_ += replays;
+      smem_replays_ += replays - 1;
+      warp_issue_[static_cast<std::size_t>(w)] += opt_.weights.mem_issue;
+      charge_latency(w, spec_.smem_latency_cycles + (replays - 1));
+    });
+  }
+
+  void charge_local(const Slot& slot, const Lanes& elem_idx,
+                    const Mask& mask) {
+    // Local memory is interleaved per thread: addr(lane, e) =
+    // local_base + (e * nlanes + lane) * 4, matching the CUDA ABI layout
+    // that makes uniform-index accesses coalesced.
+    for_each_active_warp(mask, [&](int w, int lo, int hi) {
+      std::uint64_t addrs[32];
+      std::uint8_t act[32];
+      int n = hi - lo;
+      for (int l = lo; l < hi; ++l) {
+        act[l - lo] = mask[static_cast<std::size_t>(l)];
+        std::uint64_t e = static_cast<std::uint64_t>(
+            elem_idx[static_cast<std::size_t>(l)].as_i());
+        addrs[l - lo] = kLocalSpaceBase + (slot.base_word +
+                        e * static_cast<std::uint64_t>(nlanes_) +
+                        static_cast<std::uint64_t>(l)) * 4;
+      }
+      // Unique 128B lines of this access probe the L1.
+      std::uint64_t lines[32];
+      int nlines = 0;
+      for (int k = 0; k < n; ++k) {
+        if (!act[k]) continue;
+        std::uint64_t line = addrs[k] / 128;
+        bool seen = false;
+        for (int j = 0; j < nlines; ++j)
+          if (lines[j] == line) {
+            seen = true;
+            break;
+          }
+        if (!seen) lines[nlines++] = line;
+      }
+      bool all_hit = true;
+      for (int j = 0; j < nlines; ++j) {
+        if (!l1_.access(lines[j] * 128)) {
+          all_hit = false;
+          dram_transactions_ += 4;  // 128B line refill in 32B transactions
+          ++local_l1_misses_;
+        }
+      }
+      local_transactions_ += nlines;
+      warp_issue_[static_cast<std::size_t>(w)] += opt_.weights.mem_issue;
+      charge_latency(w, all_hit ? spec_.l1_latency_cycles
+                                : spec_.dram_latency_cycles);
+    });
+  }
+
+  // ---------------- variable helpers ----------------
+  Slot& lookup(const std::string& name, SourceLoc loc) {
+    auto it = vars_.find(name);
+    if (it == vars_.end())
+      throw SimError("use of undeclared variable '" + name + "' at " +
+                     loc.str());
+    return it->second;
+  }
+
+  /// Declares (or re-declares, for loop bodies) a variable.
+  Slot& declare(const DeclStmt& d) {
+    auto [it, inserted] = vars_.try_emplace(d.name);
+    Slot& slot = it->second;
+    if (inserted || !slot.initialized) {
+      slot.type = d.type;
+      if (d.type.space == AddrSpace::kShared) {
+        slot.data.assign(static_cast<std::size_t>(d.type.element_count()),
+                         Value{});
+        slot.base_word = smem_word_cursor_;
+        smem_word_cursor_ +=
+            static_cast<std::uint64_t>(d.type.element_count());
+      } else if (d.type.is_array()) {  // local / register / constant array
+        slot.data.assign(static_cast<std::size_t>(d.type.element_count() *
+                                                  nlanes_),
+                         Value{});
+        slot.base_word = local_word_cursor_;
+        local_word_cursor_ +=
+            static_cast<std::uint64_t>(d.type.element_count());
+      } else {  // register scalar
+        slot.data.assign(static_cast<std::size_t>(nlanes_), Value{});
+      }
+      slot.initialized = true;
+    }
+    return slot;
+  }
+
+  [[nodiscard]] Value coerce(Value v, ScalarType to) const {
+    switch (to) {
+      case ScalarType::kFloat: return v.to_f32();
+      case ScalarType::kInt:
+      case ScalarType::kBool: return Value::of_int(v.as_i());
+      case ScalarType::kVoid: return v;
+    }
+    return v;
+  }
+
+  // ---------------- geometry ----------------
+  [[nodiscard]] std::int64_t geometry(const std::string& name,
+                                      int lane) const {
+    int lx = lane % cfg_.block.x;
+    int ly = (lane / cfg_.block.x) % cfg_.block.y;
+    int lz = lane / (cfg_.block.x * cfg_.block.y);
+    if (name == "threadIdx.x") return lx;
+    if (name == "threadIdx.y") return ly;
+    if (name == "threadIdx.z") return lz;
+    if (name == "blockIdx.x") return block_idx_.x;
+    if (name == "blockIdx.y") return block_idx_.y;
+    if (name == "blockIdx.z") return block_idx_.z;
+    if (name == "blockDim.x") return cfg_.block.x;
+    if (name == "blockDim.y") return cfg_.block.y;
+    if (name == "blockDim.z") return cfg_.block.z;
+    if (name == "gridDim.x") return cfg_.grid.x;
+    if (name == "gridDim.y") return cfg_.grid.y;
+    if (name == "gridDim.z") return cfg_.grid.z;
+    throw SimError("unknown builtin '" + name + "'");
+  }
+
+  // ---------------- expression evaluation ----------------
+  Lanes eval(const Expr& e, const Mask& mask) {
+    switch (e.kind()) {
+      case ExprKind::kIntLit:
+        return Lanes(static_cast<std::size_t>(nlanes_),
+                     Value::of_int(static_cast<const IntLit&>(e).value));
+      case ExprKind::kFloatLit:
+        return Lanes(
+            static_cast<std::size_t>(nlanes_),
+            Value::of_float(static_cast<const FloatLit&>(e).value).to_f32());
+      case ExprKind::kVarRef:
+        return eval_varref(static_cast<const VarRef&>(e), mask);
+      case ExprKind::kArrayIndex:
+        return eval_index(static_cast<const ArrayIndex&>(e), mask,
+                          /*store=*/nullptr);
+      case ExprKind::kBinary:
+        return eval_binary(static_cast<const BinaryExpr&>(e), mask);
+      case ExprKind::kUnary: {
+        const auto& u = static_cast<const UnaryExpr&>(e);
+        Lanes v = eval(*u.operand, mask);
+        charge_issue(mask, opt_.weights.alu);
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          Value& x = v[static_cast<std::size_t>(l)];
+          if (u.op == UnOp::kNeg)
+            x = x.is_float() ? Value::of_float(-x.f) : Value::of_int(-x.i);
+          else
+            x = Value::of_int(x.truthy() ? 0 : 1);
+        }
+        return v;
+      }
+      case ExprKind::kCall:
+        return eval_call(static_cast<const CallExpr&>(e), mask);
+      case ExprKind::kTernary: {
+        const auto& t = static_cast<const TernaryExpr&>(e);
+        Lanes c = eval(*t.cond, mask);
+        Lanes a = eval(*t.then_value, mask);
+        Lanes b = eval(*t.else_value, mask);
+        charge_issue(mask, opt_.weights.alu);
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          if (!c[static_cast<std::size_t>(l)].truthy())
+            a[static_cast<std::size_t>(l)] = b[static_cast<std::size_t>(l)];
+        }
+        return a;
+      }
+      case ExprKind::kCast: {
+        const auto& c = static_cast<const CastExpr&>(e);
+        Lanes v = eval(*c.operand, mask);
+        charge_issue(mask, opt_.weights.alu);
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          v[static_cast<std::size_t>(l)] =
+              coerce(v[static_cast<std::size_t>(l)], c.to);
+        }
+        return v;
+      }
+    }
+    throw SimError("unreachable expression kind");
+  }
+
+  Lanes eval_varref(const VarRef& v, const Mask& mask) {
+    if (is_builtin_geometry(v.name)) {
+      Lanes out(static_cast<std::size_t>(nlanes_));
+      for (int l = 0; l < nlanes_; ++l)
+        out[static_cast<std::size_t>(l)] = Value::of_int(geometry(v.name, l));
+      return out;
+    }
+    Slot& slot = lookup(v.name, v.loc());
+    if (slot.is_buffer_param)
+      throw SimError("pointer '" + v.name +
+                     "' used as a value (only indexing is supported)");
+    if (slot.type.is_array())
+      throw SimError("array '" + v.name + "' used without an index");
+    if (slot.is_uniform_param)
+      return Lanes(static_cast<std::size_t>(nlanes_), slot.data[0]);
+    (void)mask;
+    return slot.data;  // register scalar: copy per-lane values
+  }
+
+  /// Flattens a (possibly multi-dim) index list; bounds-checks each dim.
+  Lanes flatten_index(const ArrayIndex& ai, const Slot& slot,
+                      const Mask& mask) {
+    const auto& dims = slot.type.array_dims;
+    if (ai.indices.size() != dims.size())
+      throw SimError("array '" +
+                     static_cast<const VarRef&>(*ai.base).name + "' has " +
+                     std::to_string(dims.size()) + " dims, indexed with " +
+                     std::to_string(ai.indices.size()) + " at " +
+                     ai.loc().str());
+    Lanes flat(static_cast<std::size_t>(nlanes_), Value::of_int(0));
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      Lanes idx = eval(*ai.indices[d], mask);
+      if (d > 0) charge_issue(mask, opt_.weights.alu);  // index math
+      for (int l = 0; l < nlanes_; ++l) {
+        if (!mask[static_cast<std::size_t>(l)]) continue;
+        std::int64_t i = idx[static_cast<std::size_t>(l)].as_i();
+        if (i < 0 || i >= dims[d])
+          throw SimError("index " + std::to_string(i) + " out of bounds [0," +
+                         std::to_string(dims[d]) + ") for array at " +
+                         ai.loc().str());
+        auto& f = flat[static_cast<std::size_t>(l)];
+        f = Value::of_int(f.as_i() * dims[d] + i);
+      }
+    }
+    return flat;
+  }
+
+  /// Load (store == nullptr) or store (store != nullptr provides values).
+  Lanes eval_index(const ArrayIndex& ai, const Mask& mask,
+                   const Lanes* store) {
+    if (ai.base->kind() != ExprKind::kVarRef)
+      throw SimError("array base must be a variable at " + ai.loc().str());
+    const std::string& name = static_cast<const VarRef&>(*ai.base).name;
+    Slot& slot = lookup(name, ai.loc());
+
+    if (slot.is_buffer_param) {
+      if (ai.indices.size() != 1)
+        throw SimError("pointer '" + name + "' requires exactly one index");
+      Lanes idx = eval(*ai.indices[0], mask);
+      DeviceBuffer& buf = mem_.buffer(slot.buffer);
+      charge_global(buf, idx, mask);
+      Lanes out(static_cast<std::size_t>(nlanes_));
+      for (int l = 0; l < nlanes_; ++l) {
+        if (!mask[static_cast<std::size_t>(l)]) continue;
+        std::size_t i = static_cast<std::size_t>(
+            idx[static_cast<std::size_t>(l)].as_i());
+        if (store)
+          buf.store(i, coerce((*store)[static_cast<std::size_t>(l)],
+                              buf.type()));
+        else
+          out[static_cast<std::size_t>(l)] = buf.load(i);
+      }
+      return out;
+    }
+
+    if (!slot.type.is_array())
+      throw SimError("'" + name + "' is not an array at " + ai.loc().str());
+
+    Lanes flat = flatten_index(ai, slot, mask);
+    switch (slot.type.space) {
+      case AddrSpace::kShared: {
+        charge_shared(slot, flat, mask);
+        Lanes out(static_cast<std::size_t>(nlanes_));
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          std::size_t i = static_cast<std::size_t>(
+              flat[static_cast<std::size_t>(l)].as_i());
+          if (store)
+            slot.data[i] = coerce((*store)[static_cast<std::size_t>(l)],
+                                  slot.type.scalar);
+          else
+            out[static_cast<std::size_t>(l)] = slot.data[i];
+        }
+        return out;
+      }
+      case AddrSpace::kLocal:
+      case AddrSpace::kRegister:
+      case AddrSpace::kConstant: {
+        if (slot.type.space == AddrSpace::kLocal) {
+          charge_local(slot, flat, mask);
+        } else if (slot.type.space == AddrSpace::kConstant) {
+          // Constant cache broadcasts one word per cycle: lanes reading
+          // distinct words serialize (paper Sec. 3.4's intra-warp hazard).
+          for_each_active_warp(mask, [&](int w, int lo, int hi) {
+            std::uint64_t words[32];
+            std::uint8_t act[32];
+            int n = hi - lo;
+            for (int l = lo; l < hi; ++l) {
+              act[l - lo] = mask[static_cast<std::size_t>(l)];
+              words[l - lo] = static_cast<std::uint64_t>(
+                  flat[static_cast<std::size_t>(l)].as_i());
+            }
+            int replays = smem_replays({words, static_cast<std::size_t>(n)},
+                                       {act, static_cast<std::size_t>(n)}, 1);
+            warp_issue_[static_cast<std::size_t>(w)] +=
+                opt_.weights.mem_issue * replays;
+            charge_latency(w, spec_.smem_latency_cycles);
+          });
+        } else {
+          charge_issue(mask, opt_.weights.alu);  // register-file access
+        }
+        std::int64_t elems = slot.type.element_count();
+        Lanes out(static_cast<std::size_t>(nlanes_));
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          std::size_t i = static_cast<std::size_t>(
+              static_cast<std::int64_t>(l) * elems +
+              flat[static_cast<std::size_t>(l)].as_i());
+          if (store)
+            slot.data[i] = coerce((*store)[static_cast<std::size_t>(l)],
+                                  slot.type.scalar);
+          else
+            out[static_cast<std::size_t>(l)] = slot.data[i];
+        }
+        return out;
+      }
+      case AddrSpace::kGlobal:
+        break;
+    }
+    throw SimError("unsupported address space for array '" + name + "'");
+  }
+
+  Lanes eval_binary(const BinaryExpr& b, const Mask& mask) {
+    Lanes lhs = eval(*b.lhs, mask);
+    Lanes rhs = eval(*b.rhs, mask);
+    double w = opt_.weights.alu;
+    if (b.op == BinOp::kDiv || b.op == BinOp::kMod) {
+      // Int div/mod and float div are multi-cycle.
+      w = opt_.weights.idiv_imod;
+      if (b.op == BinOp::kDiv &&
+          (lhs[first_active(mask)].is_float() ||
+           rhs[first_active(mask)].is_float()))
+        w = opt_.weights.fdiv_sqrt_transcendental;
+    }
+    charge_issue(mask, w);
+    Lanes out(static_cast<std::size_t>(nlanes_));
+    for (int l = 0; l < nlanes_; ++l) {
+      if (!mask[static_cast<std::size_t>(l)]) continue;
+      out[static_cast<std::size_t>(l)] =
+          apply_binop(b.op, lhs[static_cast<std::size_t>(l)],
+                      rhs[static_cast<std::size_t>(l)], b.loc());
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t first_active(const Mask& mask) const {
+    for (int l = 0; l < nlanes_; ++l)
+      if (mask[static_cast<std::size_t>(l)])
+        return static_cast<std::size_t>(l);
+    return 0;
+  }
+
+  static Value apply_binop(BinOp op, Value a, Value b, SourceLoc loc) {
+    bool fl = a.is_float() || b.is_float();
+    switch (op) {
+      case BinOp::kAdd:
+        return fl ? Value::of_float(a.as_f() + b.as_f()).to_f32()
+                  : Value::of_int(a.i + b.i);
+      case BinOp::kSub:
+        return fl ? Value::of_float(a.as_f() - b.as_f()).to_f32()
+                  : Value::of_int(a.i - b.i);
+      case BinOp::kMul:
+        return fl ? Value::of_float(a.as_f() * b.as_f()).to_f32()
+                  : Value::of_int(a.i * b.i);
+      case BinOp::kDiv:
+        if (fl) return Value::of_float(a.as_f() / b.as_f()).to_f32();
+        if (b.i == 0) throw SimError("integer division by zero at " + loc.str());
+        return Value::of_int(a.i / b.i);
+      case BinOp::kMod:
+        if (fl) throw SimError("operator %% requires integers at " + loc.str());
+        if (b.i == 0) throw SimError("modulo by zero at " + loc.str());
+        return Value::of_int(a.i % b.i);
+      case BinOp::kLt: return Value::of_int(fl ? a.as_f() < b.as_f() : a.i < b.i);
+      case BinOp::kLe: return Value::of_int(fl ? a.as_f() <= b.as_f() : a.i <= b.i);
+      case BinOp::kGt: return Value::of_int(fl ? a.as_f() > b.as_f() : a.i > b.i);
+      case BinOp::kGe: return Value::of_int(fl ? a.as_f() >= b.as_f() : a.i >= b.i);
+      case BinOp::kEq: return Value::of_int(fl ? a.as_f() == b.as_f() : a.i == b.i);
+      case BinOp::kNe: return Value::of_int(fl ? a.as_f() != b.as_f() : a.i != b.i);
+      case BinOp::kLAnd: return Value::of_int(a.truthy() && b.truthy());
+      case BinOp::kLOr: return Value::of_int(a.truthy() || b.truthy());
+      case BinOp::kBitAnd: return Value::of_int(a.as_i() & b.as_i());
+      case BinOp::kBitOr: return Value::of_int(a.as_i() | b.as_i());
+      case BinOp::kBitXor: return Value::of_int(a.as_i() ^ b.as_i());
+      case BinOp::kShl: return Value::of_int(a.as_i() << b.as_i());
+      case BinOp::kShr: return Value::of_int(a.as_i() >> b.as_i());
+    }
+    throw SimError("unreachable binop");
+  }
+
+  Lanes eval_call(const CallExpr& c, const Mask& mask) {
+    const std::string& f = c.callee;
+    if (f == "__syncthreads") {
+      ++sync_ops_;
+      charge_issue(mask, opt_.weights.sync);
+      for_each_active_warp(mask, [&](int w, int, int) {
+        charge_latency(w, spec_.sync_latency_cycles);
+      });
+      return Lanes(static_cast<std::size_t>(nlanes_), Value::of_int(0));
+    }
+    if (f == "__shfl" || f == "__shfl_up" || f == "__shfl_down" ||
+        f == "__shfl_xor")
+      return eval_shfl(c, mask);
+
+    // Unary math builtins.
+    auto unary_math = [&](double (*fn)(double), bool sfu) -> Lanes {
+      if (c.args.size() != 1)
+        throw SimError(f + " expects 1 argument at " + c.loc().str());
+      Lanes v = eval(*c.args[0], mask);
+      charge_issue(mask, sfu ? opt_.weights.fdiv_sqrt_transcendental
+                             : opt_.weights.alu);
+      for (int l = 0; l < nlanes_; ++l) {
+        if (!mask[static_cast<std::size_t>(l)]) continue;
+        v[static_cast<std::size_t>(l)] =
+            Value::of_float(fn(v[static_cast<std::size_t>(l)].as_f()))
+                .to_f32();
+      }
+      return v;
+    };
+    if (f == "sqrtf" || f == "sqrt") return unary_math([](double x) { return std::sqrt(x); }, true);
+    if (f == "fabsf" || f == "fabs") return unary_math([](double x) { return std::fabs(x); }, false);
+    if (f == "expf" || f == "exp" || f == "__expf")
+      return unary_math([](double x) { return std::exp(x); }, true);
+    if (f == "logf" || f == "log" || f == "__logf")
+      return unary_math([](double x) { return std::log(x); }, true);
+    if (f == "sinf" || f == "__sinf") return unary_math([](double x) { return std::sin(x); }, true);
+    if (f == "cosf" || f == "__cosf") return unary_math([](double x) { return std::cos(x); }, true);
+    if (f == "floorf") return unary_math([](double x) { return std::floor(x); }, false);
+    if (f == "rsqrtf")
+      return unary_math([](double x) { return 1.0 / std::sqrt(x); }, true);
+
+    if (f == "abs") {
+      if (c.args.size() != 1)
+        throw SimError("abs expects 1 argument at " + c.loc().str());
+      Lanes v = eval(*c.args[0], mask);
+      charge_issue(mask, opt_.weights.alu);
+      for (int l = 0; l < nlanes_; ++l) {
+        if (!mask[static_cast<std::size_t>(l)]) continue;
+        Value& x = v[static_cast<std::size_t>(l)];
+        x = x.is_float() ? Value::of_float(std::fabs(x.f))
+                         : Value::of_int(std::abs(x.i));
+      }
+      return v;
+    }
+
+    // Binary math builtins.
+    if (f == "min" || f == "max" || f == "fminf" || f == "fmaxf" ||
+        f == "powf") {
+      if (c.args.size() != 2)
+        throw SimError(f + " expects 2 arguments at " + c.loc().str());
+      Lanes a = eval(*c.args[0], mask);
+      Lanes b = eval(*c.args[1], mask);
+      charge_issue(mask, f == "powf"
+                             ? 2 * opt_.weights.fdiv_sqrt_transcendental
+                             : opt_.weights.alu);
+      Lanes out(static_cast<std::size_t>(nlanes_));
+      for (int l = 0; l < nlanes_; ++l) {
+        if (!mask[static_cast<std::size_t>(l)]) continue;
+        Value x = a[static_cast<std::size_t>(l)];
+        Value y = b[static_cast<std::size_t>(l)];
+        if (f == "powf") {
+          out[static_cast<std::size_t>(l)] =
+              Value::of_float(std::pow(x.as_f(), y.as_f())).to_f32();
+        } else if (f == "min" || f == "fminf") {
+          if (x.is_float() || y.is_float() || f == "fminf")
+            out[static_cast<std::size_t>(l)] =
+                Value::of_float(std::min(x.as_f(), y.as_f())).to_f32();
+          else
+            out[static_cast<std::size_t>(l)] =
+                Value::of_int(std::min(x.i, y.i));
+        } else {
+          if (x.is_float() || y.is_float() || f == "fmaxf")
+            out[static_cast<std::size_t>(l)] =
+                Value::of_float(std::max(x.as_f(), y.as_f())).to_f32();
+          else
+            out[static_cast<std::size_t>(l)] =
+                Value::of_int(std::max(x.i, y.i));
+        }
+      }
+      return out;
+    }
+
+    throw SimError("unknown function '" + f + "' at " + c.loc().str());
+  }
+
+  /// __shfl family. Per paper Sec. 2.1: a warp is partitioned into groups
+  /// of `width`; reads source lanes' register values.
+  Lanes eval_shfl(const CallExpr& c, const Mask& mask) {
+    if (spec_.sm_version < 30)
+      throw SimError("__shfl requires sm_30+ (device is sm_" +
+                     std::to_string(spec_.sm_version) + ")");
+    if (c.args.size() != 3)
+      throw SimError(c.callee + " expects (var, lane, width) at " +
+                     c.loc().str());
+    // Source values must exist for all lanes in active warps, so evaluate
+    // the variable under a warp-broadened mask.
+    Mask broad(static_cast<std::size_t>(nlanes_), 0);
+    for_each_active_warp(mask, [&](int, int lo, int hi) {
+      for (int l = lo; l < hi; ++l) broad[static_cast<std::size_t>(l)] = 1;
+    });
+    Lanes var = eval(*c.args[0], broad);
+    Lanes sel = eval(*c.args[1], mask);
+    Lanes width = eval(*c.args[2], mask);
+    ++shfl_ops_;
+    charge_issue(mask, opt_.weights.shfl);
+    for_each_active_warp(mask, [&](int w, int, int) {
+      charge_latency(w, spec_.shfl_latency_cycles);
+    });
+    Lanes out(static_cast<std::size_t>(nlanes_));
+    for (int l = 0; l < nlanes_; ++l) {
+      if (!mask[static_cast<std::size_t>(l)]) continue;
+      int lane = l % spec_.warp_size;
+      int warp_base = l - lane;
+      std::int64_t wdt = width[static_cast<std::size_t>(l)].as_i();
+      if (wdt <= 0 || wdt > spec_.warp_size || (wdt & (wdt - 1)) != 0)
+        throw SimError("__shfl width must be a power of two in [1,32]");
+      int group_base = lane / static_cast<int>(wdt) * static_cast<int>(wdt);
+      std::int64_t s = sel[static_cast<std::size_t>(l)].as_i();
+      int src_lane;
+      if (c.callee == "__shfl") {
+        src_lane = group_base + static_cast<int>(s % wdt);
+      } else if (c.callee == "__shfl_up") {
+        int cand = lane - static_cast<int>(s);
+        src_lane = cand < group_base ? lane : cand;
+      } else if (c.callee == "__shfl_down") {
+        int cand = lane + static_cast<int>(s);
+        src_lane = cand >= group_base + static_cast<int>(wdt) ? lane : cand;
+      } else {  // __shfl_xor
+        int cand = group_base + ((lane - group_base) ^ static_cast<int>(s));
+        src_lane = cand < group_base + static_cast<int>(wdt) ? cand : lane;
+      }
+      int src_tid = warp_base + src_lane;
+      if (src_tid >= nlanes_) src_tid = l;
+      out[static_cast<std::size_t>(l)] =
+          var[static_cast<std::size_t>(src_tid)];
+    }
+    return out;
+  }
+
+  // ---------------- statement execution ----------------
+  void exec_block(const Block& b, Mask mask) {
+    for (const auto& s : b.stmts) {
+      // Returned lanes stay dead for the rest of the kernel.
+      bool any_active = false;
+      for (int l = 0; l < nlanes_; ++l) {
+        if (returned_[static_cast<std::size_t>(l)])
+          mask[static_cast<std::size_t>(l)] = 0;
+        any_active |= mask[static_cast<std::size_t>(l)] != 0;
+      }
+      if (!any_active) return;
+      exec(*s, mask);
+    }
+  }
+
+  void exec(const Stmt& s, const Mask& mask) {
+    switch (s.kind()) {
+      case StmtKind::kBlock:
+        exec_block(static_cast<const Block&>(s), mask);
+        return;
+      case StmtKind::kDecl: {
+        begin_leaf_stmt();
+        const auto& d = static_cast<const DeclStmt&>(s);
+        Slot& slot = declare(d);
+        if (!d.init_list.empty()) {
+          // Brace initializer: constant contents, identical for every
+          // thread; evaluated once with lane-0 semantics.
+          if (static_cast<std::int64_t>(d.init_list.size()) >
+              d.type.element_count())
+            throw SimError("too many initializers for '" + d.name + "'");
+          Mask one(static_cast<std::size_t>(nlanes_), 0);
+          one[0] = 1;
+          for (std::size_t e = 0; e < d.init_list.size(); ++e) {
+            Lanes v = eval(*d.init_list[e], one);
+            Value val = coerce(v[0], d.type.scalar);
+            if (d.type.space == AddrSpace::kShared) {
+              slot.data[e] = val;
+            } else {
+              std::int64_t elems = d.type.element_count();
+              for (int l = 0; l < nlanes_; ++l)
+                slot.data[static_cast<std::size_t>(l) *
+                              static_cast<std::size_t>(elems) +
+                          e] = val;
+            }
+          }
+          end_leaf_stmt();
+          return;
+        }
+        if (d.init) {
+          if (d.type.is_array())
+            throw SimError("array initializers are not supported at " +
+                           d.loc().str());
+          Lanes v = eval(*d.init, mask);
+          charge_issue(mask, opt_.weights.alu);
+          for (int l = 0; l < nlanes_; ++l)
+            if (mask[static_cast<std::size_t>(l)])
+              slot.data[static_cast<std::size_t>(l)] =
+                  coerce(v[static_cast<std::size_t>(l)], d.type.scalar);
+        }
+        end_leaf_stmt();
+        return;
+      }
+      case StmtKind::kAssign: {
+        begin_leaf_stmt();
+        exec_assign(static_cast<const AssignStmt&>(s), mask);
+        end_leaf_stmt();
+        return;
+      }
+      case StmtKind::kIf: {
+        const auto& i = static_cast<const IfStmt&>(s);
+        begin_leaf_stmt();
+        Lanes c = eval(*i.cond, mask);
+        charge_issue(mask, opt_.weights.alu);  // branch
+        end_leaf_stmt();
+        Mask then_mask(static_cast<std::size_t>(nlanes_), 0);
+        Mask else_mask(static_cast<std::size_t>(nlanes_), 0);
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          if (c[static_cast<std::size_t>(l)].truthy())
+            then_mask[static_cast<std::size_t>(l)] = 1;
+          else
+            else_mask[static_cast<std::size_t>(l)] = 1;
+        }
+        // Count warps where both paths have lanes (divergence).
+        for_each_active_warp(mask, [&](int, int lo, int hi) {
+          bool t = false, e = false;
+          for (int l = lo; l < hi; ++l) {
+            t |= then_mask[static_cast<std::size_t>(l)] != 0;
+            e |= else_mask[static_cast<std::size_t>(l)] != 0;
+          }
+          if (t && e) ++divergent_branches_;
+        });
+        if (any(then_mask)) exec_block(*i.then_body, then_mask);
+        if (i.else_body && any(else_mask)) exec_block(*i.else_body, else_mask);
+        return;
+      }
+      case StmtKind::kFor: {
+        const auto& f = static_cast<const ForStmt&>(s);
+        if (f.init) exec(*f.init, mask);
+        Mask active = mask;
+        std::int64_t iters = 0;
+        while (true) {
+          if (f.cond) {
+            begin_leaf_stmt();
+            Lanes c = eval(*f.cond, active);
+            charge_issue(active, opt_.weights.alu);
+            end_leaf_stmt();
+            for (int l = 0; l < nlanes_; ++l)
+              if (active[static_cast<std::size_t>(l)] &&
+                  !c[static_cast<std::size_t>(l)].truthy())
+                active[static_cast<std::size_t>(l)] = 0;
+          }
+          if (!any(active)) break;
+          if (++iters > opt_.max_loop_iterations)
+            throw SimError("loop exceeded max iterations at " +
+                           f.loc().str());
+          exec_block(*f.body, active);
+          // Lanes that returned inside the body stop iterating.
+          for (int l = 0; l < nlanes_; ++l)
+            if (returned_[static_cast<std::size_t>(l)])
+              active[static_cast<std::size_t>(l)] = 0;
+          if (!any(active)) break;
+          if (f.inc) exec(*f.inc, active);
+        }
+        return;
+      }
+      case StmtKind::kWhile: {
+        const auto& wl = static_cast<const WhileStmt&>(s);
+        Mask active = mask;
+        std::int64_t iters = 0;
+        while (true) {
+          begin_leaf_stmt();
+          Lanes c = eval(*wl.cond, active);
+          charge_issue(active, opt_.weights.alu);
+          end_leaf_stmt();
+          for (int l = 0; l < nlanes_; ++l)
+            if (active[static_cast<std::size_t>(l)] &&
+                !c[static_cast<std::size_t>(l)].truthy())
+              active[static_cast<std::size_t>(l)] = 0;
+          if (!any(active)) break;
+          if (++iters > opt_.max_loop_iterations)
+            throw SimError("while loop exceeded max iterations at " +
+                           wl.loc().str());
+          exec_block(*wl.body, active);
+          for (int l = 0; l < nlanes_; ++l)
+            if (returned_[static_cast<std::size_t>(l)])
+              active[static_cast<std::size_t>(l)] = 0;
+        }
+        return;
+      }
+      case StmtKind::kExpr: {
+        begin_leaf_stmt();
+        (void)eval(*static_cast<const ExprStmt&>(s).expr, mask);
+        end_leaf_stmt();
+        return;
+      }
+      case StmtKind::kReturn:
+        for (int l = 0; l < nlanes_; ++l)
+          if (mask[static_cast<std::size_t>(l)])
+            returned_[static_cast<std::size_t>(l)] = 1;
+        return;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        throw SimError(
+            "break/continue are not supported by the simulator; use a "
+            "guarding if (paper Sec. 3.7 padding uses `if (i < n)`)");
+    }
+  }
+
+  void exec_assign(const AssignStmt& a, const Mask& mask) {
+    Lanes rhs = eval(*a.rhs, mask);
+    // Compound assignment reads the target first.
+    if (a.op != AssignOp::kAssign) {
+      Lanes old = eval(*a.lhs, mask);
+      charge_issue(mask, opt_.weights.alu);
+      BinOp op = a.op == AssignOp::kAdd   ? BinOp::kAdd
+                 : a.op == AssignOp::kSub ? BinOp::kSub
+                 : a.op == AssignOp::kMul ? BinOp::kMul
+                                          : BinOp::kDiv;
+      for (int l = 0; l < nlanes_; ++l)
+        if (mask[static_cast<std::size_t>(l)])
+          rhs[static_cast<std::size_t>(l)] =
+              apply_binop(op, old[static_cast<std::size_t>(l)],
+                          rhs[static_cast<std::size_t>(l)], a.loc());
+    }
+    if (a.lhs->kind() == ExprKind::kVarRef) {
+      const auto& v = static_cast<const VarRef&>(*a.lhs);
+      Slot& slot = lookup(v.name, v.loc());
+      if (slot.is_buffer_param || slot.type.is_array())
+        throw SimError("cannot assign to '" + v.name + "' without an index");
+      if (slot.is_uniform_param)
+        throw SimError("cannot assign to kernel parameter '" + v.name +
+                       "' (treated as uniform)");
+      charge_issue(mask, opt_.weights.alu);
+      for (int l = 0; l < nlanes_; ++l)
+        if (mask[static_cast<std::size_t>(l)])
+          slot.data[static_cast<std::size_t>(l)] =
+              coerce(rhs[static_cast<std::size_t>(l)], slot.type.scalar);
+      return;
+    }
+    if (a.lhs->kind() == ExprKind::kArrayIndex) {
+      (void)eval_index(static_cast<const ArrayIndex&>(*a.lhs), mask, &rhs);
+      return;
+    }
+    throw SimError("invalid assignment target at " + a.loc().str());
+  }
+
+  static constexpr std::uint64_t kLocalSpaceBase = 1ULL << 40;
+
+  const DeviceSpec& spec_;
+  DeviceMemory& mem_;
+  const Interpreter::Options& opt_;
+  const Kernel& kernel_;
+  const LaunchConfig& cfg_;
+  Dim3 block_idx_;
+  int nlanes_;
+  int nwarps_;
+  L1Cache l1_;
+
+  std::unordered_map<std::string, Slot> vars_;
+  Mask returned_;
+  std::vector<double> warp_issue_;
+  std::vector<double> warp_latency_;
+  std::vector<double> warp_pending_;
+  std::uint64_t smem_word_cursor_ = 0;
+  std::uint64_t local_word_cursor_ = 0;
+
+  std::int64_t global_transactions_ = 0;
+  std::int64_t local_transactions_ = 0;
+  std::int64_t local_l1_misses_ = 0;
+  std::int64_t dram_transactions_ = 0;
+  std::int64_t smem_accesses_ = 0;
+  std::int64_t smem_replays_ = 0;
+  std::int64_t shfl_ops_ = 0;
+  std::int64_t sync_ops_ = 0;
+  std::int64_t divergent_branches_ = 0;
+};
+
+}  // namespace
+
+KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
+                             int resident_blocks_per_smx) {
+  if (cfg.block.count() <= 0 ||
+      cfg.block.count() > spec_.max_threads_per_block)
+    throw SimError("invalid block size " + std::to_string(cfg.block.count()));
+  if (cfg.grid.count() <= 0) throw SimError("empty grid");
+
+  KernelStats total;
+  for (int bz = 0; bz < cfg.grid.z; ++bz) {
+    for (int by = 0; by < cfg.grid.y; ++by) {
+      for (int bx = 0; bx < cfg.grid.x; ++bx) {
+        BlockExec block(spec_, mem_, opt_, kernel, cfg, Dim3{bx, by, bz},
+                        resident_blocks_per_smx);
+        total.add_block(block.run());
+      }
+    }
+  }
+  // crit_path_cycles was summed per block; convert to the average block's
+  // slowest-warp path.
+  if (total.blocks > 0)
+    total.crit_path_cycles /= static_cast<double>(total.blocks);
+  return total;
+}
+
+RunResult run_and_time(const DeviceSpec& spec, DeviceMemory& mem,
+                       const ir::Kernel& kernel, const LaunchConfig& cfg,
+                       const ResourceUsage& resources,
+                       Interpreter::Options opt) {
+  RunResult r;
+  r.occupancy = compute_occupancy(
+      spec, static_cast<int>(cfg.block.count()), resources);
+  if (r.occupancy.blocks_per_smx == 0)
+    throw SimError("kernel '" + kernel.name +
+                   "' cannot launch: occupancy zero (" +
+                   r.occupancy.limiting_factor + ")");
+  Interpreter interp(spec, mem, opt);
+  r.stats = interp.run(kernel, cfg, r.occupancy.blocks_per_smx);
+  TimingModel model(spec, opt.weights);
+  r.timing = model.estimate(r.stats, r.occupancy);
+  return r;
+}
+
+}  // namespace cudanp::sim

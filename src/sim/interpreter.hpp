@@ -1,0 +1,89 @@
+// Block-lockstep vector interpreter for the kernel IR.
+//
+// Execution model
+// ---------------
+// A thread block executes as one wide vector of lanes (threads) with a
+// per-lane active mask; every statement completes for all active lanes
+// before the next statement begins. This is a strictly stronger
+// synchronization than real hardware provides, so it is functionally
+// correct for every race-free kernel that synchronizes through
+// __syncthreads() (all paper benchmarks, and everything CUDA-NP emits).
+//
+// Cost model hooks
+// ----------------
+// While executing, the interpreter charges per-warp costs (a warp is
+// charged for an operation iff >= 1 of its lanes is active under the
+// current mask), so SIMD divergence — including the slave-imbalance
+// effects of intra-warp NP (paper Sec. 3.4, Figs. 11/12) — is measured,
+// not asserted. Global accesses run through the coalescing model, shared
+// accesses through the bank-conflict model, local-memory accesses through
+// a per-block slice of the L1. See sim/cost_model.hpp for how the counts
+// become seconds.
+//
+// Supported builtins
+// ------------------
+//   __syncthreads()
+//   __shfl(var, srcLane, width), __shfl_up/_down(var, delta, width),
+//   __shfl_xor(var, mask, width)           [sm_30+; paper Sec. 2.1]
+//   sqrtf, fabsf, expf, logf, sinf, cosf, powf, rsqrtf, floorf,
+//   min, max, fminf, fmaxf, abs
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/launch.hpp"
+#include "sim/memory.hpp"
+
+namespace cudanp::sim {
+
+class Interpreter {
+ public:
+  struct Options {
+    CostWeights weights;
+    /// Memory-level parallelism a single warp extracts from unrolled loop
+    /// bodies: exposed per-statement latency is divided by this when the
+    /// warp critical path is assembled.
+    double warp_mlp = 4.0;
+    /// Safety valve for runaway loops.
+    std::int64_t max_loop_iterations = 1 << 26;
+  };
+
+  Interpreter(const DeviceSpec& spec, DeviceMemory& mem, Options opt)
+      : spec_(spec), mem_(mem), opt_(opt) {}
+  Interpreter(const DeviceSpec& spec, DeviceMemory& mem)
+      : Interpreter(spec, mem, Options()) {}
+
+  /// Executes `kernel` over the whole grid and returns aggregate stats.
+  /// `resident_blocks_per_smx` (from the occupancy calculator) sizes the
+  /// per-block L1 slice; pass 1 if unknown.
+  [[nodiscard]] KernelStats run(const ir::Kernel& kernel,
+                                const LaunchConfig& cfg,
+                                int resident_blocks_per_smx = 1);
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+
+ private:
+  const DeviceSpec& spec_;
+  DeviceMemory& mem_;
+  Options opt_;
+};
+
+/// Convenience wrapper: occupancy + interpretation + timing in one call.
+struct RunResult {
+  KernelStats stats;
+  Occupancy occupancy;
+  TimingBreakdown timing;
+};
+
+[[nodiscard]] RunResult run_and_time(const DeviceSpec& spec,
+                                     DeviceMemory& mem,
+                                     const ir::Kernel& kernel,
+                                     const LaunchConfig& cfg,
+                                     const ResourceUsage& resources,
+                                     Interpreter::Options opt = {});
+
+}  // namespace cudanp::sim

@@ -1,0 +1,42 @@
+// Kernel launch configuration and argument binding.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "sim/memory.hpp"
+#include "sim/value.hpp"
+
+namespace cudanp::sim {
+
+struct Dim3 {
+  int x = 1;
+  int y = 1;
+  int z = 1;
+  [[nodiscard]] std::int64_t count() const {
+    return static_cast<std::int64_t>(x) * y * z;
+  }
+};
+
+/// One kernel argument: a scalar or a global-memory buffer.
+using KernelArg = std::variant<Value, BufferId>;
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::vector<KernelArg> args;
+
+  [[nodiscard]] std::int64_t total_threads() const {
+    return grid.count() * block.count();
+  }
+  [[nodiscard]] static KernelArg scalar_int(std::int64_t v) {
+    return Value::of_int(v);
+  }
+  [[nodiscard]] static KernelArg scalar_float(double v) {
+    return Value::of_float(v);
+  }
+};
+
+}  // namespace cudanp::sim

@@ -1,0 +1,117 @@
+#include "sim/memory.hpp"
+
+#include <algorithm>
+
+namespace cudanp::sim {
+
+BufferId DeviceMemory::alloc(ir::ScalarType type, std::size_t elems) {
+  const std::uint64_t kAlign = 256;
+  std::uint64_t base = (next_addr_ + kAlign - 1) / kAlign * kAlign;
+  std::uint64_t bytes =
+      elems * static_cast<std::uint64_t>(ir::Type::scalar_size_bytes(type));
+  next_addr_ = base + bytes;
+  buffers_.emplace_back(type, elems, base);
+  return static_cast<BufferId>(buffers_.size() - 1);
+}
+
+DeviceBuffer& DeviceMemory::buffer(BufferId id) {
+  if (id >= buffers_.size()) throw SimError("invalid buffer id");
+  return buffers_[id];
+}
+
+const DeviceBuffer& DeviceMemory::buffer(BufferId id) const {
+  if (id >= buffers_.size()) throw SimError("invalid buffer id");
+  return buffers_[id];
+}
+
+int coalesced_transactions(std::span<const std::uint64_t> addrs,
+                           std::span<const std::uint8_t> active,
+                           int segment_bytes) {
+  // The warp is small (32 lanes); collect unique segment ids.
+  std::uint64_t segs[32];
+  int n = 0;
+  for (std::size_t l = 0; l < addrs.size(); ++l) {
+    if (!active[l]) continue;
+    std::uint64_t seg = addrs[l] / static_cast<std::uint64_t>(segment_bytes);
+    bool seen = false;
+    for (int k = 0; k < n; ++k) {
+      if (segs[k] == seg) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && n < 32) segs[n++] = seg;
+  }
+  return n;
+}
+
+int smem_replays(std::span<const std::uint64_t> word_addrs,
+                 std::span<const std::uint8_t> active, int banks) {
+  // For each bank, count distinct words requested; the access replays
+  // max-over-banks times. Identical words broadcast for free.
+  int replays = 0;
+  for (int b = 0; b < banks; ++b) {
+    std::uint64_t words[32];
+    int n = 0;
+    for (std::size_t l = 0; l < word_addrs.size(); ++l) {
+      if (!active[l]) continue;
+      std::uint64_t w = word_addrs[l];
+      if (static_cast<int>(w % static_cast<std::uint64_t>(banks)) != b)
+        continue;
+      bool seen = false;
+      for (int k = 0; k < n; ++k) {
+        if (words[k] == w) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen && n < 32) words[n++] = w;
+    }
+    replays = std::max(replays, n);
+  }
+  return std::max(replays, 1);
+}
+
+L1Cache::L1Cache(std::int64_t capacity_bytes, int line_bytes, int ways)
+    : capacity_(std::max<std::int64_t>(capacity_bytes, 0)),
+      line_bytes_(line_bytes),
+      ways_(ways) {
+  std::int64_t lines = capacity_ / line_bytes_;
+  num_sets_ = static_cast<std::size_t>(std::max<std::int64_t>(lines / ways_, 1));
+  if (capacity_ > 0) {
+    tags_.assign(num_sets_ * static_cast<std::size_t>(ways_), 0);
+    lru_.assign(num_sets_ * static_cast<std::size_t>(ways_), 0);
+  }
+}
+
+bool L1Cache::access(std::uint64_t addr) {
+  if (capacity_ <= 0) return false;
+  std::uint64_t line = addr / static_cast<std::uint64_t>(line_bytes_);
+  std::size_t set = static_cast<std::size_t>(line) % num_sets_;
+  std::uint64_t tag = line + 1;
+  std::size_t base = set * static_cast<std::size_t>(ways_);
+  ++clock_;
+  for (int w = 0; w < ways_; ++w) {
+    if (tags_[base + static_cast<std::size_t>(w)] == tag) {
+      lru_[base + static_cast<std::size_t>(w)] = clock_;
+      return true;
+    }
+  }
+  // Miss: evict LRU way.
+  std::size_t victim = base;
+  for (int w = 1; w < ways_; ++w) {
+    std::size_t i = base + static_cast<std::size_t>(w);
+    if (lru_[i] < lru_[victim]) victim = i;
+  }
+  tags_[victim] = tag;
+  lru_[victim] = clock_;
+  return false;
+}
+
+void L1Cache::reset() {
+  std::fill(tags_.begin(), tags_.end(), 0);
+  std::fill(lru_.begin(), lru_.end(), 0);
+  clock_ = 0;
+}
+
+}  // namespace cudanp::sim

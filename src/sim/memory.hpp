@@ -1,0 +1,141 @@
+// Device memory: global buffers, the coalescing model, shared-memory bank
+// conflicts, and the L1 model used for local-memory traffic.
+//
+// These three models are the levers CUDA-NP pulls (paper Secs. 3.3/3.4):
+//   - inter-warp NP keeps the baseline's coalesced global access pattern,
+//     intra-warp NP can break it -> the coalescer counts 128 B segments
+//     actually touched by each warp access;
+//   - shfl-based reduction avoids shared memory; when shared memory is
+//     used, the 32-bank conflict model charges replays;
+//   - local arrays (spilled per-thread arrays) go through a small L1; when
+//     the resident working set exceeds the L1 share, misses turn into DRAM
+//     traffic, which is exactly why Table 1's LM column matters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ir/type.hpp"
+#include "sim/device.hpp"
+#include "sim/value.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::sim {
+
+using BufferId = std::uint32_t;
+
+/// A typed global-memory allocation.
+class DeviceBuffer {
+ public:
+  DeviceBuffer(ir::ScalarType type, std::size_t elems, std::uint64_t base)
+      : type_(type), base_addr_(base) {
+    if (type == ir::ScalarType::kFloat)
+      f32_.assign(elems, 0.0f);
+    else
+      i32_.assign(elems, 0);
+  }
+
+  [[nodiscard]] ir::ScalarType type() const { return type_; }
+  [[nodiscard]] std::size_t size() const {
+    return type_ == ir::ScalarType::kFloat ? f32_.size() : i32_.size();
+  }
+  [[nodiscard]] std::uint64_t base_addr() const { return base_addr_; }
+
+  [[nodiscard]] Value load(std::size_t idx) const {
+    check(idx);
+    if (type_ == ir::ScalarType::kFloat)
+      return Value::of_float(static_cast<double>(f32_[idx]));
+    return Value::of_int(i32_[idx]);
+  }
+  void store(std::size_t idx, Value v) {
+    check(idx);
+    if (type_ == ir::ScalarType::kFloat)
+      f32_[idx] = static_cast<float>(v.as_f());
+    else
+      i32_[idx] = static_cast<std::int32_t>(v.as_i());
+  }
+
+  /// Marks this buffer as living in constant memory: warp reads use the
+  /// broadcast path instead of the coalescer (paper Sec. 3.4's fourth
+  /// intra-warp-NP hazard).
+  void set_constant(bool c) { constant_ = c; }
+  [[nodiscard]] bool is_constant() const { return constant_; }
+
+  [[nodiscard]] std::span<float> f32() { return f32_; }
+  [[nodiscard]] std::span<const float> f32() const { return f32_; }
+  [[nodiscard]] std::span<std::int32_t> i32() { return i32_; }
+  [[nodiscard]] std::span<const std::int32_t> i32() const { return i32_; }
+
+ private:
+  void check(std::size_t idx) const {
+    if (idx >= size())
+      throw SimError("global memory access out of bounds: index " +
+                     std::to_string(idx) + " size " + std::to_string(size()));
+  }
+
+  ir::ScalarType type_;
+  std::uint64_t base_addr_;
+  bool constant_ = false;
+  std::vector<float> f32_;
+  std::vector<std::int32_t> i32_;
+};
+
+/// Registry of global-memory allocations; assigns non-overlapping virtual
+/// addresses (256-byte aligned like cudaMalloc) so the coalescer can reason
+/// about real byte addresses.
+class DeviceMemory {
+ public:
+  BufferId alloc(ir::ScalarType type, std::size_t elems);
+  [[nodiscard]] DeviceBuffer& buffer(BufferId id);
+  [[nodiscard]] const DeviceBuffer& buffer(BufferId id) const;
+  [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
+  /// Total allocated bytes (for reporting).
+  [[nodiscard]] std::uint64_t allocated_bytes() const { return next_addr_; }
+
+ private:
+  std::vector<DeviceBuffer> buffers_;
+  std::uint64_t next_addr_ = 0;
+};
+
+/// Counts the 128-byte segments touched by one warp-wide access. `addrs`
+/// and `active` are warp_size long; inactive lanes contribute nothing.
+/// A fully coalesced 4-byte access by 32 lanes touches 1 segment; a fully
+/// scattered one touches 32.
+[[nodiscard]] int coalesced_transactions(std::span<const std::uint64_t> addrs,
+                                         std::span<const std::uint8_t> active,
+                                         int segment_bytes = 128);
+
+/// Shared-memory conflict model: returns the number of serialized passes
+/// (>= 1) for one warp-wide access to 4-byte words, with broadcast
+/// detection (lanes reading the same word do not conflict).
+[[nodiscard]] int smem_replays(std::span<const std::uint64_t> word_addrs,
+                               std::span<const std::uint8_t> active,
+                               int banks = 32);
+
+/// Tiny set-associative cache used to model per-SMX L1 behaviour for
+/// local-memory traffic. Capacity is divided by the number of resident
+/// blocks to approximate inter-block contention on a real SMX.
+class L1Cache {
+ public:
+  /// `capacity_bytes` <= 0 disables the cache (every access misses).
+  L1Cache(std::int64_t capacity_bytes, int line_bytes, int ways = 4);
+
+  /// Returns true on hit; misses allocate.
+  bool access(std::uint64_t addr);
+  void reset();
+  [[nodiscard]] std::int64_t capacity() const { return capacity_; }
+
+ private:
+  std::int64_t capacity_;
+  int line_bytes_;
+  int ways_;
+  std::size_t num_sets_;
+  // tags_[set * ways + way]; 0 = invalid (tags are line addrs + 1).
+  std::vector<std::uint64_t> tags_;
+  std::vector<std::uint32_t> lru_;  // last-use stamps
+  std::uint32_t clock_ = 0;
+};
+
+}  // namespace cudanp::sim

@@ -1,0 +1,46 @@
+#include "support/diagnostics.hpp"
+
+#include <sstream>
+
+namespace cudanp {
+
+const char* to_string(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "unknown";
+}
+
+std::string Diagnostic::str() const {
+  std::ostringstream os;
+  os << loc.str() << ": " << to_string(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagnosticEngine::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::kNote, loc, std::move(msg)});
+}
+
+void DiagnosticEngine::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::kWarning, loc, std::move(msg)});
+}
+
+void DiagnosticEngine::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::kError, loc, std::move(msg)});
+  ++error_count_;
+}
+
+std::string DiagnosticEngine::summary() const {
+  std::ostringstream os;
+  for (const auto& d : diags_) os << d.str() << '\n';
+  return os.str();
+}
+
+void DiagnosticEngine::clear() {
+  diags_.clear();
+  error_count_ = 0;
+}
+
+}  // namespace cudanp

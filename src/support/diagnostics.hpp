@@ -1,0 +1,65 @@
+// Diagnostics engine shared by the frontend, analyses and transforms.
+//
+// The compiler reports problems through a DiagnosticEngine rather than
+// throwing at the point of detection, so that a single compile can surface
+// several independent errors. Fatal conditions (parser cannot make progress,
+// malformed IR reaching a pass) throw CompileError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "support/source_location.hpp"
+
+namespace cudanp {
+
+enum class Severity { kNote, kWarning, kError };
+
+[[nodiscard]] const char* to_string(Severity s);
+
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  [[nodiscard]] std::string str() const;
+};
+
+/// Collects diagnostics produced while compiling one kernel.
+class DiagnosticEngine {
+ public:
+  void note(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void error(SourceLoc loc, std::string msg);
+
+  [[nodiscard]] bool has_errors() const { return error_count_ > 0; }
+  [[nodiscard]] std::size_t error_count() const { return error_count_; }
+  [[nodiscard]] const std::vector<Diagnostic>& all() const { return diags_; }
+  [[nodiscard]] std::string summary() const;
+  void clear();
+
+ private:
+  std::vector<Diagnostic> diags_;
+  std::size_t error_count_ = 0;
+};
+
+/// Thrown for conditions the compiler cannot recover from.
+class CompileError : public std::runtime_error {
+ public:
+  explicit CompileError(const std::string& what) : std::runtime_error(what) {}
+  CompileError(SourceLoc loc, const std::string& what)
+      : std::runtime_error(loc.str() + ": " + what), loc_(loc) {}
+  [[nodiscard]] SourceLoc loc() const { return loc_; }
+
+ private:
+  SourceLoc loc_;
+};
+
+/// Thrown by the simulator for invalid launches / out-of-bounds accesses.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace cudanp

@@ -1,0 +1,25 @@
+// Source locations for the CUDA-C frontend and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace cudanp {
+
+/// A position inside a kernel source buffer. Lines and columns are 1-based;
+/// a value of 0 means "unknown" (e.g. compiler-synthesized IR nodes).
+struct SourceLoc {
+  std::uint32_t line = 0;
+  std::uint32_t column = 0;
+
+  [[nodiscard]] constexpr bool valid() const { return line != 0; }
+  [[nodiscard]] std::string str() const {
+    if (!valid()) return "<synthesized>";
+    return std::to_string(line) + ":" + std::to_string(column);
+  }
+  friend constexpr bool operator==(SourceLoc a, SourceLoc b) {
+    return a.line == b.line && a.column == b.column;
+  }
+};
+
+}  // namespace cudanp

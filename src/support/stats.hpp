@@ -1,0 +1,20 @@
+// Statistics helpers for the benchmark harness (geometric mean, summaries).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cudanp {
+
+/// Geometric mean; the paper reports GM speedups (Fig. 10).
+[[nodiscard]] double geometric_mean(std::span<const double> xs);
+
+[[nodiscard]] double arithmetic_mean(std::span<const double> xs);
+
+struct Summary {
+  double min = 0, max = 0, mean = 0, geomean = 0;
+};
+[[nodiscard]] Summary summarize(std::span<const double> xs);
+
+}  // namespace cudanp

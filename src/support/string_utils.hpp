@@ -1,0 +1,33 @@
+// Small string helpers used across the frontend and bench harness.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cudanp {
+
+/// Splits `s` on `sep`, trimming nothing; empty pieces are kept.
+[[nodiscard]] std::vector<std::string> split(std::string_view s, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+[[nodiscard]] std::string_view trim(std::string_view s);
+
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view s, std::string_view suffix);
+
+/// Joins `parts` with `sep`.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// True if `s` is a valid C identifier.
+[[nodiscard]] bool is_identifier(std::string_view s);
+
+/// Formats a double with `digits` significant digits (for table output).
+[[nodiscard]] std::string format_double(double v, int digits = 4);
+
+/// Replaces every occurrence of `from` with `to` in `s`.
+[[nodiscard]] std::string replace_all(std::string s, std::string_view from,
+                                      std::string_view to);
+
+}  // namespace cudanp

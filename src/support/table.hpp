@@ -1,0 +1,31 @@
+// ASCII table printer used by the benchmark harness so each bench binary
+// prints rows in the same layout as the corresponding paper table/figure.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cudanp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Adds one row; cells beyond the header width are dropped, missing cells
+  /// are rendered empty.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column auto-sizing and a separator under the header.
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cudanp

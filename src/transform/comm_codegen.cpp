@@ -1,0 +1,274 @@
+#include "transform/comm_codegen.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace cudanp::transform {
+
+using namespace cudanp::ir;
+
+namespace {
+
+ExprPtr slave_id() { return make_var("slave_id"); }
+ExprPtr master_id() { return make_var("master_id"); }
+
+/// `buf[slave][master_id]`
+ExprPtr red_at(const std::string& buf, ExprPtr slave) {
+  std::vector<ExprPtr> idx;
+  idx.push_back(std::move(slave));
+  idx.push_back(master_id());
+  return make_index(make_var(buf), std::move(idx));
+}
+
+StmtPtr sync() {
+  return std::make_unique<ExprStmt>(make_call("__syncthreads", {}));
+}
+
+/// `if (slave_id == 0) { body }`
+StmtPtr master_only(BlockPtr body) {
+  return std::make_unique<IfStmt>(
+      make_bin(BinOp::kEq, slave_id(), make_int(0)), std::move(body));
+}
+
+}  // namespace
+
+ExprPtr CommCodegen::combine(ReduceOp op, ExprPtr a, ExprPtr b,
+                             ScalarType type) {
+  switch (op) {
+    case ReduceOp::kAdd:
+      return make_bin(BinOp::kAdd, std::move(a), std::move(b));
+    case ReduceOp::kMul:
+      return make_bin(BinOp::kMul, std::move(a), std::move(b));
+    case ReduceOp::kMin: {
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(a));
+      args.push_back(std::move(b));
+      return make_call(type == ScalarType::kFloat ? "fminf" : "min",
+                       std::move(args));
+    }
+    case ReduceOp::kMax: {
+      std::vector<ExprPtr> args;
+      args.push_back(std::move(a));
+      args.push_back(std::move(b));
+      return make_call(type == ScalarType::kFloat ? "fmaxf" : "max",
+                       std::move(args));
+    }
+  }
+  throw cudanp::CompileError("unknown reduce op");
+}
+
+ExprPtr CommCodegen::identity_expr(ReduceOp op, ScalarType type) {
+  double v = identity_of(op);
+  if (type == ScalarType::kFloat) {
+    // +/- infinity are not expressible as literals in the kernel
+    // language; use extreme finite floats for min/max identities.
+    if (op == ReduceOp::kMin) return make_float(3.4e38);
+    if (op == ReduceOp::kMax) return make_float(-3.4e38);
+    return make_float(v);
+  }
+  if (op == ReduceOp::kMin) return make_int(2147483647);
+  if (op == ReduceOp::kMax) return make_int(-2147483648LL);
+  return make_int(static_cast<std::int64_t>(v));
+}
+
+std::string CommCodegen::bcast_buffer(ScalarType type) {
+  bool f = type == ScalarType::kFloat;
+  std::string name = std::string("__np_bcast") + suffix(type);
+  if (!have_bcast_[f]) {
+    have_bcast_[f] = true;
+    Type t = Type::array_of(type, {cfg_.master_count}, AddrSpace::kShared);
+    shared_bytes_ += t.size_bytes();
+    shared_decls_.push_back(std::make_unique<DeclStmt>(t, name));
+  }
+  return name;
+}
+
+std::string CommCodegen::red_buffer(ScalarType type) {
+  bool f = type == ScalarType::kFloat;
+  std::string name = std::string("__np_red") + suffix(type);
+  if (!have_red_[f]) {
+    have_red_[f] = true;
+    Type t = Type::array_of(type, {cfg_.slave_size, cfg_.master_count},
+                            AddrSpace::kShared);
+    shared_bytes_ += t.size_bytes();
+    shared_decls_.push_back(std::make_unique<DeclStmt>(t, name));
+  }
+  return name;
+}
+
+void CommCodegen::emit_broadcast(Block& out, const std::string& var,
+                                 ScalarType type) {
+  if (use_shfl()) {
+    // var = __shfl(var, 0, slave_size): every lane of the group reads the
+    // master's register (paper Sec. 3.1).
+    std::vector<ExprPtr> args;
+    args.push_back(make_var(var));
+    args.push_back(make_int(0));
+    args.push_back(make_int(cfg_.slave_size));
+    out.push(make_assign(make_var(var), make_call("__shfl", std::move(args))));
+    return;
+  }
+  // Shared-memory broadcast: master writes, everyone reads.
+  std::string buf = bcast_buffer(type);
+  auto wr = make_block();
+  wr->push(make_assign(make_index1(buf, master_id()), make_var(var)));
+  out.push(master_only(std::move(wr)));
+  out.push(sync());
+  out.push(make_assign(make_var(var), make_index1(buf, master_id())));
+  out.push(sync());
+}
+
+void CommCodegen::emit_reduction(Block& out, const std::string& var,
+                                 ScalarType type, ReduceOp op) {
+  const int s = cfg_.slave_size;
+  bool pow2 = (s & (s - 1)) == 0;
+  if (use_shfl()) {
+    // Butterfly with __shfl_xor: every lane ends with the group total.
+    std::string tmp = std::string("__np_t") + suffix(type);
+    auto body = make_block();
+    {
+      std::vector<ExprPtr> args;
+      args.push_back(make_var(var));
+      args.push_back(make_var("__np_off"));
+      args.push_back(make_int(s));
+      body->push(std::make_unique<DeclStmt>(
+          Type::scalar_of(type), tmp, make_call("__shfl_xor", std::move(args))));
+      body->push(make_assign(make_var(var),
+                             combine(op, make_var(var), make_var(tmp), type)));
+    }
+    out.push(std::make_unique<ForStmt>(
+        make_decl_int("__np_off", make_int(s / 2)),
+        make_bin(BinOp::kGt, make_var("__np_off"), make_int(0)),
+        make_assign(make_var("__np_off"),
+                    make_bin(BinOp::kDiv, make_var("__np_off"), make_int(2))),
+        std::move(body)));
+    return;
+  }
+
+  std::string buf = red_buffer(type);
+  out.push(make_assign(red_at(buf, slave_id()), make_var(var)));
+  out.push(sync());
+  if (pow2 && s > 1) {
+    // Tree reduction over the slave dimension.
+    auto inner = make_block();
+    inner->push(make_assign(
+        red_at(buf, slave_id()),
+        combine(op, red_at(buf, slave_id()),
+                red_at(buf, make_bin(BinOp::kAdd, slave_id(),
+                                     make_var("__np_off"))),
+                type)));
+    auto guarded = std::make_unique<IfStmt>(
+        make_bin(BinOp::kLt, slave_id(), make_var("__np_off")),
+        std::move(inner));
+    auto loop_body = make_block();
+    loop_body->push(std::move(guarded));
+    loop_body->push(sync());
+    out.push(std::make_unique<ForStmt>(
+        make_decl_int("__np_off", make_int(s / 2)),
+        make_bin(BinOp::kGt, make_var("__np_off"), make_int(0)),
+        make_assign(make_var("__np_off"),
+                    make_bin(BinOp::kDiv, make_var("__np_off"), make_int(2))),
+        std::move(loop_body)));
+  } else {
+    // General (non power-of-two) group size: master gathers linearly.
+    auto gather = make_block();
+    auto gather_body = make_block();
+    gather_body->push(make_assign(
+        make_var(var),
+        combine(op, make_var(var), red_at(buf, make_var("__np_s")), type)));
+    gather->push(std::make_unique<ForStmt>(
+        make_decl_int("__np_s", make_int(1)),
+        make_bin(BinOp::kLt, make_var("__np_s"), make_int(s)),
+        make_assign(make_var("__np_s"),
+                    make_bin(BinOp::kAdd, make_var("__np_s"), make_int(1))),
+        std::move(gather_body)));
+    gather->push(make_assign(red_at(buf, make_int(0)), make_var(var)));
+    out.push(master_only(std::move(gather)));
+    out.push(sync());
+  }
+  out.push(make_assign(make_var(var), red_at(buf, make_int(0))));
+  out.push(sync());
+}
+
+void CommCodegen::emit_exclusive_scan(Block& out, const std::string& var,
+                                      const std::string& out_var,
+                                      ScalarType type, ReduceOp op) {
+  const int s = cfg_.slave_size;
+  if (use_shfl()) {
+    // Hillis-Steele inclusive scan in registers, then shift by one.
+    std::string incl = std::string("__np_incl") + suffix(type);
+    std::string tmp = std::string("__np_t") + suffix(type);
+    out.push(std::make_unique<DeclStmt>(Type::scalar_of(type), incl,
+                                        make_var(var)));
+    auto body = make_block();
+    {
+      std::vector<ExprPtr> args;
+      args.push_back(make_var(incl));
+      args.push_back(make_var("__np_d"));
+      args.push_back(make_int(s));
+      body->push(std::make_unique<DeclStmt>(
+          Type::scalar_of(type), tmp,
+          make_call("__shfl_up", std::move(args))));
+      auto upd = make_block();
+      upd->push(make_assign(make_var(incl),
+                            combine(op, make_var(incl), make_var(tmp), type)));
+      body->push(std::make_unique<IfStmt>(
+          make_bin(BinOp::kGe, slave_id(), make_var("__np_d")),
+          std::move(upd)));
+    }
+    out.push(std::make_unique<ForStmt>(
+        make_decl_int("__np_d", make_int(1)),
+        make_bin(BinOp::kLt, make_var("__np_d"), make_int(s)),
+        make_assign(make_var("__np_d"),
+                    make_bin(BinOp::kMul, make_var("__np_d"), make_int(2))),
+        std::move(body)));
+    {
+      std::vector<ExprPtr> args;
+      args.push_back(make_var(incl));
+      args.push_back(make_int(1));
+      args.push_back(make_int(s));
+      out.push(make_assign(make_var(out_var),
+                           make_call("__shfl_up", std::move(args))));
+    }
+    auto fix = make_block();
+    fix->push(make_assign(make_var(out_var), identity_expr(op, type)));
+    out.push(master_only(std::move(fix)));
+    return;
+  }
+
+  // Shared-memory exclusive scan: each thread combines the partials of
+  // lower slave ids (S <= 32, so the linear gather is cheap).
+  std::string buf = red_buffer(type);
+  out.push(make_assign(red_at(buf, slave_id()), make_var(var)));
+  out.push(sync());
+  out.push(make_assign(make_var(out_var), identity_expr(op, type)));
+  auto body = make_block();
+  body->push(make_assign(
+      make_var(out_var),
+      combine(op, make_var(out_var), red_at(buf, make_var("__np_s")), type)));
+  out.push(std::make_unique<ForStmt>(
+      make_decl_int("__np_s", make_int(0)),
+      make_bin(BinOp::kLt, make_var("__np_s"), slave_id()),
+      make_assign(make_var("__np_s"),
+                  make_bin(BinOp::kAdd, make_var("__np_s"), make_int(1))),
+      std::move(body)));
+  out.push(sync());
+}
+
+void CommCodegen::emit_reduction_buffer_broadcast(Block& out,
+                                                  const std::string& var,
+                                                  ScalarType type, int src) {
+  std::string buf = bcast_buffer(type);
+  auto wr = make_block();
+  wr->push(make_assign(make_index1(buf, master_id()), make_var(var)));
+  out.push(std::make_unique<IfStmt>(
+      make_bin(BinOp::kEq, slave_id(), make_int(src)), std::move(wr)));
+  out.push(sync());
+  out.push(make_assign(make_var(var), make_index1(buf, master_id())));
+  out.push(sync());
+}
+
+std::vector<StmtPtr> CommCodegen::take_shared_decls() {
+  return std::move(shared_decls_);
+}
+
+}  // namespace cudanp::transform

@@ -1,0 +1,81 @@
+// Code generators for master<->slave communication primitives.
+//
+// CUDA-NP expands read_from_master (broadcast), reduction, and scan into
+// real kernel code — either __shfl-based (intra-warp, sm_30+) or
+// shared-memory based (inter-warp, or older targets) — so that the cost
+// of the communication itself is simulated, which is what Figs. 15/16
+// measure.
+//
+// Shared-memory buffers are registered lazily: `take_shared_decls()`
+// returns the declarations the transformer must prepend to the kernel,
+// and `shared_bytes_added()` reports the extra shared-memory pressure
+// (this is exactly the pressure that makes shfl win on MC/LU in Fig. 16).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+#include "transform/np_config.hpp"
+
+namespace cudanp::transform {
+
+class CommCodegen {
+ public:
+  explicit CommCodegen(const NpConfig& cfg) : cfg_(cfg) {}
+
+  /// var = value held by the group's master (slave_id == 0).
+  void emit_broadcast(ir::Block& out, const std::string& var,
+                      ir::ScalarType type);
+
+  /// var = op-combine of all group threads' var; every thread receives
+  /// the result.
+  void emit_reduction(ir::Block& out, const std::string& var,
+                      ir::ScalarType type, ir::ReduceOp op);
+
+  /// out_var = op-combine of var over group threads with slave_id lower
+  /// than this thread's (exclusive scan; identity for the master).
+  /// `out_var` must already be declared.
+  void emit_exclusive_scan(ir::Block& out, const std::string& var,
+                           const std::string& out_var, ir::ScalarType type,
+                           ir::ReduceOp op);
+
+  /// var = value held by the group thread with slave_id == src, using the
+  /// shared-memory path (for targets where __shfl is unavailable).
+  void emit_reduction_buffer_broadcast(ir::Block& out, const std::string& var,
+                                       ir::ScalarType type, int src);
+
+  /// Declarations for the shared buffers used so far (prepend to kernel).
+  [[nodiscard]] std::vector<ir::StmtPtr> take_shared_decls();
+  [[nodiscard]] std::int64_t shared_bytes_added() const {
+    return shared_bytes_;
+  }
+
+  /// a (op) b as an expression.
+  [[nodiscard]] static ir::ExprPtr combine(ir::ReduceOp op, ir::ExprPtr a,
+                                           ir::ExprPtr b,
+                                           ir::ScalarType type);
+  /// The identity literal of `op` for `type`.
+  [[nodiscard]] static ir::ExprPtr identity_expr(ir::ReduceOp op,
+                                                 ir::ScalarType type);
+
+ private:
+  [[nodiscard]] bool use_shfl() const { return cfg_.shfl_available(); }
+  /// Lazily registers the [master] broadcast buffer for `type`; returns
+  /// its name.
+  std::string bcast_buffer(ir::ScalarType type);
+  /// Lazily registers the [slave][master] combine buffer for `type`.
+  std::string red_buffer(ir::ScalarType type);
+  [[nodiscard]] static const char* suffix(ir::ScalarType t) {
+    return t == ir::ScalarType::kFloat ? "_f" : "_i";
+  }
+
+  const NpConfig& cfg_;
+  std::vector<ir::StmtPtr> shared_decls_;
+  std::int64_t shared_bytes_ = 0;
+  bool have_bcast_[2] = {false, false};  // [is_float]
+  bool have_red_[2] = {false, false};
+};
+
+}  // namespace cudanp::transform

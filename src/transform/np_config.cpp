@@ -1,0 +1,27 @@
+#include "transform/np_config.hpp"
+
+#include <sstream>
+
+namespace cudanp::transform {
+
+const char* to_string(LocalPlacement p) {
+  switch (p) {
+    case LocalPlacement::kAuto: return "auto";
+    case LocalPlacement::kGlobal: return "global";
+    case LocalPlacement::kShared: return "shared";
+    case LocalPlacement::kRegister: return "register";
+    case LocalPlacement::kKeep: return "keep-local";
+  }
+  return "?";
+}
+
+std::string NpConfig::describe() const {
+  std::ostringstream os;
+  os << (intra_warp() ? "intra-warp" : "inter-warp") << " slave_size="
+     << slave_size << " tb=" << master_count << "x" << slave_size
+     << " placement=" << to_string(placement)
+     << (shfl_available() ? " shfl" : " smem-comm");
+  return os.str();
+}
+
+}  // namespace cudanp::transform

@@ -1,0 +1,72 @@
+// Configuration of one CUDA-NP transformed kernel variant.
+//
+// The auto-tuner (paper Sec. 6: "the optimal version can be found by
+// testing these versions exhaustively") enumerates NpConfig instances
+// over {inter, intra} x slave_size x local-array placement and picks the
+// fastest on the simulator.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/pragma.hpp"
+#include "ir/type.hpp"
+
+namespace cudanp::transform {
+
+/// Where a live local-memory array is re-homed (paper Sec. 3.3).
+enum class LocalPlacement {
+  kAuto,      // policy: register if partitionable, shared if < 384 B, global
+  kGlobal,    // option 1: partitioned global-memory array
+  kShared,    // option 2: [master][N] shared-memory array
+  kRegister,  // option 3: per-slave partition promoted to registers
+  kKeep,      // left in local memory (e.g. a forced-shared array that
+              // does not fit the shared-memory budget)
+};
+
+[[nodiscard]] const char* to_string(LocalPlacement p);
+
+struct NpConfig {
+  /// Inter-warp (slaves in different warps) vs intra-warp (slaves in the
+  /// same warp) distribution — paper Sec. 3.4.
+  ir::NpType np_type = ir::NpType::kInterWarp;
+  /// Threads per master group: 1 master + (slave_size-1) slaves.
+  int slave_size = 4;
+  /// Original thread-block size (the master dimension).
+  int master_count = 0;
+  LocalPlacement placement = LocalPlacement::kAuto;
+  /// Use __shfl for broadcasts/reductions/scans when legal (intra-warp,
+  /// sm >= 30). When false, shared memory is used even intra-warp
+  /// (the Fig. 16 comparison).
+  bool use_shfl = true;
+  int sm_version = 30;
+  /// Pad constant loop counts up to a multiple of slave_size, adding an
+  /// `if (i < n)` guard over the body (paper Sec. 3.7 item 3). Padding
+  /// introduces idle iterations -> the Fig. 12 comparison.
+  bool pad_loops = false;
+  std::string name_suffix = "_np";
+
+  [[nodiscard]] bool intra_warp() const {
+    return np_type == ir::NpType::kIntraWarp;
+  }
+  [[nodiscard]] bool shfl_available() const {
+    return intra_warp() && use_shfl && sm_version >= 30 && slave_size <= 32 &&
+           (slave_size & (slave_size - 1)) == 0;
+  }
+  [[nodiscard]] int block_threads() const {
+    return master_count * slave_size;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Extra global buffer the transformed kernel needs (local arrays
+/// re-homed to global memory). The runner allocates
+/// grid.x * elems_per_block elements and appends the buffer as the last
+/// kernel argument(s), in order.
+struct ExtraBuffer {
+  std::string param_name;
+  ir::ScalarType type = ir::ScalarType::kFloat;
+  std::int64_t elems_per_block = 0;
+};
+
+}  // namespace cudanp::transform

@@ -1,0 +1,186 @@
+#include "transform/preprocess.hpp"
+
+#include <vector>
+
+#include "ir/printer.hpp"
+#include "transform/rewrite.hpp"
+
+namespace cudanp::transform {
+
+using namespace cudanp::ir;
+
+int flatten_thread_dims(Kernel& kernel, sim::Dim3 block) {
+  const int bx = block.x;
+  const int by = block.y;
+  const int flat = bx * by * block.z;
+  rewrite_exprs(*kernel.body, [&](ExprPtr& e) {
+    if (e->kind() != ExprKind::kVarRef) return;
+    const std::string& n = static_cast<const VarRef&>(*e).name;
+    // Fig. 8b: recover the original coordinates from the flat id.
+    if (n == "threadIdx.x") {
+      if (by * block.z > 1)
+        e = make_bin(BinOp::kMod, make_var("threadIdx.x"), make_int(bx));
+    } else if (n == "threadIdx.y") {
+      e = make_bin(BinOp::kMod,
+                   make_bin(BinOp::kDiv, make_var("threadIdx.x"),
+                            make_int(bx)),
+                   make_int(by));
+    } else if (n == "threadIdx.z") {
+      e = make_bin(BinOp::kDiv, make_var("threadIdx.x"),
+                   make_int(bx * by));
+    } else if (n == "blockDim.x") {
+      e = make_int(bx);
+    } else if (n == "blockDim.y") {
+      e = make_int(by);
+    } else if (n == "blockDim.z") {
+      e = make_int(block.z);
+    }
+  });
+  return flat;
+}
+
+namespace {
+
+/// Skeleton of a statement: printed form with every integer literal
+/// replaced by a placeholder; `literals` receives the original values in
+/// visit order.
+std::string skeleton_of(const Stmt& s, std::vector<std::int64_t>& literals) {
+  StmtPtr clone = s.clone();
+  rewrite_exprs(*clone, [&](ExprPtr& e) {
+    if (e->kind() == ExprKind::kIntLit) {
+      literals.push_back(static_cast<const IntLit&>(*e).value);
+      e = make_var("__rr_lit");
+    }
+  });
+  return print_stmt(*clone);
+}
+
+struct Run {
+  std::size_t begin = 0;
+  std::size_t count = 0;
+  std::size_t literal_count = 0;
+};
+
+void reroll_block(Block& b, bool mark_parallel, int min_run,
+                  RerollResult& result, int& table_counter) {
+  // Recurse first.
+  for (auto& s : b.stmts) {
+    switch (s->kind()) {
+      case StmtKind::kBlock:
+        reroll_block(static_cast<Block&>(*s), mark_parallel, min_run, result,
+                     table_counter);
+        break;
+      case StmtKind::kIf: {
+        auto& i = static_cast<IfStmt&>(*s);
+        reroll_block(*i.then_body, mark_parallel, min_run, result,
+                     table_counter);
+        if (i.else_body)
+          reroll_block(*i.else_body, mark_parallel, min_run, result,
+                       table_counter);
+        break;
+      }
+      case StmtKind::kFor:
+        reroll_block(*static_cast<ForStmt&>(*s).body, mark_parallel, min_run,
+                     result, table_counter);
+        break;
+      case StmtKind::kWhile:
+        reroll_block(*static_cast<WhileStmt&>(*s).body, mark_parallel,
+                     min_run, result, table_counter);
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Find maximal runs of same-skeleton assignment statements.
+  std::vector<std::string> skeletons(b.stmts.size());
+  std::vector<std::vector<std::int64_t>> lits(b.stmts.size());
+  for (std::size_t i = 0; i < b.stmts.size(); ++i) {
+    if (b.stmts[i]->kind() == StmtKind::kAssign)
+      skeletons[i] = skeleton_of(*b.stmts[i], lits[i]);
+  }
+
+  std::vector<StmtPtr> rebuilt;
+  std::size_t i = 0;
+  while (i < b.stmts.size()) {
+    std::size_t j = i;
+    if (!skeletons[i].empty()) {
+      while (j + 1 < b.stmts.size() && skeletons[j + 1] == skeletons[i] &&
+             lits[j + 1].size() == lits[i].size())
+        ++j;
+    }
+    std::size_t run = j - i + 1;
+    if (skeletons[i].empty() || run < static_cast<std::size_t>(min_run)) {
+      for (std::size_t k = i; k <= j; ++k)
+        rebuilt.push_back(std::move(b.stmts[k]));
+      i = j + 1;
+      continue;
+    }
+
+    // Build per-literal tables; constant columns stay literal.
+    const std::size_t m = lits[i].size();
+    const std::size_t n = run;
+    std::vector<bool> varying(m, false);
+    for (std::size_t c = 0; c < m; ++c)
+      for (std::size_t r = 1; r < n; ++r)
+        if (lits[i + r][c] != lits[i][c]) varying[c] = true;
+
+    std::vector<std::string> table_names(m);
+    for (std::size_t c = 0; c < m; ++c) {
+      if (!varying[c]) continue;
+      std::string name = "__rr_tab" + std::to_string(table_counter++);
+      table_names[c] = name;
+      auto decl = std::make_unique<DeclStmt>(
+          Type::array_of(ScalarType::kInt,
+                         {static_cast<std::int64_t>(n)},
+                         AddrSpace::kConstant),
+          name);
+      for (std::size_t r = 0; r < n; ++r)
+        decl->init_list.push_back(make_int(lits[i + r][c]));
+      rebuilt.push_back(std::move(decl));
+    }
+
+    // Loop body: first statement of the run with varying literals
+    // replaced by table lookups.
+    StmtPtr body_stmt = b.stmts[i]->clone();
+    std::size_t col = 0;
+    rewrite_exprs(*body_stmt, [&](ExprPtr& e) {
+      if (e->kind() != ExprKind::kIntLit) return;
+      std::size_t c = col++;
+      if (c < m && varying[c])
+        e = make_index1(table_names[c], make_var("__rr_u"));
+    });
+
+    auto body = make_block();
+    body->push(std::move(body_stmt));
+    auto loop = std::make_unique<ForStmt>(
+        make_decl_int("__rr_u", make_int(0)),
+        make_bin(BinOp::kLt, make_var("__rr_u"),
+                 make_int(static_cast<std::int64_t>(n))),
+        std::make_unique<AssignStmt>(make_var("__rr_u"), AssignOp::kAdd,
+                                     make_int(1)),
+        std::move(body));
+    if (mark_parallel) {
+      NpPragma pragma;
+      pragma.parallel_for = true;
+      loop->pragma = pragma;
+    }
+    rebuilt.push_back(std::move(loop));
+    ++result.loops_created;
+    result.statements_absorbed += static_cast<int>(n);
+    i = j + 1;
+  }
+  b.stmts = std::move(rebuilt);
+}
+
+}  // namespace
+
+RerollResult reroll_unrolled_statements(Kernel& kernel, bool mark_parallel,
+                                        int min_run) {
+  RerollResult result;
+  int table_counter = 0;
+  reroll_block(*kernel.body, mark_parallel, min_run, result, table_counter);
+  return result;
+}
+
+}  // namespace cudanp::transform

@@ -1,0 +1,39 @@
+// Preprocessors (paper Sec. 3.7): transformations that normalize a kernel
+// into the shape the NP transformer expects.
+#pragma once
+
+#include "ir/kernel.hpp"
+#include "sim/launch.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::transform {
+
+/// Sec. 3.7 item 1: converts a kernel written for a multi-dimensional
+/// thread block into one-dimensional form using the Fig. 8 mapping:
+///     flat = tz * (bx*by) + ty * bx + tx
+/// Every threadIdx.x/y/z and blockDim.x/y/z is rewritten in terms of the
+/// flat id; warps are unchanged (consecutive flat ids), so coalescing and
+/// divergence are unaffected. Returns the flattened block size.
+[[nodiscard]] int flatten_thread_dims(ir::Kernel& kernel, sim::Dim3 block);
+
+struct RerollResult {
+  int loops_created = 0;
+  int statements_absorbed = 0;
+};
+
+/// Sec. 3.7 item 2: combines runs of >= `min_run` consecutive statements
+/// that are identical up to integer literals into a loop, hoisting the
+/// varying literals into constant index tables:
+///
+///     a[3] += b[0];              int __rr_tab0[3] = {3, 1, 4};
+///     a[1] += b[1];      =>      for (int __rr_u = 0; __rr_u < 3; ...)
+///     a[4] += b[2];                a[__rr_tab0[__rr_u]] += b[__rr_u];
+///
+/// When `mark_parallel` is set the created loop gets a
+/// `#pragma np parallel for` so CUDA-NP can distribute it (the caller
+/// must know the statements are independent).
+RerollResult reroll_unrolled_statements(ir::Kernel& kernel,
+                                        bool mark_parallel = false,
+                                        int min_run = 3);
+
+}  // namespace cudanp::transform

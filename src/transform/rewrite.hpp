@@ -1,0 +1,27 @@
+// In-place AST rewriting utilities shared by the transformation passes.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "ir/stmt.hpp"
+
+namespace cudanp::transform {
+
+/// Applies `fn` to every expression slot in `e`'s subtree, children first,
+/// then `e` itself. `fn` may replace the pointed-to expression.
+void rewrite_exprs(ir::ExprPtr& e,
+                   const std::function<void(ir::ExprPtr&)>& fn);
+
+/// Applies `fn` to every expression slot anywhere under statement `s`.
+void rewrite_exprs(ir::Stmt& s, const std::function<void(ir::ExprPtr&)>& fn);
+
+/// Replaces every `VarRef` named `name` with a fresh expression from
+/// `make` (cloned per occurrence).
+void replace_var(ir::Stmt& s, const std::string& name,
+                 const std::function<ir::ExprPtr()>& make);
+
+/// Renames every `VarRef` named `from` to `to`.
+void rename_var(ir::Stmt& s, const std::string& from, const std::string& to);
+
+}  // namespace cudanp::transform

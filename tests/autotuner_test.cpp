@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "kernels/suite.hpp"
+#include "np/autotuner.hpp"
+
+namespace cudanp::np {
+namespace {
+
+using transform::NpConfig;
+
+Runner make_runner() { return Runner(sim::DeviceSpec::gtx680()); }
+
+TEST(CompilerFacade, ParseAndTransform) {
+  auto prog = NpCompiler::parse(
+      "__global__ void k(float* a, int n) {\n"
+      "float s = 0.0f;\n"
+      "#pragma np parallel for reduction(+:s)\n"
+      "for (int i = 0; i < n; i++) s += a[i];\n"
+      "a[0] = s; }");
+  ASSERT_NE(prog->find_kernel("k"), nullptr);
+  NpConfig cfg;
+  cfg.slave_size = 4;
+  cfg.master_count = 32;
+  auto variant = NpCompiler::transform(*prog->find_kernel("k"), cfg);
+  EXPECT_EQ(variant.kernel->name, "k_np");
+}
+
+TEST(EnumerateConfigs, RespectsBlockSizeCap) {
+  auto prog = NpCompiler::parse(
+      "__global__ void k(float* a, int n) {\n"
+      "#pragma np parallel for\n"
+      "for (int i = 0; i < n; i++) a[i] = 0.0f; }");
+  auto spec = sim::DeviceSpec::gtx680();
+  auto c32 = NpCompiler::enumerate_configs(*prog->find_kernel("k"), 32, spec);
+  auto c512 = NpCompiler::enumerate_configs(*prog->find_kernel("k"), 512, spec);
+  EXPECT_GT(c32.size(), c512.size());
+  for (const auto& c : c512)
+    EXPECT_LE(c.block_threads(), spec.max_threads_per_block);
+}
+
+TEST(EnumerateConfigs, HonorsPragmaHints) {
+  auto prog = NpCompiler::parse(
+      "__global__ void k(float* a, int n) {\n"
+      "#pragma np parallel for num_threads(8) np_type(inter)\n"
+      "for (int i = 0; i < n; i++) a[i] = 0.0f; }");
+  auto configs = NpCompiler::enumerate_configs(
+      *prog->find_kernel("k"), 32, sim::DeviceSpec::gtx680());
+  ASSERT_EQ(configs.size(), 1u);
+  EXPECT_EQ(configs[0].slave_size, 8);
+  EXPECT_EQ(configs[0].np_type, ir::NpType::kInterWarp);
+}
+
+TEST(EnumerateConfigs, IntraWarpRequiresWarpDivisor) {
+  auto prog = NpCompiler::parse(
+      "__global__ void k(float* a, int n) {\n"
+      "#pragma np parallel for np_type(intra)\n"
+      "for (int i = 0; i < n; i++) a[i] = 0.0f; }");
+  auto configs = NpCompiler::enumerate_configs(
+      *prog->find_kernel("k"), 16, sim::DeviceSpec::gtx680());
+  for (const auto& c : configs) EXPECT_EQ(32 % c.slave_size, 0);
+}
+
+TEST(Autotuner, FindsAWinnerOnTmv) {
+  auto bench = kernels::make_tmv(256, 256);
+  Autotuner tuner(make_runner());
+  auto result =
+      tuner.tune(bench->kernel(), [&] { return bench->make_workload(); });
+  EXPECT_GT(result.baseline_seconds, 0.0);
+  ASSERT_GE(result.best, 0);
+  EXPECT_GT(result.best_speedup(), 1.0);
+  EXPECT_NE(result.best_config(), nullptr);
+  // Every enumerated entry either succeeded or carries a reason.
+  for (const auto& e : result.entries)
+    EXPECT_TRUE(e.ok || !e.note.empty());
+}
+
+TEST(Autotuner, BestEntryHasMinimalTime) {
+  auto bench = kernels::make_nn(128, 512);
+  Autotuner tuner(make_runner());
+  auto result =
+      tuner.tune(bench->kernel(), [&] { return bench->make_workload(); });
+  ASSERT_GE(result.best, 0);
+  double best = result.entries[static_cast<std::size_t>(result.best)].seconds;
+  for (const auto& e : result.entries)
+    if (e.ok) EXPECT_GE(e.seconds, best);
+}
+
+TEST(Autotuner, ExplicitConfigListRestrictsSearch) {
+  auto bench = kernels::make_tmv(128, 128);
+  Autotuner tuner(make_runner());
+  TuneOptions opts;
+  NpConfig only;
+  only.np_type = ir::NpType::kInterWarp;
+  only.slave_size = 4;
+  only.master_count = 32;
+  opts.configs = {only};
+  auto result =
+      tuner.tune(bench->kernel(), [&] { return bench->make_workload(); },
+                 opts);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_TRUE(result.entries[0].ok);
+}
+
+TEST(Autotuner, InvalidConfigRecordedNotThrown) {
+  auto bench = kernels::make_tmv(128, 128);
+  Autotuner tuner(make_runner());
+  TuneOptions opts;
+  NpConfig bad;
+  bad.np_type = ir::NpType::kIntraWarp;
+  bad.slave_size = 3;  // not a power of two
+  bad.master_count = 32;
+  opts.configs = {bad};
+  auto result =
+      tuner.tune(bench->kernel(), [&] { return bench->make_workload(); },
+                 opts);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_FALSE(result.entries[0].ok);
+  EXPECT_NE(result.entries[0].note.find("transform failed"),
+            std::string::npos);
+  EXPECT_EQ(result.best, -1);
+  EXPECT_DOUBLE_EQ(result.best_speedup(), 1.0);  // falls back to baseline
+}
+
+TEST(Runner, VariantAllocatesExtraBuffers) {
+  // LE with a forced-global local array needs one extra buffer per launch.
+  auto bench = kernels::make_le(64);
+  NpConfig cfg;
+  cfg.np_type = ir::NpType::kInterWarp;
+  cfg.slave_size = 4;
+  cfg.master_count = 32;
+  cfg.placement = transform::LocalPlacement::kGlobal;
+  auto variant = NpCompiler::transform(bench->kernel(), cfg);
+  ASSERT_EQ(variant.extra_buffers.size(), 1u);
+  Runner runner = make_runner();
+  auto w = bench->make_workload();
+  std::size_t before = w.mem->buffer_count();
+  auto run = runner.run_variant(variant, w);
+  EXPECT_EQ(w.mem->buffer_count(), before + 1);
+  EXPECT_GT(run.timing.seconds, 0.0);
+  std::string msg;
+  EXPECT_TRUE(w.validate(*w.mem, &msg)) << msg;
+}
+
+}  // namespace
+}  // namespace cudanp::np

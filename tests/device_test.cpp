@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "sim/device.hpp"
+
+namespace cudanp::sim {
+namespace {
+
+TEST(DeviceSpec, Gtx680Preset) {
+  auto s = DeviceSpec::gtx680();
+  EXPECT_EQ(s.sm_version, 30);
+  EXPECT_EQ(s.num_smx, 8);
+  EXPECT_EQ(s.shared_mem_per_smx, 48 * 1024);
+  EXPECT_FALSE(s.supports_dynamic_parallelism);
+  EXPECT_GT(s.dram_bytes_per_cycle_per_smx(), 0.0);
+}
+
+TEST(DeviceSpec, K20cPreset) {
+  auto s = DeviceSpec::k20c();
+  EXPECT_EQ(s.sm_version, 35);
+  EXPECT_TRUE(s.supports_dynamic_parallelism);
+  EXPECT_EQ(s.num_smx, 13);
+}
+
+TEST(Occupancy, ThreadLimited) {
+  auto spec = DeviceSpec::gtx680();
+  ResourceUsage r{.registers_per_thread = 16, .shared_mem_per_block = 0,
+                  .local_mem_per_thread = 0};
+  Occupancy o = compute_occupancy(spec, 256, r);
+  // 2048 threads / 256 = 8 blocks.
+  EXPECT_EQ(o.blocks_per_smx, 8);
+  EXPECT_EQ(o.active_warps, 64);
+  EXPECT_EQ(o.limiting_factor, "threads");
+  EXPECT_DOUBLE_EQ(o.occupancy_fraction(spec), 1.0);
+}
+
+TEST(Occupancy, BlockLimited) {
+  auto spec = DeviceSpec::gtx680();
+  ResourceUsage r{.registers_per_thread = 16, .shared_mem_per_block = 0,
+                  .local_mem_per_thread = 0};
+  // Tiny 32-thread blocks: capped at 16 blocks/SMX = 512 threads.
+  Occupancy o = compute_occupancy(spec, 32, r);
+  EXPECT_EQ(o.blocks_per_smx, 16);
+  EXPECT_EQ(o.active_warps, 16);
+  EXPECT_EQ(o.limiting_factor, "blocks");
+}
+
+TEST(Occupancy, SharedMemoryLimited) {
+  auto spec = DeviceSpec::gtx680();
+  // 12 KB/block -> 4 blocks fit in 48 KB (the paper's lud_perimeter
+  // discussion: 3 KB blocks -> 16 concurrent).
+  ResourceUsage r{.registers_per_thread = 16,
+                  .shared_mem_per_block = 12 * 1024,
+                  .local_mem_per_thread = 0};
+  Occupancy o = compute_occupancy(spec, 64, r);
+  EXPECT_EQ(o.blocks_per_smx, 4);
+  EXPECT_EQ(o.limiting_factor, "smem");
+}
+
+TEST(Occupancy, PaperLudExample) {
+  // Paper Sec. 3: 32-thread TBs with 3 KB shared memory -> 16 TBs per SMX.
+  auto spec = DeviceSpec::gtx680();
+  ResourceUsage r{.registers_per_thread = 20,
+                  .shared_mem_per_block = 3 * 1024,
+                  .local_mem_per_thread = 0};
+  Occupancy o = compute_occupancy(spec, 32, r);
+  EXPECT_EQ(o.blocks_per_smx, 16);
+}
+
+TEST(Occupancy, RegisterLimited) {
+  auto spec = DeviceSpec::gtx680();
+  // 63 regs * 1024 threads = 64512 regs/block -> 1 block (65536 available).
+  ResourceUsage r{.registers_per_thread = 63, .shared_mem_per_block = 0,
+                  .local_mem_per_thread = 0};
+  Occupancy o = compute_occupancy(spec, 1024, r);
+  EXPECT_EQ(o.blocks_per_smx, 1);
+  EXPECT_EQ(o.limiting_factor, "registers");
+}
+
+TEST(Occupancy, CannotLaunchWhenSmemExceedsSmx) {
+  auto spec = DeviceSpec::gtx680();
+  ResourceUsage r{.registers_per_thread = 16,
+                  .shared_mem_per_block = 49 * 1024,
+                  .local_mem_per_thread = 0};
+  EXPECT_EQ(compute_occupancy(spec, 64, r).blocks_per_smx, 0);
+}
+
+TEST(Occupancy, InvalidBlockSize) {
+  auto spec = DeviceSpec::gtx680();
+  ResourceUsage r{};
+  EXPECT_EQ(compute_occupancy(spec, 0, r).blocks_per_smx, 0);
+  EXPECT_EQ(compute_occupancy(spec, 2048, r).blocks_per_smx, 0);
+}
+
+TEST(Occupancy, RegisterClampAppliesArchLimit) {
+  auto spec = DeviceSpec::gtx680();
+  ResourceUsage hi{.registers_per_thread = 500, .shared_mem_per_block = 0,
+                   .local_mem_per_thread = 0};
+  ResourceUsage at{.registers_per_thread = 63, .shared_mem_per_block = 0,
+                   .local_mem_per_thread = 0};
+  EXPECT_EQ(compute_occupancy(spec, 256, hi).blocks_per_smx,
+            compute_occupancy(spec, 256, at).blocks_per_smx);
+}
+
+// Property: occupancy never increases when any resource demand grows.
+class OccupancyMonotonic
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(OccupancyMonotonic, MoreResourcesNeverMoreBlocks) {
+  auto spec = DeviceSpec::gtx680();
+  auto [threads, regs] = GetParam();
+  for (std::int64_t smem : {0, 1024, 4096, 16384, 32768}) {
+    ResourceUsage lo{.registers_per_thread = regs,
+                     .shared_mem_per_block = smem,
+                     .local_mem_per_thread = 0};
+    ResourceUsage hi = lo;
+    hi.registers_per_thread += 8;
+    hi.shared_mem_per_block += 1024;
+    EXPECT_GE(compute_occupancy(spec, threads, lo).blocks_per_smx,
+              compute_occupancy(spec, threads, hi).blocks_per_smx)
+        << "threads=" << threads << " regs=" << regs << " smem=" << smem;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OccupancyMonotonic,
+    ::testing::Combine(::testing::Values(32, 64, 128, 256, 512, 1024),
+                       ::testing::Values(8, 16, 32, 48)));
+
+}  // namespace
+}  // namespace cudanp::sim

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "sim/dynpar.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::sim {
+namespace {
+
+DynamicParallelismModel model() {
+  return DynamicParallelismModel(DeviceSpec::k20c());
+}
+
+TEST(DynPar, BaselineBandwidthMatchesPaperBallpark) {
+  // Paper Sec. 2.1: 142 GB/s plain memcopy on K20c.
+  EXPECT_NEAR(model().baseline_copy_bandwidth_gbs(), 142.0, 3.0);
+}
+
+TEST(DynPar, RdcOverheadHalvesBandwidth) {
+  // Paper: merely enabling the CDP compile path drops 142 -> 63 GB/s.
+  auto m = model();
+  const std::int64_t total = 64 << 20;
+  double bw = m.cdp_copy_bandwidth_gbs(total, total);
+  EXPECT_NEAR(bw, 63.0, 8.0);
+}
+
+TEST(DynPar, SixteenKChildrenReachPaperPoint) {
+  // Paper Fig. 1: 16K-thread children -> ~34 GB/s overall.
+  auto m = model();
+  double bw = m.cdp_copy_bandwidth_gbs(64 << 20, 16 << 10);
+  EXPECT_NEAR(bw, 34.0, 8.0);
+}
+
+TEST(DynPar, BandwidthDegradesMonotonicallyWithMoreLaunches) {
+  auto m = model();
+  const std::int64_t total = 64 << 20;
+  double prev = 1e18;
+  for (std::int64_t child = total; child >= 1024; child /= 4) {
+    double bw = m.cdp_copy_bandwidth_gbs(total, child);
+    EXPECT_LE(bw, prev * 1.0001) << "child=" << child;
+    prev = bw;
+  }
+}
+
+TEST(DynPar, RequiresSm35) {
+  DynamicParallelismModel m(DeviceSpec::gtx680());
+  EXPECT_THROW(m.cdp_copy_bandwidth_gbs(1 << 20, 1 << 10), SimError);
+}
+
+TEST(DynPar, InvalidConfigThrows) {
+  auto m = model();
+  EXPECT_THROW(m.cdp_copy_bandwidth_gbs(0, 1), SimError);
+  EXPECT_THROW(m.cdp_copy_bandwidth_gbs(100, 0), SimError);
+  EXPECT_THROW(m.cdp_copy_bandwidth_gbs(100, 200), SimError);
+}
+
+TEST(DynPar, LaunchOverheadScalesLinearly) {
+  auto m = model();
+  double t1 = m.launch_overhead_seconds(1000);
+  double t2 = m.launch_overhead_seconds(2000);
+  EXPECT_GT(t2, t1);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.15);
+  EXPECT_EQ(m.launch_overhead_seconds(0), 0.0);
+}
+
+TEST(DynPar, CommunicationHasLatencyFloor) {
+  auto m = model();
+  EXPECT_GT(m.communication_seconds(4), 0.0);
+  EXPECT_GT(m.communication_seconds(1 << 20),
+            m.communication_seconds(1 << 10));
+  EXPECT_EQ(m.communication_seconds(0), 0.0);
+}
+
+TEST(DynPar, CdpKernelAlwaysSlowerThanBaseline) {
+  // Sec. 6: every CDP rewrite of the paper benchmarks lost, by 7.6x to
+  // 125.7x. The model must never predict a CDP win for these shapes.
+  auto m = model();
+  for (std::int64_t launches : {100, 10000, 1000000}) {
+    double t = m.cdp_kernel_seconds(/*baseline_seconds=*/1e-3, launches,
+                                    /*child_fraction=*/1.0,
+                                    /*comm_bytes_per_launch=*/256);
+    EXPECT_GT(t, 1e-3) << launches;
+  }
+}
+
+TEST(DynPar, SlowdownGrowsWithLaunchCount) {
+  auto m = model();
+  double few = m.cdp_kernel_seconds(1e-3, 1000, 1.0, 128);
+  double many = m.cdp_kernel_seconds(1e-3, 100000, 1.0, 128);
+  EXPECT_GT(many, few);
+}
+
+}  // namespace
+}  // namespace cudanp::sim

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "analysis/access_pattern.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/benchmark.hpp"
+#include "np/autotuner.hpp"
+#include "np/heuristic.hpp"
+
+namespace cudanp {
+namespace {
+
+using analysis::decompose_linear;
+using analysis::summarize_access_patterns;
+
+ir::ExprPtr parse_index(const std::string& expr_text) {
+  auto p = frontend::parse_program_or_throw(
+      "__global__ void k(float* a, int w, int h) { a[" + expr_text +
+      "] = 0.0f; }");
+  auto& assign = static_cast<ir::AssignStmt&>(*p->kernels[0]->body->stmts[0]);
+  auto& idx = static_cast<ir::ArrayIndex&>(*assign.lhs);
+  static std::unique_ptr<ir::Program> keep;
+  keep = std::move(p);
+  return idx.indices[0]->clone();
+}
+
+TEST(LinearForm, MasterUnitStride) {
+  auto e = parse_index("i * w + tx");
+  auto lf = decompose_linear(*e, "tx", "i");
+  ASSERT_TRUE(lf.affine);
+  EXPECT_EQ(*lf.master_coeff, 1);
+  EXPECT_EQ(*lf.iter_coeff, 0);  // w is symbolic: treated as invariant
+}
+
+TEST(LinearForm, IteratorUnitStride) {
+  auto e = parse_index("tx * 128 + i");
+  auto lf = decompose_linear(*e, "tx", "i");
+  ASSERT_TRUE(lf.affine);
+  EXPECT_EQ(*lf.master_coeff, 128);
+  EXPECT_EQ(*lf.iter_coeff, 1);
+}
+
+TEST(LinearForm, ConstantFolding) {
+  auto e = parse_index("tx * (4 * 8) + i * 2 + 5");
+  auto lf = decompose_linear(*e, "tx", "i");
+  ASSERT_TRUE(lf.affine);
+  EXPECT_EQ(*lf.master_coeff, 32);
+  EXPECT_EQ(*lf.iter_coeff, 2);
+}
+
+TEST(LinearForm, Subtraction) {
+  auto e = parse_index("i - tx");
+  auto lf = decompose_linear(*e, "tx", "i");
+  ASSERT_TRUE(lf.affine);
+  EXPECT_EQ(*lf.master_coeff, -1);
+  EXPECT_EQ(*lf.iter_coeff, 1);
+}
+
+TEST(LinearForm, NonAffineProduct) {
+  auto lf = decompose_linear(*parse_index("tx * i"), "tx", "i");
+  EXPECT_FALSE(lf.affine);
+}
+
+TEST(LinearForm, InvariantProductStaysAffine) {
+  auto lf = decompose_linear(*parse_index("w * h + tx"), "tx", "i");
+  ASSERT_TRUE(lf.affine);
+  EXPECT_EQ(*lf.master_coeff, 1);
+}
+
+TEST(AccessPattern, TmvIsMasterCoalesced) {
+  // TMV reads a[i*w + tx] and b[i]: the tx-indexed access is coalesced
+  // across masters (through the `tx = threadIdx.x + ...` definition).
+  auto bench = kernels::make_benchmark("TMV", 0.1);
+  auto s = summarize_access_patterns(bench->kernel());
+  EXPECT_GT(s.global_accesses, 0);
+  EXPECT_GE(s.coalesced_by_master, 1);
+  EXPECT_FALSE(s.master_divergent_guard);
+}
+
+TEST(AccessPattern, SsIsIteratorRecoalescible) {
+  // SS reads pts[tid*dim + ...+ j]: master stride = dim (>= 32),
+  // iterator stride = 1 -> intra-warp NP re-coalesces.
+  auto bench = kernels::make_benchmark("SS", 0.1);
+  auto s = summarize_access_patterns(bench->kernel());
+  EXPECT_GT(s.recoalesced_by_iterator, 0);
+}
+
+TEST(AccessPattern, LuHasMasterDivergentGuard) {
+  auto bench = kernels::make_benchmark("LU", 0.1);
+  auto s = summarize_access_patterns(bench->kernel());
+  EXPECT_TRUE(s.master_divergent_guard);
+}
+
+TEST(AccessPattern, TripCountRecorded) {
+  auto bench = kernels::make_benchmark("LE", 0.1);
+  auto s = summarize_access_patterns(bench->kernel());
+  EXPECT_EQ(s.max_const_trip, 150);
+}
+
+TEST(Heuristic, PrefersIntraForLu) {
+  auto bench = kernels::make_benchmark("LU", 0.1);
+  auto c = np::suggest_config(bench->kernel(), 32,
+                              sim::DeviceSpec::gtx680());
+  EXPECT_EQ(c.config.np_type, ir::NpType::kIntraWarp);
+  EXPECT_NE(c.rationale.find("guard"), std::string::npos);
+}
+
+TEST(Heuristic, PrefersIntraForSs) {
+  auto bench = kernels::make_benchmark("SS", 0.1);
+  auto c = np::suggest_config(bench->kernel(), 128,
+                              sim::DeviceSpec::gtx680());
+  EXPECT_EQ(c.config.np_type, ir::NpType::kIntraWarp);
+}
+
+TEST(Heuristic, PrefersInterForCoalescedBaselines) {
+  for (const char* name : {"TMV", "MV", "BK"}) {
+    auto bench = kernels::make_benchmark(name, 0.1);
+    auto probe = bench->make_workload();
+    auto c = np::suggest_config(bench->kernel(),
+                                static_cast<int>(probe.launch.block.count()),
+                                sim::DeviceSpec::gtx680());
+    EXPECT_EQ(c.config.np_type, ir::NpType::kInterWarp) << name;
+  }
+}
+
+TEST(Heuristic, TinyLoopsGetSmallGroups) {
+  auto bench = kernels::make_benchmark("CFD", 0.1);
+  auto c = np::suggest_config(bench->kernel(), 128,
+                              sim::DeviceSpec::gtx680());
+  EXPECT_LE(c.config.slave_size, 4);  // LC = 4
+}
+
+TEST(Heuristic, RespectsBlockSizeCap) {
+  auto bench = kernels::make_benchmark("SS", 0.1);
+  auto c = np::suggest_config(bench->kernel(), 512,
+                              sim::DeviceSpec::gtx680());
+  EXPECT_LE(c.config.block_threads(), 1024);
+}
+
+TEST(Heuristic, SuggestionIsValidAndCorrect) {
+  // The heuristic pick must transform cleanly and validate on every
+  // benchmark.
+  for (auto& bench : kernels::make_benchmark_suite(0.08)) {
+    auto probe = bench->make_workload();
+    auto c = np::suggest_config(bench->kernel(),
+                                static_cast<int>(probe.launch.block.count()),
+                                sim::DeviceSpec::gtx680());
+    auto variant = np::NpCompiler::transform(bench->kernel(), c.config);
+    np::Runner runner{sim::DeviceSpec::gtx680()};
+    auto w = bench->make_workload();
+    (void)runner.run_variant(variant, w);
+    std::string msg;
+    EXPECT_TRUE(!w.validate || w.validate(*w.mem, &msg))
+        << bench->name() << ": " << msg;
+  }
+}
+
+}  // namespace
+}  // namespace cudanp

@@ -1,0 +1,228 @@
+// Additional interpreter coverage: multi-dimensional grids, nested
+// control flow, cost-accounting invariants, and the local-memory L1
+// working-set behaviour that drives Fig. 15.
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "sim/interpreter.hpp"
+
+namespace cudanp::sim {
+namespace {
+
+struct Harness {
+  DeviceSpec spec = DeviceSpec::gtx680();
+  DeviceMemory mem;
+  std::unique_ptr<ir::Program> program;
+  KernelStats stats;
+
+  BufferId alloc_i(std::size_t n) { return mem.alloc(ir::ScalarType::kInt, n); }
+  BufferId alloc_f(std::size_t n) { return mem.alloc(ir::ScalarType::kFloat, n); }
+
+  void run(const std::string& src, LaunchConfig cfg, int resident = 1) {
+    program = frontend::parse_program_or_throw(src);
+    Interpreter interp(spec, mem);
+    stats = interp.run(*program->find_kernel("k"), cfg, resident);
+  }
+  std::span<const std::int32_t> i32(BufferId b) { return mem.buffer(b).i32(); }
+};
+
+TEST(InterpreterGrid, TwoDimensionalGrid) {
+  Harness h;
+  auto out = h.alloc_i(6);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  o[blockIdx.y * gridDim.x + blockIdx.x] ="
+      "      blockIdx.y * 10 + blockIdx.x;"
+      "}",
+      {.grid = {3, 2, 1}, .block = {1, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.i32(out)[0], 0);
+  EXPECT_EQ(h.i32(out)[2], 2);
+  EXPECT_EQ(h.i32(out)[3], 10);
+  EXPECT_EQ(h.i32(out)[5], 12);
+  EXPECT_EQ(h.stats.blocks, 6);
+}
+
+TEST(InterpreterGrid, ThreeDimensionalGridCount) {
+  Harness h;
+  auto out = h.alloc_i(1);
+  h.run(
+      "__global__ void k(int* o) { o[0] = gridDim.x * gridDim.y * gridDim.z; }",
+      {.grid = {2, 3, 4}, .block = {1, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.stats.blocks, 24);
+  EXPECT_EQ(h.i32(out)[0], 24);
+}
+
+TEST(InterpreterControl, NestedLoopsAndConditionals) {
+  Harness h;
+  auto out = h.alloc_i(4);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int t = threadIdx.x;"
+      "  int acc = 0;"
+      "  for (int i = 0; i < 4; i++) {"
+      "    for (int j = 0; j < 4; j++) {"
+      "      if ((i + j) % 2 == 0) {"
+      "        if (j > t) { acc += 10; } else { acc += 1; }"
+      "      }"
+      "    }"
+      "  }"
+      "  o[t] = acc;"
+      "}",
+      {.grid = {1, 1, 1}, .block = {4, 1, 1}, .args = {out}});
+  // 8 (i+j) even pairs; per thread t: pairs with j>t count 10 else 1.
+  for (int t = 0; t < 4; ++t) {
+    int want = 0;
+    for (int i = 0; i < 4; ++i)
+      for (int j = 0; j < 4; ++j)
+        if ((i + j) % 2 == 0) want += j > t ? 10 : 1;
+    EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(t)], want) << t;
+  }
+}
+
+TEST(InterpreterControl, ReturnInsideLoopStopsIterating) {
+  Harness h;
+  auto out = h.alloc_i(4);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int t = threadIdx.x;"
+      "  o[t] = 0;"
+      "  for (int i = 0; i < 10; i++) {"
+      "    if (i == t + 1) { return; }"
+      "    o[t] = o[t] + 1;"
+      "  }"
+      "}",
+      {.grid = {1, 1, 1}, .block = {4, 1, 1}, .args = {out}});
+  for (int t = 0; t < 4; ++t)
+    EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(t)], t + 1);
+}
+
+TEST(InterpreterCost, IssueSlotsScaleWithActiveWarps) {
+  // Same per-thread program: a 64-thread block issues twice the warp
+  // instructions of a 32-thread block.
+  auto measure = [](int threads) {
+    Harness h;
+    auto out = h.alloc_i(static_cast<std::size_t>(threads));
+    h.run(
+        "__global__ void k(int* o) {"
+        "  int acc = 0;"
+        "  for (int i = 0; i < 100; i++) acc += i;"
+        "  o[threadIdx.x] = acc;"
+        "}",
+        {.grid = {1, 1, 1}, .block = {threads, 1, 1}, .args = {out}});
+    return h.stats.issue_slots;
+  };
+  double w1 = measure(32);
+  double w2 = measure(64);
+  EXPECT_NEAR(w2 / w1, 2.0, 0.01);
+}
+
+TEST(InterpreterCost, SyncCountsPerExecution) {
+  Harness h;
+  auto out = h.alloc_i(32);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  __shared__ int t[32];"
+      "  for (int i = 0; i < 5; i++) {"
+      "    t[threadIdx.x] = i;"
+      "    __syncthreads();"
+      "  }"
+      "  o[threadIdx.x] = t[threadIdx.x];"
+      "}",
+      {.grid = {2, 1, 1}, .block = {32, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.stats.sync_ops, 2 * 5);  // two blocks, five iterations
+}
+
+TEST(InterpreterCost, LocalArrayWorkingSetDrivesL1Misses) {
+  // A 64 B/thread array fits the per-block L1 slice and re-reads hit;
+  // a 4 KB/thread array thrashes it and misses keep coming — this is
+  // the LE local-memory effect behind Fig. 15.
+  auto misses = [](int elems, int resident) {
+    Harness h;
+    auto out = h.alloc_f(64);
+    std::string n = std::to_string(elems);
+    h.run(
+        "__global__ void k(float* o) {"
+        "  float a[" + n + "];"
+        "  for (int r = 0; r < 4; r++) {"
+        "    for (int i = 0; i < " + n + "; i++) {"
+        "      a[i] = (float)i;"
+        "    }"
+        "    for (int i = 0; i < " + n + "; i++) {"
+        "      o[threadIdx.x] = a[i];"
+        "    }"
+        "  }"
+        "}",
+        {.grid = {1, 1, 1}, .block = {64, 1, 1}, .args = {out}}, resident);
+    return static_cast<double>(h.stats.local_l1_misses) /
+           static_cast<double>(h.stats.local_transactions);
+  };
+  double small = misses(16, 1);    // 64 threads * 64 B = 4 KB working set
+  double large = misses(1024, 8);  // 64 threads * 4 KB / slice of 2 KB
+  EXPECT_LT(small, 0.2);
+  EXPECT_GT(large, 0.8);
+}
+
+TEST(InterpreterCost, DivergenceCountedPerDynamicBranch) {
+  Harness h;
+  auto out = h.alloc_i(32);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int t = threadIdx.x;"
+      "  o[t] = 0;"
+      "  for (int i = 0; i < 3; i++) {"
+      "    if (t < 16) { o[t] = o[t] + 1; } else { o[t] = o[t] + 2; }"
+      "  }"
+      "}",
+      {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.stats.divergent_branches, 3);
+}
+
+TEST(InterpreterCost, UniformBranchIsNotDivergent) {
+  Harness h;
+  auto out = h.alloc_i(32);
+  h.run(
+      "__global__ void k(int* o, int n) {"
+      "  if (n > 0) { o[threadIdx.x] = 1; } else { o[threadIdx.x] = 2; }"
+      "}",
+      {.grid = {1, 1, 1},
+       .block = {32, 1, 1},
+       .args = {out, Value::of_int(5)}});
+  EXPECT_EQ(h.stats.divergent_branches, 0);
+}
+
+TEST(InterpreterCost, ConstantBufferBroadcastCheaperThanScatter) {
+  auto run_with = [](bool constant) {
+    Harness h;
+    auto tab = h.alloc_f(64);
+    auto out = h.alloc_f(32);
+    h.mem.buffer(tab).set_constant(constant);
+    h.run(
+        "__global__ void k(float* t, float* o) {"
+        "  o[threadIdx.x] = t[threadIdx.x % 2];"  // 2 distinct words
+        "}",
+        {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {tab, out}});
+    return h.stats;
+  };
+  auto c = run_with(true);
+  auto g = run_with(false);
+  // Constant path books no DRAM transactions for the table read.
+  EXPECT_LT(c.dram_transactions, g.dram_transactions);
+}
+
+TEST(InterpreterValidation, GridOfManyBlocksAggregates) {
+  Harness h;
+  auto out = h.alloc_i(1024);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int tid = threadIdx.x + blockIdx.x * blockDim.x;"
+      "  o[tid] = tid;"
+      "}",
+      {.grid = {16, 1, 1}, .block = {64, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.stats.blocks, 16);
+  EXPECT_EQ(h.stats.warps, 16 * 2);
+  for (int i = 0; i < 1024; i += 97)
+    EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(i)], i);
+}
+
+}  // namespace
+}  // namespace cudanp::sim

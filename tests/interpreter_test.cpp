@@ -1,0 +1,448 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "frontend/parser.hpp"
+#include "sim/interpreter.hpp"
+
+namespace cudanp::sim {
+namespace {
+
+/// Parses `src`, launches its only kernel and returns the stats.
+struct Harness {
+  DeviceSpec spec = DeviceSpec::gtx680();
+  DeviceMemory mem;
+  std::unique_ptr<ir::Program> program;
+  KernelStats stats;
+
+  BufferId alloc_f(std::size_t n) { return mem.alloc(ir::ScalarType::kFloat, n); }
+  BufferId alloc_i(std::size_t n) { return mem.alloc(ir::ScalarType::kInt, n); }
+
+  void run(const std::string& src, LaunchConfig cfg,
+           const std::string& kernel = "k") {
+    program = frontend::parse_program_or_throw(src);
+    Interpreter interp(spec, mem);
+    stats = interp.run(*program->find_kernel(kernel), cfg);
+  }
+  std::span<const float> f32(BufferId b) { return mem.buffer(b).f32(); }
+  std::span<const std::int32_t> i32(BufferId b) { return mem.buffer(b).i32(); }
+};
+
+TEST(Interpreter, ThreadGeometry) {
+  Harness h;
+  auto out = h.alloc_i(6 * 4);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int tid = threadIdx.x + blockIdx.x * blockDim.x;"
+      "  o[tid * 4 + 0] = threadIdx.x;"
+      "  o[tid * 4 + 1] = blockIdx.x;"
+      "  o[tid * 4 + 2] = blockDim.x;"
+      "  o[tid * 4 + 3] = gridDim.x;"
+      "}",
+      {.grid = {2, 1, 1}, .block = {3, 1, 1}, .args = {out}});
+  auto o = h.i32(out);
+  EXPECT_EQ(o[0 * 4 + 0], 0);
+  EXPECT_EQ(o[4 * 4 + 0], 1);   // tid 4 = block 1, thread 1
+  EXPECT_EQ(o[4 * 4 + 1], 1);
+  EXPECT_EQ(o[5 * 4 + 2], 3);
+  EXPECT_EQ(o[5 * 4 + 3], 2);
+}
+
+TEST(Interpreter, IntegerArithmeticSemantics) {
+  Harness h;
+  auto out = h.alloc_i(8);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  o[0] = 7 / 2;"
+      "  o[1] = 7 % 3;"
+      "  o[2] = 1 << 4;"
+      "  o[3] = 256 >> 2;"
+      "  o[4] = 5 & 3;"
+      "  o[5] = 5 | 2;"
+      "  o[6] = 5 ^ 1;"
+      "  o[7] = -3 / 2;"
+      "}",
+      {.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}});
+  auto o = h.i32(out);
+  EXPECT_EQ(o[0], 3);
+  EXPECT_EQ(o[1], 1);
+  EXPECT_EQ(o[2], 16);
+  EXPECT_EQ(o[3], 64);
+  EXPECT_EQ(o[4], 1);
+  EXPECT_EQ(o[5], 7);
+  EXPECT_EQ(o[6], 4);
+  EXPECT_EQ(o[7], -1);  // C truncation toward zero
+}
+
+TEST(Interpreter, FloatRoundsThroughF32) {
+  Harness h;
+  auto out = h.alloc_f(2);
+  h.run(
+      "__global__ void k(float* o) {"
+      "  float x = 0.1f;"
+      "  o[0] = x + 0.2f;"
+      "  o[1] = 1.0f / 3.0f;"
+      "}",
+      {.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}});
+  EXPECT_FLOAT_EQ(h.f32(out)[0], 0.1f + 0.2f);
+  EXPECT_FLOAT_EQ(h.f32(out)[1], 1.0f / 3.0f);
+}
+
+TEST(Interpreter, MathBuiltins) {
+  Harness h;
+  auto out = h.alloc_f(8);
+  h.run(
+      "__global__ void k(float* o) {"
+      "  o[0] = sqrtf(16.0f);"
+      "  o[1] = fabsf(0.0f - 2.5f);"
+      "  o[2] = expf(0.0f);"
+      "  o[3] = logf(1.0f);"
+      "  o[4] = fminf(3.0f, 4.0f);"
+      "  o[5] = fmaxf(3.0f, 4.0f);"
+      "  o[6] = powf(2.0f, 10.0f);"
+      "  o[7] = floorf(2.7f);"
+      "}",
+      {.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}});
+  auto o = h.f32(out);
+  EXPECT_FLOAT_EQ(o[0], 4.0f);
+  EXPECT_FLOAT_EQ(o[1], 2.5f);
+  EXPECT_FLOAT_EQ(o[2], 1.0f);
+  EXPECT_FLOAT_EQ(o[3], 0.0f);
+  EXPECT_FLOAT_EQ(o[4], 3.0f);
+  EXPECT_FLOAT_EQ(o[5], 4.0f);
+  EXPECT_FLOAT_EQ(o[6], 1024.0f);
+  EXPECT_FLOAT_EQ(o[7], 2.0f);
+}
+
+TEST(Interpreter, DivergentIfBothPathsExecute) {
+  Harness h;
+  auto out = h.alloc_i(64);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int t = threadIdx.x;"
+      "  if (t < 20) { o[t] = 1; } else { o[t] = 2; }"
+      "}",
+      {.grid = {1, 1, 1}, .block = {64, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.i32(out)[19], 1);
+  EXPECT_EQ(h.i32(out)[20], 2);
+  // Warp 0 diverges (lanes 0-19 vs 20-31); warp 1 does not.
+  EXPECT_EQ(h.stats.divergent_branches, 1);
+}
+
+TEST(Interpreter, PerLaneLoopTripCounts) {
+  Harness h;
+  auto out = h.alloc_i(8);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int t = threadIdx.x;"
+      "  int c = 0;"
+      "  for (int i = 0; i < t; i++) c += 1;"
+      "  o[t] = c;"
+      "}",
+      {.grid = {1, 1, 1}, .block = {8, 1, 1}, .args = {out}});
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(t)], t);
+}
+
+TEST(Interpreter, WhileLoop) {
+  Harness h;
+  auto out = h.alloc_i(4);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int t = threadIdx.x;"
+      "  int x = 1;"
+      "  while (x < t + 2) x = x * 2;"
+      "  o[t] = x;"
+      "}",
+      {.grid = {1, 1, 1}, .block = {4, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.i32(out)[0], 2);
+  EXPECT_EQ(h.i32(out)[1], 4);
+  EXPECT_EQ(h.i32(out)[2], 4);
+  EXPECT_EQ(h.i32(out)[3], 8);
+}
+
+TEST(Interpreter, ReturnMasksLanesForRestOfKernel) {
+  Harness h;
+  auto out = h.alloc_i(8);
+  h.run(
+      "__global__ void k(int* o, int n) {"
+      "  int t = threadIdx.x;"
+      "  o[t] = 1;"
+      "  if (t >= n) { return; }"
+      "  o[t] = 2;"
+      "}",
+      {.grid = {1, 1, 1},
+       .block = {8, 1, 1},
+       .args = {out, Value::of_int(4)}});
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(t)], 2);
+  for (int t = 4; t < 8; ++t) EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(t)], 1);
+}
+
+TEST(Interpreter, SharedMemoryCommunication) {
+  Harness h;
+  auto out = h.alloc_f(32);
+  h.run(
+      "__global__ void k(float* o) {"
+      "  __shared__ float t[32];"
+      "  int i = threadIdx.x;"
+      "  t[i] = (float)i;"
+      "  __syncthreads();"
+      "  o[i] = t[31 - i];"
+      "}",
+      {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {out}});
+  for (int i = 0; i < 32; ++i)
+    EXPECT_FLOAT_EQ(h.f32(out)[static_cast<std::size_t>(i)], static_cast<float>(31 - i));
+  EXPECT_GE(h.stats.sync_ops, 1);
+}
+
+TEST(Interpreter, SharedMemoryTreeReduction) {
+  Harness h;
+  auto out = h.alloc_f(1);
+  h.run(
+      "__global__ void k(float* o) {"
+      "  __shared__ float red[64];"
+      "  int i = threadIdx.x;"
+      "  red[i] = 1.0f;"
+      "  __syncthreads();"
+      "  for (int off = 32; off > 0; off = off / 2) {"
+      "    if (i < off) { red[i] += red[i + off]; }"
+      "    __syncthreads();"
+      "  }"
+      "  if (i == 0) { o[0] = red[0]; }"
+      "}",
+      {.grid = {1, 1, 1}, .block = {64, 1, 1}, .args = {out}});
+  EXPECT_FLOAT_EQ(h.f32(out)[0], 64.0f);
+}
+
+TEST(Interpreter, LocalArrayPerThreadPrivacy) {
+  Harness h;
+  auto out = h.alloc_i(16);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int t = threadIdx.x;"
+      "  int a[4];"
+      "  for (int i = 0; i < 4; i++) a[i] = t * 10 + i;"
+      "  o[t] = a[3];"
+      "}",
+      {.grid = {1, 1, 1}, .block = {16, 1, 1}, .args = {out}});
+  for (int t = 0; t < 16; ++t)
+    EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(t)], t * 10 + 3);
+  EXPECT_GT(h.stats.local_transactions, 0);
+}
+
+TEST(Interpreter, ConstantInitializerList) {
+  Harness h;
+  auto out = h.alloc_i(4);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  __constant__ int tab[4] = {5, 1, 4, 2};"
+      "  int t = threadIdx.x;"
+      "  o[t] = tab[t];"
+      "}",
+      {.grid = {1, 1, 1}, .block = {4, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.i32(out)[0], 5);
+  EXPECT_EQ(h.i32(out)[3], 2);
+}
+
+TEST(Interpreter, ShflBroadcastFromGroupLeader) {
+  Harness h;
+  auto out = h.alloc_i(32);
+  // Paper Sec. 2.1 example: __shfl(var, 0, 4) -> lanes 0-3 read lane 0,
+  // lanes 4-7 read lane 4, ...
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int v = threadIdx.x;"
+      "  o[threadIdx.x] = __shfl(v, 0, 4);"
+      "}",
+      {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {out}});
+  for (int l = 0; l < 32; ++l)
+    EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(l)], l / 4 * 4);
+}
+
+TEST(Interpreter, ShflUpDownClampAtGroupBoundary) {
+  Harness h;
+  auto up = h.alloc_i(8);
+  auto down = h.alloc_i(8);
+  h.run(
+      "__global__ void k(int* u, int* d) {"
+      "  int v = threadIdx.x;"
+      "  u[threadIdx.x] = __shfl_up(v, 1, 8);"
+      "  d[threadIdx.x] = __shfl_down(v, 2, 8);"
+      "}",
+      {.grid = {1, 1, 1}, .block = {8, 1, 1}, .args = {up, down}});
+  EXPECT_EQ(h.i32(up)[0], 0);  // no lane below: keeps own value
+  EXPECT_EQ(h.i32(up)[1], 0);
+  EXPECT_EQ(h.i32(up)[7], 6);
+  EXPECT_EQ(h.i32(down)[0], 2);
+  EXPECT_EQ(h.i32(down)[6], 6);  // beyond group: keeps own
+  EXPECT_EQ(h.i32(down)[7], 7);
+}
+
+TEST(Interpreter, ShflXorButterflySum) {
+  Harness h;
+  auto out = h.alloc_i(16);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int v = threadIdx.x;"
+      "  for (int m = 4; m > 0; m = m / 2)"
+      "    v = v + __shfl_xor(v, m, 8);"
+      "  o[threadIdx.x] = v;"
+      "}",
+      {.grid = {1, 1, 1}, .block = {16, 1, 1}, .args = {out}});
+  // Group 0 (lanes 0-7) sums 0..7 = 28; group 1 sums 8..15 = 92.
+  for (int l = 0; l < 8; ++l) EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(l)], 28);
+  for (int l = 8; l < 16; ++l) EXPECT_EQ(h.i32(out)[static_cast<std::size_t>(l)], 92);
+  EXPECT_EQ(h.stats.shfl_ops, 3);
+}
+
+TEST(Interpreter, ShflCrossesWarpsNever) {
+  Harness h;
+  auto out = h.alloc_i(64);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  int v = threadIdx.x;"
+      "  o[threadIdx.x] = __shfl(v, 0, 32);"
+      "}",
+      {.grid = {1, 1, 1}, .block = {64, 1, 1}, .args = {out}});
+  EXPECT_EQ(h.i32(out)[31], 0);
+  EXPECT_EQ(h.i32(out)[32], 32);  // second warp reads its own lane 0
+}
+
+TEST(Interpreter, ShflRequiresSm30) {
+  Harness h;
+  h.spec.sm_version = 20;
+  auto out = h.alloc_i(32);
+  EXPECT_THROW(
+      h.run("__global__ void k(int* o) { o[threadIdx.x] = "
+            "__shfl(threadIdx.x, 0, 4); }",
+            {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {out}}),
+      SimError);
+}
+
+TEST(Interpreter, ShflBadWidthThrows) {
+  Harness h;
+  auto out = h.alloc_i(32);
+  EXPECT_THROW(
+      h.run("__global__ void k(int* o) { o[threadIdx.x] = "
+            "__shfl(threadIdx.x, 0, 5); }",
+            {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {out}}),
+      SimError);
+}
+
+TEST(Interpreter, TwoDimensionalBlocks) {
+  Harness h;
+  auto out = h.alloc_i(32);
+  h.run(
+      "__global__ void k(int* o) {"
+      "  o[threadIdx.y * blockDim.x + threadIdx.x] ="
+      "      threadIdx.y * 100 + threadIdx.x;"
+      "}",
+      {.grid = {1, 1, 1}, .block = {8, 4, 1}, .args = {out}});
+  EXPECT_EQ(h.i32(out)[0], 0);
+  EXPECT_EQ(h.i32(out)[8], 100);
+  EXPECT_EQ(h.i32(out)[31], 307);
+}
+
+TEST(Interpreter, GlobalOutOfBoundsThrows) {
+  Harness h;
+  auto out = h.alloc_i(4);
+  EXPECT_THROW(
+      h.run("__global__ void k(int* o) { o[99] = 1; }",
+            {.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}}),
+      SimError);
+}
+
+TEST(Interpreter, LocalArrayOutOfBoundsThrows) {
+  Harness h;
+  auto out = h.alloc_i(1);
+  EXPECT_THROW(
+      h.run("__global__ void k(int* o) { int a[4]; a[7] = 1; o[0] = a[7]; }",
+            {.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}}),
+      SimError);
+}
+
+TEST(Interpreter, UndeclaredVariableThrows) {
+  Harness h;
+  auto out = h.alloc_i(1);
+  EXPECT_THROW(
+      h.run("__global__ void k(int* o) { o[0] = nope; }",
+            {.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}}),
+      SimError);
+}
+
+TEST(Interpreter, DivisionByZeroThrows) {
+  Harness h;
+  auto out = h.alloc_i(1);
+  EXPECT_THROW(
+      h.run("__global__ void k(int* o, int z) { o[0] = 5 / z; }",
+            {.grid = {1, 1, 1},
+             .block = {1, 1, 1},
+             .args = {out, Value::of_int(0)}}),
+      SimError);
+}
+
+TEST(Interpreter, WrongArgCountThrows) {
+  Harness h;
+  auto out = h.alloc_i(1);
+  EXPECT_THROW(
+      h.run("__global__ void k(int* o, int n) { o[0] = n; }",
+            {.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}}),
+      SimError);
+}
+
+TEST(Interpreter, RunawayLoopGuard) {
+  Harness h;
+  auto out = h.alloc_i(1);
+  Interpreter::Options opt;
+  opt.max_loop_iterations = 100;
+  h.program = frontend::parse_program_or_throw(
+      "__global__ void k(int* o) {"
+      "  int x = 0;"
+      "  while (x < 1000000) x += 1;"
+      "  o[0] = x;"
+      "}");
+  Interpreter interp(h.spec, h.mem, opt);
+  LaunchConfig cfg{.grid = {1, 1, 1}, .block = {1, 1, 1}, .args = {out}};
+  EXPECT_THROW((void)interp.run(*h.program->find_kernel("k"), cfg), SimError);
+}
+
+TEST(Interpreter, CoalescedVsStridedTransactionCounts) {
+  Harness h1, h2;
+  auto a1 = h1.alloc_f(1024);
+  auto o1 = h1.alloc_f(1024);
+  h1.run("__global__ void k(float* a, float* o) {"
+         "  o[threadIdx.x] = a[threadIdx.x]; }",
+         {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {a1, o1}});
+  auto a2 = h2.alloc_f(1024);
+  auto o2 = h2.alloc_f(1024);
+  h2.run("__global__ void k(float* a, float* o) {"
+         "  o[threadIdx.x] = a[threadIdx.x * 32]; }",
+         {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {a2, o2}});
+  EXPECT_GT(h2.stats.global_transactions, h1.stats.global_transactions);
+}
+
+TEST(Interpreter, WarpChargedWhenAnyLaneActive) {
+  // Intra-warp imbalance: one lane looping 10x costs the warp 10
+  // iterations of issue (paper Sec. 3.4).
+  Harness balanced, imbalanced;
+  auto ob = balanced.alloc_i(32);
+  balanced.run(
+      "__global__ void k(int* o) {"
+      "  int c = 0;"
+      "  for (int i = 0; i < 10; i++) c += 1;"
+      "  o[threadIdx.x] = c; }",
+      {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {ob}});
+  auto oi = imbalanced.alloc_i(32);
+  imbalanced.run(
+      "__global__ void k(int* o) {"
+      "  int c = 0;"
+      "  int n = 0;"
+      "  if (threadIdx.x == 0) { n = 10; }"
+      "  for (int i = 0; i < n; i++) c += 1;"
+      "  o[threadIdx.x] = c; }",
+      {.grid = {1, 1, 1}, .block = {32, 1, 1}, .args = {oi}});
+  // The imbalanced warp still pays roughly the full 10-iteration cost.
+  EXPECT_GT(imbalanced.stats.issue_slots, 0.6 * balanced.stats.issue_slots);
+}
+
+}  // namespace
+}  // namespace cudanp::sim

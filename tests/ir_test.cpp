@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+
+namespace cudanp::ir {
+namespace {
+
+TEST(Type, ScalarSizes) {
+  EXPECT_EQ(Type::scalar_size_bytes(ScalarType::kInt), 4);
+  EXPECT_EQ(Type::scalar_size_bytes(ScalarType::kFloat), 4);
+  EXPECT_EQ(Type::scalar_size_bytes(ScalarType::kBool), 1);
+  EXPECT_EQ(Type::scalar_size_bytes(ScalarType::kVoid), 0);
+}
+
+TEST(Type, ArraySizes) {
+  Type t = Type::array_of(ScalarType::kFloat, {16, 16}, AddrSpace::kShared);
+  EXPECT_EQ(t.element_count(), 256);
+  EXPECT_EQ(t.size_bytes(), 1024);
+  EXPECT_TRUE(t.is_array());
+  EXPECT_FALSE(t.is_scalar());
+}
+
+TEST(Type, PointerSize) {
+  Type t = Type::pointer_to(ScalarType::kFloat);
+  EXPECT_EQ(t.size_bytes(), 8);
+  EXPECT_FALSE(t.is_scalar());
+}
+
+TEST(Type, Equality) {
+  EXPECT_EQ(Type::scalar_of(ScalarType::kInt),
+            Type::scalar_of(ScalarType::kInt));
+  EXPECT_FALSE(Type::scalar_of(ScalarType::kInt) ==
+               Type::scalar_of(ScalarType::kFloat));
+}
+
+TEST(Type, Str) {
+  EXPECT_EQ(Type::array_of(ScalarType::kFloat, {8}, AddrSpace::kShared).str(),
+            "__shared__ float[8]");
+  EXPECT_EQ(Type::pointer_to(ScalarType::kInt).str(), "int*");
+}
+
+TEST(Expr, CloneIsDeep) {
+  auto e = make_bin(BinOp::kAdd, make_var("x"), make_int(3));
+  auto c = e->clone();
+  // Mutate the original; clone must be unaffected.
+  static_cast<BinaryExpr&>(*e).op = BinOp::kMul;
+  static_cast<VarRef&>(*static_cast<BinaryExpr&>(*e).lhs).name = "y";
+  const auto& cb = static_cast<const BinaryExpr&>(*c);
+  EXPECT_EQ(cb.op, BinOp::kAdd);
+  EXPECT_EQ(static_cast<const VarRef&>(*cb.lhs).name, "x");
+}
+
+TEST(Stmt, ForCloneKeepsPragma) {
+  auto p = frontend::parse_program_or_throw(
+      "__global__ void k(float* a, int n) {\n"
+      "#pragma np parallel for num_threads(4)\n"
+      "for (int i = 0; i < n; i++) a[i] = 0.0f; }");
+  auto clone = p->kernels[0]->body->stmts[0]->clone();
+  const auto& f = static_cast<const ForStmt&>(*clone);
+  ASSERT_TRUE(f.pragma.has_value());
+  EXPECT_EQ(f.pragma->num_threads, 4);
+}
+
+TEST(Kernel, CloneIsDeep) {
+  auto p = frontend::parse_program_or_throw(
+      "__global__ void k(float* a) { a[0] = 1.0f; }");
+  auto c = p->kernels[0]->clone();
+  c->name = "other";
+  c->params[0].name = "b";
+  EXPECT_EQ(p->kernels[0]->name, "k");
+  EXPECT_EQ(p->kernels[0]->params[0].name, "a");
+  EXPECT_EQ(print_kernel(*p->kernels[0]).find("other"), std::string::npos);
+}
+
+TEST(Kernel, FindParam) {
+  auto p = frontend::parse_program_or_throw(
+      "__global__ void k(float* a, int n) {}");
+  EXPECT_NE(p->kernels[0]->find_param("a"), nullptr);
+  EXPECT_NE(p->kernels[0]->find_param("n"), nullptr);
+  EXPECT_EQ(p->kernels[0]->find_param("z"), nullptr);
+}
+
+TEST(Walk, ForEachExprVisitsAllNodes) {
+  auto e = make_bin(BinOp::kAdd, make_var("x"),
+                    make_bin(BinOp::kMul, make_int(2), make_var("y")));
+  int count = 0;
+  for_each_expr(*e, [&](const Expr&) { ++count; });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(Walk, ForEachStmtVisitsNested) {
+  auto p = frontend::parse_program_or_throw(
+      "__global__ void k(int n) {"
+      "  if (n > 0) { for (int i = 0; i < n; i++) { int x = i; } }"
+      "}");
+  int fors = 0, decls = 0;
+  for_each_stmt(*p->kernels[0]->body, [&](const Stmt& s) {
+    if (s.kind() == StmtKind::kFor) ++fors;
+    if (s.kind() == StmtKind::kDecl) ++decls;
+  });
+  EXPECT_EQ(fors, 1);
+  EXPECT_EQ(decls, 2);  // iterator + x
+}
+
+TEST(Walk, ForEachExprInFindsConditionUses) {
+  auto p = frontend::parse_program_or_throw(
+      "__global__ void k(int n) { while (n > 0) { n -= 1; } }");
+  bool saw_n = false;
+  for_each_expr_in(*p->kernels[0]->body, [&](const Expr& e) {
+    if (e.kind() == ExprKind::kVarRef &&
+        static_cast<const VarRef&>(e).name == "n")
+      saw_n = true;
+  });
+  EXPECT_TRUE(saw_n);
+}
+
+TEST(Builtin, GeometryNames) {
+  EXPECT_TRUE(is_builtin_geometry("threadIdx.x"));
+  EXPECT_TRUE(is_builtin_geometry("gridDim.z"));
+  EXPECT_FALSE(is_builtin_geometry("threadIdx"));
+  EXPECT_FALSE(is_builtin_geometry("master_id"));
+}
+
+TEST(BinOpHelpers, PrecedenceOrdering) {
+  EXPECT_GT(precedence(BinOp::kMul), precedence(BinOp::kAdd));
+  EXPECT_GT(precedence(BinOp::kAdd), precedence(BinOp::kLt));
+  EXPECT_GT(precedence(BinOp::kLt), precedence(BinOp::kLAnd));
+  EXPECT_GT(precedence(BinOp::kLAnd), precedence(BinOp::kLOr));
+}
+
+}  // namespace
+}  // namespace cudanp::ir

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+
+namespace cudanp::frontend {
+namespace {
+
+std::vector<Token> lex(std::string_view src) {
+  DiagnosticEngine diags;
+  auto toks = tokenize(src, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.summary();
+  return toks;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokKind::kEof);
+}
+
+TEST(Lexer, Identifiers) {
+  auto toks = lex("__global__ foo _bar x9");
+  EXPECT_TRUE(toks[0].is_ident("__global__"));
+  EXPECT_TRUE(toks[1].is_ident("foo"));
+  EXPECT_TRUE(toks[2].is_ident("_bar"));
+  EXPECT_TRUE(toks[3].is_ident("x9"));
+}
+
+TEST(Lexer, IntLiterals) {
+  auto toks = lex("0 42 1024 0x1F 7u 9L");
+  EXPECT_EQ(toks[0].int_value, 0);
+  EXPECT_EQ(toks[1].int_value, 42);
+  EXPECT_EQ(toks[2].int_value, 1024);
+  EXPECT_EQ(toks[3].int_value, 31);
+  EXPECT_EQ(toks[4].int_value, 7);
+  EXPECT_EQ(toks[5].int_value, 9);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(toks[i].kind, TokKind::kIntLit);
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto toks = lex("1.5 2.0f .25 3e2 1e-3f 7f");
+  EXPECT_DOUBLE_EQ(toks[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 2.0);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 0.25);
+  EXPECT_DOUBLE_EQ(toks[3].float_value, 300.0);
+  EXPECT_DOUBLE_EQ(toks[4].float_value, 1e-3);
+  EXPECT_DOUBLE_EQ(toks[5].float_value, 7.0);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(toks[i].kind, TokKind::kFloatLit);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  auto toks = lex("&& || == != <= >= << >> += -= *= /= ++ --");
+  const char* expected[] = {"&&", "||", "==", "!=", "<=", ">=", "<<",
+                            ">>", "+=", "-=", "*=", "/=", "++", "--"};
+  for (std::size_t i = 0; i < 14; ++i)
+    EXPECT_TRUE(toks[i].is_punct(expected[i])) << toks[i].text;
+}
+
+TEST(Lexer, SingleCharPunctuation) {
+  auto toks = lex("( ) { } [ ] ; , . ? : % ^ ~");
+  EXPECT_TRUE(toks[0].is_punct("("));
+  EXPECT_TRUE(toks[8].is_punct("."));
+}
+
+TEST(Lexer, LineComments) {
+  auto toks = lex("a // comment with * stuff\nb");
+  EXPECT_TRUE(toks[0].is_ident("a"));
+  EXPECT_TRUE(toks[1].is_ident("b"));
+}
+
+TEST(Lexer, BlockComments) {
+  auto toks = lex("a /* multi\nline\ncomment */ b");
+  EXPECT_TRUE(toks[0].is_ident("a"));
+  EXPECT_TRUE(toks[1].is_ident("b"));
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagnosticEngine diags;
+  (void)tokenize("a /* never closed", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, DirectiveCapturesWholeLine) {
+  auto toks = lex("#pragma np parallel for reduction(+:sum)\nx");
+  ASSERT_EQ(toks[0].kind, TokKind::kDirective);
+  EXPECT_EQ(toks[0].text, "pragma np parallel for reduction(+:sum)");
+  EXPECT_TRUE(toks[1].is_ident("x"));
+}
+
+TEST(Lexer, DirectiveWithLineContinuation) {
+  auto toks = lex("#define A \\\n 5\nx");
+  ASSERT_EQ(toks[0].kind, TokKind::kDirective);
+  EXPECT_NE(toks[0].text.find("5"), std::string::npos);
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = lex("a\nb\n  c");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[2].loc.line, 3u);
+  EXPECT_EQ(toks[2].loc.column, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterReported) {
+  DiagnosticEngine diags;
+  (void)tokenize("a @ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, LeadingDotFloat) {
+  auto toks = lex("x[.5]");
+  EXPECT_TRUE(toks[0].is_ident("x"));
+  EXPECT_TRUE(toks[1].is_punct("["));
+  EXPECT_EQ(toks[2].kind, TokKind::kFloatLit);
+}
+
+}  // namespace
+}  // namespace cudanp::frontend

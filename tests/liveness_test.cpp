@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "analysis/liveness.hpp"
+#include "frontend/parser.hpp"
+
+namespace cudanp::analysis {
+namespace {
+
+using namespace cudanp::ir;
+
+struct Fixture {
+  std::unique_ptr<Program> program;
+  const Kernel* kernel = nullptr;
+  const ForStmt* loop = nullptr;
+
+  explicit Fixture(const std::string& src) {
+    program = cudanp::frontend::parse_program_or_throw(src);
+    kernel = program->kernels[0].get();
+    for_each_stmt(*kernel->body, [&](const Stmt& s) {
+      if (!loop && s.kind() == StmtKind::kFor &&
+          static_cast<const ForStmt&>(s).pragma)
+        loop = &static_cast<const ForStmt&>(s);
+    });
+    EXPECT_NE(loop, nullptr);
+  }
+};
+
+TEST(CollectVars, UsesDefsDecls) {
+  auto p = cudanp::frontend::parse_program_or_throw(
+      "__global__ void k(float* a, int n) {"
+      "  int x = n + 1;"
+      "  a[x] = a[x] * 2.0f;"
+      "}");
+  VarSets vs = collect_vars(*p->kernels[0]->body);
+  EXPECT_TRUE(vs.decls.count("x"));
+  EXPECT_TRUE(vs.uses.count("n"));
+  EXPECT_TRUE(vs.uses.count("a"));
+  EXPECT_TRUE(vs.defs.count("a"));
+  EXPECT_TRUE(vs.defs.count("x"));
+  EXPECT_FALSE(vs.uses.count("threadIdx.x"));
+}
+
+TEST(CollectVars, CompoundAssignCountsAsUse) {
+  auto p = cudanp::frontend::parse_program_or_throw(
+      "__global__ void k(float* a) { float s = 0.0f; s += a[0]; }");
+  VarSets vs = collect_vars(*p->kernels[0]->body->stmts[1]);
+  EXPECT_TRUE(vs.uses.count("s"));
+  EXPECT_TRUE(vs.defs.count("s"));
+}
+
+TEST(SymbolTable, IncludesParamsAndDecls) {
+  auto p = cudanp::frontend::parse_program_or_throw(
+      "__global__ void k(float* a, int n) {"
+      "  __shared__ float t[8];"
+      "  float grad[16];"
+      "  float x = 0.0f;"
+      "}");
+  auto table = build_symbol_table(*p->kernels[0]);
+  EXPECT_TRUE(table.at("a").is_pointer);
+  EXPECT_EQ(table.at("t").space, AddrSpace::kShared);
+  EXPECT_EQ(table.at("grad").space, AddrSpace::kLocal);
+  EXPECT_TRUE(table.at("x").is_scalar());
+  EXPECT_EQ(table.count("missing"), 0u);
+}
+
+TEST(ParallelLoopLiveness, ScalarLiveInDetected) {
+  Fixture f(
+      "__global__ void k(float* a, int n) {"
+      "  int base = threadIdx.x * n;"
+      "  float s = 0.0f;"
+      "  #pragma np parallel for reduction(+:s)\n"
+      "  for (int i = 0; i < n; i++) s += a[base + i];"
+      "  a[base] = s;"
+      "}");
+  auto live = analyze_parallel_loop(*f.kernel, *f.loop,
+                                    uses_from(*f.kernel->body, 3));
+  EXPECT_TRUE(live.live_in.count("base"));
+  EXPECT_TRUE(live.live_in.count("s"));  // compound update reads s
+  EXPECT_TRUE(live.live_out.count("s"));
+  EXPECT_TRUE(live.local_arrays.empty());
+}
+
+TEST(ParallelLoopLiveness, ParamsAndSharedExcluded) {
+  Fixture f(
+      "__global__ void k(float* a, int n) {"
+      "  __shared__ float t[32];"
+      "  #pragma np parallel for\n"
+      "  for (int i = 0; i < n; i++) t[i % 32] = a[i] * n;"
+      "}");
+  auto live = analyze_parallel_loop(*f.kernel, *f.loop, {});
+  EXPECT_FALSE(live.live_in.count("n"));  // param: uniform already
+  EXPECT_FALSE(live.live_in.count("a"));
+  EXPECT_FALSE(live.live_in.count("t"));
+}
+
+TEST(ParallelLoopLiveness, IteratorAndBodyLocalsExcluded) {
+  Fixture f(
+      "__global__ void k(float* a, int n) {"
+      "  float s = 0.0f;"
+      "  #pragma np parallel for reduction(+:s)\n"
+      "  for (int i = 0; i < n; i++) { float tmp = a[i]; s += tmp; }"
+      "  a[0] = s;"
+      "}");
+  auto live = analyze_parallel_loop(*f.kernel, *f.loop,
+                                    uses_from(*f.kernel->body, 2));
+  EXPECT_FALSE(live.live_in.count("i"));
+  EXPECT_FALSE(live.live_in.count("tmp"));
+}
+
+TEST(ParallelLoopLiveness, LocalArrayDetected) {
+  Fixture f(
+      "__global__ void k(float* a) {"
+      "  float grad[150];"
+      "  #pragma np parallel for\n"
+      "  for (int i = 0; i < 150; i++) grad[i] = a[i];"
+      "  a[0] = grad[0];"
+      "}");
+  auto live = analyze_parallel_loop(*f.kernel, *f.loop, {});
+  EXPECT_TRUE(live.local_arrays.count("grad"));
+}
+
+TEST(ParallelLoopLiveness, LiveOutOnlyWhenUsedAfter) {
+  Fixture f(
+      "__global__ void k(float* a, int n) {"
+      "  float s = 0.0f;"
+      "  #pragma np parallel for reduction(+:s)\n"
+      "  for (int i = 0; i < n; i++) s += a[i];"
+      "}");
+  auto live_no_after = analyze_parallel_loop(*f.kernel, *f.loop, {});
+  EXPECT_FALSE(live_no_after.live_out.count("s"));
+  auto live_with = analyze_parallel_loop(*f.kernel, *f.loop, {"s"});
+  EXPECT_TRUE(live_with.live_out.count("s"));
+}
+
+TEST(UsesFrom, SuffixOfBlock) {
+  // uses_from collects *reads*: a store-only reference does not keep a
+  // value live.
+  auto p = cudanp::frontend::parse_program_or_throw(
+      "__global__ void k(float* a, float* b, float x, float y) {"
+      "  a[0] = x;"
+      "  b[0] = y;"
+      "}");
+  auto all = uses_from(*p->kernels[0]->body, 0);
+  EXPECT_TRUE(all.count("x"));
+  EXPECT_TRUE(all.count("y"));
+  auto tail = uses_from(*p->kernels[0]->body, 1);
+  EXPECT_FALSE(tail.count("x"));
+  EXPECT_TRUE(tail.count("y"));
+  EXPECT_FALSE(tail.count("a"));  // `a` is only ever written
+  EXPECT_TRUE(uses_from(*p->kernels[0]->body, 2).empty());
+}
+
+}  // namespace
+}  // namespace cudanp::analysis

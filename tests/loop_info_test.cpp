@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "analysis/loop_info.hpp"
+#include "frontend/parser.hpp"
+
+namespace cudanp::analysis {
+namespace {
+
+using namespace cudanp::ir;
+
+const ForStmt& first_loop(const Program& p) {
+  const ForStmt* found = nullptr;
+  for_each_stmt(*p.kernels[0]->body, [&](const Stmt& s) {
+    if (!found && s.kind() == StmtKind::kFor)
+      found = &static_cast<const ForStmt&>(s);
+  });
+  EXPECT_NE(found, nullptr);
+  return *found;
+}
+
+std::optional<LoopInfo> analyze(const std::string& body,
+                                std::string* why = nullptr) {
+  auto p = cudanp::frontend::parse_program_or_throw(
+      "__global__ void k(float* a, int n, int m) { " + body + " }");
+  // Keep the program alive while analyzing.
+  static std::unique_ptr<Program> keep;
+  keep = std::move(p);
+  return analyze_loop(first_loop(*keep), why);
+}
+
+TEST(LoopInfo, CanonicalDeclForm) {
+  auto info = analyze("for (int i = 0; i < n; i++) a[i] = 0.0f;");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->iterator, "i");
+  EXPECT_EQ(info->step, 1);
+  EXPECT_TRUE(info->declares_iterator);
+  EXPECT_FALSE(info->const_trip_count.has_value());
+}
+
+TEST(LoopInfo, ConstTripCount) {
+  auto info = analyze("for (int i = 0; i < 150; i++) a[i] = 0.0f;");
+  ASSERT_TRUE(info.has_value());
+  ASSERT_TRUE(info->const_trip_count.has_value());
+  EXPECT_EQ(*info->const_trip_count, 150);
+}
+
+TEST(LoopInfo, ConstTripWithStep) {
+  auto info = analyze("for (int i = 0; i < 10; i += 3) a[i] = 0.0f;");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->step, 3);
+  EXPECT_EQ(*info->const_trip_count, 4);  // 0,3,6,9
+}
+
+TEST(LoopInfo, AssignedIterator) {
+  auto info = analyze("int i; for (i = 2; i < n; i = i + 1) a[i] = 0.0f;");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_FALSE(info->declares_iterator);
+  EXPECT_EQ(info->step, 1);
+}
+
+TEST(LoopInfo, RejectsNonComparisonCondition) {
+  std::string why;
+  EXPECT_FALSE(analyze("for (int i = 0; n; i++) a[i] = 0.0f;", &why));
+  EXPECT_FALSE(why.empty());
+}
+
+TEST(LoopInfo, RejectsGreaterThan) {
+  EXPECT_FALSE(analyze("for (int i = n; i > 0; i += 1) a[i] = 0.0f;"));
+}
+
+TEST(LoopInfo, RejectsNegativeStep) {
+  EXPECT_FALSE(analyze("for (int i = n; i < m; i -= 1) a[i] = 0.0f;"));
+}
+
+TEST(LoopInfo, RejectsNonConstStep) {
+  EXPECT_FALSE(analyze("for (int i = 0; i < n; i += m) a[i] = 0.0f;"));
+}
+
+TEST(LoopInfo, RejectsIteratorModifiedInBody) {
+  std::string why;
+  EXPECT_FALSE(
+      analyze("for (int i = 0; i < n; i++) { a[i] = 0.0f; i = i + 2; }",
+              &why));
+  EXPECT_NE(why.find("modified"), std::string::npos);
+}
+
+TEST(LoopInfo, RejectsMissingClauses) {
+  auto p = cudanp::frontend::parse_program_or_throw(
+      "__global__ void k(int n) { int i = 0; for (; i < n; i++) { } }");
+  EXPECT_FALSE(analyze_loop(first_loop(*p)).has_value());
+}
+
+TEST(LoopInfo, ZeroTripWhenBoundBelowInit) {
+  auto info = analyze("for (int i = 5; i < 3; i++) a[i] = 0.0f;");
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(*info->const_trip_count, 0);
+}
+
+}  // namespace
+}  // namespace cudanp::analysis

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <numeric>
+
+#include "sim/memory.hpp"
+
+namespace cudanp::sim {
+namespace {
+
+std::array<std::uint8_t, 32> all_active() {
+  std::array<std::uint8_t, 32> a;
+  a.fill(1);
+  return a;
+}
+
+TEST(DeviceMemory, AllocatesAlignedNonOverlapping) {
+  DeviceMemory mem;
+  auto a = mem.alloc(ir::ScalarType::kFloat, 10);
+  auto b = mem.alloc(ir::ScalarType::kFloat, 10);
+  EXPECT_EQ(mem.buffer(a).base_addr() % 256, 0u);
+  EXPECT_EQ(mem.buffer(b).base_addr() % 256, 0u);
+  EXPECT_GE(mem.buffer(b).base_addr(),
+            mem.buffer(a).base_addr() + 40);
+}
+
+TEST(DeviceMemory, LoadStoreRoundTrip) {
+  DeviceMemory mem;
+  auto f = mem.alloc(ir::ScalarType::kFloat, 4);
+  auto i = mem.alloc(ir::ScalarType::kInt, 4);
+  mem.buffer(f).store(2, Value::of_float(1.5));
+  mem.buffer(i).store(3, Value::of_int(-7));
+  EXPECT_DOUBLE_EQ(mem.buffer(f).load(2).as_f(), 1.5);
+  EXPECT_EQ(mem.buffer(i).load(3).as_i(), -7);
+}
+
+TEST(DeviceMemory, StoreCoercesToElementType) {
+  DeviceMemory mem;
+  auto i = mem.alloc(ir::ScalarType::kInt, 1);
+  mem.buffer(i).store(0, Value::of_float(3.9));
+  EXPECT_EQ(mem.buffer(i).load(0).as_i(), 3);
+}
+
+TEST(DeviceMemory, OutOfBoundsThrows) {
+  DeviceMemory mem;
+  auto f = mem.alloc(ir::ScalarType::kFloat, 4);
+  EXPECT_THROW(mem.buffer(f).load(4), SimError);
+  EXPECT_THROW(mem.buffer(f).store(100, Value::of_float(0)), SimError);
+  EXPECT_THROW(mem.buffer(99), SimError);
+}
+
+TEST(Coalescing, FullyCoalescedWarp) {
+  // 32 lanes x consecutive 4B words = 128 B = four 32 B transactions.
+  std::array<std::uint64_t, 32> addrs;
+  for (int l = 0; l < 32; ++l) addrs[static_cast<std::size_t>(l)] = 1024 + 4 * static_cast<std::uint64_t>(l);
+  auto act = all_active();
+  EXPECT_EQ(coalesced_transactions(addrs, act, 32), 4);
+  EXPECT_EQ(coalesced_transactions(addrs, act, 128), 1);
+}
+
+TEST(Coalescing, BroadcastIsOneTransaction) {
+  std::array<std::uint64_t, 32> addrs;
+  addrs.fill(4096);
+  auto act = all_active();
+  EXPECT_EQ(coalesced_transactions(addrs, act, 32), 1);
+}
+
+TEST(Coalescing, FullyScattered) {
+  std::array<std::uint64_t, 32> addrs;
+  for (int l = 0; l < 32; ++l)
+    addrs[static_cast<std::size_t>(l)] = static_cast<std::uint64_t>(l) * 8192;
+  auto act = all_active();
+  EXPECT_EQ(coalesced_transactions(addrs, act, 32), 32);
+}
+
+TEST(Coalescing, InactiveLanesIgnored) {
+  std::array<std::uint64_t, 32> addrs;
+  for (int l = 0; l < 32; ++l)
+    addrs[static_cast<std::size_t>(l)] = static_cast<std::uint64_t>(l) * 8192;
+  std::array<std::uint8_t, 32> act{};
+  act[3] = 1;
+  EXPECT_EQ(coalesced_transactions(addrs, act, 32), 1);
+  std::array<std::uint8_t, 32> none{};
+  EXPECT_EQ(coalesced_transactions(addrs, none, 32), 0);
+}
+
+TEST(Coalescing, StridedAccessScalesWithStride) {
+  // Stride-2 floats: touches twice the segments of stride-1.
+  auto act = all_active();
+  std::array<std::uint64_t, 32> s1, s2;
+  for (int l = 0; l < 32; ++l) {
+    s1[static_cast<std::size_t>(l)] = 4 * static_cast<std::uint64_t>(l);
+    s2[static_cast<std::size_t>(l)] = 8 * static_cast<std::uint64_t>(l);
+  }
+  EXPECT_EQ(coalesced_transactions(s2, act, 32),
+            2 * coalesced_transactions(s1, act, 32));
+}
+
+TEST(BankConflicts, ConflictFreeUnitStride) {
+  std::array<std::uint64_t, 32> words;
+  std::iota(words.begin(), words.end(), 0);
+  auto act = all_active();
+  EXPECT_EQ(smem_replays(words, act, 32), 1);
+}
+
+TEST(BankConflicts, BroadcastSameWordIsFree) {
+  std::array<std::uint64_t, 32> words;
+  words.fill(17);
+  auto act = all_active();
+  EXPECT_EQ(smem_replays(words, act, 32), 1);
+}
+
+TEST(BankConflicts, TwoWayConflictStride2) {
+  // Stride 2 over 32 banks: two lanes per bank -> 2 replays.
+  std::array<std::uint64_t, 32> words;
+  for (int l = 0; l < 32; ++l)
+    words[static_cast<std::size_t>(l)] = static_cast<std::uint64_t>(l) * 2;
+  auto act = all_active();
+  EXPECT_EQ(smem_replays(words, act, 32), 2);
+}
+
+TEST(BankConflicts, SixteenWayConflictStride16) {
+  // Stride 16: lanes alternate between banks 0 and 16, with 16 distinct
+  // words on each -> 16 replays.
+  std::array<std::uint64_t, 32> words;
+  for (int l = 0; l < 32; ++l)
+    words[static_cast<std::size_t>(l)] = static_cast<std::uint64_t>(l) * 16;
+  auto act = all_active();
+  EXPECT_EQ(smem_replays(words, act, 32), 16);
+}
+
+TEST(BankConflicts, WorstCaseStride32) {
+  std::array<std::uint64_t, 32> words;
+  for (int l = 0; l < 32; ++l)
+    words[static_cast<std::size_t>(l)] = static_cast<std::uint64_t>(l) * 32;
+  auto act = all_active();
+  EXPECT_EQ(smem_replays(words, act, 32), 32);
+}
+
+TEST(BankConflicts, MinimumOneEvenWhenIdle) {
+  std::array<std::uint64_t, 32> words{};
+  std::array<std::uint8_t, 32> none{};
+  EXPECT_EQ(smem_replays(words, none, 32), 1);
+}
+
+TEST(L1Cache, HitAfterMiss) {
+  L1Cache c(1024, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(64));  // same line
+  EXPECT_FALSE(c.access(128));
+}
+
+TEST(L1Cache, LruEviction) {
+  // 2 sets x 4 ways x 128 B lines = 1 KB. Fill one set beyond its ways.
+  L1Cache c(1024, 128, 4);
+  // Addresses mapping to set 0: line % 2 == 0 -> addr multiples of 256.
+  for (int i = 0; i < 4; ++i)
+    EXPECT_FALSE(c.access(static_cast<std::uint64_t>(i) * 256));
+  for (int i = 0; i < 4; ++i)
+    EXPECT_TRUE(c.access(static_cast<std::uint64_t>(i) * 256));
+  EXPECT_FALSE(c.access(4 * 256));  // evicts LRU (line 0)
+  EXPECT_FALSE(c.access(0));        // line 0 gone
+}
+
+TEST(L1Cache, ZeroCapacityAlwaysMisses) {
+  L1Cache c(0, 128);
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(L1Cache, ResetClears) {
+  L1Cache c(1024, 128);
+  (void)c.access(0);
+  c.reset();
+  EXPECT_FALSE(c.access(0));
+}
+
+TEST(L1Cache, WorkingSetSmallerThanCapacityAllHits) {
+  L1Cache c(16 * 1024, 128, 4);
+  for (int rep = 0; rep < 3; ++rep) {
+    int misses = 0;
+    for (std::uint64_t a = 0; a < 8 * 1024; a += 128)
+      if (!c.access(a)) ++misses;
+    if (rep > 0) EXPECT_EQ(misses, 0);
+  }
+}
+
+TEST(DeviceBuffer, ConstantFlag) {
+  DeviceMemory mem;
+  auto b = mem.alloc(ir::ScalarType::kFloat, 8);
+  EXPECT_FALSE(mem.buffer(b).is_constant());
+  mem.buffer(b).set_constant(true);
+  EXPECT_TRUE(mem.buffer(b).is_constant());
+}
+
+}  // namespace
+}  // namespace cudanp::sim

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+
+namespace cudanp::frontend {
+namespace {
+
+using namespace cudanp::ir;
+
+std::unique_ptr<Program> parse(const std::string& src) {
+  return parse_program_or_throw(src);
+}
+
+const Kernel& only_kernel(const Program& p) {
+  EXPECT_EQ(p.kernels.size(), 1u);
+  return *p.kernels.front();
+}
+
+TEST(Parser, MinimalKernel) {
+  auto p = parse("__global__ void k() { }");
+  const Kernel& k = only_kernel(*p);
+  EXPECT_EQ(k.name, "k");
+  EXPECT_TRUE(k.params.empty());
+  EXPECT_TRUE(k.body->stmts.empty());
+}
+
+TEST(Parser, Parameters) {
+  auto p = parse("__global__ void k(float* a, int n, float x) {}");
+  const Kernel& k = only_kernel(*p);
+  ASSERT_EQ(k.params.size(), 3u);
+  EXPECT_TRUE(k.params[0].type.is_pointer);
+  EXPECT_EQ(k.params[0].type.scalar, ScalarType::kFloat);
+  EXPECT_EQ(k.params[1].type.scalar, ScalarType::kInt);
+  EXPECT_FALSE(k.params[1].type.is_pointer);
+  EXPECT_EQ(k.params[2].name, "x");
+}
+
+TEST(Parser, ConstRestrictParamsAccepted) {
+  auto p = parse("__global__ void k(const float* __restrict__ a) {}");
+  EXPECT_TRUE(only_kernel(*p).params[0].type.is_pointer);
+}
+
+TEST(Parser, ScalarDeclWithInit) {
+  auto p = parse("__global__ void k() { float sum = 0.0f; int i = 3; }");
+  const auto& b = *only_kernel(*p).body;
+  ASSERT_EQ(b.stmts.size(), 2u);
+  const auto& d = static_cast<const DeclStmt&>(*b.stmts[0]);
+  EXPECT_EQ(d.name, "sum");
+  EXPECT_EQ(d.type.scalar, ScalarType::kFloat);
+  ASSERT_NE(d.init, nullptr);
+}
+
+TEST(Parser, SharedArrayDecl) {
+  auto p = parse("__global__ void k() { __shared__ float t[16][32]; }");
+  const auto& d =
+      static_cast<const DeclStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(d.type.space, AddrSpace::kShared);
+  ASSERT_EQ(d.type.array_dims.size(), 2u);
+  EXPECT_EQ(d.type.array_dims[0], 16);
+  EXPECT_EQ(d.type.array_dims[1], 32);
+  EXPECT_EQ(d.type.size_bytes(), 16 * 32 * 4);
+}
+
+TEST(Parser, LocalArrayDefaultsToLocalSpace) {
+  auto p = parse("__global__ void k() { float grad[150]; }");
+  const auto& d =
+      static_cast<const DeclStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(d.type.space, AddrSpace::kLocal);
+  EXPECT_EQ(d.type.element_count(), 150);
+}
+
+TEST(Parser, MultiDeclaratorList) {
+  auto p = parse(
+      "__global__ void k() { __shared__ float a[4][4], b[4][4], c[4][4]; }");
+  EXPECT_EQ(only_kernel(*p).body->stmts.size(), 3u);
+}
+
+TEST(Parser, DefineSubstitution) {
+  auto p = parse(
+      "#define N 64\n__global__ void k(float* a) { float t[N]; a[N] = 1.0f; }");
+  const auto& d =
+      static_cast<const DeclStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(d.type.element_count(), 64);
+  EXPECT_EQ(p->defines.at("N"), 64);
+}
+
+TEST(Parser, ConstantFoldedArrayDims) {
+  auto p = parse("#define N 8\n__global__ void k() { float t[N * 2 + 1]; }");
+  const auto& d =
+      static_cast<const DeclStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(d.type.element_count(), 17);
+}
+
+TEST(Parser, NonConstArrayDimThrows) {
+  EXPECT_THROW(parse("__global__ void k(int n) { float t[n]; }"),
+               CompileError);
+}
+
+TEST(Parser, BraceInitializer) {
+  auto p = parse("__global__ void k() { int t[3] = {4, 5, 6}; }");
+  const auto& d =
+      static_cast<const DeclStmt&>(*only_kernel(*p).body->stmts[0]);
+  ASSERT_EQ(d.init_list.size(), 3u);
+  EXPECT_EQ(static_cast<const IntLit&>(*d.init_list[1]).value, 5);
+}
+
+TEST(Parser, BuiltinGeometryMembers) {
+  auto p = parse(
+      "__global__ void k(float* a) { a[threadIdx.x + blockIdx.y * "
+      "blockDim.z] = 0.0f; }");
+  EXPECT_EQ(p->kernels.size(), 1u);
+}
+
+TEST(Parser, BadGeometryMemberThrows) {
+  EXPECT_THROW(parse("__global__ void k(float* a) { a[threadIdx.w] = 0.0f; }"),
+               CompileError);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto p = parse("__global__ void k(int* a) { a[0] = 1 + 2 * 3; }");
+  const auto& assign =
+      static_cast<const AssignStmt&>(*only_kernel(*p).body->stmts[0]);
+  const auto& add = static_cast<const BinaryExpr&>(*assign.rhs);
+  EXPECT_EQ(add.op, BinOp::kAdd);
+  EXPECT_EQ(static_cast<const BinaryExpr&>(*add.rhs).op, BinOp::kMul);
+}
+
+TEST(Parser, TernaryAndComparison) {
+  auto p = parse("__global__ void k(int* a, int n) { a[0] = n > 3 ? 1 : 2; }");
+  const auto& assign =
+      static_cast<const AssignStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(assign.rhs->kind(), ExprKind::kTernary);
+}
+
+TEST(Parser, CompoundAssignments) {
+  auto p = parse(
+      "__global__ void k(int* a) { int x = 0; x += 1; x -= 2; x *= 3; "
+      "x /= 4; x++; --x; a[0] = x; }");
+  const auto& b = *only_kernel(*p).body;
+  EXPECT_EQ(static_cast<const AssignStmt&>(*b.stmts[1]).op, AssignOp::kAdd);
+  EXPECT_EQ(static_cast<const AssignStmt&>(*b.stmts[2]).op, AssignOp::kSub);
+  EXPECT_EQ(static_cast<const AssignStmt&>(*b.stmts[3]).op, AssignOp::kMul);
+  EXPECT_EQ(static_cast<const AssignStmt&>(*b.stmts[4]).op, AssignOp::kDiv);
+  EXPECT_EQ(static_cast<const AssignStmt&>(*b.stmts[5]).op, AssignOp::kAdd);
+  EXPECT_EQ(static_cast<const AssignStmt&>(*b.stmts[6]).op, AssignOp::kSub);
+}
+
+TEST(Parser, ForLoopCanonical) {
+  auto p = parse(
+      "__global__ void k(float* a, int n) {"
+      "  for (int i = 0; i < n; i++) a[i] = 0.0f;"
+      "}");
+  const auto& f = static_cast<const ForStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(f.init->kind(), StmtKind::kDecl);
+  ASSERT_NE(f.cond, nullptr);
+  EXPECT_EQ(f.body->stmts.size(), 1u);
+}
+
+TEST(Parser, IfElseWithoutBraces) {
+  auto p = parse(
+      "__global__ void k(float* a, int n) {"
+      "  if (n > 0) a[0] = 1.0f; else a[0] = 2.0f;"
+      "}");
+  const auto& i = static_cast<const IfStmt&>(*only_kernel(*p).body->stmts[0]);
+  ASSERT_NE(i.else_body, nullptr);
+  EXPECT_EQ(i.then_body->stmts.size(), 1u);
+}
+
+TEST(Parser, WhileLoop) {
+  auto p = parse(
+      "__global__ void k(int* a) { int i = 0; while (i < 4) { i++; } }");
+  EXPECT_EQ(only_kernel(*p).body->stmts[1]->kind(), StmtKind::kWhile);
+}
+
+TEST(Parser, PragmaAttachesToFollowingFor) {
+  auto p = parse(
+      "__global__ void k(float* a, int n) {"
+      "  float s = 0.0f;"
+      "  #pragma np parallel for reduction(+:s)\n"
+      "  for (int i = 0; i < n; i++) s += a[i];"
+      "  a[0] = s;"
+      "}");
+  const auto& f = static_cast<const ForStmt&>(*only_kernel(*p).body->stmts[1]);
+  ASSERT_TRUE(f.pragma.has_value());
+  EXPECT_TRUE(f.pragma->names_reduction_var("s"));
+  EXPECT_EQ(only_kernel(*p).parallel_loop_count(), 1u);
+}
+
+TEST(Parser, PragmaOnNonLoopIsError) {
+  DiagnosticEngine diags;
+  EXPECT_THROW(
+      (void)parse_program("__global__ void k(float* a) {\n"
+                          "#pragma np parallel for\n"
+                          "a[0] = 1.0f; }",
+                          diags),
+      CompileError);
+}
+
+TEST(Parser, SyncthreadsCall) {
+  auto p = parse("__global__ void k() { __syncthreads(); }");
+  const auto& e = static_cast<const ExprStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(static_cast<const CallExpr&>(*e.expr).callee, "__syncthreads");
+}
+
+TEST(Parser, CastExpressions) {
+  auto p = parse("__global__ void k(float* a, int n) { a[0] = (float)n; }");
+  const auto& assign =
+      static_cast<const AssignStmt&>(*only_kernel(*p).body->stmts[0]);
+  EXPECT_EQ(assign.rhs->kind(), ExprKind::kCast);
+}
+
+TEST(Parser, ReturnBreakContinue) {
+  auto p = parse(
+      "__global__ void k(int n) {"
+      "  if (n < 0) { return; }"
+      "  for (int i = 0; i < n; i++) { if (i == 1) { continue; } "
+      "    if (i == 2) { break; } }"
+      "}");
+  EXPECT_EQ(p->kernels.size(), 1u);
+}
+
+TEST(Parser, MultipleKernels) {
+  auto p = parse(
+      "__global__ void a() {}\n__global__ void b() {}\n");
+  EXPECT_NE(p->find_kernel("a"), nullptr);
+  EXPECT_NE(p->find_kernel("b"), nullptr);
+  EXPECT_EQ(p->find_kernel("c"), nullptr);
+}
+
+TEST(Parser, NonVoidKernelThrows) {
+  EXPECT_THROW(parse("__global__ int k() {}"), CompileError);
+}
+
+TEST(Parser, AssignToRvalueThrows) {
+  EXPECT_THROW(parse("__global__ void k(int n) { n + 1 = 3; }"),
+               CompileError);
+}
+
+TEST(Parser, UnterminatedBlockThrows) {
+  EXPECT_THROW(parse("__global__ void k() { float x = 0.0f;"), CompileError);
+}
+
+TEST(Parser, MultiDimIndexing) {
+  auto p = parse(
+      "__global__ void k() { __shared__ float t[4][8]; "
+      "t[1][2] = t[3][4] + 1.0f; }");
+  const auto& assign =
+      static_cast<const AssignStmt&>(*only_kernel(*p).body->stmts[1]);
+  const auto& idx = static_cast<const ArrayIndex&>(*assign.lhs);
+  EXPECT_EQ(idx.indices.size(), 2u);
+}
+
+TEST(Parser, IncludeDirectiveIgnored) {
+  auto p = parse("#include <cuda.h>\n__global__ void k() {}");
+  EXPECT_EQ(p->kernels.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cudanp::frontend

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "frontend/pragma_parser.hpp"
+
+namespace cudanp::frontend {
+namespace {
+
+using namespace cudanp::ir;
+
+std::optional<NpPragma> parse(std::string_view text) {
+  DiagnosticEngine diags;
+  return parse_np_pragma(text, {1, 1}, diags);
+}
+
+TEST(PragmaParser, ParallelFor) {
+  auto p = parse("pragma np parallel for");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->parallel_for);
+  EXPECT_TRUE(p->reductions.empty());
+}
+
+TEST(PragmaParser, ShorthandForAccepted) {
+  // Fig. 5 uses `#pragma np parallel for`; the short `np for` also works.
+  auto p = parse("pragma np for");
+  ASSERT_TRUE(p.has_value());
+}
+
+TEST(PragmaParser, NonNpPragmaIgnored) {
+  EXPECT_FALSE(parse("pragma unroll 4").has_value());
+  EXPECT_FALSE(parse("pragma omp parallel").has_value());
+}
+
+TEST(PragmaParser, ReductionAdd) {
+  auto p = parse("pragma np parallel for reduction(+:sum)");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->reductions.size(), 1u);
+  EXPECT_EQ(p->reductions[0].op, ReduceOp::kAdd);
+  EXPECT_TRUE(p->names_reduction_var("sum"));
+  EXPECT_FALSE(p->names_reduction_var("other"));
+}
+
+TEST(PragmaParser, ReductionMultipleVars) {
+  auto p = parse("pragma np parallel for reduction(+:var, ep)");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->reductions[0].vars.size(), 2u);
+  EXPECT_TRUE(p->names_reduction_var("ep"));
+}
+
+TEST(PragmaParser, AllReductionOps) {
+  EXPECT_EQ(parse("pragma np parallel for reduction(*:x)")->reductions[0].op,
+            ReduceOp::kMul);
+  EXPECT_EQ(parse("pragma np parallel for reduction(min:x)")->reductions[0].op,
+            ReduceOp::kMin);
+  EXPECT_EQ(parse("pragma np parallel for reduction(max:x)")->reductions[0].op,
+            ReduceOp::kMax);
+}
+
+TEST(PragmaParser, ScanClause) {
+  auto p = parse("pragma np parallel for scan(+:acc)");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->scans.size(), 1u);
+  EXPECT_TRUE(p->names_scan_var("acc"));
+  EXPECT_TRUE(p->has_reduction_or_scan());
+}
+
+TEST(PragmaParser, CopyinClause) {
+  auto p = parse("pragma np parallel for copyin(a, b, c)");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->copy_in.size(), 3u);
+  EXPECT_EQ(p->copy_in[1], "b");
+}
+
+TEST(PragmaParser, NumThreadsAndNpType) {
+  auto p = parse(
+      "pragma np parallel for num_threads(8) np_type(inter) sm_version(35)");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->num_threads, 8);
+  EXPECT_EQ(p->np_type, NpType::kInterWarp);
+  EXPECT_EQ(p->sm_version, 35);
+}
+
+TEST(PragmaParser, IntraType) {
+  EXPECT_EQ(parse("pragma np parallel for np_type(intra)")->np_type,
+            NpType::kIntraWarp);
+}
+
+TEST(PragmaParser, CombinedClauses) {
+  auto p = parse(
+      "pragma np parallel for reduction(+:s) reduction(max:m) scan(*:acc) "
+      "copyin(x) num_threads(4)");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->reductions.size(), 2u);
+  EXPECT_EQ(p->scans.size(), 1u);
+  EXPECT_EQ(p->copy_in.size(), 1u);
+}
+
+TEST(PragmaParser, MalformedReductionRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse_np_pragma("pragma np parallel for reduction(+sum)", {1, 1}, diags)
+          .has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PragmaParser, BadOpRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_np_pragma("pragma np parallel for reduction(-:x)",
+                               {1, 1}, diags)
+                   .has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PragmaParser, UnknownClauseRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(
+      parse_np_pragma("pragma np parallel for schedule(static)", {1, 1},
+                      diags)
+          .has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(PragmaParser, BadNpTypeRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_np_pragma("pragma np parallel for np_type(wide)",
+                               {1, 1}, diags)
+                   .has_value());
+}
+
+TEST(PragmaParser, MissingForRejected) {
+  DiagnosticEngine diags;
+  EXPECT_FALSE(parse_np_pragma("pragma np parallel", {1, 1}, diags)
+                   .has_value());
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(NpPragma, RoundTripStr) {
+  auto p = parse(
+      "pragma np parallel for reduction(+:s) scan(+:acc) copyin(a,b) "
+      "num_threads(8) np_type(intra)");
+  ASSERT_TRUE(p.has_value());
+  std::string s = p->str();
+  EXPECT_NE(s.find("reduction(+:s)"), std::string::npos);
+  EXPECT_NE(s.find("scan(+:acc)"), std::string::npos);
+  EXPECT_NE(s.find("copyin(a,b)"), std::string::npos);
+  EXPECT_NE(s.find("num_threads(8)"), std::string::npos);
+  EXPECT_NE(s.find("np_type(intra)"), std::string::npos);
+  // The rendered form must re-parse to the same clauses.
+  DiagnosticEngine diags;
+  auto again = parse_np_pragma(s.substr(1), {1, 1}, diags);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->num_threads, 8);
+  EXPECT_EQ(again->copy_in.size(), 2u);
+}
+
+TEST(ReduceOp, Identities) {
+  EXPECT_EQ(identity_of(ReduceOp::kAdd), 0.0);
+  EXPECT_EQ(identity_of(ReduceOp::kMul), 1.0);
+  EXPECT_GT(identity_of(ReduceOp::kMin), 1e30);
+  EXPECT_LT(identity_of(ReduceOp::kMax), -1e30);
+}
+
+}  // namespace
+}  // namespace cudanp::frontend

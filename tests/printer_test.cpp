@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "kernels/benchmark.hpp"
+
+namespace cudanp::ir {
+namespace {
+
+std::string print_of(const std::string& src) {
+  auto p = frontend::parse_program_or_throw(src);
+  return print_kernel(*p->kernels.front());
+}
+
+TEST(Printer, PrecedenceParenthesization) {
+  std::string s = print_of(
+      "__global__ void k(int* a) { a[0] = (1 + 2) * 3; a[1] = 1 + 2 * 3; }");
+  EXPECT_NE(s.find("(1 + 2) * 3"), std::string::npos);
+  EXPECT_NE(s.find("1 + 2 * 3"), std::string::npos);
+}
+
+TEST(Printer, FloatLiteralsKeepSuffix) {
+  std::string s = print_of("__global__ void k(float* a) { a[0] = 2.0f; }");
+  EXPECT_NE(s.find("2.0f"), std::string::npos);
+}
+
+TEST(Printer, IntegerFloatLiteralGetsDecimalPoint) {
+  // A FloatLit with integral value must not print as an int literal, or
+  // the round-trip would change its type.
+  FloatLit f(3.0);
+  EXPECT_EQ(print_expr(f), "3.0f");
+}
+
+TEST(Printer, SharedQualifierEmitted) {
+  std::string s =
+      print_of("__global__ void k() { __shared__ float t[4][4]; }");
+  EXPECT_NE(s.find("__shared__ float t[4][4];"), std::string::npos);
+}
+
+TEST(Printer, PragmaEmitted) {
+  std::string s = print_of(
+      "__global__ void k(float* a, int n) {\n"
+      "float x = 0.0f;\n"
+      "#pragma np parallel for reduction(+:x)\n"
+      "for (int i = 0; i < n; i++) x += a[i];\n"
+      "a[0] = x; }");
+  EXPECT_NE(s.find("#pragma np parallel for reduction(+:x)"),
+            std::string::npos);
+}
+
+TEST(Printer, PragmaSuppressedWhenDisabled) {
+  auto p = frontend::parse_program_or_throw(
+      "__global__ void k(float* a, int n) {\n"
+      "#pragma np parallel for\n"
+      "for (int i = 0; i < n; i++) a[i] = 0.0f; }");
+  PrintOptions opts;
+  opts.print_pragmas = false;
+  EXPECT_EQ(print_kernel(*p->kernels.front(), opts).find("#pragma"),
+            std::string::npos);
+}
+
+TEST(Printer, TernaryAndCast) {
+  std::string s = print_of(
+      "__global__ void k(float* a, int n) { a[0] = n > 0 ? (float)n : 0.5f; }");
+  EXPECT_NE(s.find("n > 0 ? (float)n : 0.5f"), std::string::npos);
+}
+
+TEST(Printer, BraceInitializer) {
+  std::string s = print_of("__global__ void k() { int t[3] = {9, 8, 7}; }");
+  EXPECT_NE(s.find("= {9, 8, 7};"), std::string::npos);
+}
+
+TEST(Printer, ProgramIncludesDefines) {
+  auto p = frontend::parse_program_or_throw(
+      "#define N 4\n__global__ void k() { float t[N]; }");
+  std::string s = print_program(*p);
+  EXPECT_NE(s.find("#define N 4"), std::string::npos);
+}
+
+// Property: printing a parsed program and re-parsing the output reaches a
+// fixpoint (print(parse(print(parse(src)))) == print(parse(src))).
+class PrintRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PrintRoundTrip, FixpointOnBenchmarkSources) {
+  auto bench = kernels::make_benchmark(GetParam(), 0.1);
+  auto p1 = frontend::parse_program_or_throw(bench->source());
+  std::string printed1 = print_program(*p1);
+  auto p2 = frontend::parse_program_or_throw(printed1);
+  std::string printed2 = print_program(*p2);
+  EXPECT_EQ(printed1, printed2);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, PrintRoundTrip,
+                         ::testing::ValuesIn(kernels::benchmark_names()));
+
+}  // namespace
+}  // namespace cudanp::ir

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "analysis/resources.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/benchmark.hpp"
+
+namespace cudanp::analysis {
+namespace {
+
+ResourceEstimate estimate(const std::string& src) {
+  auto p = cudanp::frontend::parse_program_or_throw(src);
+  return estimate_resources(*p->kernels[0],
+                            cudanp::sim::DeviceSpec::gtx680());
+}
+
+TEST(Resources, SharedMemoryIsExactSum) {
+  auto r = estimate(
+      "__global__ void k() {"
+      "  __shared__ float a[16][16];"
+      "  __shared__ float b[16][16];"
+      "  __shared__ int c[32];"
+      "}");
+  EXPECT_EQ(r.usage.shared_mem_per_block, 16 * 16 * 4 * 2 + 32 * 4);
+}
+
+TEST(Resources, LocalArrayBytes) {
+  // LE's Grad[150]: 600 B of local memory, matching Table 1.
+  auto r = estimate("__global__ void k() { float grad[150]; }");
+  EXPECT_EQ(r.declared_local_bytes, 600);
+  EXPECT_EQ(r.usage.local_mem_per_thread, 600);
+}
+
+TEST(Resources, RegisterArrayCountsAsRegisters) {
+  auto small = estimate("__global__ void k() { float x = 0.0f; }");
+  auto with_arr = estimate(
+      "__global__ void k() { float x = 0.0f; __shared__ float s[4]; }");
+  (void)with_arr;
+  auto base = small.usage.registers_per_thread;
+  EXPECT_GT(base, 0);
+  EXPECT_LE(base, 63);
+}
+
+TEST(Resources, MoreScalarsMoreRegisters) {
+  auto a = estimate("__global__ void k() { float x = 0.0f; }");
+  auto b = estimate(
+      "__global__ void k() { float x = 0.0f; float y = 0.0f;"
+      " float z = 0.0f; float w = 0.0f; }");
+  EXPECT_GT(b.estimated_registers_raw, a.estimated_registers_raw);
+}
+
+TEST(Resources, RegisterClampAndSpill) {
+  // A 64-element register-partitioned array exceeds the 63-register GK104
+  // limit: the excess spills to local memory.
+  std::string body = "__global__ void k() {";
+  for (int i = 0; i < 80; ++i)
+    body += " float v" + std::to_string(i) + " = 0.0f;";
+  body += " }";
+  auto r = estimate(body);
+  EXPECT_EQ(r.usage.registers_per_thread, 63);
+  EXPECT_GT(r.register_spill_bytes, 0);
+  EXPECT_EQ(r.usage.local_mem_per_thread, r.register_spill_bytes);
+}
+
+TEST(Resources, RedeclarationInLoopCountedOnce) {
+  auto a = estimate(
+      "__global__ void k(int n) {"
+      "  for (int i = 0; i < n; i++) { float t = 1.0f; }"
+      "  for (int j = 0; j < n; j++) { float t = 2.0f; }"
+      "}");
+  auto b = estimate(
+      "__global__ void k(int n) {"
+      "  for (int i = 0; i < n; i++) { float t = 1.0f; }"
+      "}");
+  // `t` shadows across loops: only i/j differ.
+  EXPECT_EQ(a.estimated_registers_raw, b.estimated_registers_raw + 1);
+}
+
+class BenchmarkResources : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BenchmarkResources, BaselineFitsTheDevice) {
+  auto bench = cudanp::kernels::make_benchmark(GetParam(), 0.1);
+  auto spec = cudanp::sim::DeviceSpec::gtx680();
+  auto r = estimate_resources(bench->kernel(), spec);
+  EXPECT_GT(r.usage.registers_per_thread, 0);
+  EXPECT_LE(r.usage.registers_per_thread, spec.max_registers_per_thread);
+  EXPECT_LE(r.usage.shared_mem_per_block, spec.shared_mem_per_smx);
+  auto workload = bench->make_workload();
+  auto occ = cudanp::sim::compute_occupancy(
+      spec, static_cast<int>(workload.launch.block.count()), r.usage);
+  EXPECT_GT(occ.blocks_per_smx, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, BenchmarkResources,
+    ::testing::ValuesIn(cudanp::kernels::benchmark_names()));
+
+TEST(Resources, LeLocalMemoryMatchesTable1) {
+  auto bench = cudanp::kernels::make_benchmark("LE", 0.1);
+  auto r = estimate_resources(bench->kernel(),
+                              cudanp::sim::DeviceSpec::gtx680());
+  EXPECT_EQ(r.declared_local_bytes, 600);  // Table 1: LE BL LM = 600
+}
+
+TEST(Resources, LibLocalMemoryMatchesTable1) {
+  auto bench = cudanp::kernels::make_benchmark("LIB", 0.1);
+  auto r = estimate_resources(bench->kernel(),
+                              cudanp::sim::DeviceSpec::gtx680());
+  EXPECT_EQ(r.declared_local_bytes, 960);  // Table 1: LIB BL LM = 960
+}
+
+}  // namespace
+}  // namespace cudanp::analysis

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "transform/rewrite.hpp"
+
+namespace cudanp::transform {
+namespace {
+
+using namespace cudanp::ir;
+
+std::unique_ptr<Program> parse(const std::string& src) {
+  return cudanp::frontend::parse_program_or_throw(src);
+}
+
+TEST(Rewrite, RenameVarEverywhere) {
+  auto p = parse(
+      "__global__ void k(float* a, int n) {"
+      "  int x = n;"
+      "  for (int i = x; i < n + x; i++) a[i] = (float)x;"
+      "}");
+  rename_var(*p->kernels[0]->body, "x", "y");
+  std::string s = print_kernel(*p->kernels[0]);
+  EXPECT_NE(s.find("a[i] = (float)y"), std::string::npos);
+  EXPECT_NE(s.find("int i = y; i < n + y;"), std::string::npos);
+  EXPECT_EQ(s.find("(float)x"), std::string::npos);
+  // Declarations are not renamed (rename targets references only).
+  EXPECT_NE(s.find("int x = n"), std::string::npos);
+}
+
+TEST(Rewrite, ReplaceVarWithExpression) {
+  auto p = parse("__global__ void k(float* a) { a[threadIdx.x] = 0.0f; }");
+  replace_var(*p->kernels[0]->body, "threadIdx.x",
+              [] { return make_var("master_id"); });
+  EXPECT_NE(print_kernel(*p->kernels[0]).find("a[master_id]"),
+            std::string::npos);
+}
+
+TEST(Rewrite, BottomUpAllowsNestedReplacement) {
+  auto p = parse("__global__ void k(int* a) { a[0] = 1 + 2; }");
+  int int_lits = 0;
+  rewrite_exprs(*p->kernels[0]->body, [&](ExprPtr& e) {
+    if (e->kind() == ExprKind::kIntLit) ++int_lits;
+  });
+  EXPECT_EQ(int_lits, 3);  // 0, 1, 2
+}
+
+TEST(Rewrite, VisitsForHeaderExpressions) {
+  auto p = parse(
+      "__global__ void k(float* a, int n) {"
+      "  for (int i = n; i < n * 2; i += 1) a[i] = 0.0f;"
+      "}");
+  int n_refs = 0;
+  rewrite_exprs(*p->kernels[0]->body, [&](ExprPtr& e) {
+    if (e->kind() == ExprKind::kVarRef &&
+        static_cast<const VarRef&>(*e).name == "n")
+      ++n_refs;
+  });
+  EXPECT_EQ(n_refs, 2);
+}
+
+TEST(Rewrite, VisitsWhileAndIfConditions) {
+  auto p = parse(
+      "__global__ void k(int n) {"
+      "  while (n > 0) { if (n == 3) { n -= 2; } n -= 1; }"
+      "}");
+  int cmp = 0;
+  rewrite_exprs(*p->kernels[0]->body, [&](ExprPtr& e) {
+    if (e->kind() == ExprKind::kBinary) {
+      auto op = static_cast<const BinaryExpr&>(*e).op;
+      if (op == BinOp::kGt || op == BinOp::kEq) ++cmp;
+    }
+  });
+  EXPECT_EQ(cmp, 2);
+}
+
+TEST(Rewrite, ReplacementExprIsCloned) {
+  auto p = parse("__global__ void k(int* a) { a[0] = x + x; }");
+  int calls = 0;
+  replace_var(*p->kernels[0]->body, "x", [&] {
+    ++calls;
+    return make_int(7);
+  });
+  EXPECT_EQ(calls, 2);  // one fresh expression per occurrence
+}
+
+}  // namespace
+}  // namespace cudanp::transform

@@ -1,0 +1,71 @@
+// Source-to-source round trip: the transformed kernel is *emitted as
+// CUDA-like source text*, re-parsed, and re-executed — it must still
+// reproduce the CPU reference. This pins down that the printer emits
+// exactly the semantics the transformer produced (the property a real
+// source-to-source compiler like CUDA-NP/Cetus must have).
+#include <gtest/gtest.h>
+
+#include "frontend/parser.hpp"
+#include "ir/printer.hpp"
+#include "kernels/benchmark.hpp"
+#include "np/autotuner.hpp"
+
+namespace cudanp {
+namespace {
+
+struct RoundTripCase {
+  std::string benchmark;
+  ir::NpType np_type;
+  int slave_size;
+};
+
+std::string case_name(const ::testing::TestParamInfo<RoundTripCase>& info) {
+  return info.param.benchmark +
+         (info.param.np_type == ir::NpType::kIntraWarp ? "Intra" : "Inter") +
+         "S" + std::to_string(info.param.slave_size);
+}
+
+class TransformRoundTrip : public ::testing::TestWithParam<RoundTripCase> {};
+
+TEST_P(TransformRoundTrip, EmittedSourceReExecutesCorrectly) {
+  const auto& param = GetParam();
+  auto bench = kernels::make_benchmark(param.benchmark, 0.05);
+  auto probe = bench->make_workload();
+
+  transform::NpConfig cfg;
+  cfg.np_type = param.np_type;
+  cfg.slave_size = param.slave_size;
+  cfg.master_count = static_cast<int>(probe.launch.block.count());
+  if (cfg.block_threads() > 1024) GTEST_SKIP() << "block too large";
+
+  auto variant = np::NpCompiler::transform(bench->kernel(), cfg);
+
+  // Emit source, re-parse, and swap the re-parsed kernel into the result.
+  std::string emitted = ir::print_kernel(*variant.kernel);
+  auto reparsed = frontend::parse_program_or_throw(emitted);
+  ASSERT_EQ(reparsed->kernels.size(), 1u);
+  variant.kernel = std::move(reparsed->kernels.front());
+
+  np::Runner runner{sim::DeviceSpec::gtx680()};
+  auto w = bench->make_workload();
+  auto run = runner.run_variant(variant, w);
+  EXPECT_GT(run.timing.seconds, 0.0);
+  std::string msg;
+  EXPECT_TRUE(w.validate(*w.mem, &msg)) << msg << "\n--- emitted ---\n"
+                                        << emitted;
+}
+
+std::vector<RoundTripCase> cases() {
+  std::vector<RoundTripCase> out;
+  for (const auto& name : kernels::benchmark_names()) {
+    out.push_back({name, ir::NpType::kInterWarp, 4});
+    out.push_back({name, ir::NpType::kIntraWarp, 8});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, TransformRoundTrip,
+                         ::testing::ValuesIn(cases()), case_name);
+
+}  // namespace
+}  // namespace cudanp

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "support/string_utils.hpp"
+#include "support/table.hpp"
+
+namespace cudanp {
+namespace {
+
+TEST(StringUtils, SplitBasic) {
+  auto parts = split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtils, SplitKeepsEmptyPieces) {
+  auto parts = split(",x,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "");
+  EXPECT_EQ(parts[1], "x");
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(StringUtils, SplitNoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringUtils, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(StringUtils, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("pragma np", "pragma"));
+  EXPECT_FALSE(starts_with("np", "pragma"));
+  EXPECT_TRUE(ends_with("kernel.cu", ".cu"));
+  EXPECT_FALSE(ends_with("cu", "kernel.cu"));
+}
+
+TEST(StringUtils, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"only"}, ","), "only");
+}
+
+TEST(StringUtils, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("_np_var1"));
+  EXPECT_TRUE(is_identifier("x"));
+  EXPECT_FALSE(is_identifier("1x"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+}
+
+TEST(StringUtils, ReplaceAll) {
+  EXPECT_EQ(replace_all("aXbXc", "X", "yy"), "ayybyyc");
+  EXPECT_EQ(replace_all("abc", "z", "q"), "abc");
+}
+
+TEST(StringUtils, FormatDouble) {
+  EXPECT_EQ(format_double(2.5, 3), "2.5");
+  EXPECT_EQ(format_double(1234.0, 2), "1.2e+03");
+}
+
+TEST(Stats, GeometricMean) {
+  double xs[] = {1.0, 4.0};
+  EXPECT_NEAR(geometric_mean(xs), 2.0, 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Stats, GeometricMeanMatchesPaperStyle) {
+  // GM of identical speedups is the speedup itself.
+  double xs[] = {2.18, 2.18, 2.18};
+  EXPECT_NEAR(geometric_mean(xs), 2.18, 1e-9);
+}
+
+TEST(Stats, Summary) {
+  double xs[] = {1.0, 2.0, 3.0};
+  Summary s = summarize(xs);
+  EXPECT_EQ(s.min, 1.0);
+  EXPECT_EQ(s.max, 3.0);
+  EXPECT_NEAR(s.mean, 2.0, 1e-12);
+  EXPECT_NEAR(s.geomean, std::cbrt(6.0), 1e-12);
+}
+
+TEST(Rng, Deterministic) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  SplitMix64 rng(1234);
+  for (int i = 0; i < 1000; ++i) {
+    float v = rng.next_float(-2.0f, 3.0f);
+    EXPECT_GE(v, -2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(Rng, NextBelow) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_LT(rng.next_below(17), 17u);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"x", "1"});
+  t.add_row({"longer", "22"});
+  std::string s = t.str();
+  EXPECT_NE(s.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, PadsMissingCells) {
+  Table t({"a", "b", "c"});
+  t.add_row({"1"});
+  EXPECT_NE(t.str().find("| 1 |   |   |"), std::string::npos);
+}
+
+TEST(Diagnostics, CountsErrors) {
+  DiagnosticEngine d;
+  d.note({1, 1}, "n");
+  d.warning({1, 2}, "w");
+  EXPECT_FALSE(d.has_errors());
+  d.error({2, 3}, "e");
+  EXPECT_TRUE(d.has_errors());
+  EXPECT_EQ(d.error_count(), 1u);
+  EXPECT_EQ(d.all().size(), 3u);
+  EXPECT_NE(d.summary().find("2:3: error: e"), std::string::npos);
+  d.clear();
+  EXPECT_FALSE(d.has_errors());
+}
+
+TEST(Diagnostics, CompileErrorCarriesLocation) {
+  CompileError e(SourceLoc{4, 7}, "bad");
+  EXPECT_NE(std::string(e.what()).find("4:7"), std::string::npos);
+  EXPECT_EQ(e.loc().line, 4u);
+}
+
+TEST(SourceLoc, Validity) {
+  EXPECT_FALSE(SourceLoc{}.valid());
+  EXPECT_TRUE((SourceLoc{1, 1}).valid());
+  EXPECT_EQ(SourceLoc{}.str(), "<synthesized>");
+}
+
+}  // namespace
+}  // namespace cudanp

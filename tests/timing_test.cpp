@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::sim {
+namespace {
+
+KernelStats base_stats() {
+  KernelStats s;
+  s.blocks = 64;
+  s.warps = 64 * 8;
+  s.issue_slots = 64 * 8 * 1000.0;
+  s.dram_transactions = 64 * 100;
+  s.smem_accesses = 64 * 50;
+  s.crit_path_cycles = 2000;
+  return s;
+}
+
+Occupancy occ_with(int blocks, int warps_per_block = 8) {
+  Occupancy o;
+  o.threads_per_block = warps_per_block * 32;
+  o.blocks_per_smx = blocks;
+  o.warps_per_block = warps_per_block;
+  o.active_warps = blocks * warps_per_block;
+  return o;
+}
+
+TEST(TimingModel, ZeroBlocksZeroTime) {
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s;
+  EXPECT_EQ(m.estimate(s, occ_with(1)).seconds, 0.0);
+}
+
+TEST(TimingModel, ThrowsOnZeroOccupancy) {
+  TimingModel m(DeviceSpec::gtx680());
+  EXPECT_THROW(m.estimate(base_stats(), occ_with(0)), SimError);
+}
+
+TEST(TimingModel, DramBoundKernelScalesWithTraffic) {
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.dram_transactions = 64 * 100000;  // clearly memory bound
+  auto t1 = m.estimate(s, occ_with(8));
+  s.dram_transactions *= 2;
+  auto t2 = m.estimate(s, occ_with(8));
+  EXPECT_STREQ(t1.bound, "dram");
+  EXPECT_NEAR(t2.seconds / t1.seconds, 2.0, 0.05);
+}
+
+TEST(TimingModel, LatencyBoundWhenCritPathDominates) {
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.crit_path_cycles = 1e7;
+  auto t = m.estimate(s, occ_with(8));
+  EXPECT_STREQ(t.bound, "latency");
+}
+
+TEST(TimingModel, IssueBoundWhenComputeDominates) {
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.issue_slots = 64.0 * 1e7;
+  s.crit_path_cycles = 10;
+  s.dram_transactions = 0;
+  s.smem_accesses = 0;
+  auto t = m.estimate(s, occ_with(8));
+  EXPECT_STREQ(t.bound, "issue");
+}
+
+TEST(TimingModel, SmemBoundDetected) {
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.smem_accesses = 64 * 1000000;
+  s.crit_path_cycles = 10;
+  auto t = m.estimate(s, occ_with(8));
+  EXPECT_STREQ(t.bound, "smem");
+}
+
+TEST(TimingModel, WavesComputedFromGridAndOccupancy) {
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.blocks = 256;  // 8 SMX * 8 resident = 64 concurrent -> 4 waves
+  auto t = m.estimate(s, occ_with(8));
+  EXPECT_DOUBLE_EQ(t.waves, 4.0);
+}
+
+TEST(TimingModel, SmallGridsSpreadAcrossSmxs) {
+  // 8 blocks on 8 SMXs run as one wave with one block per SMX even when
+  // occupancy would allow stacking all 8 on a single SMX.
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.blocks = 8;
+  s.dram_transactions = 8 * 100;  // same per-block traffic as base_stats
+  s.issue_slots = 8 * 8 * 1000.0;
+  s.smem_accesses = 8 * 50;
+  auto t = m.estimate(s, occ_with(8));
+  EXPECT_DOUBLE_EQ(t.waves, 1.0);
+  // 64 blocks stack 8 per SMX: each SMX chews 8x the per-wave traffic.
+  KernelStats s64 = base_stats();
+  auto t64 = m.estimate(s64, occ_with(8));
+  EXPECT_GT(t64.t_dram_cycles, t.t_dram_cycles);
+}
+
+TEST(TimingModel, LatencyBoundKernelSpeedsUpWithMoreResidentBlocks) {
+  // The core CUDA-NP mechanism: a latency-bound kernel finishes faster
+  // when more blocks are resident because waves shrink while the
+  // per-wave critical path stays fixed.
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.blocks = 256;
+  s.crit_path_cycles = 1e6;
+  auto t_low = m.estimate(s, occ_with(2));
+  auto t_high = m.estimate(s, occ_with(16));
+  EXPECT_LT(t_high.seconds, t_low.seconds);
+}
+
+TEST(TimingModel, ThroughputBoundKernelInsensitiveToExtraOccupancy) {
+  TimingModel m(DeviceSpec::gtx680());
+  KernelStats s = base_stats();
+  s.blocks = 1024;
+  s.dram_transactions = s.blocks * 1000000;
+  s.crit_path_cycles = 100;
+  auto t8 = m.estimate(s, occ_with(8));
+  auto t16 = m.estimate(s, occ_with(16));
+  EXPECT_NEAR(t16.seconds / t8.seconds, 1.0, 0.1);
+}
+
+TEST(TimingModel, BreakdownTermsNonNegative) {
+  TimingModel m(DeviceSpec::gtx680());
+  auto t = m.estimate(base_stats(), occ_with(4));
+  EXPECT_GE(t.t_issue_cycles, 0.0);
+  EXPECT_GE(t.t_dram_cycles, 0.0);
+  EXPECT_GE(t.t_smem_cycles, 0.0);
+  EXPECT_GE(t.t_crit_cycles, 0.0);
+  EXPECT_GT(t.seconds, 0.0);
+}
+
+TEST(KernelStats, AddBlockAccumulates) {
+  KernelStats total;
+  KernelStats b;
+  b.blocks = 1;
+  b.warps = 4;
+  b.issue_slots = 100;
+  b.dram_transactions = 7;
+  b.smem_accesses = 3;
+  b.shfl_ops = 2;
+  total.add_block(b);
+  total.add_block(b);
+  EXPECT_EQ(total.blocks, 2);
+  EXPECT_EQ(total.warps, 8);
+  EXPECT_DOUBLE_EQ(total.issue_slots, 200.0);
+  EXPECT_EQ(total.dram_transactions, 14);
+  EXPECT_EQ(total.shfl_ops, 4);
+}
+
+}  // namespace
+}  // namespace cudanp::sim

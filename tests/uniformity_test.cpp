@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "analysis/liveness.hpp"
+#include "analysis/uniformity.hpp"
+#include "frontend/parser.hpp"
+
+namespace cudanp::analysis {
+namespace {
+
+using namespace cudanp::ir;
+
+struct Fixture {
+  std::unique_ptr<Program> program;
+  UniformityTracker tracker;
+
+  explicit Fixture(const std::string& body,
+                   std::set<std::string> seed = {"master_id"})
+      : program(cudanp::frontend::parse_program_or_throw(
+            "__global__ void k(float* a, int n) { " + body + " }")),
+        tracker(build_symbol_table(*program->kernels[0]), std::move(seed)) {
+    // Scalar params are uniform by construction, as the transformer seeds
+    // them.
+    tracker.mark_uniform("n");
+  }
+
+  const Stmt& stmt(std::size_t i) { return *program->kernels[0]->body->stmts[i]; }
+};
+
+TEST(Uniformity, LiteralInitIsUniform) {
+  Fixture f("float x = 1.5f;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+  EXPECT_TRUE(f.tracker.is_uniform_var("x"));
+}
+
+TEST(Uniformity, ParamArithmeticIsUniform) {
+  Fixture f("int off = n * 4 + 1;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+}
+
+TEST(Uniformity, MasterIdSeedIsUniform) {
+  // After the NP remap, master_id is shared by the whole group, so
+  // `tx = master_id + blockIdx.x * 32` is redundantly computable
+  // (paper Sec. 3.1).
+  Fixture f("int tx = master_id + blockIdx.x * 32;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+}
+
+TEST(Uniformity, ThreadIdxIsNotUniform) {
+  Fixture f("int t = threadIdx.x;");
+  EXPECT_FALSE(f.tracker.step(f.stmt(0)));
+  EXPECT_FALSE(f.tracker.is_uniform_var("t"));
+}
+
+TEST(Uniformity, BlockGeometryIsUniform) {
+  Fixture f("int b = blockIdx.x * blockDim.y + gridDim.x;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+}
+
+TEST(Uniformity, MemoryReadIsNeverRedundant) {
+  // Redundant loads would multiply global traffic; the paper keeps loads
+  // in the master + broadcast path.
+  Fixture f("float v = a[0];");
+  EXPECT_FALSE(f.tracker.step(f.stmt(0)));
+}
+
+TEST(Uniformity, PureMathCallsPropagate) {
+  Fixture f("float x = sqrtf((float)n);");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+}
+
+TEST(Uniformity, ShflIsNotPure) {
+  Fixture f("float x = __shfl(1.0f, 0, 4);");
+  EXPECT_FALSE(f.tracker.step(f.stmt(0)));
+}
+
+TEST(Uniformity, FlowSensitivity) {
+  Fixture f(
+      "float x = 1.0f;"
+      "float y = x * 2.0f;"
+      "x = a[0];"
+      "float z = x + 1.0f;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));   // x uniform
+  EXPECT_TRUE(f.tracker.step(f.stmt(1)));   // y uniform (uses x)
+  EXPECT_FALSE(f.tracker.step(f.stmt(2)));  // x killed by load
+  EXPECT_FALSE(f.tracker.step(f.stmt(3)));  // z depends on killed x
+  EXPECT_TRUE(f.tracker.is_uniform_var("y"));
+  EXPECT_FALSE(f.tracker.is_uniform_var("x"));
+}
+
+TEST(Uniformity, CompoundAssignNeedsUniformTarget) {
+  Fixture f(
+      "float x = a[0];"
+      "x += 1.0f;");
+  EXPECT_FALSE(f.tracker.step(f.stmt(0)));
+  EXPECT_FALSE(f.tracker.step(f.stmt(1)));  // x was not uniform
+}
+
+TEST(Uniformity, CompoundAssignOnUniformStaysUniform) {
+  Fixture f(
+      "float x = 1.0f;"
+      "x += 2.0f;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+  EXPECT_TRUE(f.tracker.step(f.stmt(1)));
+}
+
+TEST(Uniformity, BareDeclExecutableButValueUnknown) {
+  Fixture f("int x;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+  EXPECT_FALSE(f.tracker.is_uniform_var("x"));
+}
+
+TEST(Uniformity, ArrayStoreNotRedundant) {
+  Fixture f("a[0] = 1.0f;");
+  EXPECT_FALSE(f.tracker.step(f.stmt(0)));
+}
+
+TEST(Uniformity, MarkHelpers) {
+  Fixture f("int x;");
+  f.tracker.mark_uniform("q");
+  EXPECT_TRUE(f.tracker.is_uniform_var("q"));
+  f.tracker.mark_nonuniform("q");
+  EXPECT_FALSE(f.tracker.is_uniform_var("q"));
+}
+
+TEST(Uniformity, TernaryAndCastPropagate) {
+  Fixture f("float x = n > 0 ? (float)n : 0.5f;");
+  EXPECT_TRUE(f.tracker.step(f.stmt(0)));
+}
+
+}  // namespace
+}  // namespace cudanp::analysis

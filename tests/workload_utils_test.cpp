@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/workload_utils.hpp"
+
+namespace cudanp::kernels {
+namespace {
+
+TEST(ApproxEqual, ExactMatch) {
+  std::vector<float> a = {1.0f, 2.0f, 3.0f};
+  std::string msg;
+  EXPECT_TRUE(approx_equal(a, a, 0.0, &msg)) << msg;
+}
+
+TEST(ApproxEqual, WithinRelativeTolerance) {
+  std::vector<float> got = {100.0f};
+  std::vector<float> want = {100.05f};
+  EXPECT_TRUE(approx_equal(got, want, 1e-3, nullptr));
+  EXPECT_FALSE(approx_equal(got, want, 1e-6, nullptr));
+}
+
+TEST(ApproxEqual, SmallValuesUseAbsoluteFloor) {
+  // Denominator is max(1, |want|): tiny values compare near-absolutely.
+  std::vector<float> got = {1e-7f};
+  std::vector<float> want = {0.0f};
+  EXPECT_TRUE(approx_equal(got, want, 1e-6, nullptr));
+}
+
+TEST(ApproxEqual, SizeMismatch) {
+  std::vector<float> a = {1.0f};
+  std::vector<float> b = {1.0f, 2.0f};
+  std::string msg;
+  EXPECT_FALSE(approx_equal(a, b, 1.0, &msg));
+  EXPECT_EQ(msg, "size mismatch");
+}
+
+TEST(ApproxEqual, NanAlwaysFails) {
+  std::vector<float> got = {std::nanf("")};
+  std::vector<float> want = {0.0f};
+  EXPECT_FALSE(approx_equal(got, want, 1e30, nullptr));
+}
+
+TEST(ApproxEqual, ReportsFirstMismatch) {
+  std::vector<float> got = {1.0f, 5.0f, 9.0f};
+  std::vector<float> want = {1.0f, 2.0f, 3.0f};
+  std::string msg;
+  EXPECT_FALSE(approx_equal(got, want, 1e-3, &msg));
+  EXPECT_NE(msg.find("element 1"), std::string::npos);
+}
+
+TEST(ExactEqual, Matches) {
+  std::vector<std::int32_t> a = {1, -2, 3};
+  EXPECT_TRUE(exact_equal(a, a, nullptr));
+}
+
+TEST(ExactEqual, Mismatch) {
+  std::vector<std::int32_t> a = {1, 2};
+  std::vector<std::int32_t> b = {1, 3};
+  std::string msg;
+  EXPECT_FALSE(exact_equal(a, b, &msg));
+  EXPECT_NE(msg.find("element 1"), std::string::npos);
+}
+
+TEST(Scaled, RoundsDownToMultiple) {
+  EXPECT_EQ(scaled(1000, 1.0, 32), 992);
+  EXPECT_EQ(scaled(1024, 1.0, 32), 1024);
+  EXPECT_EQ(scaled(1024, 0.5, 32), 512);
+}
+
+TEST(Scaled, NeverBelowOneMultiple) {
+  EXPECT_EQ(scaled(1024, 0.001, 32), 32);
+  EXPECT_EQ(scaled(10, 0.5, 128), 128);
+}
+
+TEST(FillUniform, RespectsRange) {
+  sim::DeviceMemory mem;
+  auto b = mem.alloc(ir::ScalarType::kFloat, 1000);
+  SplitMix64 rng(5);
+  fill_uniform(mem.buffer(b), rng, 2.0f, 3.0f);
+  for (float v : mem.buffer(b).f32()) {
+    EXPECT_GE(v, 2.0f);
+    EXPECT_LT(v, 3.0f);
+  }
+}
+
+TEST(FillUniform, DeterministicAcrossCalls) {
+  sim::DeviceMemory m1, m2;
+  auto b1 = m1.alloc(ir::ScalarType::kFloat, 64);
+  auto b2 = m2.alloc(ir::ScalarType::kFloat, 64);
+  SplitMix64 r1(7), r2(7);
+  fill_uniform(m1.buffer(b1), r1);
+  fill_uniform(m2.buffer(b2), r2);
+  for (std::size_t i = 0; i < 64; ++i)
+    EXPECT_EQ(m1.buffer(b1).f32()[i], m2.buffer(b2).f32()[i]);
+}
+
+}  // namespace
+}  // namespace cudanp::kernels

@@ -1,0 +1,248 @@
+// cudanp-cc: the CUDA-NP source-to-source compiler as a command-line
+// tool, mirroring how the paper's Cetus-based compiler is driven.
+//
+//   cudanp-cc input.cu [options]
+//
+//   --kernel=<name>       kernel to transform (default: first with pragmas)
+//   --tb=<n>              baseline thread-block size (default 32)
+//   --slave-size=<n>      slaves per master incl. master (default 4)
+//   --np-type=inter|intra warp mapping (default inter)
+//   --placement=auto|register|shared|global   local-array re-homing
+//   --sm=<n>              target compute capability x10 (default 30)
+//   --pad                 pad constant loop counts to slave_size multiples
+//   --no-shfl             use shared memory even intra-warp (Fig. 16)
+//   --all                 emit every auto-tuner candidate configuration
+//   --report              print resource/occupancy report instead of code
+//   --preprocess          run the Sec. 3.7 preprocessors (re-roll unrolled
+//                         statement runs) before transforming
+//   -o <file>             write output to file (default stdout)
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on compile errors.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/resources.hpp"
+#include "ir/printer.hpp"
+#include "np/compiler.hpp"
+#include "support/diagnostics.hpp"
+#include "transform/preprocess.hpp"
+
+using namespace cudanp;
+
+namespace {
+
+struct CliOptions {
+  std::string input;
+  std::string output;
+  std::string kernel;
+  int tb = 32;
+  int slave_size = 4;
+  ir::NpType np_type = ir::NpType::kInterWarp;
+  transform::LocalPlacement placement = transform::LocalPlacement::kAuto;
+  int sm = 30;
+  bool pad = false;
+  bool no_shfl = false;
+  bool all = false;
+  bool report = false;
+  bool preprocess = false;
+};
+
+void usage() {
+  std::cerr
+      << "usage: cudanp-cc <input.cu> [--kernel=<name>] [--tb=<n>]\n"
+         "                 [--slave-size=<n>] [--np-type=inter|intra]\n"
+         "                 [--placement=auto|register|shared|global]\n"
+         "                 [--sm=<n>] [--pad] [--no-shfl] [--all]\n"
+         "                 [--report] [--preprocess] [-o <file>]\n";
+}
+
+std::optional<CliOptions> parse_args(int argc, char** argv) {
+  CliOptions opt;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      return a.c_str() + std::strlen(prefix);
+    };
+    if (a.rfind("--kernel=", 0) == 0) {
+      opt.kernel = value("--kernel=");
+    } else if (a.rfind("--tb=", 0) == 0) {
+      opt.tb = std::atoi(value("--tb="));
+    } else if (a.rfind("--slave-size=", 0) == 0) {
+      opt.slave_size = std::atoi(value("--slave-size="));
+    } else if (a.rfind("--np-type=", 0) == 0) {
+      std::string v = value("--np-type=");
+      if (v == "inter") opt.np_type = ir::NpType::kInterWarp;
+      else if (v == "intra") opt.np_type = ir::NpType::kIntraWarp;
+      else return std::nullopt;
+    } else if (a.rfind("--placement=", 0) == 0) {
+      std::string v = value("--placement=");
+      if (v == "auto") opt.placement = transform::LocalPlacement::kAuto;
+      else if (v == "register")
+        opt.placement = transform::LocalPlacement::kRegister;
+      else if (v == "shared")
+        opt.placement = transform::LocalPlacement::kShared;
+      else if (v == "global")
+        opt.placement = transform::LocalPlacement::kGlobal;
+      else return std::nullopt;
+    } else if (a.rfind("--sm=", 0) == 0) {
+      opt.sm = std::atoi(value("--sm="));
+    } else if (a == "--pad") {
+      opt.pad = true;
+    } else if (a == "--no-shfl") {
+      opt.no_shfl = true;
+    } else if (a == "--all") {
+      opt.all = true;
+    } else if (a == "--report") {
+      opt.report = true;
+    } else if (a == "--preprocess") {
+      opt.preprocess = true;
+    } else if (a == "-o") {
+      if (++i >= argc) return std::nullopt;
+      opt.output = argv[i];
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      std::exit(0);
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "unknown option: " << a << "\n";
+      return std::nullopt;
+    } else if (opt.input.empty()) {
+      opt.input = a;
+    } else {
+      return std::nullopt;
+    }
+  }
+  if (opt.input.empty()) return std::nullopt;
+  return opt;
+}
+
+const ir::Kernel* pick_kernel(const ir::Program& program,
+                              const std::string& name) {
+  if (!name.empty()) return program.find_kernel(name);
+  for (const auto& k : program.kernels)
+    if (k->parallel_loop_count() > 0) return k.get();
+  return nullptr;
+}
+
+void print_report(std::ostream& os, const ir::Kernel& kernel,
+                  const transform::TransformResult* variant,
+                  const sim::DeviceSpec& spec, int threads_per_block) {
+  const ir::Kernel& k = variant ? *variant->kernel : kernel;
+  auto res = analysis::estimate_resources(k, spec);
+  auto occ = sim::compute_occupancy(spec, threads_per_block, res.usage);
+  os << "kernel " << k.name << ":\n"
+     << "  threads/block:   " << threads_per_block << "\n"
+     << "  registers:       ~" << res.usage.registers_per_thread
+     << " per thread (raw estimate " << res.estimated_registers_raw << ")\n"
+     << "  shared memory:   " << res.usage.shared_mem_per_block
+     << " B per block\n"
+     << "  local memory:    " << res.usage.local_mem_per_thread
+     << " B per thread\n"
+     << "  occupancy:       " << occ.blocks_per_smx << " blocks ("
+     << occ.active_warps << " warps) per SMX, " << occ.limiting_factor
+     << "-limited\n";
+  if (variant) {
+    for (const auto& [arr, placement] : variant->placements)
+      os << "  local array:     " << arr << " -> "
+         << transform::to_string(placement) << "\n";
+    for (const auto& extra : variant->extra_buffers)
+      os << "  extra buffer:    " << extra.param_name << " ("
+         << extra.elems_per_block << " elems per block)\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto opt = parse_args(argc, argv);
+  if (!opt) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream in(opt->input);
+  if (!in) {
+    std::cerr << "cudanp-cc: cannot open " << opt->input << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  std::ofstream out_file;
+  std::ostream* os = &std::cout;
+  if (!opt->output.empty()) {
+    out_file.open(opt->output);
+    if (!out_file) {
+      std::cerr << "cudanp-cc: cannot write " << opt->output << "\n";
+      return 1;
+    }
+    os = &out_file;
+  }
+
+  try {
+    auto program = np::NpCompiler::parse(buffer.str());
+    const ir::Kernel* kernel = pick_kernel(*program, opt->kernel);
+    if (!kernel) {
+      std::cerr << "cudanp-cc: no kernel "
+                << (opt->kernel.empty() ? "with #pragma np loops"
+                                        : ("named '" + opt->kernel + "'"))
+                << " in " << opt->input << "\n";
+      return 2;
+    }
+
+    std::unique_ptr<ir::Kernel> preprocessed;
+    if (opt->preprocess) {
+      preprocessed = kernel->clone();
+      auto rr = transform::reroll_unrolled_statements(*preprocessed);
+      std::cerr << "cudanp-cc: re-rolled " << rr.statements_absorbed
+                << " statements into " << rr.loops_created << " loop(s)\n";
+      kernel = preprocessed.get();
+    }
+
+    auto spec = sim::DeviceSpec::gtx680();
+    spec.sm_version = opt->sm;
+
+    // Report-only mode on an unannotated kernel: describe it and stop.
+    if (opt->report && kernel->parallel_loop_count() == 0) {
+      print_report(*os, *kernel, nullptr, spec, opt->tb);
+      return 0;
+    }
+
+    std::vector<transform::NpConfig> configs;
+    if (opt->all) {
+      configs = np::NpCompiler::enumerate_configs(*kernel, opt->tb, spec);
+    } else {
+      transform::NpConfig cfg;
+      cfg.np_type = opt->np_type;
+      cfg.slave_size = opt->slave_size;
+      cfg.master_count = opt->tb;
+      cfg.placement = opt->placement;
+      cfg.sm_version = opt->sm;
+      cfg.use_shfl = !opt->no_shfl && opt->sm >= 30;
+      cfg.pad_loops = opt->pad;
+      configs.push_back(cfg);
+    }
+
+    if (opt->report && !opt->all)
+      print_report(*os, *kernel, nullptr, spec, opt->tb);
+
+    for (const auto& cfg : configs) {
+      auto variant = np::NpCompiler::transform(*kernel, cfg);
+      if (opt->report) {
+        *os << "\n== " << cfg.describe() << " ==\n";
+        print_report(*os, *kernel, &variant, spec, cfg.block_threads());
+      } else {
+        *os << "// " << cfg.describe() << "\n"
+            << ir::print_kernel(*variant.kernel) << "\n";
+      }
+    }
+  } catch (const CompileError& e) {
+    std::cerr << "cudanp-cc: " << e.what() << "\n";
+    return 2;
+  }
+  return 0;
+}
