@@ -1,0 +1,10 @@
+// Row scaling: a nested loop with independent iterations and no reduction,
+// so the NP transform simply partitions the trip count across slaves.
+//
+// Try: cudanp-cc scale_rows.cu --sanitize --elems=32
+__global__ void scale_rows(float* a, float* out, int n) {
+  int row = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for
+  for (int i = 0; i < n; i++)
+    out[row * n + i] = a[row * n + i] * 2.0f;
+}

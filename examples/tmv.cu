@@ -1,0 +1,14 @@
+// Transposed matrix-vector product (paper Fig. 1): each thread reduces one
+// column of `a` against `b`. The annotated loop is the nested parallelism
+// CUDA-NP distributes across slave threads.
+//
+// Try: cudanp-cc tmv.cu --all --report
+//      cudanp-cc tmv.cu --sanitize
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++)
+    sum += a[i * w + tx] * b[i];
+  c[tx] = sum;
+}

@@ -1,6 +1,12 @@
 #include "np/compiler.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
 #include "frontend/parser.hpp"
+#include "np/runner.hpp"
 
 namespace cudanp::np {
 
@@ -63,6 +69,158 @@ transform::TransformResult NpCompiler::transform(
     const ir::Kernel& kernel, const transform::NpConfig& config) {
   cudanp::DiagnosticEngine diags;
   return transform::apply_np_transform(kernel, config, diags);
+}
+
+namespace {
+
+bool floats_close(float ref, float got, double rel_tol) {
+  if (std::isnan(ref) && std::isnan(got)) return true;
+  double scale = std::max({1.0, std::fabs(static_cast<double>(ref)),
+                           std::fabs(static_cast<double>(got))});
+  return std::fabs(static_cast<double>(ref) - static_cast<double>(got)) <=
+         rel_tol * scale;
+}
+
+/// Compares every buffer argument of the baseline launch against the same
+/// buffer in the variant's memory. Workloads come from the same factory, so
+/// equal allocation order yields equal BufferIds; the variant's extra
+/// scratch buffers are appended afterwards and never compared.
+bool buffers_match(const sim::DeviceMemory& ref, const sim::DeviceMemory& got,
+                   const std::vector<sim::KernelArg>& args, double rel_tol,
+                   std::string* msg) {
+  for (const auto& arg : args) {
+    const auto* id = std::get_if<sim::BufferId>(&arg);
+    if (!id) continue;
+    const sim::DeviceBuffer& rb = ref.buffer(*id);
+    const sim::DeviceBuffer& gb = got.buffer(*id);
+    if (rb.size() != gb.size() || rb.type() != gb.type()) {
+      if (msg) {
+        std::ostringstream os;
+        os << "buffer " << *id << " shape differs (ref " << rb.size()
+           << " elems, variant " << gb.size() << ")";
+        *msg = os.str();
+      }
+      return false;
+    }
+    if (rb.type() == ir::ScalarType::kFloat) {
+      auto r = rb.f32();
+      auto g = gb.f32();
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (floats_close(r[i], g[i], rel_tol)) continue;
+        if (msg) {
+          std::ostringstream os;
+          os << "buffer " << *id << " element " << i << ": baseline " << r[i]
+             << ", variant " << g[i];
+          *msg = os.str();
+        }
+        return false;
+      }
+    } else {
+      auto r = rb.i32();
+      auto g = gb.i32();
+      for (std::size_t i = 0; i < r.size(); ++i) {
+        if (r[i] == g[i]) continue;
+        if (msg) {
+          std::ostringstream os;
+          os << "buffer " << *id << " element " << i << ": baseline " << r[i]
+             << ", variant " << g[i];
+          *msg = os.str();
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool ValidationReport::all_clean() const {
+  if (!baseline_ran || !baseline_hazards.empty()) return false;
+  for (const auto& e : entries)
+    if (!e.clean()) return false;
+  return true;
+}
+
+std::size_t ValidationReport::hazard_count() const {
+  std::size_t n = baseline_hazards.size();
+  for (const auto& e : entries) n += e.hazards.size();
+  return n;
+}
+
+std::string ValidationReport::summary() const {
+  std::ostringstream os;
+  os << "baseline: ";
+  if (!baseline_ran)
+    os << "FAILED to run\n";
+  else if (!baseline_hazards.empty())
+    os << baseline_hazards.size() << " hazard(s)\n";
+  else
+    os << "clean\n";
+  for (const auto& r : baseline_hazards) os << "  " << r.str() << "\n";
+  std::size_t checked = 0;
+  for (const auto& e : entries) {
+    os << e.config << ": ";
+    if (!e.transform_ok) {
+      os << "not applicable (" << e.transform_error << ")\n";
+      continue;
+    }
+    ++checked;
+    if (!e.ran)
+      os << "FAILED to run";
+    else if (!e.hazards.empty())
+      os << e.hazards.size() << " hazard(s)";
+    else if (!e.outputs_match)
+      os << "OUTPUT MISMATCH: " << e.mismatch;
+    else
+      os << "clean, outputs match";
+    os << "\n";
+    for (const auto& r : e.hazards) os << "  " << r.str() << "\n";
+    if (e.ran && e.hazards.empty() && !e.outputs_match && !e.mismatch.empty())
+      os << "  " << e.mismatch << "\n";
+  }
+  os << "validated " << checked << " of " << entries.size()
+     << " configuration(s): " << (all_clean() ? "PASS" : "FAIL");
+  return os.str();
+}
+
+ValidationReport NpCompiler::validate(
+    const ir::Kernel& kernel, const std::vector<transform::NpConfig>& configs,
+    const WorkloadFactory& make_workload, const sim::DeviceSpec& spec,
+    const ValidationOptions& opt) {
+  ValidationReport report;
+  Runner runner(spec);
+
+  Workload base = make_workload();
+  SanitizedRun base_run = runner.run_sanitized(kernel, base, opt.sanitizer);
+  report.baseline_ran = base_run.ran;
+  report.baseline_hazards = base_run.engine.reports();
+
+  for (const auto& cfg : configs) {
+    ValidationEntry entry;
+    entry.config = cfg.describe();
+    transform::TransformResult variant;
+    try {
+      variant = transform(kernel, cfg);
+      entry.transform_ok = true;
+    } catch (const CompileError& e) {
+      entry.transform_error = e.what();
+      report.entries.push_back(std::move(entry));
+      continue;
+    }
+    Workload w = make_workload();
+    SanitizedRun run =
+        runner.run_variant_sanitized(variant, w, opt.sanitizer);
+    entry.ran = run.ran;
+    entry.hazards = run.engine.reports();
+    if (run.ran) {
+      entry.outputs_match =
+          buffers_match(*base.mem, *w.mem, base.launch.args, opt.f32_rel_tol,
+                        &entry.mismatch);
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
 }
 
 }  // namespace cudanp::np

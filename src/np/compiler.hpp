@@ -14,11 +14,48 @@
 #include <vector>
 
 #include "ir/kernel.hpp"
+#include "np/workload.hpp"
 #include "sim/device.hpp"
+#include "sim/sanitizer.hpp"
 #include "transform/np_config.hpp"
 #include "transform/transformer.hpp"
 
 namespace cudanp::np {
+
+/// Outcome of validating one transformed variant (NpCompiler::validate).
+struct ValidationEntry {
+  std::string config;
+  /// False when the configuration is legitimately inapplicable to the
+  /// kernel (the transform threw CompileError); such entries are recorded
+  /// but never fail validation.
+  bool transform_ok = false;
+  std::string transform_error;
+  bool ran = false;
+  bool outputs_match = false;
+  std::string mismatch;
+  std::vector<sim::HazardReport> hazards;
+
+  [[nodiscard]] bool clean() const {
+    return !transform_ok || (ran && hazards.empty() && outputs_match);
+  }
+};
+
+struct ValidationReport {
+  bool baseline_ran = false;
+  std::vector<sim::HazardReport> baseline_hazards;
+  std::vector<ValidationEntry> entries;
+
+  [[nodiscard]] bool all_clean() const;
+  [[nodiscard]] std::size_t hazard_count() const;
+  [[nodiscard]] std::string summary() const;
+};
+
+struct ValidationOptions {
+  sim::SanitizerEngine::Options sanitizer;
+  /// Relative tolerance for float buffer cross-checks (NP reductions
+  /// reassociate, so bit-exact equality is too strict).
+  double f32_rel_tol = 1e-3;
+};
 
 class NpCompiler {
  public:
@@ -38,6 +75,17 @@ class NpCompiler {
   /// Applies the NP transformation for one configuration.
   [[nodiscard]] static transform::TransformResult transform(
       const ir::Kernel& kernel, const transform::NpConfig& config);
+
+  /// Validation mode: runs the baseline kernel and every configuration's
+  /// transformed variant under the sanitizer on fresh workloads from
+  /// `make_workload`, then cross-checks each variant's launch-argument
+  /// buffers against the baseline's (int exact, float to f32_rel_tol).
+  /// This is the correctness oracle transform PRs are gated on.
+  [[nodiscard]] static ValidationReport validate(
+      const ir::Kernel& kernel,
+      const std::vector<transform::NpConfig>& configs,
+      const WorkloadFactory& make_workload, const sim::DeviceSpec& spec,
+      const ValidationOptions& opt = {});
 };
 
 }  // namespace cudanp::np

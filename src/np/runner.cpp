@@ -1,6 +1,44 @@
 #include "np/runner.hpp"
 
+#include <utility>
+#include <vector>
+
 namespace cudanp::np {
+
+namespace {
+
+/// Builds the variant launch config: block dims swapped, extra buffers
+/// for globally re-homed local arrays allocated and appended.
+sim::LaunchConfig variant_config(
+    const transform::TransformResult& variant, Workload& workload,
+    std::vector<std::pair<sim::BufferId, std::size_t>>* extras) {
+  sim::LaunchConfig cfg = workload.launch;
+  cfg.block = variant.block_dims;
+  for (const auto& extra : variant.extra_buffers) {
+    std::size_t elems = static_cast<std::size_t>(extra.elems_per_block) *
+                        static_cast<std::size_t>(cfg.grid.count());
+    sim::BufferId id = workload.mem->alloc(extra.type, elems);
+    if (extras) extras->emplace_back(id, elems);
+    cfg.args.push_back(id);
+  }
+  return cfg;
+}
+
+void record_launch_fault(sim::SanitizerEngine& engine,
+                         const std::string& kernel, const char* what) {
+  sim::HazardReport r;
+  r.kind = sim::HazardKind::kSimFault;
+  r.kernel = kernel;
+  r.message = what;
+  try {
+    engine.report(std::move(r));
+  } catch (const sim::HazardLimitReached&) {
+    // Already at the limit; the fault still made it into the report list
+    // or was deduplicated — either way there is nothing left to run.
+  }
+}
+
+}  // namespace
 
 sim::RunResult Runner::run(const ir::Kernel& kernel,
                            Workload& workload) const {
@@ -11,16 +49,52 @@ sim::RunResult Runner::run(const ir::Kernel& kernel,
 
 sim::RunResult Runner::run_variant(const transform::TransformResult& variant,
                                    Workload& workload) const {
-  sim::LaunchConfig cfg = workload.launch;
-  cfg.block = variant.block_dims;
-  for (const auto& extra : variant.extra_buffers) {
-    std::size_t elems = static_cast<std::size_t>(extra.elems_per_block) *
-                        static_cast<std::size_t>(cfg.grid.count());
-    cfg.args.push_back(workload.mem->alloc(extra.type, elems));
-  }
+  sim::LaunchConfig cfg = variant_config(variant, workload, nullptr);
   auto res = analysis::estimate_resources(*variant.kernel, spec_);
   return sim::run_and_time(spec_, *workload.mem, *variant.kernel, cfg,
                            res.usage, opt_);
+}
+
+SanitizedRun Runner::run_sanitized(const ir::Kernel& kernel,
+                                   Workload& workload,
+                                   sim::SanitizerEngine::Options sopt) const {
+  SanitizedRun out;
+  out.engine = sim::SanitizerEngine(sopt);
+  sim::Interpreter::Options iopt = opt_;
+  iopt.sanitizer = &out.engine;
+  auto res = analysis::estimate_resources(kernel, spec_);
+  try {
+    out.result = sim::run_and_time(spec_, *workload.mem, kernel,
+                                   workload.launch, res.usage, iopt);
+    out.ran = true;
+  } catch (const SimError& e) {
+    record_launch_fault(out.engine, kernel.name, e.what());
+  }
+  return out;
+}
+
+SanitizedRun Runner::run_variant_sanitized(
+    const transform::TransformResult& variant, Workload& workload,
+    sim::SanitizerEngine::Options sopt) const {
+  SanitizedRun out;
+  out.engine = sim::SanitizerEngine(sopt);
+  std::vector<std::pair<sim::BufferId, std::size_t>> extras;
+  sim::LaunchConfig cfg = variant_config(variant, workload, &extras);
+  // Extra buffers are device scratch: the kernel must write an element
+  // before reading it back.
+  for (const auto& [id, elems] : extras)
+    out.engine.mark_buffer_uninitialized(id, elems);
+  sim::Interpreter::Options iopt = opt_;
+  iopt.sanitizer = &out.engine;
+  auto res = analysis::estimate_resources(*variant.kernel, spec_);
+  try {
+    out.result = sim::run_and_time(spec_, *workload.mem, *variant.kernel,
+                                   cfg, res.usage, iopt);
+    out.ran = true;
+  } catch (const SimError& e) {
+    record_launch_fault(out.engine, variant.kernel->name, e.what());
+  }
+  return out;
 }
 
 }  // namespace cudanp::np

@@ -6,9 +6,22 @@
 #include "analysis/resources.hpp"
 #include "np/workload.hpp"
 #include "sim/interpreter.hpp"
+#include "sim/sanitizer.hpp"
 #include "transform/transformer.hpp"
 
 namespace cudanp::np {
+
+/// Result of a sanitized launch: the usual timing/stats (valid when the
+/// launch itself succeeded) plus every hazard the engine collected.
+struct SanitizedRun {
+  sim::RunResult result;
+  sim::SanitizerEngine engine;
+  /// False when the launch aborted before any block ran (bad geometry,
+  /// zero occupancy); the failure is recorded as a kSimFault hazard.
+  bool ran = false;
+
+  [[nodiscard]] bool clean() const { return ran && engine.clean(); }
+};
 
 class Runner {
  public:
@@ -24,6 +37,20 @@ class Runner {
   /// launches.
   [[nodiscard]] sim::RunResult run_variant(
       const transform::TransformResult& variant, Workload& workload) const;
+
+  /// Like run(), but instrumented by a SanitizerEngine: hazards are
+  /// collected instead of thrown, and per-block SimErrors become kSimFault
+  /// reports while the rest of the grid keeps running.
+  [[nodiscard]] SanitizedRun run_sanitized(
+      const ir::Kernel& kernel, Workload& workload,
+      sim::SanitizerEngine::Options sopt = {}) const;
+
+  /// Like run_variant(), sanitized. The variant's extra global buffers
+  /// (re-homed local arrays) are registered as device scratch, so a read
+  /// of an element the kernel never wrote is an uninit-read hazard.
+  [[nodiscard]] SanitizedRun run_variant_sanitized(
+      const transform::TransformResult& variant, Workload& workload,
+      sim::SanitizerEngine::Options sopt = {}) const;
 
   [[nodiscard]] const sim::DeviceSpec& spec() const { return spec_; }
 

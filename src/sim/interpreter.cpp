@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "ir/printer.hpp"
+#include "sim/sanitizer.hpp"
 
 namespace cudanp::sim {
 
@@ -35,6 +36,10 @@ struct Slot {
   bool is_uniform_param = false;
   BufferId buffer = 0;
   bool initialized = false;
+  /// Sanitizer init bitmap, indexed like `data` (empty when the sanitizer
+  /// is off, and for shared / buffer / uniform slots, which are shadowed
+  /// elsewhere).
+  std::vector<std::uint8_t> shadow;
 };
 
 class BlockExec {
@@ -56,6 +61,8 @@ class BlockExec {
     warp_latency_.assign(static_cast<std::size_t>(nwarps_), 0.0);
     warp_pending_.assign(static_cast<std::size_t>(nwarps_), 0.0);
     returned_.assign(static_cast<std::size_t>(nlanes_), 0);
+    san_ = opt.sanitizer;
+    if (san_) warp_gen_.assign(static_cast<std::size_t>(nwarps_), 0);
     bind_params();
   }
 
@@ -263,6 +270,142 @@ class BlockExec {
     });
   }
 
+  // ---------------- sanitizer hooks ----------------
+  /// Shadow state for one shared-memory word.
+  struct SharedShadow {
+    bool init = false;
+    // Same-vector-access write tracking (lockstep-mode races).
+    std::uint64_t write_access = 0;
+    int writer_lane = -1;
+    Value written;
+    // Barrier-interval tracking (portable-mode races). A warp's barrier
+    // generation is its arrival count; warp id -1 = none, -2 = several.
+    std::uint64_t write_gen = 0;
+    int writer_warp = -1;
+    std::uint64_t read_gen = 0;
+    int reader_warp = -1;
+    SourceLoc write_loc;
+  };
+
+  [[nodiscard]] bool portable_races() const {
+    return san_->options().race_mode == SanitizerEngine::RaceMode::kPortable;
+  }
+
+  [[nodiscard]] static bool value_eq(Value a, Value b) {
+    if (a.tag != b.tag) return a.as_f() == b.as_f();
+    return a.is_float() ? a.f == b.f : a.i == b.i;
+  }
+
+  void san_report(HazardKind kind, SourceLoc loc, int lane,
+                  std::string msg) {
+    HazardReport r;
+    r.kind = kind;
+    r.kernel = kernel_.name;
+    r.block = block_idx_;
+    r.thread = lane;
+    r.loc = loc;
+    r.message = std::move(msg);
+    san_->report(std::move(r));
+  }
+
+  void note_shared_write(const Slot& slot, const std::string& name,
+                         std::size_t idx, int lane, Value val,
+                         SourceLoc loc) {
+    SharedShadow& sh = smem_shadow_[slot.base_word + idx];
+    int w = lane / spec_.warp_size;
+    std::uint64_t gen = warp_gen_[static_cast<std::size_t>(w)];
+    if (sh.write_access == access_seq_ && sh.writer_lane != lane &&
+        !value_eq(sh.written, val)) {
+      san_report(HazardKind::kSharedRace, loc, lane,
+                 "write-write race on shared '" + name + "[" +
+                     std::to_string(idx) + "]': lanes " +
+                     std::to_string(sh.writer_lane) + " and " +
+                     std::to_string(lane) +
+                     " store different values in the same instruction");
+    } else if (portable_races() && sh.writer_warp >= 0 &&
+               sh.write_gen == gen && sh.writer_warp != w &&
+               !value_eq(sh.written, val)) {
+      san_report(HazardKind::kSharedRace, loc, lane,
+                 "write-write race on shared '" + name + "[" +
+                     std::to_string(idx) + "]' with warp " +
+                     std::to_string(sh.writer_warp) + "'s store at " +
+                     sh.write_loc.str() + " in the same barrier interval");
+    }
+    if (portable_races() && sh.reader_warp != -1 && sh.read_gen == gen &&
+        sh.reader_warp != w) {
+      san_report(HazardKind::kSharedRace, loc, lane,
+                 "read-write race on shared '" + name + "[" +
+                     std::to_string(idx) +
+                     "]': store overlaps another warp's read in the same "
+                     "barrier interval");
+    }
+    sh.init = true;
+    sh.write_access = access_seq_;
+    sh.writer_lane = lane;
+    sh.written = val;
+    sh.write_gen = gen;
+    sh.writer_warp = w;
+    sh.write_loc = loc;
+  }
+
+  void note_shared_read(const Slot& slot, const std::string& name,
+                        std::size_t idx, int lane, SourceLoc loc) {
+    SharedShadow& sh = smem_shadow_[slot.base_word + idx];
+    int w = lane / spec_.warp_size;
+    std::uint64_t gen = warp_gen_[static_cast<std::size_t>(w)];
+    if (!sh.init && shfl_arg_depth_ == 0)
+      san_report(HazardKind::kUninitRead, loc, lane,
+                 "read of uninitialized shared memory '" + name + "[" +
+                     std::to_string(idx) + "]'");
+    if (portable_races() && sh.writer_warp >= 0 && sh.write_gen == gen &&
+        sh.writer_warp != w) {
+      san_report(HazardKind::kSharedRace, loc, lane,
+                 "read-write race on shared '" + name + "[" +
+                     std::to_string(idx) + "]': word written by warp " +
+                     std::to_string(sh.writer_warp) + " at " +
+                     sh.write_loc.str() + " in the same barrier interval");
+    }
+    if (sh.reader_warp == -1 || sh.read_gen != gen)
+      sh.reader_warp = w;
+    else if (sh.reader_warp != w)
+      sh.reader_warp = -2;
+    sh.read_gen = gen;
+  }
+
+  /// Kepler's bar.sync counts *warp* arrivals: a warp arrives when >= 1 of
+  /// its lanes executes the barrier, so partial masks inside one warp are
+  /// fine, but a warp whose live lanes all branch around the barrier never
+  /// arrives and the block deadlocks on real hardware.
+  void note_barrier(SourceLoc loc, const Mask& mask) {
+    int arrived = 0;
+    int absent_warp = -1;
+    int absent_lane = -1;
+    for (int w = 0; w < nwarps_; ++w) {
+      int lo = w * spec_.warp_size;
+      int hi = std::min(lo + spec_.warp_size, nlanes_);
+      bool active = false;
+      int live = -1;
+      for (int l = lo; l < hi; ++l) {
+        if (mask[static_cast<std::size_t>(l)]) active = true;
+        if (!returned_[static_cast<std::size_t>(l)] && live < 0) live = l;
+      }
+      if (active) {
+        ++warp_gen_[static_cast<std::size_t>(w)];
+        ++arrived;
+      } else if (live >= 0 && absent_warp < 0) {
+        absent_warp = w;
+        absent_lane = live;
+      }
+    }
+    if (arrived > 0 && absent_warp >= 0)
+      san_report(HazardKind::kBarrierDivergence, loc, absent_lane,
+                 "__syncthreads reached by " + std::to_string(arrived) +
+                     " of " + std::to_string(nwarps_) +
+                     " warps; warp " + std::to_string(absent_warp) +
+                     " has live threads that never arrive (deadlock on "
+                     "real hardware)");
+  }
+
   // ---------------- variable helpers ----------------
   Slot& lookup(const std::string& name, SourceLoc loc) {
     auto it = vars_.find(name);
@@ -294,6 +437,8 @@ class BlockExec {
       } else {  // register scalar
         slot.data.assign(static_cast<std::size_t>(nlanes_), Value{});
       }
+      if (san_ && d.type.space != AddrSpace::kShared)
+        slot.shadow.assign(slot.data.size(), 0);
       slot.initialized = true;
     }
     return slot;
@@ -406,7 +551,16 @@ class BlockExec {
       throw SimError("array '" + v.name + "' used without an index");
     if (slot.is_uniform_param)
       return Lanes(static_cast<std::size_t>(nlanes_), slot.data[0]);
-    (void)mask;
+    if (san_ && shfl_arg_depth_ == 0 && !slot.shadow.empty()) {
+      for (int l = 0; l < nlanes_; ++l) {
+        if (!mask[static_cast<std::size_t>(l)]) continue;
+        if (!slot.shadow[static_cast<std::size_t>(l)]) {
+          san_report(HazardKind::kUninitRead, v.loc(), l,
+                     "read of uninitialized variable '" + v.name + "'");
+          break;  // one report per access; dedupe absorbs repeats
+        }
+      }
+    }
     return slot.data;  // register scalar: copy per-lane values
   }
 
@@ -452,16 +606,24 @@ class BlockExec {
       Lanes idx = eval(*ai.indices[0], mask);
       DeviceBuffer& buf = mem_.buffer(slot.buffer);
       charge_global(buf, idx, mask);
+      std::vector<std::uint8_t>* bsh =
+          san_ ? san_->buffer_shadow(slot.buffer) : nullptr;
       Lanes out(static_cast<std::size_t>(nlanes_));
       for (int l = 0; l < nlanes_; ++l) {
         if (!mask[static_cast<std::size_t>(l)]) continue;
         std::size_t i = static_cast<std::size_t>(
             idx[static_cast<std::size_t>(l)].as_i());
-        if (store)
+        if (store) {
           buf.store(i, coerce((*store)[static_cast<std::size_t>(l)],
                               buf.type()));
-        else
+          if (bsh && i < bsh->size()) (*bsh)[i] = 1;
+        } else {
+          if (bsh && shfl_arg_depth_ == 0 && i < bsh->size() && !(*bsh)[i])
+            san_report(HazardKind::kUninitRead, ai.loc(), l,
+                       "read of uninitialized global buffer '" + name +
+                           "[" + std::to_string(i) + "]'");
           out[static_cast<std::size_t>(l)] = buf.load(i);
+        }
       }
       return out;
     }
@@ -473,16 +635,21 @@ class BlockExec {
     switch (slot.type.space) {
       case AddrSpace::kShared: {
         charge_shared(slot, flat, mask);
+        if (san_) ++access_seq_;
         Lanes out(static_cast<std::size_t>(nlanes_));
         for (int l = 0; l < nlanes_; ++l) {
           if (!mask[static_cast<std::size_t>(l)]) continue;
           std::size_t i = static_cast<std::size_t>(
               flat[static_cast<std::size_t>(l)].as_i());
-          if (store)
-            slot.data[i] = coerce((*store)[static_cast<std::size_t>(l)],
-                                  slot.type.scalar);
-          else
+          if (store) {
+            Value val = coerce((*store)[static_cast<std::size_t>(l)],
+                               slot.type.scalar);
+            if (san_) note_shared_write(slot, name, i, l, val, ai.loc());
+            slot.data[i] = val;
+          } else {
+            if (san_) note_shared_read(slot, name, i, l, ai.loc());
             out[static_cast<std::size_t>(l)] = slot.data[i];
+          }
         }
         return out;
       }
@@ -519,11 +686,21 @@ class BlockExec {
           std::size_t i = static_cast<std::size_t>(
               static_cast<std::int64_t>(l) * elems +
               flat[static_cast<std::size_t>(l)].as_i());
-          if (store)
+          if (store) {
             slot.data[i] = coerce((*store)[static_cast<std::size_t>(l)],
                                   slot.type.scalar);
-          else
+            if (!slot.shadow.empty()) slot.shadow[i] = 1;
+          } else {
+            if (san_ && shfl_arg_depth_ == 0 && !slot.shadow.empty() &&
+                !slot.shadow[i])
+              san_report(
+                  HazardKind::kUninitRead, ai.loc(), l,
+                  "read of uninitialized array element '" + name + "[" +
+                      std::to_string(
+                          flat[static_cast<std::size_t>(l)].as_i()) +
+                      "]'");
             out[static_cast<std::size_t>(l)] = slot.data[i];
+          }
         }
         return out;
       }
@@ -580,7 +757,7 @@ class BlockExec {
         if (b.i == 0) throw SimError("integer division by zero at " + loc.str());
         return Value::of_int(a.i / b.i);
       case BinOp::kMod:
-        if (fl) throw SimError("operator %% requires integers at " + loc.str());
+        if (fl) throw SimError("operator % requires integers at " + loc.str());
         if (b.i == 0) throw SimError("modulo by zero at " + loc.str());
         return Value::of_int(a.i % b.i);
       case BinOp::kLt: return Value::of_int(fl ? a.as_f() < b.as_f() : a.i < b.i);
@@ -608,6 +785,7 @@ class BlockExec {
       for_each_active_warp(mask, [&](int w, int, int) {
         charge_latency(w, spec_.sync_latency_cycles);
       });
+      if (san_) note_barrier(c.loc(), mask);
       return Lanes(static_cast<std::size_t>(nlanes_), Value::of_int(0));
     }
     if (f == "__shfl" || f == "__shfl_up" || f == "__shfl_down" ||
@@ -710,7 +888,12 @@ class BlockExec {
     for_each_active_warp(mask, [&](int, int lo, int hi) {
       for (int l = lo; l < hi; ++l) broad[static_cast<std::size_t>(l)] = 1;
     });
+    // Suppress uninit-read reports while evaluating under the broadened
+    // mask: only the lanes actually *selected* as shfl sources matter, and
+    // those are checked below once the source lanes are known.
+    ++shfl_arg_depth_;
     Lanes var = eval(*c.args[0], broad);
+    --shfl_arg_depth_;
     Lanes sel = eval(*c.args[1], mask);
     Lanes width = eval(*c.args[2], mask);
     ++shfl_ops_;
@@ -718,6 +901,8 @@ class BlockExec {
     for_each_active_warp(mask, [&](int w, int, int) {
       charge_latency(w, spec_.shfl_latency_cycles);
     });
+    std::vector<int> src_of;
+    if (san_) src_of.assign(static_cast<std::size_t>(nlanes_), -1);
     Lanes out(static_cast<std::size_t>(nlanes_));
     for (int l = 0; l < nlanes_; ++l) {
       if (!mask[static_cast<std::size_t>(l)]) continue;
@@ -742,9 +927,51 @@ class BlockExec {
         src_lane = cand < group_base + static_cast<int>(wdt) ? cand : lane;
       }
       int src_tid = warp_base + src_lane;
-      if (src_tid >= nlanes_) src_tid = l;
+      // A negative selector (e.g. __shfl(v, -1, 32)) or a delta that
+      // escapes the warp produces an out-of-range source lane: undefined
+      // on hardware. Recover with the caller's own value, as the hardware
+      // effectively does for out-of-range segments.
+      if (src_lane < 0 || src_lane >= spec_.warp_size) {
+        if (san_)
+          san_report(HazardKind::kShflHazard, c.loc(), l,
+                     c.callee + " source lane " + std::to_string(src_lane) +
+                         " is outside [0," +
+                         std::to_string(spec_.warp_size) + ")");
+        src_tid = l;
+      } else if (src_tid >= nlanes_) {
+        if (san_)
+          san_report(HazardKind::kShflHazard, c.loc(), l,
+                     c.callee + " source lane " + std::to_string(src_lane) +
+                         " lies beyond the thread block");
+        src_tid = l;
+      } else if (san_ && !mask[static_cast<std::size_t>(src_tid)]) {
+        san_report(HazardKind::kShflHazard, c.loc(), l,
+                   c.callee + " reads from inactive source lane " +
+                       std::to_string(src_lane) +
+                       " (undefined on real hardware)");
+      }
+      if (san_) src_of[static_cast<std::size_t>(l)] = src_tid;
       out[static_cast<std::size_t>(l)] =
           var[static_cast<std::size_t>(src_tid)];
+    }
+    if (san_ && c.args[0]->kind() == ExprKind::kVarRef) {
+      // Post-hoc init check on the lanes actually read as sources.
+      const auto& vr = static_cast<const VarRef&>(*c.args[0]);
+      auto it = vars_.find(vr.name);
+      if (it != vars_.end() && it->second.type.is_scalar() &&
+          !it->second.is_uniform_param && !it->second.shadow.empty()) {
+        for (int l = 0; l < nlanes_; ++l) {
+          int s = src_of[static_cast<std::size_t>(l)];
+          if (s >= 0 &&
+              !it->second.shadow[static_cast<std::size_t>(s)]) {
+            san_report(HazardKind::kUninitRead, c.loc(), l,
+                       c.callee + " reads uninitialized variable '" +
+                           vr.name + "' from lane " +
+                           std::to_string(s % spec_.warp_size));
+            break;
+          }
+        }
+      }
     }
     return out;
   }
@@ -794,6 +1021,17 @@ class BlockExec {
                           e] = val;
             }
           }
+          if (san_) {
+            // Brace initializers zero-fill the tail in C, so the whole
+            // array is initialized, not just the listed elements.
+            if (d.type.space == AddrSpace::kShared) {
+              for (std::int64_t e = 0; e < d.type.element_count(); ++e)
+                smem_shadow_[slot.base_word + static_cast<std::uint64_t>(e)]
+                    .init = true;
+            } else {
+              std::fill(slot.shadow.begin(), slot.shadow.end(), 1);
+            }
+          }
           end_leaf_stmt();
           return;
         }
@@ -804,9 +1042,12 @@ class BlockExec {
           Lanes v = eval(*d.init, mask);
           charge_issue(mask, opt_.weights.alu);
           for (int l = 0; l < nlanes_; ++l)
-            if (mask[static_cast<std::size_t>(l)])
+            if (mask[static_cast<std::size_t>(l)]) {
               slot.data[static_cast<std::size_t>(l)] =
                   coerce(v[static_cast<std::size_t>(l)], d.type.scalar);
+              if (!slot.shadow.empty())
+                slot.shadow[static_cast<std::size_t>(l)] = 1;
+            }
         }
         end_leaf_stmt();
         return;
@@ -944,9 +1185,12 @@ class BlockExec {
                        "' (treated as uniform)");
       charge_issue(mask, opt_.weights.alu);
       for (int l = 0; l < nlanes_; ++l)
-        if (mask[static_cast<std::size_t>(l)])
+        if (mask[static_cast<std::size_t>(l)]) {
           slot.data[static_cast<std::size_t>(l)] =
               coerce(rhs[static_cast<std::size_t>(l)], slot.type.scalar);
+          if (!slot.shadow.empty())
+            slot.shadow[static_cast<std::size_t>(l)] = 1;
+        }
       return;
     }
     if (a.lhs->kind() == ExprKind::kArrayIndex) {
@@ -970,6 +1214,11 @@ class BlockExec {
 
   std::unordered_map<std::string, Slot> vars_;
   Mask returned_;
+  SanitizerEngine* san_ = nullptr;
+  std::unordered_map<std::uint64_t, SharedShadow> smem_shadow_;
+  std::vector<std::uint64_t> warp_gen_;  // barrier arrivals per warp
+  std::uint64_t access_seq_ = 0;         // one id per shared vector access
+  int shfl_arg_depth_ = 0;  // suppress uninit checks under shfl's broad mask
   std::vector<double> warp_issue_;
   std::vector<double> warp_latency_;
   std::vector<double> warp_pending_;
@@ -997,12 +1246,31 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
   if (cfg.grid.count() <= 0) throw SimError("empty grid");
 
   KernelStats total;
-  for (int bz = 0; bz < cfg.grid.z; ++bz) {
-    for (int by = 0; by < cfg.grid.y; ++by) {
-      for (int bx = 0; bx < cfg.grid.x; ++bx) {
-        BlockExec block(spec_, mem_, opt_, kernel, cfg, Dim3{bx, by, bz},
-                        resident_blocks_per_smx);
-        total.add_block(block.run());
+  bool stop = false;
+  for (int bz = 0; bz < cfg.grid.z && !stop; ++bz) {
+    for (int by = 0; by < cfg.grid.y && !stop; ++by) {
+      for (int bx = 0; bx < cfg.grid.x && !stop; ++bx) {
+        try {
+          BlockExec block(spec_, mem_, opt_, kernel, cfg, Dim3{bx, by, bz},
+                          resident_blocks_per_smx);
+          total.add_block(block.run());
+        } catch (const HazardLimitReached&) {
+          stop = true;  // engine kept the triggering report
+        } catch (const SimError& e) {
+          // Keep-going mode: contain the fault to this block and record
+          // it, instead of aborting the whole grid.
+          if (!opt_.sanitizer) throw;
+          HazardReport r;
+          r.kind = HazardKind::kSimFault;
+          r.kernel = kernel.name;
+          r.block = Dim3{bx, by, bz};
+          r.message = e.what();
+          try {
+            opt_.sanitizer->report(std::move(r));
+          } catch (const HazardLimitReached&) {
+            stop = true;
+          }
+        }
       }
     }
   }

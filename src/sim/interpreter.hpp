@@ -40,6 +40,8 @@
 
 namespace cudanp::sim {
 
+class SanitizerEngine;
+
 class Interpreter {
  public:
   struct Options {
@@ -50,6 +52,11 @@ class Interpreter {
     double warp_mlp = 4.0;
     /// Safety valve for runaway loops.
     std::int64_t max_loop_iterations = 1 << 26;
+    /// When non-null, execution is instrumented for shared-memory races,
+    /// barrier divergence, uninitialized reads and shfl hazards, and a
+    /// SimError inside one block is downgraded to a kSimFault report so
+    /// the rest of the grid still runs. See sim/sanitizer.hpp.
+    SanitizerEngine* sanitizer = nullptr;
   };
 
   Interpreter(const DeviceSpec& spec, DeviceMemory& mem, Options opt)

@@ -1,0 +1,80 @@
+#include "sim/sanitizer.hpp"
+
+#include <sstream>
+
+namespace cudanp::sim {
+
+const char* to_string(HazardKind k) {
+  switch (k) {
+    case HazardKind::kSharedRace: return "shared-race";
+    case HazardKind::kBarrierDivergence: return "barrier-divergence";
+    case HazardKind::kUninitRead: return "uninit-read";
+    case HazardKind::kShflHazard: return "shfl-hazard";
+    case HazardKind::kSimFault: return "sim-fault";
+  }
+  return "unknown";
+}
+
+std::string HazardReport::str() const {
+  std::ostringstream os;
+  os << to_string(kind) << ": " << message << " [kernel '" << kernel
+     << "' block (" << block.x << "," << block.y << "," << block.z << ")";
+  if (thread >= 0) os << " thread " << thread;
+  os << " at " << loc.str() << "]";
+  return os.str();
+}
+
+void SanitizerEngine::report(HazardReport r) {
+  ++total_;
+  if (opt_.dedupe) {
+    std::string key = std::to_string(static_cast<int>(r.kind)) + "|" +
+                      r.kernel + "|" + std::to_string(r.loc.line) + ":" +
+                      std::to_string(r.loc.column);
+    if (!seen_.insert(std::move(key)).second) return;
+  }
+  reports_.push_back(std::move(r));
+  if (opt_.error_limit > 0 && reports_.size() >= opt_.error_limit) {
+    limit_reached_ = true;
+    throw HazardLimitReached{};
+  }
+}
+
+std::size_t SanitizerEngine::count(HazardKind k) const {
+  std::size_t n = 0;
+  for (const auto& r : reports_)
+    if (r.kind == k) ++n;
+  return n;
+}
+
+std::string SanitizerEngine::summary() const {
+  std::ostringstream os;
+  if (reports_.empty()) {
+    os << "sanitizer: no hazards detected\n";
+    return os.str();
+  }
+  for (const auto& r : reports_) os << r.str() << "\n";
+  os << "sanitizer: " << reports_.size() << " distinct hazard(s), " << total_
+     << " total observation(s)";
+  if (limit_reached_) os << "; error limit reached, run stopped early";
+  os << "\n";
+  return os.str();
+}
+
+void SanitizerEngine::clear() {
+  reports_.clear();
+  seen_.clear();
+  total_ = 0;
+  limit_reached_ = false;
+}
+
+void SanitizerEngine::mark_buffer_uninitialized(BufferId id,
+                                                std::size_t elems) {
+  buffer_shadows_[id].assign(elems, 0);
+}
+
+std::vector<std::uint8_t>* SanitizerEngine::buffer_shadow(BufferId id) {
+  auto it = buffer_shadows_.find(id);
+  return it == buffer_shadows_.end() ? nullptr : &it->second;
+}
+
+}  // namespace cudanp::sim

@@ -2,6 +2,8 @@
 // subprocess, exactly as a user would).
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -33,7 +35,10 @@ RunResult run_cli(const std::string& args) {
 }
 
 std::string write_temp_kernel(const std::string& body) {
-  std::string path = ::testing::TempDir() + "cudanp_cli_test.cu";
+  // ctest runs each test as its own process, possibly in parallel: the
+  // temp file must be unique per process or concurrent tests race.
+  std::string path = ::testing::TempDir() + "cudanp_cli_test_" +
+                     std::to_string(::getpid()) + ".cu";
   std::ofstream f(path);
   f << body;
   return path;
@@ -148,6 +153,61 @@ TEST(Cli, SyntaxErrorFails) {
 TEST(Cli, UnknownOptionFails) {
   auto path = write_temp_kernel(kTmv);
   auto r = run_cli(path + " --frobnicate");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
+TEST(Cli, SanitizeCleanKernelPasses) {
+  auto path = write_temp_kernel(kTmv);
+  auto r = run_cli(path + " --sanitize");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("baseline: clean"), std::string::npos);
+  EXPECT_NE(r.output.find("PASS"), std::string::npos);
+}
+
+TEST(Cli, SanitizeRacyKernelExitsThree) {
+  auto path = write_temp_kernel(R"(
+__global__ void racy(float* out, int n) {
+  __shared__ float s[32];
+  s[0] = threadIdx.x;
+  out[threadIdx.x] = s[0];
+}
+)");
+  auto r = run_cli(path + " --sanitize");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("shared-race"), std::string::npos);
+  EXPECT_NE(r.output.find("write-write race"), std::string::npos);
+}
+
+TEST(Cli, SanitizeUnannotatedKernelRunsBaselineOnly) {
+  // Without pragmas there is nothing to transform, but guarded execution
+  // still audits the kernel (unlike plain mode, which rejects it).
+  auto path = write_temp_kernel(R"(
+__global__ void uninit(float* out, int n) {
+  float x;
+  out[threadIdx.x] = x;
+}
+)");
+  auto r = run_cli(path + " --sanitize");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("uninit-read"), std::string::npos);
+}
+
+TEST(Cli, SanitizeErrorLimitIsReported) {
+  auto path = write_temp_kernel(R"(
+__global__ void racy(float* out, int n) {
+  __shared__ float s[32];
+  s[0] = threadIdx.x;
+  out[threadIdx.x] = s[0];
+}
+)");
+  auto r = run_cli(path + " --sanitize --error-limit=1");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("error limit reached"), std::string::npos);
+}
+
+TEST(Cli, SanitizeRejectsBadErrorLimit) {
+  auto path = write_temp_kernel(kTmv);
+  auto r = run_cli(path + " --sanitize --error-limit=-2");
   EXPECT_EQ(r.exit_code, 1);
 }
 

@@ -11,11 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "frontend/parser.hpp"
 #include "ir/printer.hpp"
 #include "sim/interpreter.hpp"
+#include "sim/sanitizer.hpp"
 #include "support/rng.hpp"
 
 namespace cudanp {
@@ -343,6 +346,113 @@ TEST_P(InterpreterFuzz, MatchesReferenceEvaluator) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, InterpreterFuzz, ::testing::Range(0, 40));
+
+// ---------------------------------------------------------------------------
+// Sanitized fuzzing: deliberately hazardous kernels — shared-memory races,
+// out-of-bounds indices, barriers under divergent guards, wild shfl
+// selectors, uninitialized reads — must never crash the interpreter or
+// escape as exceptions once a sanitizer is attached. Everything surfaces as
+// HazardReports, capped by the error limit.
+
+/// Emits a random kernel mixing every hazard class the sanitizer knows.
+std::string hazardous_kernel(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::ostringstream os;
+  os << "__global__ void hazmat(float* out, int n) {\n"
+     << "  __shared__ float s[64];\n"
+     << "  float a[8];\n"
+     << "  float v = threadIdx.x;\n"
+     << "  float x;\n";  // never initialized
+  auto idx = [&]() -> std::string {
+    switch (rng.next_below(4)) {
+      case 0: return "threadIdx.x";
+      case 1: return "threadIdx.x % 64";
+      case 2: return "(threadIdx.x * 7) % 64";
+      // Constant index, occasionally out of bounds (-> contained SimError).
+      default: return std::to_string(rng.next_below(70));
+    }
+  };
+  auto expr = [&]() -> std::string {
+    switch (rng.next_below(4)) {
+      case 0: return "threadIdx.x";
+      case 1: return std::to_string(rng.next_below(9)) + ".5f";
+      case 2: return "v";
+      default: return "x";  // uninitialized read
+    }
+  };
+  int nstmts = 6 + static_cast<int>(rng.next_below(10));
+  for (int i = 0; i < nstmts; ++i) {
+    switch (rng.next_below(7)) {
+      case 0:
+        os << "  s[" << idx() << "] = " << expr() << ";\n";
+        break;
+      case 1:
+        os << "  v = s[" << idx() << "];\n";
+        break;
+      case 2:
+        os << "  a[" << rng.next_below(10) << "] = " << expr() << ";\n";
+        break;
+      case 3:
+        os << "  v = a[" << rng.next_below(10) << "];\n";
+        break;
+      case 4:
+        // Barrier under a (possibly divergent) guard.
+        os << "  if (threadIdx.x < " << (8 << rng.next_below(4))
+           << ") {\n    __syncthreads();\n  }\n";
+        break;
+      case 5: {
+        // Shfl selector anywhere in [-3, 40].
+        std::int64_t sel = static_cast<std::int64_t>(rng.next_below(44)) - 3;
+        os << "  v = __shfl(v, " << sel << ", 32);\n";
+        break;
+      }
+      default:
+        os << "  __syncthreads();\n";
+        break;
+    }
+  }
+  os << "  out[threadIdx.x] = v;\n}\n";
+  return os.str();
+}
+
+class SanitizedFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(SanitizedFuzz, HazardousKernelsNeverEscapeTheSanitizer) {
+  std::string src =
+      hazardous_kernel(0xbad5eedu + static_cast<std::uint64_t>(GetParam()));
+  auto program = frontend::parse_program_or_throw(src);
+  const auto& kernel = *program->kernels.front();
+
+  sim::SanitizerEngine::Options sopt;
+  sopt.error_limit = 64;
+  sim::SanitizerEngine engine(sopt);
+
+  sim::DeviceMemory mem;
+  auto out = mem.alloc(ScalarType::kFloat, 64);
+  sim::LaunchConfig cfg;
+  cfg.grid = {2, 1, 1};
+  cfg.block = {64, 1, 1};
+  cfg.args = {out, sim::LaunchConfig::scalar_int(64)};
+
+  sim::Interpreter::Options iopt;
+  iopt.sanitizer = &engine;
+  sim::Interpreter interp(sim::DeviceSpec::gtx680(), mem, iopt);
+  EXPECT_NO_THROW((void)interp.run(kernel, cfg)) << src;
+  EXPECT_LE(engine.reports().size(), sopt.error_limit) << src;
+  // The same kernel without a sanitizer must at worst throw SimError —
+  // never crash or loop (the shfl lane guard holds unconditionally).
+  sim::DeviceMemory mem2;
+  cfg.args = {mem2.alloc(ScalarType::kFloat, 64),
+              sim::LaunchConfig::scalar_int(64)};
+  sim::Interpreter plain(sim::DeviceSpec::gtx680(), mem2);
+  try {
+    (void)plain.run(kernel, cfg);
+  } catch (const SimError&) {
+    // expected for out-of-bounds programs
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SanitizedFuzz, ::testing::Range(0, 60));
 
 }  // namespace
 }  // namespace cudanp

@@ -1,0 +1,67 @@
+// Guarded-execution gate for the paper suite: the baseline and every
+// enumerated NP variant of every benchmark must run hazard-clean under the
+// sanitizer, and NpCompiler::validate must agree that variant outputs match
+// the baseline. A transform bug that races, diverges at a barrier, or reads
+// a re-homed array before writing it fails here with a source location.
+#include <gtest/gtest.h>
+
+#include "kernels/benchmark.hpp"
+#include "np/autotuner.hpp"
+
+namespace cudanp {
+namespace {
+
+constexpr double kTestScale = 0.08;
+
+class SanitizedBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SanitizedBenchmarks, BaselineIsHazardClean) {
+  auto bench = kernels::make_benchmark(GetParam(), kTestScale);
+  np::Runner runner{sim::DeviceSpec::gtx680()};
+  auto w = bench->make_workload();
+  auto run = runner.run_sanitized(bench->kernel(), w);
+  EXPECT_TRUE(run.clean()) << run.engine.summary();
+}
+
+TEST_P(SanitizedBenchmarks, EveryNpVariantIsHazardClean) {
+  auto bench = kernels::make_benchmark(GetParam(), kTestScale);
+  np::Runner runner{sim::DeviceSpec::gtx680()};
+  auto probe = bench->make_workload();
+  auto configs = np::NpCompiler::enumerate_configs(
+      bench->kernel(), static_cast<int>(probe.launch.block.count()),
+      runner.spec());
+  ASSERT_FALSE(configs.empty());
+  int executed = 0;
+  for (const auto& cfg : configs) {
+    SCOPED_TRACE(cfg.describe());
+    transform::TransformResult variant;
+    try {
+      variant = np::NpCompiler::transform(bench->kernel(), cfg);
+    } catch (const CompileError&) {
+      continue;  // configuration legitimately inapplicable
+    }
+    auto w = bench->make_workload();
+    auto run = runner.run_variant_sanitized(variant, w);
+    EXPECT_TRUE(run.clean()) << run.engine.summary();
+    ++executed;
+  }
+  EXPECT_GT(executed, 0);
+}
+
+TEST_P(SanitizedBenchmarks, ValidateCrossChecksAllVariants) {
+  auto bench = kernels::make_benchmark(GetParam(), kTestScale);
+  auto spec = sim::DeviceSpec::gtx680();
+  auto probe = bench->make_workload();
+  auto configs = np::NpCompiler::enumerate_configs(
+      bench->kernel(), static_cast<int>(probe.launch.block.count()), spec);
+  auto report = np::NpCompiler::validate(
+      bench->kernel(), configs, [&] { return bench->make_workload(); }, spec);
+  EXPECT_TRUE(report.all_clean()) << report.summary();
+  EXPECT_EQ(report.hazard_count(), 0u) << report.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, SanitizedBenchmarks,
+                         ::testing::ValuesIn(kernels::benchmark_names()));
+
+}  // namespace
+}  // namespace cudanp

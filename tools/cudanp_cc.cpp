@@ -15,9 +15,21 @@
 //   --report              print resource/occupancy report instead of code
 //   --preprocess          run the Sec. 3.7 preprocessors (re-roll unrolled
 //                         statement runs) before transforming
+//   --sanitize            guarded execution: run baseline + every candidate
+//                         variant on the simulator under the sanitizer and
+//                         cross-check outputs (see docs/sanitizer.md)
+//   --error-limit=<n>     stop sanitizing after n distinct hazards (0 = no
+//                         limit, default 100)
+//   --elems=<n>           synthetic workload problem size for --sanitize
+//                         (default 64)
+//   --portable-races      flag races that only block-lockstep execution
+//                         order hides (compute-sanitizer-style racecheck)
 //   -o <file>             write output to file (default stdout)
 //
-// Exit status: 0 on success, 1 on usage errors, 2 on compile errors.
+// Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
+// 3 when --sanitize found hazards or an output mismatch, 4 on simulation
+// errors, 5 on internal errors.
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -29,7 +41,9 @@
 #include "analysis/resources.hpp"
 #include "ir/printer.hpp"
 #include "np/compiler.hpp"
+#include "np/runner.hpp"
 #include "support/diagnostics.hpp"
+#include "support/rng.hpp"
 #include "transform/preprocess.hpp"
 
 using namespace cudanp;
@@ -50,6 +64,10 @@ struct CliOptions {
   bool all = false;
   bool report = false;
   bool preprocess = false;
+  bool sanitize = false;
+  int error_limit = 100;
+  int elems = 64;
+  bool portable_races = false;
 };
 
 void usage() {
@@ -58,7 +76,9 @@ void usage() {
          "                 [--slave-size=<n>] [--np-type=inter|intra]\n"
          "                 [--placement=auto|register|shared|global]\n"
          "                 [--sm=<n>] [--pad] [--no-shfl] [--all]\n"
-         "                 [--report] [--preprocess] [-o <file>]\n";
+         "                 [--report] [--preprocess] [-o <file>]\n"
+         "                 [--sanitize] [--error-limit=<n>] [--elems=<n>]\n"
+         "                 [--portable-races]\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -101,6 +121,16 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.report = true;
     } else if (a == "--preprocess") {
       opt.preprocess = true;
+    } else if (a == "--sanitize") {
+      opt.sanitize = true;
+    } else if (a.rfind("--error-limit=", 0) == 0) {
+      opt.error_limit = std::atoi(value("--error-limit="));
+      if (opt.error_limit < 0) return std::nullopt;
+    } else if (a.rfind("--elems=", 0) == 0) {
+      opt.elems = std::atoi(value("--elems="));
+      if (opt.elems <= 0) return std::nullopt;
+    } else if (a == "--portable-races") {
+      opt.portable_races = true;
     } else if (a == "-o") {
       if (++i >= argc) return std::nullopt;
       opt.output = argv[i];
@@ -121,11 +151,47 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
 }
 
 const ir::Kernel* pick_kernel(const ir::Program& program,
-                              const std::string& name) {
+                              const std::string& name, bool any_fallback) {
   if (!name.empty()) return program.find_kernel(name);
   for (const auto& k : program.kernels)
     if (k->parallel_loop_count() > 0) return k.get();
+  if (any_fallback && !program.kernels.empty())
+    return program.kernels.front().get();
   return nullptr;
+}
+
+/// Builds a deterministic synthetic workload for --sanitize when the tool
+/// knows nothing about the kernel's semantics: every int scalar parameter
+/// becomes the problem size n, every float scalar 1.0, and every pointer an
+/// n*n-element buffer filled with seeded pseudo-random data. The block is
+/// {tb,1,1} and the grid covers n elements — the convention the paper suite
+/// itself launches with.
+np::Workload make_synthetic_workload(const ir::Kernel& kernel, int n,
+                                     int tb) {
+  np::Workload w;
+  SplitMix64 rng(0x5eedu);
+  std::size_t buf_elems =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  for (const auto& p : kernel.params) {
+    if (p.type.is_pointer) {
+      sim::BufferId id = w.mem->alloc(p.type.scalar, buf_elems);
+      auto& buf = w.mem->buffer(id);
+      if (p.type.scalar == ir::ScalarType::kFloat) {
+        for (auto& v : buf.f32()) v = rng.next_float(-1.f, 1.f);
+      } else {
+        for (auto& v : buf.i32())
+          v = static_cast<std::int32_t>(rng.next_below(7));
+      }
+      w.launch.args.push_back(id);
+    } else if (p.type.scalar == ir::ScalarType::kFloat) {
+      w.launch.args.push_back(sim::LaunchConfig::scalar_float(1.0));
+    } else {
+      w.launch.args.push_back(sim::LaunchConfig::scalar_int(n));
+    }
+  }
+  w.launch.block = {tb, 1, 1};
+  w.launch.grid = {std::max(1, (n + tb - 1) / tb), 1, 1};
+  return w;
 }
 
 void print_report(std::ostream& os, const ir::Kernel& kernel,
@@ -185,7 +251,8 @@ int main(int argc, char** argv) {
 
   try {
     auto program = np::NpCompiler::parse(buffer.str());
-    const ir::Kernel* kernel = pick_kernel(*program, opt->kernel);
+    const ir::Kernel* kernel =
+        pick_kernel(*program, opt->kernel, opt->sanitize);
     if (!kernel) {
       std::cerr << "cudanp-cc: no kernel "
                 << (opt->kernel.empty() ? "with #pragma np loops"
@@ -205,6 +272,36 @@ int main(int argc, char** argv) {
 
     auto spec = sim::DeviceSpec::gtx680();
     spec.sm_version = opt->sm;
+
+    if (opt->sanitize) {
+      sim::SanitizerEngine::Options sopt;
+      sopt.error_limit = static_cast<std::size_t>(opt->error_limit);
+      sopt.race_mode = opt->portable_races
+                           ? sim::SanitizerEngine::RaceMode::kPortable
+                           : sim::SanitizerEngine::RaceMode::kLockstep;
+      // Unannotated kernel: nothing to transform, just run the baseline
+      // under the sanitizer.
+      if (kernel->parallel_loop_count() == 0) {
+        np::Runner runner(spec);
+        np::Workload w =
+            make_synthetic_workload(*kernel, opt->elems, opt->tb);
+        auto run = runner.run_sanitized(*kernel, w, sopt);
+        *os << run.engine.summary();
+        return run.clean() ? 0 : 3;
+      }
+      std::vector<transform::NpConfig> configs =
+          np::NpCompiler::enumerate_configs(*kernel, opt->tb, spec);
+      np::ValidationOptions vopt;
+      vopt.sanitizer = sopt;
+      const ir::Kernel& k = *kernel;
+      const int n = opt->elems;
+      const int tb = opt->tb;
+      auto report = np::NpCompiler::validate(
+          k, configs, [&k, n, tb] { return make_synthetic_workload(k, n, tb); },
+          spec, vopt);
+      *os << report.summary() << "\n";
+      return report.all_clean() ? 0 : 3;
+    }
 
     // Report-only mode on an unannotated kernel: describe it and stop.
     if (opt->report && kernel->parallel_loop_count() == 0) {
@@ -243,6 +340,12 @@ int main(int argc, char** argv) {
   } catch (const CompileError& e) {
     std::cerr << "cudanp-cc: " << e.what() << "\n";
     return 2;
+  } catch (const SimError& e) {
+    std::cerr << "cudanp-cc: simulation error: " << e.what() << "\n";
+    return 4;
+  } catch (const std::exception& e) {
+    std::cerr << "cudanp-cc: internal error: " << e.what() << "\n";
+    return 5;
   }
   return 0;
 }
