@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -87,6 +88,10 @@ class VarRef final : public Expr {
   explicit VarRef(std::string n, SourceLoc loc = {})
       : Expr(ExprKind::kVarRef, loc), name(std::move(n)) {}
   std::string name;
+  /// Simulator annotation (sim/binder.hpp): frame slot index (>= 0),
+  /// geometry code, or undeclared sentinel. Not part of program identity;
+  /// clone() resets it so fresh ASTs rebind from scratch.
+  mutable std::int32_t sim_slot = std::numeric_limits<std::int32_t>::min();
   [[nodiscard]] ExprPtr clone() const override {
     return std::make_unique<VarRef>(name, loc());
   }
@@ -137,6 +142,9 @@ class CallExpr final : public Expr {
       : Expr(ExprKind::kCall, loc), callee(std::move(c)), args(std::move(a)) {}
   std::string callee;
   std::vector<ExprPtr> args;
+  /// Simulator annotation (sim/binder.hpp): resolved builtin id, so the
+  /// hot eval loop dispatches on an integer instead of the callee string.
+  mutable std::int16_t sim_builtin = -32768;
   [[nodiscard]] ExprPtr clone() const override;
 };
 

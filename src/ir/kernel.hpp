@@ -23,6 +23,13 @@ class Kernel {
   std::vector<Param> params;
   BlockPtr body;
 
+  /// Opaque per-kernel cache owned by the simulator's slot binder
+  /// (sim/binder.hpp). Lifetime-tied to this Kernel so repeated launches
+  /// of the same object (autotuner sweeps, validation) bind once.
+  /// Deliberately not copied by clone(): a clone has fresh AST nodes and
+  /// rebinds on first launch.
+  mutable std::shared_ptr<const void> sim_binding;
+
   [[nodiscard]] std::unique_ptr<Kernel> clone() const {
     auto k = std::make_unique<Kernel>();
     k->name = name;

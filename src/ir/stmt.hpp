@@ -80,6 +80,9 @@ class DeclStmt final : public Stmt {
   /// constant index tables the re-rolling preprocessor builds
   /// (paper Sec. 3.7 item 2) and for lookup tables like MC's edge table.
   std::vector<ExprPtr> init_list;
+  /// Simulator annotation (sim/binder.hpp): frame slot this declaration
+  /// resolves to. Reset on clone(); not part of program identity.
+  mutable std::int32_t sim_slot = std::numeric_limits<std::int32_t>::min();
   [[nodiscard]] StmtPtr clone() const override {
     auto d = std::make_unique<DeclStmt>(
         type, name, init ? init->clone() : nullptr, loc());

@@ -1,7 +1,9 @@
 #include "np/compiler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <iomanip>
 #include <sstream>
 #include <utility>
 
@@ -150,13 +152,14 @@ std::size_t ValidationReport::hazard_count() const {
 
 std::string ValidationReport::summary() const {
   std::ostringstream os;
+  os << std::fixed << std::setprecision(1);
   os << "baseline: ";
   if (!baseline_ran)
     os << "FAILED to run\n";
   else if (!baseline_hazards.empty())
     os << baseline_hazards.size() << " hazard(s)\n";
   else
-    os << "clean\n";
+    os << "clean [" << baseline_wall_ms << " ms]\n";
   for (const auto& r : baseline_hazards) os << "  " << r.str() << "\n";
   std::size_t checked = 0;
   for (const auto& e : entries) {
@@ -173,7 +176,7 @@ std::string ValidationReport::summary() const {
     else if (!e.outputs_match)
       os << "OUTPUT MISMATCH: " << e.mismatch;
     else
-      os << "clean, outputs match";
+      os << "clean, outputs match [" << e.wall_ms << " ms]";
     os << "\n";
     for (const auto& r : e.hazards) os << "  " << r.str() << "\n";
     if (e.ran && e.hazards.empty() && !e.outputs_match && !e.mismatch.empty())
@@ -188,11 +191,19 @@ ValidationReport NpCompiler::validate(
     const ir::Kernel& kernel, const std::vector<transform::NpConfig>& configs,
     const WorkloadFactory& make_workload, const sim::DeviceSpec& spec,
     const ValidationOptions& opt) {
+  using Clock = std::chrono::steady_clock;
+  auto ms_since = [](Clock::time_point t0) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+        .count();
+  };
+
   ValidationReport report;
-  Runner runner(spec);
+  Runner runner(spec, opt.interp);
 
   Workload base = make_workload();
+  auto t0 = Clock::now();
   SanitizedRun base_run = runner.run_sanitized(kernel, base, opt.sanitizer);
+  report.baseline_wall_ms = ms_since(t0);
   report.baseline_ran = base_run.ran;
   report.baseline_hazards = base_run.engine.reports();
 
@@ -209,8 +220,10 @@ ValidationReport NpCompiler::validate(
       continue;
     }
     Workload w = make_workload();
+    auto tv = Clock::now();
     SanitizedRun run =
         runner.run_variant_sanitized(variant, w, opt.sanitizer);
+    entry.wall_ms = ms_since(tv);
     entry.ran = run.ran;
     entry.hazards = run.engine.reports();
     if (run.ran) {

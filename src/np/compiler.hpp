@@ -16,6 +16,7 @@
 #include "ir/kernel.hpp"
 #include "np/workload.hpp"
 #include "sim/device.hpp"
+#include "sim/interpreter.hpp"
 #include "sim/sanitizer.hpp"
 #include "transform/np_config.hpp"
 #include "transform/transformer.hpp"
@@ -34,6 +35,9 @@ struct ValidationEntry {
   bool outputs_match = false;
   std::string mismatch;
   std::vector<sim::HazardReport> hazards;
+  /// Host wall-clock of this variant's sanitized simulation (transform
+  /// excluded); 0 when the transform was inapplicable.
+  double wall_ms = 0.0;
 
   [[nodiscard]] bool clean() const {
     return !transform_ok || (ran && hazards.empty() && outputs_match);
@@ -43,6 +47,8 @@ struct ValidationEntry {
 struct ValidationReport {
   bool baseline_ran = false;
   std::vector<sim::HazardReport> baseline_hazards;
+  /// Host wall-clock of the baseline's sanitized simulation.
+  double baseline_wall_ms = 0.0;
   std::vector<ValidationEntry> entries;
 
   [[nodiscard]] bool all_clean() const;
@@ -52,6 +58,10 @@ struct ValidationReport {
 
 struct ValidationOptions {
   sim::SanitizerEngine::Options sanitizer;
+  /// Interpreter knobs for every validation run — most usefully `jobs`,
+  /// which simulates thread blocks on a host thread pool (results are
+  /// bit-identical at any job count; see docs/performance.md).
+  sim::Interpreter::Options interp;
   /// Relative tolerance for float buffer cross-checks (NP reductions
   /// reassociate, so bit-exact equality is too strict).
   double f32_rel_tol = 1e-3;

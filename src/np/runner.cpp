@@ -24,6 +24,19 @@ sim::LaunchConfig variant_config(
   return cfg;
 }
 
+/// Returns variant scratch buffers to the workload's free pool once the
+/// run is over; a later variant of the same shape reuses them instead of
+/// growing device memory for every (variant, config) pair an autotuner
+/// sweep tries.
+void release_extras(
+    Workload& workload,
+    const std::vector<std::pair<sim::BufferId, std::size_t>>& extras) {
+  for (const auto& [id, elems] : extras) {
+    (void)elems;
+    workload.mem->release(id);
+  }
+}
+
 void record_launch_fault(sim::SanitizerEngine& engine,
                          const std::string& kernel, const char* what) {
   sim::HazardReport r;
@@ -49,10 +62,18 @@ sim::RunResult Runner::run(const ir::Kernel& kernel,
 
 sim::RunResult Runner::run_variant(const transform::TransformResult& variant,
                                    Workload& workload) const {
-  sim::LaunchConfig cfg = variant_config(variant, workload, nullptr);
+  std::vector<std::pair<sim::BufferId, std::size_t>> extras;
+  sim::LaunchConfig cfg = variant_config(variant, workload, &extras);
   auto res = analysis::estimate_resources(*variant.kernel, spec_);
-  return sim::run_and_time(spec_, *workload.mem, *variant.kernel, cfg,
-                           res.usage, opt_);
+  try {
+    auto out = sim::run_and_time(spec_, *workload.mem, *variant.kernel, cfg,
+                                 res.usage, opt_);
+    release_extras(workload, extras);
+    return out;
+  } catch (...) {
+    release_extras(workload, extras);
+    throw;
+  }
 }
 
 SanitizedRun Runner::run_sanitized(const ir::Kernel& kernel,
@@ -94,6 +115,7 @@ SanitizedRun Runner::run_variant_sanitized(
   } catch (const SimError& e) {
     record_launch_fault(out.engine, variant.kernel->name, e.what());
   }
+  release_extras(workload, extras);
   return out;
 }
 

@@ -1,0 +1,185 @@
+#include "sim/binder.hpp"
+
+#include <mutex>
+#include <unordered_map>
+
+namespace cudanp::sim {
+
+using namespace cudanp::ir;
+
+namespace {
+
+[[nodiscard]] std::int32_t geometry_code(const std::string& name) {
+  if (name == "threadIdx.x") return kGeomThreadIdxX;
+  if (name == "threadIdx.y") return kGeomThreadIdxY;
+  if (name == "threadIdx.z") return kGeomThreadIdxZ;
+  if (name == "blockIdx.x") return kGeomBlockIdxX;
+  if (name == "blockIdx.y") return kGeomBlockIdxY;
+  if (name == "blockIdx.z") return kGeomBlockIdxZ;
+  if (name == "blockDim.x") return kGeomBlockDimX;
+  if (name == "blockDim.y") return kGeomBlockDimY;
+  if (name == "blockDim.z") return kGeomBlockDimZ;
+  if (name == "gridDim.x") return kGeomGridDimX;
+  if (name == "gridDim.y") return kGeomGridDimY;
+  if (name == "gridDim.z") return kGeomGridDimZ;
+  return -1;
+}
+
+}  // namespace
+
+Builtin resolve_builtin(const std::string& f) {
+  if (f == "__syncthreads") return Builtin::kSyncthreads;
+  if (f == "__shfl") return Builtin::kShfl;
+  if (f == "__shfl_up") return Builtin::kShflUp;
+  if (f == "__shfl_down") return Builtin::kShflDown;
+  if (f == "__shfl_xor") return Builtin::kShflXor;
+  if (f == "sqrtf" || f == "sqrt") return Builtin::kSqrt;
+  if (f == "fabsf" || f == "fabs") return Builtin::kFabs;
+  if (f == "expf" || f == "exp" || f == "__expf") return Builtin::kExp;
+  if (f == "logf" || f == "log" || f == "__logf") return Builtin::kLog;
+  if (f == "sinf" || f == "__sinf") return Builtin::kSin;
+  if (f == "cosf" || f == "__cosf") return Builtin::kCos;
+  if (f == "floorf") return Builtin::kFloor;
+  if (f == "rsqrtf") return Builtin::kRsqrt;
+  if (f == "abs") return Builtin::kAbs;
+  if (f == "min") return Builtin::kMin;
+  if (f == "max") return Builtin::kMax;
+  if (f == "fminf") return Builtin::kFminf;
+  if (f == "fmaxf") return Builtin::kFmaxf;
+  if (f == "powf") return Builtin::kPowf;
+  return Builtin::kNotBuiltin;
+}
+
+namespace {
+
+/// Builds the name -> slot table and annotates the AST. Declarations are
+/// name-keyed exactly like the old per-block unordered_map: re-declaring
+/// a name (loop bodies, param shadows) resolves to the same slot.
+class Binder {
+ public:
+  explicit Binder(const Kernel& kernel) {
+    out_ = std::make_shared<BoundKernel>();
+    out_->kernel = &kernel;
+    for (std::size_t i = 0; i < kernel.params.size(); ++i) {
+      SlotDecl sd;
+      sd.name = kernel.params[i].name;
+      sd.is_param = true;
+      sd.param_index = i;
+      by_name_.emplace(sd.name, static_cast<std::int32_t>(out_->slots.size()));
+      out_->slots.push_back(std::move(sd));
+    }
+    // First pass: collect every declared name so forward references bind
+    // to a slot (a runtime liveness bit preserves use-before-declare
+    // errors). Second pass: annotate expressions.
+    collect_decls(*kernel.body);
+    annotate_stmt(*kernel.body);
+  }
+
+  [[nodiscard]] std::shared_ptr<const BoundKernel> take() {
+    return std::move(out_);
+  }
+
+ private:
+  std::int32_t slot_for_decl(const std::string& name) {
+    auto [it, inserted] =
+        by_name_.emplace(name, static_cast<std::int32_t>(out_->slots.size()));
+    if (inserted) {
+      SlotDecl sd;
+      sd.name = name;
+      out_->slots.push_back(std::move(sd));
+    }
+    return it->second;
+  }
+
+  void collect_decls(const Stmt& s) {
+    for_each_stmt(s, [&](const Stmt& st) {
+      if (st.kind() != StmtKind::kDecl) return;
+      const auto& d = static_cast<const DeclStmt&>(st);
+      d.sim_slot = slot_for_decl(d.name);
+      if (d.type.space == AddrSpace::kShared)
+        out_->shared_words_bound +=
+            static_cast<std::uint64_t>(d.type.element_count());
+    });
+  }
+
+  void annotate_stmt(const Stmt& s) {
+    for_each_stmt(s, [&](const Stmt& st) {
+      switch (st.kind()) {
+        case StmtKind::kDecl: {
+          const auto& d = static_cast<const DeclStmt&>(st);
+          if (d.init) annotate_expr(*d.init);
+          for (const auto& e : d.init_list) annotate_expr(*e);
+          break;
+        }
+        case StmtKind::kAssign: {
+          const auto& a = static_cast<const AssignStmt&>(st);
+          annotate_expr(*a.lhs);
+          annotate_expr(*a.rhs);
+          break;
+        }
+        case StmtKind::kIf:
+          annotate_expr(*static_cast<const IfStmt&>(st).cond);
+          break;
+        case StmtKind::kFor: {
+          const auto& f = static_cast<const ForStmt&>(st);
+          if (f.cond) annotate_expr(*f.cond);
+          break;
+        }
+        case StmtKind::kWhile:
+          annotate_expr(*static_cast<const WhileStmt&>(st).cond);
+          break;
+        case StmtKind::kExpr:
+          annotate_expr(*static_cast<const ExprStmt&>(st).expr);
+          break;
+        default:
+          break;
+      }
+    });
+  }
+
+  void annotate_expr(const Expr& e) {
+    for_each_expr(e, [&](const Expr& x) {
+      switch (x.kind()) {
+        case ExprKind::kVarRef: {
+          const auto& v = static_cast<const VarRef&>(x);
+          // Geometry names take precedence over declared variables, like
+          // the old is_builtin_geometry check before the map lookup.
+          std::int32_t g = geometry_code(v.name);
+          if (g >= 0) {
+            v.sim_slot = kSlotGeomBase - g;
+            return;
+          }
+          auto it = by_name_.find(v.name);
+          v.sim_slot = it == by_name_.end() ? kSlotUndeclared : it->second;
+          return;
+        }
+        case ExprKind::kCall: {
+          const auto& c = static_cast<const CallExpr&>(x);
+          c.sim_builtin = static_cast<std::int16_t>(resolve_builtin(c.callee));
+          return;
+        }
+        default:
+          return;
+      }
+    });
+  }
+
+  std::shared_ptr<BoundKernel> out_;
+  std::unordered_map<std::string, std::int32_t> by_name_;
+};
+
+std::mutex g_bind_mutex;
+
+}  // namespace
+
+std::shared_ptr<const BoundKernel> bind_kernel(const Kernel& kernel) {
+  std::lock_guard<std::mutex> lock(g_bind_mutex);
+  if (kernel.sim_binding)
+    return std::static_pointer_cast<const BoundKernel>(kernel.sim_binding);
+  Binder binder(kernel);
+  auto bound = binder.take();
+  kernel.sim_binding = bound;
+  return bound;
+}
+
+}  // namespace cudanp::sim

@@ -1,0 +1,91 @@
+#include "sim/exec_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace cudanp::sim {
+
+ExecPool& ExecPool::instance() {
+  static ExecPool pool;
+  return pool;
+}
+
+int ExecPool::resolve_jobs(int requested) {
+  if (requested > 0) return std::min(requested, kMaxWorkers + 1);
+  if (const char* env = std::getenv("CUDANP_JOBS")) {
+    int v = std::atoi(env);
+    if (v > 0) return std::min(v, kMaxWorkers + 1);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxWorkers + 1));
+}
+
+void ExecPool::ensure_workers(int count) {
+  count = std::min(count, kMaxWorkers);
+  while (static_cast<int>(workers_.size()) < count)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void ExecPool::parallel_for(std::int64_t n, int jobs,
+                            const std::function<void(std::int64_t)>& fn) {
+  if (n <= 0) return;
+  jobs = std::clamp<int>(jobs, 1, kMaxWorkers + 1);
+  if (jobs > n) jobs = static_cast<int>(n);
+  if (jobs <= 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> launch_lock(launch_mu_);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ensure_workers(jobs - 1);
+    task_fn_ = &fn;
+    task_n_ = n;
+    task_next_.store(0, std::memory_order_relaxed);
+    task_slots_ = jobs - 1;
+    ++task_gen_;
+  }
+  work_cv_.notify_all();
+  // The caller is one of the `jobs` threads.
+  for (std::int64_t i; (i = task_next_.fetch_add(1)) < n;) fn(i);
+  std::unique_lock<std::mutex> lk(mu_);
+  done_cv_.wait(lk, [&] {
+    return task_active_ == 0 && task_next_.load() >= task_n_;
+  });
+  // Close the launch so late-waking workers cannot claim a slot and read
+  // a dangling fn pointer.
+  task_slots_ = 0;
+  task_fn_ = nullptr;
+}
+
+void ExecPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lk(mu_);
+  while (true) {
+    work_cv_.wait(lk, [&] {
+      return shutdown_ || (task_gen_ != seen && task_slots_ > 0);
+    });
+    if (shutdown_) return;
+    seen = task_gen_;
+    --task_slots_;
+    ++task_active_;
+    const auto* fn = task_fn_;
+    const std::int64_t n = task_n_;
+    lk.unlock();
+    for (std::int64_t i; (i = task_next_.fetch_add(1)) < n;) (*fn)(i);
+    lk.lock();
+    --task_active_;
+    if (task_active_ == 0) done_cv_.notify_all();
+  }
+}
+
+ExecPool::~ExecPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+}  // namespace cudanp::sim

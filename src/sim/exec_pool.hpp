@@ -1,0 +1,73 @@
+// ExecPool: the persistent worker pool behind the parallel grid scheduler.
+//
+// Thread blocks are independent by construction (the paper's benchmarks,
+// and everything CUDA-NP emits, communicate only through __syncthreads
+// within a block), so the simulator's grid loop parallelizes across host
+// cores. The pool is process-wide and lazy: workers are spawned on first
+// demand and reused across launches, so autotuner sweeps and bench runs
+// pay thread-creation cost once.
+//
+// parallel_for distributes indices dynamically (atomic counter), which is
+// deliberately order-agnostic: callers that need determinism write results
+// to per-index storage and merge in index order afterwards — see
+// Interpreter::run's ordered KernelStats / hazard-report merge.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cudanp::sim {
+
+class ExecPool {
+ public:
+  /// The process-wide pool. Safe to call from any thread.
+  [[nodiscard]] static ExecPool& instance();
+
+  /// Runs fn(0), ..., fn(n-1), using at most `jobs` threads including the
+  /// calling thread, and returns when every index has completed. Worker
+  /// threads are grown on demand (oversubscription beyond the hardware
+  /// core count is allowed, capped at kMaxWorkers). `fn` must not throw;
+  /// callers capture failures per index. One launch runs at a time;
+  /// concurrent callers serialize.
+  void parallel_for(std::int64_t n, int jobs,
+                    const std::function<void(std::int64_t)>& fn);
+
+  /// Hard cap on pool threads (plus the caller), a guard against
+  /// pathological --jobs values.
+  static constexpr int kMaxWorkers = 64;
+
+  /// Resolves a jobs request: explicit > 0 wins, else the CUDANP_JOBS
+  /// environment variable, else hardware_concurrency (min 1).
+  [[nodiscard]] static int resolve_jobs(int requested);
+
+  ~ExecPool();
+  ExecPool(const ExecPool&) = delete;
+  ExecPool& operator=(const ExecPool&) = delete;
+
+ private:
+  ExecPool() = default;
+  void worker_loop();
+  void ensure_workers(int count);  // requires mu_ held
+
+  std::mutex launch_mu_;  // serializes parallel_for calls
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> workers_;
+  bool shutdown_ = false;
+
+  // State of the current launch, guarded by mu_ except task_next_.
+  std::uint64_t task_gen_ = 0;
+  const std::function<void(std::int64_t)>* task_fn_ = nullptr;
+  std::int64_t task_n_ = 0;
+  int task_slots_ = 0;  // worker participation slots remaining
+  int task_active_ = 0; // workers currently executing indices
+  std::atomic<std::int64_t> task_next_{0};
+};
+
+}  // namespace cudanp::sim

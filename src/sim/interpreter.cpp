@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
+#include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "ir/printer.hpp"
+#include "sim/binder.hpp"
+#include "sim/exec_pool.hpp"
 #include "sim/sanitizer.hpp"
 
 namespace cudanp::sim {
@@ -22,7 +27,8 @@ using Lanes = std::vector<Value>;
   return false;
 }
 
-/// Per-variable storage within one block.
+/// Per-variable storage within one block, indexed by the binder's slot id
+/// (sim/binder.hpp) in a flat frame vector.
 struct Slot {
   Type type;
   /// Register scalars & register/local arrays: per-lane storage
@@ -35,22 +41,41 @@ struct Slot {
   /// Scalar kernel argument: one shared copy, read-only.
   bool is_uniform_param = false;
   BufferId buffer = 0;
-  bool initialized = false;
+  /// False until the declaration (or param binding) executes; preserves
+  /// the old map-absence "use of undeclared variable" semantics now that
+  /// every slot exists up front.
+  bool live = false;
   /// Sanitizer init bitmap, indexed like `data` (empty when the sanitizer
   /// is off, and for shared / buffer / uniform slots, which are shadowed
   /// elsewhere).
   std::vector<std::uint8_t> shadow;
 };
 
+/// Per-block hazard stream. Blocks never touch the shared SanitizerEngine
+/// while executing (so the grid can run on several threads); they collect
+/// reports locally, in execution order, and Interpreter::run replays the
+/// streams through the engine in block-index order afterwards. That
+/// replay reproduces the engine's dedupe, total count and error-limit
+/// semantics exactly, at every job count.
+struct BlockSanitizer {
+  /// Options are read-only during execution; buffer shadow bitmaps are
+  /// written element-wise, and well-formed kernels touch block-disjoint
+  /// elements (like the data buffers themselves).
+  SanitizerEngine* engine = nullptr;
+  std::vector<HazardReport> reports;
+};
+
 class BlockExec {
  public:
   BlockExec(const DeviceSpec& spec, DeviceMemory& mem,
-            const Interpreter::Options& opt, const Kernel& kernel,
-            const LaunchConfig& cfg, Dim3 block_idx, int resident_blocks)
+            const Interpreter::Options& opt, const BoundKernel& bound,
+            const LaunchConfig& cfg, Dim3 block_idx, int resident_blocks,
+            BlockSanitizer* san)
       : spec_(spec),
         mem_(mem),
         opt_(opt),
-        kernel_(kernel),
+        bound_(bound),
+        kernel_(*bound.kernel),
         cfg_(cfg),
         block_idx_(block_idx),
         nlanes_(static_cast<int>(cfg.block.count())),
@@ -61,8 +86,14 @@ class BlockExec {
     warp_latency_.assign(static_cast<std::size_t>(nwarps_), 0.0);
     warp_pending_.assign(static_cast<std::size_t>(nwarps_), 0.0);
     returned_.assign(static_cast<std::size_t>(nlanes_), 0);
-    san_ = opt.sanitizer;
-    if (san_) warp_gen_.assign(static_cast<std::size_t>(nwarps_), 0);
+    san_ = san;
+    if (san_) {
+      warp_gen_.assign(static_cast<std::size_t>(nwarps_), 0);
+      smem_shadow_.reserve(
+          static_cast<std::size_t>(bound.shared_words_bound));
+    }
+    frame_.resize(bound.num_slots());
+    init_geometry();
     bind_params();
   }
 
@@ -93,6 +124,34 @@ class BlockExec {
   }
 
  private:
+  // ---------------- geometry lane caches ----------------
+  /// Precomputes the 12 builtin geometry vectors once per block, so an
+  /// executed threadIdx/blockDim/... reference is a plain vector copy.
+  void init_geometry() {
+    for (int g = 0; g < kGeomCount; ++g)
+      geom_[g].assign(static_cast<std::size_t>(nlanes_), Value::of_int(0));
+    for (int l = 0; l < nlanes_; ++l) {
+      auto li = static_cast<std::size_t>(l);
+      geom_[kGeomThreadIdxX][li] = Value::of_int(l % cfg_.block.x);
+      geom_[kGeomThreadIdxY][li] =
+          Value::of_int((l / cfg_.block.x) % cfg_.block.y);
+      geom_[kGeomThreadIdxZ][li] =
+          Value::of_int(l / (cfg_.block.x * cfg_.block.y));
+    }
+    auto fill = [&](int g, int v) {
+      geom_[g].assign(static_cast<std::size_t>(nlanes_), Value::of_int(v));
+    };
+    fill(kGeomBlockIdxX, block_idx_.x);
+    fill(kGeomBlockIdxY, block_idx_.y);
+    fill(kGeomBlockIdxZ, block_idx_.z);
+    fill(kGeomBlockDimX, cfg_.block.x);
+    fill(kGeomBlockDimY, cfg_.block.y);
+    fill(kGeomBlockDimZ, cfg_.block.z);
+    fill(kGeomGridDimX, cfg_.grid.x);
+    fill(kGeomGridDimY, cfg_.grid.y);
+    fill(kGeomGridDimZ, cfg_.grid.z);
+  }
+
   // ---------------- parameter binding ----------------
   void bind_params() {
     if (cfg_.args.size() != kernel_.params.size())
@@ -101,7 +160,7 @@ class BlockExec {
                      std::to_string(cfg_.args.size()));
     for (std::size_t i = 0; i < kernel_.params.size(); ++i) {
       const Param& p = kernel_.params[i];
-      Slot slot;
+      Slot& slot = frame_[i];  // binder assigns params slots 0..n-1
       slot.type = p.type;
       if (p.type.is_pointer) {
         const auto* buf = std::get_if<BufferId>(&cfg_.args[i]);
@@ -121,8 +180,7 @@ class BlockExec {
         slot.is_uniform_param = true;
         slot.data.assign(1, coerced);  // uniform scalar, one copy
       }
-      slot.initialized = true;
-      vars_.emplace(p.name, std::move(slot));
+      slot.live = true;
     }
   }
 
@@ -288,7 +346,8 @@ class BlockExec {
   };
 
   [[nodiscard]] bool portable_races() const {
-    return san_->options().race_mode == SanitizerEngine::RaceMode::kPortable;
+    return san_->engine->options().race_mode ==
+           SanitizerEngine::RaceMode::kPortable;
   }
 
   [[nodiscard]] static bool value_eq(Value a, Value b) {
@@ -305,7 +364,9 @@ class BlockExec {
     r.thread = lane;
     r.loc = loc;
     r.message = std::move(msg);
-    san_->report(std::move(r));
+    // Collected locally; Interpreter::run replays block streams through
+    // the engine in block-index order (dedupe / limit applied there).
+    san_->reports.push_back(std::move(r));
   }
 
   void note_shared_write(const Slot& slot, const std::string& name,
@@ -407,19 +468,29 @@ class BlockExec {
   }
 
   // ---------------- variable helpers ----------------
-  Slot& lookup(const std::string& name, SourceLoc loc) {
-    auto it = vars_.find(name);
-    if (it == vars_.end())
-      throw SimError("use of undeclared variable '" + name + "' at " +
-                     loc.str());
-    return it->second;
+  /// Resolves a bound slot id to live storage. Geometry codes land here
+  /// only from contexts where a geometry name is invalid (array base,
+  /// assignment target) and get the same "undeclared" error the old map
+  /// lookup produced.
+  Slot& slot_at(std::int32_t s, const std::string& name, SourceLoc loc) {
+    if (s >= 0) {
+      Slot& slot = frame_[static_cast<std::size_t>(s)];
+      if (slot.live) return slot;
+    } else if (s == kSlotUnbound) {
+      throw SimError("internal: unbound reference to '" + name +
+                     "' (kernel AST modified after slot binding)");
+    }
+    throw SimError("use of undeclared variable '" + name + "' at " +
+                   loc.str());
   }
 
   /// Declares (or re-declares, for loop bodies) a variable.
   Slot& declare(const DeclStmt& d) {
-    auto [it, inserted] = vars_.try_emplace(d.name);
-    Slot& slot = it->second;
-    if (inserted || !slot.initialized) {
+    if (d.sim_slot < 0)
+      throw SimError("internal: unbound declaration of '" + d.name +
+                     "' (kernel AST modified after slot binding)");
+    Slot& slot = frame_[static_cast<std::size_t>(d.sim_slot)];
+    if (!slot.live) {
       slot.type = d.type;
       if (d.type.space == AddrSpace::kShared) {
         slot.data.assign(static_cast<std::size_t>(d.type.element_count()),
@@ -439,7 +510,7 @@ class BlockExec {
       }
       if (san_ && d.type.space != AddrSpace::kShared)
         slot.shadow.assign(slot.data.size(), 0);
-      slot.initialized = true;
+      slot.live = true;
     }
     return slot;
   }
@@ -452,27 +523,6 @@ class BlockExec {
       case ScalarType::kVoid: return v;
     }
     return v;
-  }
-
-  // ---------------- geometry ----------------
-  [[nodiscard]] std::int64_t geometry(const std::string& name,
-                                      int lane) const {
-    int lx = lane % cfg_.block.x;
-    int ly = (lane / cfg_.block.x) % cfg_.block.y;
-    int lz = lane / (cfg_.block.x * cfg_.block.y);
-    if (name == "threadIdx.x") return lx;
-    if (name == "threadIdx.y") return ly;
-    if (name == "threadIdx.z") return lz;
-    if (name == "blockIdx.x") return block_idx_.x;
-    if (name == "blockIdx.y") return block_idx_.y;
-    if (name == "blockIdx.z") return block_idx_.z;
-    if (name == "blockDim.x") return cfg_.block.x;
-    if (name == "blockDim.y") return cfg_.block.y;
-    if (name == "blockDim.z") return cfg_.block.z;
-    if (name == "gridDim.x") return cfg_.grid.x;
-    if (name == "gridDim.y") return cfg_.grid.y;
-    if (name == "gridDim.z") return cfg_.grid.z;
-    throw SimError("unknown builtin '" + name + "'");
   }
 
   // ---------------- expression evaluation ----------------
@@ -537,13 +587,9 @@ class BlockExec {
   }
 
   Lanes eval_varref(const VarRef& v, const Mask& mask) {
-    if (is_builtin_geometry(v.name)) {
-      Lanes out(static_cast<std::size_t>(nlanes_));
-      for (int l = 0; l < nlanes_; ++l)
-        out[static_cast<std::size_t>(l)] = Value::of_int(geometry(v.name, l));
-      return out;
-    }
-    Slot& slot = lookup(v.name, v.loc());
+    if (slot_is_geometry(v.sim_slot))
+      return geom_[slot_geometry_code(v.sim_slot)];
+    Slot& slot = slot_at(v.sim_slot, v.name, v.loc());
     if (slot.is_buffer_param)
       throw SimError("pointer '" + v.name +
                      "' used as a value (only indexing is supported)");
@@ -597,8 +643,9 @@ class BlockExec {
                    const Lanes* store) {
     if (ai.base->kind() != ExprKind::kVarRef)
       throw SimError("array base must be a variable at " + ai.loc().str());
-    const std::string& name = static_cast<const VarRef&>(*ai.base).name;
-    Slot& slot = lookup(name, ai.loc());
+    const auto& base = static_cast<const VarRef&>(*ai.base);
+    const std::string& name = base.name;
+    Slot& slot = slot_at(base.sim_slot, name, ai.loc());
 
     if (slot.is_buffer_param) {
       if (ai.indices.size() != 1)
@@ -607,7 +654,7 @@ class BlockExec {
       DeviceBuffer& buf = mem_.buffer(slot.buffer);
       charge_global(buf, idx, mask);
       std::vector<std::uint8_t>* bsh =
-          san_ ? san_->buffer_shadow(slot.buffer) : nullptr;
+          san_ ? san_->engine->buffer_shadow(slot.buffer) : nullptr;
       Lanes out(static_cast<std::size_t>(nlanes_));
       for (int l = 0; l < nlanes_; ++l) {
         if (!mask[static_cast<std::size_t>(l)]) continue;
@@ -779,18 +826,11 @@ class BlockExec {
 
   Lanes eval_call(const CallExpr& c, const Mask& mask) {
     const std::string& f = c.callee;
-    if (f == "__syncthreads") {
-      ++sync_ops_;
-      charge_issue(mask, opt_.weights.sync);
-      for_each_active_warp(mask, [&](int w, int, int) {
-        charge_latency(w, spec_.sync_latency_cycles);
-      });
-      if (san_) note_barrier(c.loc(), mask);
-      return Lanes(static_cast<std::size_t>(nlanes_), Value::of_int(0));
-    }
-    if (f == "__shfl" || f == "__shfl_up" || f == "__shfl_down" ||
-        f == "__shfl_xor")
-      return eval_shfl(c, mask);
+    // Dispatch on the binder's integer annotation; the string resolution
+    // only runs for nodes created after binding (mutated AST).
+    Builtin b = c.sim_builtin == kBuiltinUnset
+                    ? resolve_builtin(f)
+                    : static_cast<Builtin>(c.sim_builtin);
 
     // Unary math builtins.
     auto unary_math = [&](double (*fn)(double), bool sfu) -> Lanes {
@@ -807,75 +847,101 @@ class BlockExec {
       }
       return v;
     };
-    if (f == "sqrtf" || f == "sqrt") return unary_math([](double x) { return std::sqrt(x); }, true);
-    if (f == "fabsf" || f == "fabs") return unary_math([](double x) { return std::fabs(x); }, false);
-    if (f == "expf" || f == "exp" || f == "__expf")
-      return unary_math([](double x) { return std::exp(x); }, true);
-    if (f == "logf" || f == "log" || f == "__logf")
-      return unary_math([](double x) { return std::log(x); }, true);
-    if (f == "sinf" || f == "__sinf") return unary_math([](double x) { return std::sin(x); }, true);
-    if (f == "cosf" || f == "__cosf") return unary_math([](double x) { return std::cos(x); }, true);
-    if (f == "floorf") return unary_math([](double x) { return std::floor(x); }, false);
-    if (f == "rsqrtf")
-      return unary_math([](double x) { return 1.0 / std::sqrt(x); }, true);
 
-    if (f == "abs") {
-      if (c.args.size() != 1)
-        throw SimError("abs expects 1 argument at " + c.loc().str());
-      Lanes v = eval(*c.args[0], mask);
-      charge_issue(mask, opt_.weights.alu);
-      for (int l = 0; l < nlanes_; ++l) {
-        if (!mask[static_cast<std::size_t>(l)]) continue;
-        Value& x = v[static_cast<std::size_t>(l)];
-        x = x.is_float() ? Value::of_float(std::fabs(x.f))
-                         : Value::of_int(std::abs(x.i));
+    switch (b) {
+      case Builtin::kSyncthreads: {
+        ++sync_ops_;
+        charge_issue(mask, opt_.weights.sync);
+        for_each_active_warp(mask, [&](int w, int, int) {
+          charge_latency(w, spec_.sync_latency_cycles);
+        });
+        if (san_) note_barrier(c.loc(), mask);
+        return Lanes(static_cast<std::size_t>(nlanes_), Value::of_int(0));
       }
-      return v;
-    }
-
-    // Binary math builtins.
-    if (f == "min" || f == "max" || f == "fminf" || f == "fmaxf" ||
-        f == "powf") {
-      if (c.args.size() != 2)
-        throw SimError(f + " expects 2 arguments at " + c.loc().str());
-      Lanes a = eval(*c.args[0], mask);
-      Lanes b = eval(*c.args[1], mask);
-      charge_issue(mask, f == "powf"
-                             ? 2 * opt_.weights.fdiv_sqrt_transcendental
-                             : opt_.weights.alu);
-      Lanes out(static_cast<std::size_t>(nlanes_));
-      for (int l = 0; l < nlanes_; ++l) {
-        if (!mask[static_cast<std::size_t>(l)]) continue;
-        Value x = a[static_cast<std::size_t>(l)];
-        Value y = b[static_cast<std::size_t>(l)];
-        if (f == "powf") {
-          out[static_cast<std::size_t>(l)] =
-              Value::of_float(std::pow(x.as_f(), y.as_f())).to_f32();
-        } else if (f == "min" || f == "fminf") {
-          if (x.is_float() || y.is_float() || f == "fminf")
-            out[static_cast<std::size_t>(l)] =
-                Value::of_float(std::min(x.as_f(), y.as_f())).to_f32();
-          else
-            out[static_cast<std::size_t>(l)] =
-                Value::of_int(std::min(x.i, y.i));
-        } else {
-          if (x.is_float() || y.is_float() || f == "fmaxf")
-            out[static_cast<std::size_t>(l)] =
-                Value::of_float(std::max(x.as_f(), y.as_f())).to_f32();
-          else
-            out[static_cast<std::size_t>(l)] =
-                Value::of_int(std::max(x.i, y.i));
+      case Builtin::kShfl:
+      case Builtin::kShflUp:
+      case Builtin::kShflDown:
+      case Builtin::kShflXor:
+        return eval_shfl(c, b, mask);
+      case Builtin::kSqrt:
+        return unary_math([](double x) { return std::sqrt(x); }, true);
+      case Builtin::kFabs:
+        return unary_math([](double x) { return std::fabs(x); }, false);
+      case Builtin::kExp:
+        return unary_math([](double x) { return std::exp(x); }, true);
+      case Builtin::kLog:
+        return unary_math([](double x) { return std::log(x); }, true);
+      case Builtin::kSin:
+        return unary_math([](double x) { return std::sin(x); }, true);
+      case Builtin::kCos:
+        return unary_math([](double x) { return std::cos(x); }, true);
+      case Builtin::kFloor:
+        return unary_math([](double x) { return std::floor(x); }, false);
+      case Builtin::kRsqrt:
+        return unary_math([](double x) { return 1.0 / std::sqrt(x); }, true);
+      case Builtin::kAbs: {
+        if (c.args.size() != 1)
+          throw SimError("abs expects 1 argument at " + c.loc().str());
+        Lanes v = eval(*c.args[0], mask);
+        charge_issue(mask, opt_.weights.alu);
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          Value& x = v[static_cast<std::size_t>(l)];
+          x = x.is_float() ? Value::of_float(std::fabs(x.f))
+                           : Value::of_int(std::abs(x.i));
         }
+        return v;
       }
-      return out;
+      case Builtin::kMin:
+      case Builtin::kMax:
+      case Builtin::kFminf:
+      case Builtin::kFmaxf:
+      case Builtin::kPowf: {
+        if (c.args.size() != 2)
+          throw SimError(f + " expects 2 arguments at " + c.loc().str());
+        Lanes av = eval(*c.args[0], mask);
+        Lanes bv = eval(*c.args[1], mask);
+        charge_issue(mask, b == Builtin::kPowf
+                               ? 2 * opt_.weights.fdiv_sqrt_transcendental
+                               : opt_.weights.alu);
+        const bool is_min = b == Builtin::kMin || b == Builtin::kFminf;
+        const bool force_float =
+            b == Builtin::kFminf || b == Builtin::kFmaxf;
+        Lanes out(static_cast<std::size_t>(nlanes_));
+        for (int l = 0; l < nlanes_; ++l) {
+          if (!mask[static_cast<std::size_t>(l)]) continue;
+          Value x = av[static_cast<std::size_t>(l)];
+          Value y = bv[static_cast<std::size_t>(l)];
+          if (b == Builtin::kPowf) {
+            out[static_cast<std::size_t>(l)] =
+                Value::of_float(std::pow(x.as_f(), y.as_f())).to_f32();
+          } else if (is_min) {
+            if (x.is_float() || y.is_float() || force_float)
+              out[static_cast<std::size_t>(l)] =
+                  Value::of_float(std::min(x.as_f(), y.as_f())).to_f32();
+            else
+              out[static_cast<std::size_t>(l)] =
+                  Value::of_int(std::min(x.i, y.i));
+          } else {
+            if (x.is_float() || y.is_float() || force_float)
+              out[static_cast<std::size_t>(l)] =
+                  Value::of_float(std::max(x.as_f(), y.as_f())).to_f32();
+            else
+              out[static_cast<std::size_t>(l)] =
+                  Value::of_int(std::max(x.i, y.i));
+          }
+        }
+        return out;
+      }
+      case Builtin::kNotBuiltin:
+        break;
     }
-
     throw SimError("unknown function '" + f + "' at " + c.loc().str());
   }
 
   /// __shfl family. Per paper Sec. 2.1: a warp is partitioned into groups
   /// of `width`; reads source lanes' register values.
-  Lanes eval_shfl(const CallExpr& c, const Mask& mask) {
+  Lanes eval_shfl(const CallExpr& c, Builtin b, const Mask& mask) {
     if (spec_.sm_version < 30)
       throw SimError("__shfl requires sm_30+ (device is sm_" +
                      std::to_string(spec_.sm_version) + ")");
@@ -914,12 +980,12 @@ class BlockExec {
       int group_base = lane / static_cast<int>(wdt) * static_cast<int>(wdt);
       std::int64_t s = sel[static_cast<std::size_t>(l)].as_i();
       int src_lane;
-      if (c.callee == "__shfl") {
+      if (b == Builtin::kShfl) {
         src_lane = group_base + static_cast<int>(s % wdt);
-      } else if (c.callee == "__shfl_up") {
+      } else if (b == Builtin::kShflUp) {
         int cand = lane - static_cast<int>(s);
         src_lane = cand < group_base ? lane : cand;
-      } else if (c.callee == "__shfl_down") {
+      } else if (b == Builtin::kShflDown) {
         int cand = lane + static_cast<int>(s);
         src_lane = cand >= group_base + static_cast<int>(wdt) ? lane : cand;
       } else {  // __shfl_xor
@@ -955,15 +1021,19 @@ class BlockExec {
           var[static_cast<std::size_t>(src_tid)];
     }
     if (san_ && c.args[0]->kind() == ExprKind::kVarRef) {
-      // Post-hoc init check on the lanes actually read as sources.
+      // Post-hoc init check on the lanes actually read as sources. The
+      // bound slot id replaces the old vars_.find string lookup.
       const auto& vr = static_cast<const VarRef&>(*c.args[0]);
-      auto it = vars_.find(vr.name);
-      if (it != vars_.end() && it->second.type.is_scalar() &&
-          !it->second.is_uniform_param && !it->second.shadow.empty()) {
+      const Slot* vs =
+          vr.sim_slot >= 0 &&
+                  frame_[static_cast<std::size_t>(vr.sim_slot)].live
+              ? &frame_[static_cast<std::size_t>(vr.sim_slot)]
+              : nullptr;
+      if (vs && vs->type.is_scalar() && !vs->is_uniform_param &&
+          !vs->shadow.empty()) {
         for (int l = 0; l < nlanes_; ++l) {
           int s = src_of[static_cast<std::size_t>(l)];
-          if (s >= 0 &&
-              !it->second.shadow[static_cast<std::size_t>(s)]) {
+          if (s >= 0 && !vs->shadow[static_cast<std::size_t>(s)]) {
             san_report(HazardKind::kUninitRead, c.loc(), l,
                        c.callee + " reads uninitialized variable '" +
                            vr.name + "' from lane " +
@@ -1177,7 +1247,7 @@ class BlockExec {
     }
     if (a.lhs->kind() == ExprKind::kVarRef) {
       const auto& v = static_cast<const VarRef&>(*a.lhs);
-      Slot& slot = lookup(v.name, v.loc());
+      Slot& slot = slot_at(v.sim_slot, v.name, v.loc());
       if (slot.is_buffer_param || slot.type.is_array())
         throw SimError("cannot assign to '" + v.name + "' without an index");
       if (slot.is_uniform_param)
@@ -1205,6 +1275,7 @@ class BlockExec {
   const DeviceSpec& spec_;
   DeviceMemory& mem_;
   const Interpreter::Options& opt_;
+  const BoundKernel& bound_;
   const Kernel& kernel_;
   const LaunchConfig& cfg_;
   Dim3 block_idx_;
@@ -1212,9 +1283,12 @@ class BlockExec {
   int nwarps_;
   L1Cache l1_;
 
-  std::unordered_map<std::string, Slot> vars_;
+  /// Flat variable frame, indexed by the binder's slot ids.
+  std::vector<Slot> frame_;
+  /// Precomputed geometry lane vectors (threadIdx.x, ..., gridDim.z).
+  Lanes geom_[kGeomCount];
   Mask returned_;
-  SanitizerEngine* san_ = nullptr;
+  BlockSanitizer* san_ = nullptr;
   std::unordered_map<std::uint64_t, SharedShadow> smem_shadow_;
   std::vector<std::uint64_t> warp_gen_;  // barrier arrivals per warp
   std::uint64_t access_seq_ = 0;         // one id per shared vector access
@@ -1238,6 +1312,20 @@ class BlockExec {
 
 }  // namespace
 
+namespace {
+
+/// Everything one block produced, staged for the deterministic merge.
+struct BlockOutcome {
+  KernelStats stats;
+  bool ok = false;
+  bool faulted = false;       // sanitized SimError, contained to the block
+  std::string fault_message;
+  std::vector<HazardReport> reports;  // hazard stream, in execution order
+  std::exception_ptr error;   // unsanitized failure, rethrown by the merge
+};
+
+}  // namespace
+
 KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
                              int resident_blocks_per_smx) {
   if (cfg.block.count() <= 0 ||
@@ -1245,32 +1333,87 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
     throw SimError("invalid block size " + std::to_string(cfg.block.count()));
   if (cfg.grid.count() <= 0) throw SimError("empty grid");
 
+  const auto bound = bind_kernel(kernel);
+  const std::int64_t nblocks = cfg.grid.count();
+  const int jobs = ExecPool::resolve_jobs(opt_.jobs);
+
+  // Blocks are independent (they communicate only through __syncthreads
+  // within themselves), so the grid runs on `jobs` host threads. Each
+  // block writes its outcome to its own slot; nothing below touches the
+  // shared SanitizerEngine until the ordered merge.
+  std::vector<BlockOutcome> outcomes(static_cast<std::size_t>(nblocks));
+  auto run_block = [&](std::int64_t i) {
+    BlockOutcome& out = outcomes[static_cast<std::size_t>(i)];
+    const Dim3 bidx{static_cast<int>(i % cfg.grid.x),
+                    static_cast<int>((i / cfg.grid.x) % cfg.grid.y),
+                    static_cast<int>(i / (cfg.grid.x * cfg.grid.y))};
+    BlockSanitizer bs{opt_.sanitizer, {}};
+    BlockSanitizer* bsp = opt_.sanitizer ? &bs : nullptr;
+    try {
+      BlockExec block(spec_, mem_, opt_, *bound, cfg, bidx,
+                      resident_blocks_per_smx, bsp);
+      out.stats = block.run();
+      out.ok = true;
+    } catch (const SimError& e) {
+      if (opt_.sanitizer) {
+        // Keep-going mode: contain the fault to this block; the merge
+        // records it after the block's earlier hazards, like the serial
+        // engine did.
+        out.faulted = true;
+        out.fault_message = e.what();
+      } else {
+        out.error = std::current_exception();
+      }
+    } catch (...) {
+      out.error = std::current_exception();
+    }
+    out.reports = std::move(bs.reports);
+  };
+
+  if (jobs <= 1 || nblocks <= 1) {
+    for (std::int64_t i = 0; i < nblocks; ++i) {
+      run_block(i);
+      // Serial unsanitized runs abort at the first failing block, exactly
+      // like the original grid loop.
+      if (outcomes[static_cast<std::size_t>(i)].error)
+        std::rethrow_exception(outcomes[static_cast<std::size_t>(i)].error);
+    }
+  } else {
+    ExecPool::instance().parallel_for(nblocks, jobs, run_block);
+  }
+
+  // Deterministic merge, in block-index order (== the old serial order):
+  // replay each block's hazard stream through the shared engine so
+  // dedupe, total counts and the error limit behave identically at every
+  // job count, then fold stats of blocks that count.
   KernelStats total;
   bool stop = false;
-  for (int bz = 0; bz < cfg.grid.z && !stop; ++bz) {
-    for (int by = 0; by < cfg.grid.y && !stop; ++by) {
-      for (int bx = 0; bx < cfg.grid.x && !stop; ++bx) {
-        try {
-          BlockExec block(spec_, mem_, opt_, kernel, cfg, Dim3{bx, by, bz},
-                          resident_blocks_per_smx);
-          total.add_block(block.run());
-        } catch (const HazardLimitReached&) {
-          stop = true;  // engine kept the triggering report
-        } catch (const SimError& e) {
-          // Keep-going mode: contain the fault to this block and record
-          // it, instead of aborting the whole grid.
-          if (!opt_.sanitizer) throw;
-          HazardReport r;
-          r.kind = HazardKind::kSimFault;
-          r.kernel = kernel.name;
-          r.block = Dim3{bx, by, bz};
-          r.message = e.what();
-          try {
-            opt_.sanitizer->report(std::move(r));
-          } catch (const HazardLimitReached&) {
-            stop = true;
-          }
-        }
+  for (std::int64_t i = 0; i < nblocks && !stop; ++i) {
+    BlockOutcome& out = outcomes[static_cast<std::size_t>(i)];
+    for (auto& r : out.reports) {
+      try {
+        opt_.sanitizer->report(std::move(r));
+      } catch (const HazardLimitReached&) {
+        stop = true;  // engine kept the triggering report
+        break;
+      }
+    }
+    if (stop) break;  // this block's stats are discarded, like serial
+    if (out.error) std::rethrow_exception(out.error);
+    if (out.ok) {
+      total.add_block(out.stats);
+    } else if (out.faulted) {
+      HazardReport r;
+      r.kind = HazardKind::kSimFault;
+      r.kernel = kernel.name;
+      r.block = Dim3{static_cast<int>(i % cfg.grid.x),
+                     static_cast<int>((i / cfg.grid.x) % cfg.grid.y),
+                     static_cast<int>(i / (cfg.grid.x * cfg.grid.y))};
+      r.message = out.fault_message;
+      try {
+        opt_.sanitizer->report(std::move(r));
+      } catch (const HazardLimitReached&) {
+        stop = true;
       }
     }
   }

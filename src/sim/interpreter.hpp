@@ -57,6 +57,12 @@ class Interpreter {
     /// SimError inside one block is downgraded to a kSimFault report so
     /// the rest of the grid still runs. See sim/sanitizer.hpp.
     SanitizerEngine* sanitizer = nullptr;
+    /// Host threads simulating blocks concurrently. 0 = auto: the
+    /// CUDANP_JOBS environment variable if set, else hardware
+    /// concurrency. Results are bit-identical at every job count: blocks
+    /// are independent and per-block stats / hazard reports are merged
+    /// in block-index order (see docs/performance.md).
+    int jobs = 0;
   };
 
   Interpreter(const DeviceSpec& spec, DeviceMemory& mem, Options opt)

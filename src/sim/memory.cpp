@@ -5,6 +5,15 @@
 namespace cudanp::sim {
 
 BufferId DeviceMemory::alloc(ir::ScalarType type, std::size_t elems) {
+  for (auto it = free_.begin(); it != free_.end(); ++it) {
+    DeviceBuffer& b = buffers_[*it];
+    if (b.type() == type && b.size() == elems) {
+      BufferId id = *it;
+      free_.erase(it);
+      b.clear();
+      return id;
+    }
+  }
   const std::uint64_t kAlign = 256;
   std::uint64_t base = (next_addr_ + kAlign - 1) / kAlign * kAlign;
   std::uint64_t bytes =
@@ -12,6 +21,13 @@ BufferId DeviceMemory::alloc(ir::ScalarType type, std::size_t elems) {
   next_addr_ = base + bytes;
   buffers_.emplace_back(type, elems, base);
   return static_cast<BufferId>(buffers_.size() - 1);
+}
+
+void DeviceMemory::release(BufferId id) {
+  if (id >= buffers_.size()) throw SimError("invalid buffer id");
+  for (BufferId f : free_)
+    if (f == id) throw SimError("buffer released twice");
+  free_.push_back(id);
 }
 
 DeviceBuffer& DeviceMemory::buffer(BufferId id) {

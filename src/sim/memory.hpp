@@ -68,6 +68,16 @@ class DeviceBuffer {
   [[nodiscard]] std::span<std::int32_t> i32() { return i32_; }
   [[nodiscard]] std::span<const std::int32_t> i32() const { return i32_; }
 
+  /// Restores the freshly-allocated state (zero contents, not constant);
+  /// used when the allocator recycles a released buffer.
+  void clear() {
+    constant_ = false;
+    if (type_ == ir::ScalarType::kFloat)
+      f32_.assign(f32_.size(), 0.0f);
+    else
+      i32_.assign(i32_.size(), 0);
+  }
+
  private:
   void check(std::size_t idx) const {
     if (idx >= size())
@@ -87,15 +97,23 @@ class DeviceBuffer {
 /// about real byte addresses.
 class DeviceMemory {
  public:
+  /// Allocates (or recycles a released buffer of the same type and size —
+  /// same id, same base address, contents zero-filled either way).
   BufferId alloc(ir::ScalarType type, std::size_t elems);
+  /// Returns a buffer to the free pool so a later alloc() of the same
+  /// shape reuses it instead of growing the address space. The id stays
+  /// valid (slots are never destroyed) until alloc() hands it out again.
+  /// Used for per-run scratch (e.g. CUDA-NP re-homed local arrays).
+  void release(BufferId id);
   [[nodiscard]] DeviceBuffer& buffer(BufferId id);
   [[nodiscard]] const DeviceBuffer& buffer(BufferId id) const;
   [[nodiscard]] std::size_t buffer_count() const { return buffers_.size(); }
-  /// Total allocated bytes (for reporting).
+  /// High-water mark of allocated bytes (for reporting).
   [[nodiscard]] std::uint64_t allocated_bytes() const { return next_addr_; }
 
  private:
   std::vector<DeviceBuffer> buffers_;
+  std::vector<BufferId> free_;  // released ids awaiting reuse
   std::uint64_t next_addr_ = 0;
 };
 

@@ -1,0 +1,291 @@
+// Parallel grid execution must be invisible: running the same launch at
+// jobs=1 and jobs=8 has to produce bit-identical stats, timing, output
+// buffers and sanitizer hazard streams (see docs/performance.md for the
+// determinism contract). Also doubles as the TSan target for the pool.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "kernels/benchmark.hpp"
+#include "np/compiler.hpp"
+#include "np/runner.hpp"
+#include "sim/sanitizer.hpp"
+
+namespace cudanp {
+namespace {
+
+using SanOptions = sim::SanitizerEngine::Options;
+
+sim::Interpreter::Options with_jobs(int jobs) {
+  sim::Interpreter::Options opt;
+  opt.jobs = jobs;
+  return opt;
+}
+
+void expect_stats_equal(const sim::KernelStats& a, const sim::KernelStats& b) {
+  EXPECT_EQ(a.blocks, b.blocks);
+  EXPECT_EQ(a.warps, b.warps);
+  EXPECT_EQ(a.issue_slots, b.issue_slots);
+  EXPECT_EQ(a.dram_transactions, b.dram_transactions);
+  EXPECT_EQ(a.global_transactions, b.global_transactions);
+  EXPECT_EQ(a.local_transactions, b.local_transactions);
+  EXPECT_EQ(a.local_l1_misses, b.local_l1_misses);
+  EXPECT_EQ(a.smem_accesses, b.smem_accesses);
+  EXPECT_EQ(a.smem_replays, b.smem_replays);
+  EXPECT_EQ(a.shfl_ops, b.shfl_ops);
+  EXPECT_EQ(a.sync_ops, b.sync_ops);
+  EXPECT_EQ(a.divergent_branches, b.divergent_branches);
+  EXPECT_EQ(a.crit_path_cycles, b.crit_path_cycles);
+}
+
+void expect_timing_equal(const sim::TimingBreakdown& a,
+                         const sim::TimingBreakdown& b) {
+  EXPECT_EQ(a.seconds, b.seconds);
+  EXPECT_EQ(a.waves, b.waves);
+  EXPECT_EQ(a.t_issue_cycles, b.t_issue_cycles);
+  EXPECT_EQ(a.t_dram_cycles, b.t_dram_cycles);
+  EXPECT_EQ(a.t_smem_cycles, b.t_smem_cycles);
+  EXPECT_EQ(a.t_crit_cycles, b.t_crit_cycles);
+  EXPECT_STREQ(a.bound, b.bound);
+}
+
+void expect_memories_equal(const sim::DeviceMemory& a,
+                           const sim::DeviceMemory& b) {
+  ASSERT_EQ(a.buffer_count(), b.buffer_count());
+  for (std::size_t i = 0; i < a.buffer_count(); ++i) {
+    const auto& ba = a.buffer(static_cast<sim::BufferId>(i));
+    const auto& bb = b.buffer(static_cast<sim::BufferId>(i));
+    ASSERT_EQ(ba.type(), bb.type());
+    ASSERT_EQ(ba.size(), bb.size());
+    if (ba.type() == ir::ScalarType::kFloat) {
+      // Bitwise, not ==: NaNs and signed zeros must match too.
+      EXPECT_EQ(std::memcmp(ba.f32().data(), bb.f32().data(),
+                            ba.size() * sizeof(float)),
+                0)
+          << "float buffer " << i << " differs";
+    } else {
+      EXPECT_EQ(std::memcmp(ba.i32().data(), bb.i32().data(),
+                            ba.size() * sizeof(std::int32_t)),
+                0)
+          << "int buffer " << i << " differs";
+    }
+  }
+}
+
+void expect_reports_equal(const std::vector<sim::HazardReport>& a,
+                          const std::vector<sim::HazardReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "report " << i;
+    EXPECT_EQ(a[i].kernel, b[i].kernel) << "report " << i;
+    EXPECT_EQ(a[i].block.x, b[i].block.x) << "report " << i;
+    EXPECT_EQ(a[i].block.y, b[i].block.y) << "report " << i;
+    EXPECT_EQ(a[i].block.z, b[i].block.z) << "report " << i;
+    EXPECT_EQ(a[i].thread, b[i].thread) << "report " << i;
+    EXPECT_EQ(a[i].loc.line, b[i].loc.line) << "report " << i;
+    EXPECT_EQ(a[i].loc.column, b[i].loc.column) << "report " << i;
+    EXPECT_EQ(a[i].message, b[i].message) << "report " << i;
+  }
+}
+
+class ParallelExecBenchmarks : public ::testing::TestWithParam<std::string> {};
+
+// Every paper benchmark, whole pipeline, serial vs 8 host threads: the
+// stats, the modeled time and every output byte must agree exactly.
+TEST_P(ParallelExecBenchmarks, BitIdenticalToSerial) {
+  auto bench = kernels::make_benchmark(GetParam(), 0.25);
+  auto spec = sim::DeviceSpec::gtx680();
+
+  np::Runner serial(spec, with_jobs(1));
+  np::Runner parallel(spec, with_jobs(8));
+
+  np::Workload ws = bench->make_workload();
+  auto rs = serial.run(bench->kernel(), ws);
+  np::Workload wp = bench->make_workload();
+  auto rp = parallel.run(bench->kernel(), wp);
+
+  expect_stats_equal(rs.stats, rp.stats);
+  expect_timing_equal(rs.timing, rp.timing);
+  expect_memories_equal(*ws.mem, *wp.mem);
+  std::string msg;
+  if (wp.validate)
+    EXPECT_TRUE(wp.validate(*wp.mem, &msg)) << GetParam() << ": " << msg;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelExecBenchmarks,
+                         ::testing::ValuesIn(kernels::benchmark_names()),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+/// Runs `src`'s first kernel under the sanitizer at the given job count
+/// (same synthetic workload convention as sanitizer_test.cpp).
+np::SanitizedRun run_sanitized_jobs(const std::string& src, int block_x,
+                                    int grid_x, int jobs,
+                                    SanOptions sopt = {}) {
+  auto program = np::NpCompiler::parse(src);
+  const ir::Kernel& kernel = *program->kernels.front();
+  np::Workload w;
+  for (const auto& p : kernel.params) {
+    if (p.type.is_pointer)
+      w.launch.args.push_back(w.mem->alloc(p.type.scalar, 4096));
+    else if (p.type.scalar == ir::ScalarType::kFloat)
+      w.launch.args.push_back(sim::LaunchConfig::scalar_float(1.0));
+    else
+      w.launch.args.push_back(sim::LaunchConfig::scalar_int(64));
+  }
+  w.launch.block = {block_x, 1, 1};
+  w.launch.grid = {grid_x, 1, 1};
+  np::Runner runner(sim::DeviceSpec::gtx680(), with_jobs(jobs));
+  return runner.run_sanitized(kernel, w, sopt);
+}
+
+struct HazardCase {
+  const char* name;
+  const char* src;
+  int block_x;
+  int grid_x;
+  SanOptions sopt;
+};
+
+std::vector<HazardCase> hazard_cases() {
+  std::vector<HazardCase> cases;
+  // Multi-block cases index out[] by global tid: thread blocks must be
+  // independent (as on real hardware), otherwise parallel execution of
+  // overlapping global stores would itself be a host-level data race.
+  cases.push_back({"write_write_race", R"(
+__global__ void racy(float* out, int n) {
+  __shared__ float s[32];
+  s[0] = threadIdx.x;
+  out[threadIdx.x + blockIdx.x * blockDim.x] = s[0];
+}
+)",
+                   32, 8, {}});
+  cases.push_back({"barrier_divergence", R"(
+__global__ void bdiv(float* out, int n) {
+  if (threadIdx.x < 32) {
+    __syncthreads();
+  }
+  out[threadIdx.x + blockIdx.x * blockDim.x] = 1.0f;
+}
+)",
+                   64, 8, {}});
+  cases.push_back({"uninit_scalar", R"(
+__global__ void uninit(float* out, int n) {
+  float x;
+  out[threadIdx.x + blockIdx.x * blockDim.x] = x;
+}
+)",
+                   32, 8, {}});
+  cases.push_back({"shfl_inactive_lane", R"(
+__global__ void shfl_inactive(float* out, int n) {
+  float v = threadIdx.x;
+  if (threadIdx.x < 16) {
+    v = __shfl(v, 20, 32);
+  }
+  out[threadIdx.x + blockIdx.x * blockDim.x] = v;
+}
+)",
+                   32, 8, {}});
+  // Every block faults out of bounds: the kSimFault containment path.
+  cases.push_back({"per_block_sim_fault", R"(
+__global__ void oob(float* out, int n) {
+  out[threadIdx.x + n * 1000] = 1.0f;
+}
+)",
+                   32, 16, {}});
+  // Error limit hit mid-grid: later blocks' reports and stats must be
+  // discarded identically at every job count.
+  SanOptions limited;
+  limited.error_limit = 5;
+  limited.dedupe = false;
+  cases.push_back({"error_limit", R"(
+__global__ void racy(float* out, int n) {
+  __shared__ float s[32];
+  s[0] = threadIdx.x;
+  out[threadIdx.x + blockIdx.x * blockDim.x] = s[0];
+}
+)",
+                   32, 8, limited});
+  return cases;
+}
+
+// The hazard stream the engine ends up with — order, dedupe, counters,
+// limit behaviour — must not depend on the job count.
+TEST(ParallelExec, HazardStreamsBitIdentical) {
+  for (const auto& c : hazard_cases()) {
+    SCOPED_TRACE(c.name);
+    auto serial = run_sanitized_jobs(c.src, c.block_x, c.grid_x, 1, c.sopt);
+    auto parallel = run_sanitized_jobs(c.src, c.block_x, c.grid_x, 8, c.sopt);
+    EXPECT_EQ(serial.ran, parallel.ran);
+    EXPECT_EQ(serial.engine.total_detected(), parallel.engine.total_detected());
+    EXPECT_EQ(serial.engine.limit_reached(), parallel.engine.limit_reached());
+    expect_reports_equal(serial.engine.reports(), parallel.engine.reports());
+    expect_stats_equal(serial.result.stats, parallel.result.stats);
+  }
+}
+
+// Unsanitized failing launch: every job count must surface the same
+// SimError text (the lowest-block-index failure).
+TEST(ParallelExec, SerialAndParallelThrowTheSameError) {
+  const char* src = R"(
+__global__ void oob(float* out, int n) {
+  out[threadIdx.x + n * 1000] = 1.0f;
+}
+)";
+  std::string serial_err;
+  std::string parallel_err;
+  for (int jobs : {1, 8}) {
+    auto program = np::NpCompiler::parse(src);
+    np::Workload w;
+    w.launch.args.push_back(w.mem->alloc(ir::ScalarType::kFloat, 4096));
+    w.launch.args.push_back(sim::LaunchConfig::scalar_int(64));
+    w.launch.block = {32, 1, 1};
+    w.launch.grid = {16, 1, 1};
+    np::Runner runner(sim::DeviceSpec::gtx680(), with_jobs(jobs));
+    try {
+      (void)runner.run(*program->kernels.front(), w);
+      FAIL() << "expected SimError at jobs=" << jobs;
+    } catch (const SimError& e) {
+      (jobs == 1 ? serial_err : parallel_err) = e.what();
+    }
+  }
+  EXPECT_EQ(serial_err, parallel_err);
+}
+
+// Many tiny blocks through the pool repeatedly: the TSan stress case.
+// Run under the ci.yml thread-sanitizer job; any data race in ExecPool,
+// the stats merge or the shadow bitmaps trips it.
+TEST(ParallelExec, StressManyBlocksManyLaunches) {
+  auto program = np::NpCompiler::parse(R"(
+__global__ void scale(float* data, int n) {
+  int i = threadIdx.x + blockIdx.x * blockDim.x;
+  data[i] = data[i] * 2.0f + 1.0f;
+}
+)");
+  const ir::Kernel& kernel = *program->kernels.front();
+  auto spec = sim::DeviceSpec::gtx680();
+  for (int round = 0; round < 4; ++round) {
+    np::Workload ws;
+    np::Workload wp;
+    for (np::Workload* w : {&ws, &wp}) {
+      sim::BufferId id = w->mem->alloc(ir::ScalarType::kFloat, 256 * 32);
+      auto f = w->mem->buffer(id).f32();
+      for (std::size_t i = 0; i < f.size(); ++i)
+        f[i] = static_cast<float>(i % 97) * 0.5f;
+      w->launch.args.push_back(id);
+      w->launch.args.push_back(sim::LaunchConfig::scalar_int(256 * 32));
+      w->launch.block = {32, 1, 1};
+      w->launch.grid = {256, 1, 1};
+    }
+    auto rs = np::Runner(spec, with_jobs(1)).run(kernel, ws);
+    auto rp = np::Runner(spec, with_jobs(8)).run(kernel, wp);
+    expect_stats_equal(rs.stats, rp.stats);
+    expect_memories_equal(*ws.mem, *wp.mem);
+  }
+}
+
+}  // namespace
+}  // namespace cudanp

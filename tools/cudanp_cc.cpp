@@ -24,6 +24,9 @@
 //                         (default 64)
 //   --portable-races      flag races that only block-lockstep execution
 //                         order hides (compute-sanitizer-style racecheck)
+//   --jobs=<n>            host threads simulating thread blocks (default:
+//                         CUDANP_JOBS env var, else hardware concurrency;
+//                         results are identical at every job count)
 //   -o <file>             write output to file (default stdout)
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
@@ -68,6 +71,7 @@ struct CliOptions {
   int error_limit = 100;
   int elems = 64;
   bool portable_races = false;
+  int jobs = 0;  // 0 = auto (CUDANP_JOBS env var, else hardware concurrency)
 };
 
 void usage() {
@@ -78,7 +82,7 @@ void usage() {
          "                 [--sm=<n>] [--pad] [--no-shfl] [--all]\n"
          "                 [--report] [--preprocess] [-o <file>]\n"
          "                 [--sanitize] [--error-limit=<n>] [--elems=<n>]\n"
-         "                 [--portable-races]\n";
+         "                 [--portable-races] [--jobs=<n>]\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -131,6 +135,9 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       if (opt.elems <= 0) return std::nullopt;
     } else if (a == "--portable-races") {
       opt.portable_races = true;
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::atoi(value("--jobs="));
+      if (opt.jobs <= 0) return std::nullopt;
     } else if (a == "-o") {
       if (++i >= argc) return std::nullopt;
       opt.output = argv[i];
@@ -282,7 +289,9 @@ int main(int argc, char** argv) {
       // Unannotated kernel: nothing to transform, just run the baseline
       // under the sanitizer.
       if (kernel->parallel_loop_count() == 0) {
-        np::Runner runner(spec);
+        sim::Interpreter::Options iopt;
+        iopt.jobs = opt->jobs;
+        np::Runner runner(spec, iopt);
         np::Workload w =
             make_synthetic_workload(*kernel, opt->elems, opt->tb);
         auto run = runner.run_sanitized(*kernel, w, sopt);
@@ -293,6 +302,7 @@ int main(int argc, char** argv) {
           np::NpCompiler::enumerate_configs(*kernel, opt->tb, spec);
       np::ValidationOptions vopt;
       vopt.sanitizer = sopt;
+      vopt.interp.jobs = opt->jobs;
       const ir::Kernel& k = *kernel;
       const int n = opt->elems;
       const int tb = opt->tb;
