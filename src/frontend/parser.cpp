@@ -14,24 +14,39 @@ using namespace cudanp::ir;
 
 namespace {
 
+/// Control-flow signal: the statement-recovery error cap was reached.
+/// Deliberately not a CompileError so enclosing recovery sites do not
+/// swallow it; only Parser::run catches it and returns the partial
+/// program (parse_program then throws the accumulated summary).
+struct TooManyParseErrors {};
+
 class Parser {
  public:
+  /// Statement-level recovery stops after this many recorded errors,
+  /// mirroring SanitizerEngine::Options::error_limit.
+  static constexpr std::size_t kMaxParseErrors = 100;
+
   Parser(std::vector<Token> toks, cudanp::DiagnosticEngine& diags)
       : toks_(std::move(toks)), diags_(diags) {}
 
   std::unique_ptr<Program> run() {
     auto prog = std::make_unique<Program>();
     prog_ = prog.get();
-    while (!at(TokKind::kEof)) {
-      if (at(TokKind::kDirective)) {
-        handle_top_level_directive();
-      } else if (cur().is_ident("__global__")) {
-        prog->kernels.push_back(parse_kernel());
-      } else {
-        throw cudanp::CompileError(
-            cur().loc, "expected '__global__' kernel or directive, got '" +
-                           cur().text + "'");
+    try {
+      while (!at(TokKind::kEof)) {
+        if (at(TokKind::kDirective)) {
+          handle_top_level_directive();
+        } else if (cur().is_ident("__global__")) {
+          prog->kernels.push_back(parse_kernel());
+        } else {
+          throw cudanp::CompileError(
+              cur().loc, "expected '__global__' kernel or directive, got '" +
+                             cur().text + "'");
+        }
       }
+    } catch (const TooManyParseErrors&) {
+      // The cap note is already in the diagnostics; hand back what was
+      // parsed so the caller reports everything collected so far.
     }
     return prog;
   }
@@ -147,6 +162,51 @@ class Parser {
     return p;
   }
 
+  // ---- statement-level error recovery ----
+  /// Records a recoverable statement error, stripping the location prefix
+  /// CompileError bakes into what() so the diagnostic does not repeat it.
+  void record_error(const cudanp::CompileError& e) {
+    std::string msg = e.what();
+    if (e.loc().valid()) {
+      std::string prefix = e.loc().str() + ": ";
+      if (msg.rfind(prefix, 0) == 0) msg = msg.substr(prefix.size());
+    }
+    diags_.error(e.loc(), std::move(msg));
+  }
+
+  /// Skips ahead to the next statement boundary: consumes through the
+  /// next top-level ';' or stops (without consuming) at the '}' closing
+  /// the current block, balancing nested braces on the way.
+  void synchronize() {
+    int depth = 0;
+    while (!at(TokKind::kEof)) {
+      if (depth == 0 && cur().is_punct(";")) {
+        take();
+        return;
+      }
+      if (cur().is_punct("}")) {
+        if (depth == 0) return;
+        --depth;
+      } else if (cur().is_punct("{")) {
+        ++depth;
+      }
+      take();
+    }
+  }
+
+  /// One recovery step: record, enforce the error cap, re-synchronize.
+  void report_and_recover(const cudanp::CompileError& e) {
+    if (diags_.error_count() >= kMaxParseErrors) throw TooManyParseErrors{};
+    record_error(e);
+    if (diags_.error_count() >= kMaxParseErrors) {
+      diags_.note(e.loc(), "too many parse errors (limit " +
+                               std::to_string(kMaxParseErrors) +
+                               "); giving up on this compile");
+      throw TooManyParseErrors{};
+    }
+    synchronize();
+  }
+
   // ---- statements ----
   BlockPtr parse_block() {
     SourceLoc loc = cur().loc;
@@ -166,30 +226,38 @@ class Parser {
         }
         continue;
       }
-      // Multi-declarator lists splice directly into the enclosing block
-      // so each declaration is an independent statement.
-      if (starts_decl()) {
-        auto decls = parse_decl_list();
-        expect_punct(";");
+      // A statement that fails to parse is recorded and skipped (to the
+      // next ';' or the closing '}'), so one compile reports every
+      // independent diagnostic instead of only the first.
+      try {
+        // Multi-declarator lists splice directly into the enclosing block
+        // so each declaration is an independent statement.
+        if (starts_decl()) {
+          auto decls = parse_decl_list();
+          expect_punct(";");
+          if (pending_pragma) {
+            diags_.error(decls.front()->loc(),
+                         "#pragma np must be followed by a for loop");
+            pending_pragma.reset();
+          }
+          for (auto& d : decls) block->push(std::move(d));
+          continue;
+        }
+        StmtPtr s = parse_stmt();
         if (pending_pragma) {
-          diags_.error(decls.front()->loc(),
-                       "#pragma np must be followed by a for loop");
+          if (s->kind() == StmtKind::kFor) {
+            static_cast<ForStmt&>(*s).pragma = std::move(pending_pragma);
+          } else {
+            diags_.error(s->loc(),
+                         "#pragma np must be followed by a for loop");
+          }
           pending_pragma.reset();
         }
-        for (auto& d : decls) block->push(std::move(d));
-        continue;
-      }
-      StmtPtr s = parse_stmt();
-      if (pending_pragma) {
-        if (s->kind() == StmtKind::kFor) {
-          static_cast<ForStmt&>(*s).pragma = std::move(pending_pragma);
-        } else {
-          diags_.error(s->loc(),
-                       "#pragma np must be followed by a for loop");
-        }
+        block->push(std::move(s));
+      } catch (const cudanp::CompileError& e) {
+        report_and_recover(e);
         pending_pragma.reset();
       }
-      block->push(std::move(s));
     }
     expect_punct("}");
     return block;
@@ -586,7 +654,16 @@ std::unique_ptr<Program> parse_program(std::string_view source,
   if (diags.has_errors())
     throw cudanp::CompileError("lexical errors:\n" + diags.summary());
   Parser parser(std::move(toks), diags);
-  auto prog = parser.run();
+  std::unique_ptr<Program> prog;
+  try {
+    prog = parser.run();
+  } catch (const cudanp::CompileError& e) {
+    // Fatal, non-recoverable error (kernel signature, top level); fold in
+    // any statement errors recovered before it so nothing is lost.
+    if (!diags.has_errors()) throw;
+    throw cudanp::CompileError("parse errors:\n" + diags.summary() +
+                               e.what());
+  }
   if (diags.has_errors())
     throw cudanp::CompileError("parse errors:\n" + diags.summary());
   return prog;

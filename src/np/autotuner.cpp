@@ -32,6 +32,16 @@ TuneResult Autotuner::tune(const ir::Kernel& kernel,
         runner_.spec());
   }
 
+  auto quarantine = [&](const transform::NpConfig& cfg, FailureCause cause,
+                        std::string detail) {
+    VariantFailure f;
+    f.kernel = kernel.name;
+    f.config = cfg.describe();
+    f.cause = cause;
+    f.detail = std::move(detail);
+    result.failures.push_back(std::move(f));
+  };
+
   for (const auto& cfg : configs) {
     TuneEntry entry;
     entry.config = cfg;
@@ -43,6 +53,7 @@ TuneResult Autotuner::tune(const ir::Kernel& kernel,
         std::string msg;
         if (!w.validate(*w.mem, &msg)) {
           entry.note = "validation failed: " + msg;
+          quarantine(cfg, FailureCause::kOutputMismatch, msg);
           result.entries.push_back(std::move(entry));
           continue;
         }
@@ -56,8 +67,13 @@ TuneResult Autotuner::tune(const ir::Kernel& kernel,
         entry.note += arr + "->" + transform::to_string(placement) + " ";
     } catch (const CompileError& e) {
       entry.note = std::string("transform failed: ") + e.what();
+      quarantine(cfg, FailureCause::kTransformError, e.what());
+    } catch (const sim::WatchdogError& e) {
+      entry.note = std::string("watchdog tripped: ") + e.what();
+      quarantine(cfg, FailureCause::kWatchdogTrip, e.what());
     } catch (const SimError& e) {
       entry.note = std::string("run failed: ") + e.what();
+      quarantine(cfg, FailureCause::kRunError, e.what());
     }
     result.entries.push_back(std::move(entry));
   }

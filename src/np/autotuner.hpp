@@ -30,6 +30,10 @@ struct TuneResult {
   sim::KernelStats baseline_stats;
   std::vector<TuneEntry> entries;
   int best = -1;  // index into entries; -1 when nothing beat validation
+  /// Structured quarantine records mirroring the failed entries (same
+  /// causes as NpCompiler::compile_with_fallback), so sweep harnesses get
+  /// a machine-readable account of every disqualified variant.
+  std::vector<VariantFailure> failures;
 
   [[nodiscard]] double best_seconds() const {
     return best >= 0 ? entries[static_cast<std::size_t>(best)].seconds

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <sstream>
 #include <utility>
 
 #include "frontend/parser.hpp"
+#include "np/heuristic.hpp"
 #include "np/runner.hpp"
 
 namespace cudanp::np {
@@ -185,6 +187,185 @@ std::string ValidationReport::summary() const {
   os << "validated " << checked << " of " << entries.size()
      << " configuration(s): " << (all_clean() ? "PASS" : "FAIL");
   return os.str();
+}
+
+const char* to_string(FailureCause c) {
+  switch (c) {
+    case FailureCause::kTransformError: return "transform-error";
+    case FailureCause::kLaunchError: return "launch-error";
+    case FailureCause::kWatchdogTrip: return "watchdog-trip";
+    case FailureCause::kHazards: return "hazards";
+    case FailureCause::kOutputMismatch: return "output-mismatch";
+    case FailureCause::kRunError: return "run-error";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string VariantFailure::str() const {
+  std::ostringstream os;
+  os << "quarantined '" << config << "' of kernel '" << kernel
+     << "': " << to_string(cause);
+  if (hazard_count > 0) os << " (" << hazard_count << " hazard(s))";
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+std::string VariantFailure::json() const {
+  std::ostringstream os;
+  os << "{\"kernel\":\"" << json_escape(kernel) << "\",\"config\":\""
+     << json_escape(config) << "\",\"cause\":\"" << to_string(cause)
+     << "\",\"hazards\":" << hazard_count << ",\"detail\":\""
+     << json_escape(detail) << "\"}";
+  return os.str();
+}
+
+std::string FallbackDecision::summary() const {
+  std::ostringstream os;
+  for (const auto& q : quarantined) os << q.str() << "\n";
+  if (used_baseline)
+    os << "kernel '" << kernel << "': all " << quarantined.size()
+       << " candidate(s) quarantined, falling back to the baseline kernel";
+  else
+    os << "kernel '" << kernel << "': chose '" << chosen_config << "' ("
+       << quarantined.size() << " candidate(s) quarantined on the way)";
+  return os.str();
+}
+
+std::string FallbackDecision::json() const {
+  std::ostringstream os;
+  os << "{\"kernel\":\"" << json_escape(kernel) << "\",\"used_baseline\":"
+     << (used_baseline ? "true" : "false") << ",\"chosen_config\":\""
+     << json_escape(chosen_config) << "\",\"quarantined\":[";
+  for (std::size_t i = 0; i < quarantined.size(); ++i) {
+    if (i) os << ",";
+    os << quarantined[i].json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+FallbackResult NpCompiler::compile_with_fallback(
+    const ir::Kernel& kernel, const std::vector<transform::NpConfig>& configs,
+    const WorkloadFactory& make_workload, const sim::DeviceSpec& spec,
+    const ValidationOptions& opt) {
+  FallbackResult out;
+  out.decision.kernel = kernel.name;
+  Runner runner(spec, opt.interp);
+
+  auto classify = [](const SanitizedRun& run, VariantFailure* f) {
+    if (!run.ran) {
+      f->cause = FailureCause::kLaunchError;
+      if (!run.engine.reports().empty())
+        f->detail = run.engine.reports().back().message;
+      return;
+    }
+    const auto& reports = run.engine.reports();
+    f->hazard_count = reports.size();
+    for (const auto& r : reports) {
+      if (r.kind == sim::HazardKind::kWatchdogTrip) {
+        f->cause = FailureCause::kWatchdogTrip;
+        f->detail = r.message;
+        return;
+      }
+    }
+    f->cause = FailureCause::kHazards;
+    if (!reports.empty()) f->detail = reports.front().str();
+  };
+
+  // The baseline is the reference for output cross-checks and the final
+  // fallback. If it misbehaves itself there is nothing better to offer,
+  // so that failure is recorded and the baseline still returned.
+  Workload base = make_workload();
+  SanitizedRun base_run = runner.run_sanitized(kernel, base, opt.sanitizer);
+  if (!base_run.clean()) {
+    VariantFailure f;
+    f.kernel = kernel.name;
+    f.config = "baseline";
+    classify(base_run, &f);
+    out.decision.quarantined.push_back(std::move(f));
+    return out;
+  }
+
+  // Candidate order: the heuristic's static pick first (next-best choices
+  // follow in enumeration order). Duplicates of the heuristic pick are
+  // dropped rather than tried twice.
+  std::vector<transform::NpConfig> candidates = configs;
+  if (candidates.empty())
+    candidates = enumerate_configs(
+        kernel, static_cast<int>(base.launch.block.count()), spec);
+  if (!candidates.empty()) {
+    HeuristicChoice pick = suggest_config(
+        kernel, static_cast<int>(base.launch.block.count()), spec);
+    std::string best = pick.config.describe();
+    auto it = std::find_if(candidates.begin(), candidates.end(),
+                           [&](const transform::NpConfig& c) {
+                             return c.describe() == best;
+                           });
+    if (it != candidates.end() && it != candidates.begin())
+      std::rotate(candidates.begin(), it, it + 1);
+  }
+
+  for (const auto& cfg : candidates) {
+    VariantFailure f;
+    f.kernel = kernel.name;
+    f.config = cfg.describe();
+    transform::TransformResult variant;
+    try {
+      variant = transform(kernel, cfg);
+    } catch (const CompileError& e) {
+      f.cause = FailureCause::kTransformError;
+      f.detail = e.what();
+      out.decision.quarantined.push_back(std::move(f));
+      continue;
+    }
+    Workload w = make_workload();
+    SanitizedRun run = runner.run_variant_sanitized(variant, w, opt.sanitizer);
+    if (!run.clean()) {
+      classify(run, &f);
+      out.decision.quarantined.push_back(std::move(f));
+      continue;
+    }
+    std::string mismatch;
+    if (!buffers_match(*base.mem, *w.mem, base.launch.args, opt.f32_rel_tol,
+                       &mismatch)) {
+      f.cause = FailureCause::kOutputMismatch;
+      f.detail = mismatch;
+      out.decision.quarantined.push_back(std::move(f));
+      continue;
+    }
+    out.decision.used_baseline = false;
+    out.decision.chosen_config = f.config;
+    out.variant = std::move(variant);
+    break;
+  }
+  return out;
 }
 
 ValidationReport NpCompiler::validate(

@@ -60,11 +60,76 @@ struct ValidationOptions {
   sim::SanitizerEngine::Options sanitizer;
   /// Interpreter knobs for every validation run — most usefully `jobs`,
   /// which simulates thread blocks on a host thread pool (results are
-  /// bit-identical at any job count; see docs/performance.md).
+  /// bit-identical at any job count; see docs/performance.md), and
+  /// `max_steps_per_block`, the watchdog budget a runaway variant trips.
   sim::Interpreter::Options interp;
   /// Relative tolerance for float buffer cross-checks (NP reductions
   /// reassociate, so bit-exact equality is too strict).
   double f32_rel_tol = 1e-3;
+};
+
+/// Why a variant was quarantined (see VariantFailure / docs/robustness.md).
+enum class FailureCause : std::uint8_t {
+  /// The NP transform itself threw CompileError.
+  kTransformError,
+  /// The launch aborted before any block ran (invalid geometry, zero
+  /// occupancy, bad arguments).
+  kLaunchError,
+  /// The variant exceeded the per-block interpreted-statement budget.
+  kWatchdogTrip,
+  /// The sanitizer reported hazards (races, barrier divergence, uninit
+  /// reads, shfl hazards, contained sim faults).
+  kHazards,
+  /// The variant ran clean but its output buffers diverged from the
+  /// baseline's beyond tolerance.
+  kOutputMismatch,
+  /// Any other SimError raised while running (autotuner paths).
+  kRunError,
+};
+
+[[nodiscard]] const char* to_string(FailureCause c);
+
+/// One quarantined variant: the structured record graceful degradation is
+/// built on. Serializable both human-readable (str) and machine-readable
+/// (json, one object per line in cudanp-cc's fallback report).
+struct VariantFailure {
+  std::string kernel;
+  std::string config;  // NpConfig::describe(), or "baseline"
+  FailureCause cause = FailureCause::kRunError;
+  /// Error text, first hazard, or mismatch description.
+  std::string detail;
+  std::size_t hazard_count = 0;
+
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// Outcome of compile_with_fallback: which candidate was chosen and every
+/// quarantined variant that was skipped on the way there.
+struct FallbackDecision {
+  std::string kernel;
+  /// True when every candidate was quarantined and the baseline kernel is
+  /// the answer (the baseline is always runnable by definition of the
+  /// policy — its own failures are recorded too, but it is still
+  /// returned).
+  bool used_baseline = true;
+  /// describe() of the chosen configuration; empty when used_baseline.
+  std::string chosen_config;
+  std::vector<VariantFailure> quarantined;
+
+  /// True when the first-choice candidate was chosen with nothing
+  /// quarantined — i.e. no degradation happened.
+  [[nodiscard]] bool pristine() const {
+    return !used_baseline && quarantined.empty();
+  }
+  [[nodiscard]] std::string summary() const;
+  [[nodiscard]] std::string json() const;
+};
+
+struct FallbackResult {
+  FallbackDecision decision;
+  /// Valid only when !decision.used_baseline.
+  transform::TransformResult variant;
 };
 
 class NpCompiler {
@@ -92,6 +157,22 @@ class NpCompiler {
   /// buffers against the baseline's (int exact, float to f32_rel_tol).
   /// This is the correctness oracle transform PRs are gated on.
   [[nodiscard]] static ValidationReport validate(
+      const ir::Kernel& kernel,
+      const std::vector<transform::NpConfig>& configs,
+      const WorkloadFactory& make_workload, const sim::DeviceSpec& spec,
+      const ValidationOptions& opt = {});
+
+  /// Graceful degradation: walks the candidate configurations best-first
+  /// (the heuristic's pick, then the remaining enumeration order) and
+  /// returns the first variant that transforms, runs hazard-free under
+  /// the sanitizer + watchdog, and matches the baseline's outputs. Every
+  /// rejected candidate is quarantined with a structured VariantFailure;
+  /// when all candidates fail, the baseline kernel is the answer
+  /// (decision.used_baseline). Never throws on variant misbehaviour —
+  /// this is the always-produce-a-runnable-answer mode behind
+  /// `cudanp-cc --fallback=baseline`. Pass an empty `configs` to let the
+  /// compiler enumerate candidates itself.
+  [[nodiscard]] static FallbackResult compile_with_fallback(
       const ir::Kernel& kernel,
       const std::vector<transform::NpConfig>& configs,
       const WorkloadFactory& make_workload, const sim::DeviceSpec& spec,

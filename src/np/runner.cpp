@@ -37,11 +37,19 @@ void release_extras(
   }
 }
 
+/// Records a launch-scoped failure (invalid launch geometry, zero
+/// occupancy, bad arguments, a watchdog trip that escaped as an
+/// exception) as a structured hazard so sanitized callers always get a
+/// report instead of an exception. sim::validate_launch produces the
+/// "invalid launch: ..." messages recorded here.
 void record_launch_fault(sim::SanitizerEngine& engine,
-                         const std::string& kernel, const char* what) {
+                         const std::string& kernel, const char* what,
+                         sim::HazardKind kind = sim::HazardKind::kSimFault,
+                         SourceLoc loc = {}) {
   sim::HazardReport r;
-  r.kind = sim::HazardKind::kSimFault;
+  r.kind = kind;
   r.kernel = kernel;
+  r.loc = loc;
   r.message = what;
   try {
     engine.report(std::move(r));
@@ -88,6 +96,9 @@ SanitizedRun Runner::run_sanitized(const ir::Kernel& kernel,
     out.result = sim::run_and_time(spec_, *workload.mem, kernel,
                                    workload.launch, res.usage, iopt);
     out.ran = true;
+  } catch (const sim::WatchdogError& e) {
+    record_launch_fault(out.engine, kernel.name, e.what(),
+                        sim::HazardKind::kWatchdogTrip, e.loc());
   } catch (const SimError& e) {
     record_launch_fault(out.engine, kernel.name, e.what());
   }
@@ -112,6 +123,9 @@ SanitizedRun Runner::run_variant_sanitized(
     out.result = sim::run_and_time(spec_, *workload.mem, *variant.kernel,
                                    cfg, res.usage, iopt);
     out.ran = true;
+  } catch (const sim::WatchdogError& e) {
+    record_launch_fault(out.engine, variant.kernel->name, e.what(),
+                        sim::HazardKind::kWatchdogTrip, e.loc());
   } catch (const SimError& e) {
     record_launch_fault(out.engine, variant.kernel->name, e.what());
   }

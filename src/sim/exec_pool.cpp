@@ -26,13 +26,22 @@ void ExecPool::ensure_workers(int count) {
     workers_.emplace_back([this] { worker_loop(); });
 }
 
+namespace {
+
+[[nodiscard]] bool cancelled(const std::atomic<bool>* cancel) {
+  return cancel && cancel->load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
 void ExecPool::parallel_for(std::int64_t n, int jobs,
-                            const std::function<void(std::int64_t)>& fn) {
+                            const std::function<void(std::int64_t)>& fn,
+                            const std::atomic<bool>* cancel) {
   if (n <= 0) return;
   jobs = std::clamp<int>(jobs, 1, kMaxWorkers + 1);
   if (jobs > n) jobs = static_cast<int>(n);
   if (jobs <= 1) {
-    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    for (std::int64_t i = 0; i < n && !cancelled(cancel); ++i) fn(i);
     return;
   }
   std::lock_guard<std::mutex> launch_lock(launch_mu_);
@@ -40,6 +49,7 @@ void ExecPool::parallel_for(std::int64_t n, int jobs,
     std::lock_guard<std::mutex> lk(mu_);
     ensure_workers(jobs - 1);
     task_fn_ = &fn;
+    task_cancel_ = cancel;
     task_n_ = n;
     task_next_.store(0, std::memory_order_relaxed);
     task_slots_ = jobs - 1;
@@ -47,7 +57,12 @@ void ExecPool::parallel_for(std::int64_t n, int jobs,
   }
   work_cv_.notify_all();
   // The caller is one of the `jobs` threads.
-  for (std::int64_t i; (i = task_next_.fetch_add(1)) < n;) fn(i);
+  for (std::int64_t i;
+       !cancelled(cancel) && (i = task_next_.fetch_add(1)) < n;)
+    fn(i);
+  // On cancellation, push the claim counter past n so the wait predicate
+  // still completes once in-flight indices drain.
+  if (cancelled(cancel)) task_next_.store(n, std::memory_order_relaxed);
   std::unique_lock<std::mutex> lk(mu_);
   done_cv_.wait(lk, [&] {
     return task_active_ == 0 && task_next_.load() >= task_n_;
@@ -56,6 +71,7 @@ void ExecPool::parallel_for(std::int64_t n, int jobs,
   // a dangling fn pointer.
   task_slots_ = 0;
   task_fn_ = nullptr;
+  task_cancel_ = nullptr;
 }
 
 void ExecPool::worker_loop() {
@@ -70,9 +86,12 @@ void ExecPool::worker_loop() {
     --task_slots_;
     ++task_active_;
     const auto* fn = task_fn_;
+    const auto* cancel = task_cancel_;
     const std::int64_t n = task_n_;
     lk.unlock();
-    for (std::int64_t i; (i = task_next_.fetch_add(1)) < n;) (*fn)(i);
+    for (std::int64_t i;
+         !cancelled(cancel) && (i = task_next_.fetch_add(1)) < n;)
+      (*fn)(i);
     lk.lock();
     --task_active_;
     if (task_active_ == 0) done_cv_.notify_all();

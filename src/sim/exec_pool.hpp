@@ -34,8 +34,16 @@ class ExecPool {
   /// core count is allowed, capped at kMaxWorkers). `fn` must not throw;
   /// callers capture failures per index. One launch runs at a time;
   /// concurrent callers serialize.
+  ///
+  /// `cancel` is an optional cooperative cancellation token: once it
+  /// reads true, no further indices are claimed (indices already being
+  /// executed run to completion). Which indices were skipped depends on
+  /// scheduling, so callers needing determinism must reconcile skipped
+  /// indices afterwards — see the watchdog merge in Interpreter::run,
+  /// which re-runs cancelled blocks that precede the first trip inline.
   void parallel_for(std::int64_t n, int jobs,
-                    const std::function<void(std::int64_t)>& fn);
+                    const std::function<void(std::int64_t)>& fn,
+                    const std::atomic<bool>* cancel = nullptr);
 
   /// Hard cap on pool threads (plus the caller), a guard against
   /// pathological --jobs values.
@@ -64,6 +72,7 @@ class ExecPool {
   // State of the current launch, guarded by mu_ except task_next_.
   std::uint64_t task_gen_ = 0;
   const std::function<void(std::int64_t)>* task_fn_ = nullptr;
+  const std::atomic<bool>* task_cancel_ = nullptr;
   std::int64_t task_n_ = 0;
   int task_slots_ = 0;  // worker participation slots remaining
   int task_active_ = 0; // workers currently executing indices

@@ -1,15 +1,20 @@
 #include "sim/interpreter.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <exception>
+#include <limits>
 #include <memory>
+#include <sstream>
 #include <unordered_map>
 #include <utility>
 
 #include "ir/printer.hpp"
 #include "sim/binder.hpp"
 #include "sim/exec_pool.hpp"
+#include "sim/fault.hpp"
 #include "sim/sanitizer.hpp"
 
 namespace cudanp::sim {
@@ -70,7 +75,9 @@ class BlockExec {
   BlockExec(const DeviceSpec& spec, DeviceMemory& mem,
             const Interpreter::Options& opt, const BoundKernel& bound,
             const LaunchConfig& cfg, Dim3 block_idx, int resident_blocks,
-            BlockSanitizer* san)
+            BlockSanitizer* san, std::int64_t flat_block = 0,
+            std::int64_t max_steps =
+                std::numeric_limits<std::int64_t>::max())
       : spec_(spec),
         mem_(mem),
         opt_(opt),
@@ -78,6 +85,8 @@ class BlockExec {
         kernel_(*bound.kernel),
         cfg_(cfg),
         block_idx_(block_idx),
+        flat_block_(flat_block),
+        max_steps_(max_steps),
         nlanes_(static_cast<int>(cfg.block.count())),
         nwarps_((nlanes_ + spec.warp_size - 1) / spec.warp_size),
         l1_(spec.l1_cache_bytes / std::max(resident_blocks, 1),
@@ -98,6 +107,7 @@ class BlockExec {
   }
 
   KernelStats run() {
+    if (opt_.fault && opt_.fault->should_stall(flat_block_)) stall();
     Mask mask(static_cast<std::size_t>(nlanes_), 1);
     exec_block(*kernel_.body, mask);
     KernelStats s;
@@ -212,6 +222,52 @@ class BlockExec {
     warp_pending_[static_cast<std::size_t>(warp)] =
         std::max(warp_pending_[static_cast<std::size_t>(warp)], cycles);
   }
+
+  // ---------------- watchdog ----------------
+  /// Charges one interpreted statement (or loop back-edge) against the
+  /// block's step budget and fires the fault-injection hook. Deterministic
+  /// per block — the count never depends on job scheduling.
+  void count_step(const SourceLoc& loc) {
+    ++steps_;
+    if (opt_.fault) opt_.fault->maybe_fault(flat_block_, steps_, loc);
+    if (steps_ > max_steps_) throw make_watchdog_error(loc);
+  }
+
+  [[nodiscard]] WatchdogError make_watchdog_error(const SourceLoc& loc) const {
+    std::ostringstream os;
+    os << "watchdog: block (" << block_idx_.x << "," << block_idx_.y << ","
+       << block_idx_.z << ") exceeded its step budget of " << max_steps_
+       << " interpreted statements at " << loc.str();
+    if (!loop_stack_.empty()) {
+      os << "; loop back-edges (innermost first):";
+      std::size_t shown = 0;
+      for (auto it = loop_stack_.rbegin();
+           it != loop_stack_.rend() && shown < 4; ++it, ++shown)
+        os << " " << it->first.str() << " x" << it->second;
+    }
+    return WatchdogError(os.str(), loc, steps_);
+  }
+
+  /// Injected stall (FaultPlan::stall_block): burns budget until the
+  /// watchdog trips. A disabled watchdog would hang forever, so that
+  /// combination degrades to a plain injected SimError instead.
+  [[noreturn]] void stall() {
+    if (max_steps_ == std::numeric_limits<std::int64_t>::max())
+      throw SimError(
+          "injected stall: watchdog disabled, aborting instead of hanging");
+    for (;;) count_step(kernel_.body->loc());
+  }
+
+  /// Tracks the enclosing loops' back-edge counts for watchdog reports.
+  struct LoopScope {
+    std::vector<std::pair<SourceLoc, std::int64_t>>& stack;
+    explicit LoopScope(
+        std::vector<std::pair<SourceLoc, std::int64_t>>& s, SourceLoc loc)
+        : stack(s) {
+      stack.emplace_back(loc, 0);
+    }
+    ~LoopScope() { stack.pop_back(); }
+  };
 
   void begin_leaf_stmt() {
     std::fill(warp_pending_.begin(), warp_pending_.end(), 0.0);
@@ -1062,6 +1118,7 @@ class BlockExec {
   }
 
   void exec(const Stmt& s, const Mask& mask) {
+    count_step(s.loc());
     switch (s.kind()) {
       case StmtKind::kBlock:
         exec_block(static_cast<const Block&>(s), mask);
@@ -1161,7 +1218,12 @@ class BlockExec {
         if (f.init) exec(*f.init, mask);
         Mask active = mask;
         std::int64_t iters = 0;
+        LoopScope loop(loop_stack_, f.loc());
         while (true) {
+          // Back-edges are budgeted so even empty or condition-only spins
+          // (e.g. a dropped increment) trip the watchdog.
+          count_step(f.loc());
+          ++loop_stack_.back().second;
           if (f.cond) {
             begin_leaf_stmt();
             Lanes c = eval(*f.cond, active);
@@ -1190,7 +1252,10 @@ class BlockExec {
         const auto& wl = static_cast<const WhileStmt&>(s);
         Mask active = mask;
         std::int64_t iters = 0;
+        LoopScope loop(loop_stack_, wl.loc());
         while (true) {
+          count_step(wl.loc());
+          ++loop_stack_.back().second;
           begin_leaf_stmt();
           Lanes c = eval(*wl.cond, active);
           charge_issue(active, opt_.weights.alu);
@@ -1279,6 +1344,10 @@ class BlockExec {
   const Kernel& kernel_;
   const LaunchConfig& cfg_;
   Dim3 block_idx_;
+  std::int64_t flat_block_ = 0;
+  std::int64_t max_steps_ = std::numeric_limits<std::int64_t>::max();
+  std::int64_t steps_ = 0;
+  std::vector<std::pair<SourceLoc, std::int64_t>> loop_stack_;
   int nlanes_;
   int nwarps_;
   L1Cache l1_;
@@ -1317,25 +1386,67 @@ namespace {
 /// Everything one block produced, staged for the deterministic merge.
 struct BlockOutcome {
   KernelStats stats;
+  bool done = false;          // executed (possibly faulting); false when
+                              // cooperative cancellation skipped the block
   bool ok = false;
   bool faulted = false;       // sanitized SimError, contained to the block
+  bool tripped = false;       // sanitized watchdog trip; cancels the launch
   std::string fault_message;
+  SourceLoc trip_loc;
   std::vector<HazardReport> reports;  // hazard stream, in execution order
   std::exception_ptr error;   // unsanitized failure, rethrown by the merge
 };
 
 }  // namespace
 
+std::int64_t Interpreter::resolve_max_steps(std::int64_t requested) {
+  if (requested > 0) return requested;
+  if (requested < 0) return std::numeric_limits<std::int64_t>::max();
+  if (const char* env = std::getenv("CUDANP_MAX_STEPS")) {
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::int64_t>(v);
+  }
+  return kDefaultMaxStepsPerBlock;
+}
+
+void validate_launch(const DeviceSpec& spec, const LaunchConfig& cfg,
+                     std::int64_t shared_mem_per_block) {
+  auto bad_dim = [](const char* what, const Dim3& d) {
+    return std::string("invalid launch: ") + what + " dimensions (" +
+           std::to_string(d.x) + "," + std::to_string(d.y) + "," +
+           std::to_string(d.z) + ") must all be positive";
+  };
+  if (cfg.grid.x <= 0 || cfg.grid.y <= 0 || cfg.grid.z <= 0)
+    throw SimError(bad_dim("grid", cfg.grid));
+  if (cfg.block.x <= 0 || cfg.block.y <= 0 || cfg.block.z <= 0)
+    throw SimError(bad_dim("block", cfg.block));
+  if (cfg.block.count() > spec.max_threads_per_block)
+    throw SimError("invalid launch: block size " +
+                   std::to_string(cfg.block.count()) +
+                   " exceeds the device limit of " +
+                   std::to_string(spec.max_threads_per_block) + " threads");
+  if (shared_mem_per_block > spec.shared_mem_per_smx)
+    throw SimError("invalid launch: " +
+                   std::to_string(shared_mem_per_block) +
+                   " bytes of shared memory per block exceed the SMX "
+                   "capacity of " +
+                   std::to_string(spec.shared_mem_per_smx) + " bytes");
+}
+
 KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
                              int resident_blocks_per_smx) {
-  if (cfg.block.count() <= 0 ||
-      cfg.block.count() > spec_.max_threads_per_block)
-    throw SimError("invalid block size " + std::to_string(cfg.block.count()));
-  if (cfg.grid.count() <= 0) throw SimError("empty grid");
+  validate_launch(spec_, cfg);
 
   const auto bound = bind_kernel(kernel);
   const std::int64_t nblocks = cfg.grid.count();
   const int jobs = ExecPool::resolve_jobs(opt_.jobs);
+  const std::int64_t max_steps = resolve_max_steps(opt_.max_steps_per_block);
+  // One tripped (or erroring) block cooperatively cancels the blocks that
+  // have not started yet; the ordered merge below re-runs any cancelled
+  // block that precedes the first trip, so the outcome is bit-identical
+  // to serial execution at every job count.
+  std::atomic<bool> cancel{false};
 
   // Blocks are independent (they communicate only through __syncthreads
   // within themselves), so the grid runs on `jobs` host threads. Each
@@ -1351,9 +1462,21 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
     BlockSanitizer* bsp = opt_.sanitizer ? &bs : nullptr;
     try {
       BlockExec block(spec_, mem_, opt_, *bound, cfg, bidx,
-                      resident_blocks_per_smx, bsp);
+                      resident_blocks_per_smx, bsp, i, max_steps);
       out.stats = block.run();
       out.ok = true;
+    } catch (const WatchdogError& e) {
+      if (opt_.sanitizer) {
+        // A trip is not containable like a kSimFault: the same runaway
+        // loop would burn the full budget in every remaining block, so
+        // the launch is cancelled instead of kept going.
+        out.tripped = true;
+        out.fault_message = e.what();
+        out.trip_loc = e.loc();
+      } else {
+        out.error = std::current_exception();
+      }
+      cancel.store(true, std::memory_order_relaxed);
     } catch (const SimError& e) {
       if (opt_.sanitizer) {
         // Keep-going mode: contain the fault to this block; the merge
@@ -1363,23 +1486,28 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
         out.fault_message = e.what();
       } else {
         out.error = std::current_exception();
+        cancel.store(true, std::memory_order_relaxed);
       }
     } catch (...) {
       out.error = std::current_exception();
+      cancel.store(true, std::memory_order_relaxed);
     }
     out.reports = std::move(bs.reports);
+    out.done = true;
   };
 
   if (jobs <= 1 || nblocks <= 1) {
     for (std::int64_t i = 0; i < nblocks; ++i) {
       run_block(i);
       // Serial unsanitized runs abort at the first failing block, exactly
-      // like the original grid loop.
+      // like the original grid loop; a sanitized trip likewise cancels
+      // the remaining blocks (the merge discards everything after it).
       if (outcomes[static_cast<std::size_t>(i)].error)
         std::rethrow_exception(outcomes[static_cast<std::size_t>(i)].error);
+      if (outcomes[static_cast<std::size_t>(i)].tripped) break;
     }
   } else {
-    ExecPool::instance().parallel_for(nblocks, jobs, run_block);
+    ExecPool::instance().parallel_for(nblocks, jobs, run_block, &cancel);
   }
 
   // Deterministic merge, in block-index order (== the old serial order):
@@ -1390,6 +1518,12 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
   bool stop = false;
   for (std::int64_t i = 0; i < nblocks && !stop; ++i) {
     BlockOutcome& out = outcomes[static_cast<std::size_t>(i)];
+    // A block cancelled before it started may precede the first trip in
+    // index order (a higher-index block can trip first under parallel
+    // scheduling); run it inline now so the merge sees exactly the serial
+    // prefix. Blocks at or past the first processed trip are never
+    // reached — the merge stops there.
+    if (!out.done) run_block(i);
     for (auto& r : out.reports) {
       try {
         opt_.sanitizer->report(std::move(r));
@@ -1402,6 +1536,22 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
     if (out.error) std::rethrow_exception(out.error);
     if (out.ok) {
       total.add_block(out.stats);
+    } else if (out.tripped) {
+      HazardReport r;
+      r.kind = HazardKind::kWatchdogTrip;
+      r.kernel = kernel.name;
+      r.block = Dim3{static_cast<int>(i % cfg.grid.x),
+                     static_cast<int>((i / cfg.grid.x) % cfg.grid.y),
+                     static_cast<int>(i / (cfg.grid.x * cfg.grid.y))};
+      r.loc = out.trip_loc;
+      r.message = out.fault_message;
+      try {
+        opt_.sanitizer->report(std::move(r));
+      } catch (const HazardLimitReached&) {
+      }
+      // The launch is cancelled at the first (lowest-index) trip; later
+      // blocks' outcomes are discarded, exactly like serial execution.
+      stop = true;
     } else if (out.faulted) {
       HazardReport r;
       r.kind = HazardKind::kSimFault;
@@ -1429,6 +1579,7 @@ RunResult run_and_time(const DeviceSpec& spec, DeviceMemory& mem,
                        const ResourceUsage& resources,
                        Interpreter::Options opt) {
   RunResult r;
+  validate_launch(spec, cfg, resources.shared_mem_per_block);
   r.occupancy = compute_occupancy(
       spec, static_cast<int>(cfg.block.count()), resources);
   if (r.occupancy.blocks_per_smx == 0)

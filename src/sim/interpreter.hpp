@@ -37,10 +37,28 @@
 #include "sim/cost_model.hpp"
 #include "sim/launch.hpp"
 #include "sim/memory.hpp"
+#include "support/diagnostics.hpp"
 
 namespace cudanp::sim {
 
 class SanitizerEngine;
+class FaultInjector;
+
+/// Thrown when a block exceeds its interpreted-statement budget. Derives
+/// from SimError so every existing containment site (sanitized runs, the
+/// autotuner, Runner) already catches it; callers that care about the
+/// watchdog specifically catch this first.
+class WatchdogError : public SimError {
+ public:
+  WatchdogError(const std::string& what, SourceLoc loc, std::int64_t steps)
+      : SimError(what), loc_(loc), steps_(steps) {}
+  [[nodiscard]] const SourceLoc& loc() const { return loc_; }
+  [[nodiscard]] std::int64_t steps() const { return steps_; }
+
+ private:
+  SourceLoc loc_;
+  std::int64_t steps_;
+};
 
 class Interpreter {
  public:
@@ -52,6 +70,19 @@ class Interpreter {
     double warp_mlp = 4.0;
     /// Safety valve for runaway loops.
     std::int64_t max_loop_iterations = 1 << 26;
+    /// Watchdog: per-thread-block budget of interpreted statements (loop
+    /// back-edges count as one statement, so even empty-body spins trip).
+    /// 0 = auto: the CUDANP_MAX_STEPS environment variable if set, else
+    /// kDefaultMaxStepsPerBlock. Negative = unlimited. A trip raises
+    /// WatchdogError (unsanitized) or a kWatchdogTrip hazard (sanitized)
+    /// carrying the tripping source location and per-loop back-edge
+    /// counts, and cooperatively cancels the rest of the launch; results
+    /// stay bit-identical at every job count. See docs/robustness.md.
+    std::int64_t max_steps_per_block = 0;
+    /// When non-null, chaos-testing hooks fire during interpretation:
+    /// injected SimErrors at the Nth statement and block stalls that the
+    /// watchdog must catch. Production runs leave this null.
+    const FaultInjector* fault = nullptr;
     /// When non-null, execution is instrumented for shared-memory races,
     /// barrier divergence, uninitialized reads and shfl hazards, and a
     /// SimError inside one block is downgraded to a kSimFault report so
@@ -79,11 +110,31 @@ class Interpreter {
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
 
+  /// Default watchdog budget when neither Options::max_steps_per_block
+  /// nor CUDANP_MAX_STEPS chooses one: generous (matches the per-loop
+  /// iteration valve) but finite.
+  static constexpr std::int64_t kDefaultMaxStepsPerBlock = 1 << 26;
+
+  /// Resolves a step-budget request: explicit > 0 wins, else the
+  /// CUDANP_MAX_STEPS environment variable, else the default; negative
+  /// disables the watchdog (returns INT64_MAX).
+  [[nodiscard]] static std::int64_t resolve_max_steps(std::int64_t requested);
+
  private:
   const DeviceSpec& spec_;
   DeviceMemory& mem_;
   Options opt_;
 };
+
+/// Structured launch validation, run before any interpretation: rejects
+/// zero/negative grid or block dimensions, block sizes over the device
+/// limit, and shared-memory requests over the per-SMX capacity with a
+/// SimError whose message starts with "invalid launch:". Called by
+/// Interpreter::run and run_and_time; np::Runner's sanitized paths
+/// surface the failure as a kSimFault report via record_launch_fault.
+/// `shared_mem_per_block` may be 0 when resources are unknown.
+void validate_launch(const DeviceSpec& spec, const LaunchConfig& cfg,
+                     std::int64_t shared_mem_per_block = 0);
 
 /// Convenience wrapper: occupancy + interpretation + timing in one call.
 struct RunResult {

@@ -11,6 +11,7 @@ const char* to_string(HazardKind k) {
     case HazardKind::kUninitRead: return "uninit-read";
     case HazardKind::kShflHazard: return "shfl-hazard";
     case HazardKind::kSimFault: return "sim-fault";
+    case HazardKind::kWatchdogTrip: return "watchdog-trip";
   }
   return "unknown";
 }

@@ -42,6 +42,10 @@ enum class HazardKind : std::uint8_t {
   /// A SimError (OOB access, div-by-zero, bad launch, ...) contained to
   /// the faulting block instead of aborting the run.
   kSimFault,
+  /// A block exceeded its interpreted-statement budget
+  /// (Interpreter::Options::max_steps_per_block); the launch is cancelled
+  /// cooperatively and deterministically. See docs/robustness.md.
+  kWatchdogTrip,
 };
 
 [[nodiscard]] const char* to_string(HazardKind k);

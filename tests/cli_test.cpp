@@ -211,6 +211,76 @@ TEST(Cli, SanitizeRejectsBadErrorLimit) {
   EXPECT_EQ(r.exit_code, 1);
 }
 
+TEST(Cli, WatchdogStepsTripsRunawayKernel) {
+  // An unannotated infinite loop under --sanitize: the watchdog converts
+  // the would-be hang into a watchdog-trip hazard (exit 3, like any
+  // other hazard in sanitize mode).
+  auto path = write_temp_kernel(R"(
+__global__ void spin(float* out, int n) {
+  float x = 0.0f;
+  while (0 < 1) {
+    x = x + 1.0f;
+  }
+  out[threadIdx.x] = x;
+}
+)");
+  auto r = run_cli(path + " --sanitize --watchdog-steps=1000");
+  EXPECT_EQ(r.exit_code, 3) << r.output;
+  EXPECT_NE(r.output.find("watchdog-trip"), std::string::npos) << r.output;
+}
+
+TEST(Cli, FallbackPicksVariantWhenClean) {
+  auto path = write_temp_kernel(kTmv);
+  auto r = run_cli(path + " --fallback=baseline");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("tmv_np"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"used_baseline\":false"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, FallbackDegradesToBaselineWithReport) {
+  // The synthetic workload at this size sends the baseline itself out of
+  // bounds, so every candidate (and the baseline) is quarantined — the
+  // tool must still print a runnable kernel and exit 6 with the JSON
+  // failure report.
+  auto path = write_temp_kernel(kTmv);
+  auto r = run_cli(path + " --fallback=baseline --elems=16");
+  EXPECT_EQ(r.exit_code, 6) << r.output;
+  EXPECT_NE(r.output.find("__global__ void tmv"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"used_baseline\":true"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("quarantined"), std::string::npos) << r.output;
+}
+
+TEST(Cli, FallbackAcceptsUnannotatedKernel) {
+  // A kernel with no #pragma np loops has nothing to fall back from, but
+  // --fallback must still accept it (like --sanitize does) and run the
+  // baseline; a watchdog trip there is a degraded outcome, exit 6.
+  auto path = write_temp_kernel(R"(
+__global__ void spin(float* out, int n) {
+  float x = 0.0f;
+  while (0 < 1) {
+    x = x + 1.0f;
+  }
+  out[threadIdx.x] = x;
+}
+)");
+  auto r = run_cli(path + " --fallback=baseline --watchdog-steps=1000");
+  EXPECT_EQ(r.exit_code, 6) << r.output;
+  EXPECT_NE(r.output.find("no #pragma np loops"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("__global__ void spin"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("watchdog-trip"), std::string::npos) << r.output;
+}
+
+TEST(Cli, FallbackRejectsUnknownPolicy) {
+  auto path = write_temp_kernel(kTmv);
+  auto r = run_cli(path + " --fallback=frobnicate");
+  EXPECT_EQ(r.exit_code, 1);
+}
+
 TEST(Cli, EmittedOutputIsReparsable) {
   // Feed cudanp-cc its own output: source-to-source must close the loop.
   auto path = write_temp_kernel(kTmv);

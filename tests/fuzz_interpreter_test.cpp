@@ -454,5 +454,89 @@ TEST_P(SanitizedFuzz, HazardousKernelsNeverEscapeTheSanitizer) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SanitizedFuzz, ::testing::Range(0, 60));
 
+// ---------------------------------------------------------------------------
+// Watchdog-bounded loop fuzzing: random loop nests whose increments are
+// sometimes missing or zero — i.e. kernels that may genuinely never
+// terminate — must always come back within the step budget. The
+// interpreter either finishes, reports a kWatchdogTrip (sanitized), or
+// throws WatchdogError (unsanitized); it can never hang. The ctest
+// TIMEOUT property on this binary backs the assertion up externally.
+
+/// Emits a kernel of random sequential loops; each loop's step is drawn
+/// from {0, 1, 2}, so roughly a third of the loops never advance.
+std::string loopy_kernel(std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::ostringstream os;
+  os << "__global__ void loopy(float* out, int n) {\n"
+     << "  float v = 1.0f;\n";
+  int nloops = 1 + static_cast<int>(rng.next_below(3));
+  for (int l = 0; l < nloops; ++l) {
+    std::uint64_t bound = 1 + rng.next_below(64);
+    std::uint64_t step = rng.next_below(3);
+    if (rng.next_below(2)) {
+      os << "  for (int i" << l << " = 0; i" << l << " < " << bound
+         << "; i" << l << " = i" << l << " + " << step << ") {\n"
+         << "    v = v + 0.5f;\n  }\n";
+    } else {
+      os << "  int j" << l << " = 0;\n"
+         << "  while (j" << l << " < " << bound << ") {\n"
+         << "    v = v * 1.5f;\n"
+         << "    j" << l << " = j" << l << " + " << step << ";\n  }\n";
+    }
+  }
+  os << "  out[threadIdx.x] = v;\n}\n";
+  return os.str();
+}
+
+class WatchdogFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(WatchdogFuzz, LoopNestsNeverOutliveTheBudget) {
+  std::string src =
+      loopy_kernel(0x10075eedu + static_cast<std::uint64_t>(GetParam()));
+  auto program = frontend::parse_program_or_throw(src);
+  const auto& kernel = *program->kernels.front();
+
+  sim::LaunchConfig cfg;
+  cfg.grid = {2, 1, 1};
+  cfg.block = {32, 1, 1};
+
+  // Sanitized: a non-terminating draw surfaces as exactly one
+  // kWatchdogTrip report, a terminating one runs clean — never an
+  // exception, never a hang.
+  sim::SanitizerEngine::Options sopt;
+  sim::SanitizerEngine engine(sopt);
+  sim::DeviceMemory mem;
+  cfg.args = {mem.alloc(ScalarType::kFloat, 64),
+              sim::LaunchConfig::scalar_int(64)};
+  sim::Interpreter::Options iopt;
+  iopt.sanitizer = &engine;
+  iopt.max_steps_per_block = 10000;
+  sim::Interpreter interp(sim::DeviceSpec::gtx680(), mem, iopt);
+  EXPECT_NO_THROW((void)interp.run(kernel, cfg)) << src;
+  bool tripped = false;
+  for (const auto& r : engine.reports())
+    tripped = tripped || r.kind == sim::HazardKind::kWatchdogTrip;
+  EXPECT_EQ(engine.reports().size(), tripped ? 1u : 0u) << src;
+
+  // Unsanitized: the same draw either completes or throws WatchdogError.
+  sim::DeviceMemory mem2;
+  cfg.args = {mem2.alloc(ScalarType::kFloat, 64),
+              sim::LaunchConfig::scalar_int(64)};
+  sim::Interpreter::Options popt;
+  popt.max_steps_per_block = 10000;
+  sim::Interpreter plain(sim::DeviceSpec::gtx680(), mem2, popt);
+  try {
+    (void)plain.run(kernel, cfg);
+    EXPECT_FALSE(tripped) << "sanitized run tripped but plain run finished:\n"
+                          << src;
+  } catch (const sim::WatchdogError& e) {
+    EXPECT_TRUE(tripped) << "plain run tripped but sanitized run finished:\n"
+                         << src;
+    EXPECT_GT(e.steps(), 10000);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WatchdogFuzz, ::testing::Range(0, 40));
+
 }  // namespace
 }  // namespace cudanp

@@ -256,5 +256,77 @@ TEST(Parser, IncludeDirectiveIgnored) {
   EXPECT_EQ(p->kernels.size(), 1u);
 }
 
+// ---------------------------------------------------------------------
+// Error recovery: statement-level errors synchronize to the next ';' (or
+// the enclosing '}') and keep parsing, so one compile surfaces every
+// independent mistake instead of just the first.
+
+TEST(ParserRecovery, CollectsMultipleStatementErrors) {
+  DiagnosticEngine diags;
+  try {
+    (void)parse_program(
+        "__global__ void k(float* a, int n) {\n"
+        "  a[threadIdx.w] = 1.0f;\n"   // bad geometry member
+        "  float t[n];\n"              // non-constant array dim
+        "  a[0] = (1 + );\n"           // malformed expression
+        "  a[1] = 2.0f;\n"             // fine
+        "}\n",
+        diags);
+    FAIL() << "expected CompileError";
+  } catch (const CompileError& e) {
+    EXPECT_NE(std::string(e.what()).find("parse errors"), std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(diags.error_count(), 3u) << diags.summary();
+}
+
+TEST(ParserRecovery, RecoveryCrossesKernelBoundaries) {
+  DiagnosticEngine diags;
+  EXPECT_THROW((void)parse_program("__global__ void a(float* p) {\n"
+                                   "  p[0] = (;\n"
+                                   "}\n"
+                                   "__global__ void b(float* p) {\n"
+                                   "  p[threadIdx.q] = 1.0f;\n"
+                                   "}\n",
+                                   diags),
+               CompileError);
+  EXPECT_EQ(diags.error_count(), 2u) << diags.summary();
+}
+
+TEST(ParserRecovery, SynchronizesOverNestedBraces) {
+  DiagnosticEngine diags;
+  // The error is ahead of a nested block; recovery must skip the whole
+  // balanced region rather than resuming inside it.
+  EXPECT_THROW(
+      (void)parse_program("__global__ void k(float* a, int n) {\n"
+                          "  float t[n];\n"
+                          "  if (n > 0) { a[0] = 1.0f; }\n"
+                          "  a[1] = (2 + );\n"
+                          "}\n",
+                          diags),
+      CompileError);
+  EXPECT_EQ(diags.error_count(), 2u) << diags.summary();
+}
+
+TEST(ParserRecovery, ErrorCapMirrorsSanitizerLimit) {
+  std::string src = "__global__ void k(float* a, int n) {\n";
+  for (int i = 0; i < 150; ++i) src += "  a[0] = (1 + );\n";
+  src += "}\n";
+  DiagnosticEngine diags;
+  EXPECT_THROW((void)parse_program(src, diags), CompileError);
+  EXPECT_EQ(diags.error_count(), 100u);
+  EXPECT_NE(diags.summary().find("too many parse errors"),
+            std::string::npos)
+      << diags.summary();
+}
+
+TEST(ParserRecovery, CleanSourceLeavesDiagnosticsEmpty) {
+  DiagnosticEngine diags;
+  auto p = parse_program("__global__ void k(float* a) { a[0] = 1.0f; }",
+                         diags);
+  EXPECT_EQ(diags.error_count(), 0u);
+  EXPECT_EQ(p->kernels.size(), 1u);
+}
+
 }  // namespace
 }  // namespace cudanp::frontend

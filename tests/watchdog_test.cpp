@@ -1,0 +1,282 @@
+// Execution watchdog: non-terminating kernels (infinite while loops,
+// for loops that never advance, divergent __shfl spins) must trip the
+// per-block interpreted-statement budget instead of hanging the
+// simulator, and the trip must be deterministic — bit-identical hazard
+// reports at every job count (see docs/robustness.md). Also covers the
+// structured launch validation that runs before any block executes.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "np/compiler.hpp"
+#include "np/runner.hpp"
+#include "sim/interpreter.hpp"
+#include "sim/sanitizer.hpp"
+
+namespace cudanp {
+namespace {
+
+sim::Interpreter::Options with_budget(std::int64_t max_steps, int jobs = 1) {
+  sim::Interpreter::Options opt;
+  opt.max_steps_per_block = max_steps;
+  opt.jobs = jobs;
+  return opt;
+}
+
+/// Parses `src` and builds the synthetic workload convention used across
+/// the sanitizer tests: one 4096-element buffer per pointer, n for int
+/// scalars.
+struct Prepared {
+  std::unique_ptr<ir::Program> program;
+  np::Workload workload;
+  const ir::Kernel& kernel() const { return *program->kernels.front(); }
+};
+
+Prepared prepare(const std::string& src, int block_x, int grid_x,
+                 int n = 64) {
+  Prepared p;
+  p.program = np::NpCompiler::parse(src);
+  for (const auto& param : p.kernel().params) {
+    if (param.type.is_pointer)
+      p.workload.launch.args.push_back(
+          p.workload.mem->alloc(param.type.scalar, 4096));
+    else if (param.type.scalar == ir::ScalarType::kFloat)
+      p.workload.launch.args.push_back(sim::LaunchConfig::scalar_float(1.0));
+    else
+      p.workload.launch.args.push_back(sim::LaunchConfig::scalar_int(n));
+  }
+  p.workload.launch.block = {block_x, 1, 1};
+  p.workload.launch.grid = {grid_x, 1, 1};
+  return p;
+}
+
+void expect_reports_equal(const std::vector<sim::HazardReport>& a,
+                          const std::vector<sim::HazardReport>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].kind, b[i].kind) << "report " << i;
+    EXPECT_EQ(a[i].block.x, b[i].block.x) << "report " << i;
+    EXPECT_EQ(a[i].loc.line, b[i].loc.line) << "report " << i;
+    EXPECT_EQ(a[i].message, b[i].message) << "report " << i;
+  }
+}
+
+const char* kInfiniteWhile = R"(
+__global__ void spin(float* out, int n) {
+  float x = 0.0f;
+  while (0 < 1) {
+    x = x + 1.0f;
+  }
+  out[threadIdx.x] = x;
+}
+)";
+
+TEST(Watchdog, UnsanitizedInfiniteLoopThrowsWatchdogError) {
+  auto p = prepare(kInfiniteWhile, 32, 1);
+  np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(1000));
+  try {
+    (void)runner.run(p.kernel(), p.workload);
+    FAIL() << "expected WatchdogError";
+  } catch (const sim::WatchdogError& e) {
+    EXPECT_GT(e.steps(), 1000);
+    EXPECT_GT(e.loc().line, 0);
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("watchdog"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("step budget"), std::string::npos) << msg;
+    // The diagnosis names the hot loop via its back-edge counts.
+    EXPECT_NE(msg.find("back-edges"), std::string::npos) << msg;
+  }
+}
+
+// An empty loop body executes zero statements per iteration; only
+// counting the back-edge itself as a step lets the budget trip.
+TEST(Watchdog, EmptyBodySpinStillTrips) {
+  auto p = prepare(R"(
+__global__ void spin(float* out, int n) {
+  while (0 < 1) {
+  }
+  out[threadIdx.x] = 1.0f;
+}
+)",
+                   32, 1);
+  np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(500));
+  EXPECT_THROW((void)runner.run(p.kernel(), p.workload), sim::WatchdogError);
+}
+
+TEST(Watchdog, MissingIncrementForLoopTripsSanitized) {
+  auto p = prepare(R"(
+__global__ void stuck(float* out, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; i = i + 0) {
+    s = s + 1.0f;
+  }
+  out[threadIdx.x] = s;
+}
+)",
+                   32, 1);
+  np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(2000));
+  auto run = runner.run_sanitized(p.kernel(), p.workload);
+  ASSERT_EQ(run.engine.reports().size(), 1u) << run.engine.summary();
+  const auto& r = run.engine.reports().front();
+  EXPECT_EQ(r.kind, sim::HazardKind::kWatchdogTrip);
+  EXPECT_NE(r.message.find("watchdog"), std::string::npos) << r.message;
+}
+
+// Only some lanes spin (divergent loop) and the spinning lanes keep
+// pulling __shfl values: the block still never retires, so the watchdog
+// must fire — identically at jobs=1 and jobs=8.
+TEST(Watchdog, DivergentShflSpinTripsBitIdentically) {
+  const char* src = R"(
+__global__ void shfl_spin(float* out, int n) {
+  float v = threadIdx.x;
+  while (threadIdx.x < 16) {
+    v = __shfl(v, 0, 32);
+  }
+  out[threadIdx.x] = v;
+}
+)";
+  std::vector<sim::HazardReport> reports[2];
+  int slot = 0;
+  for (int jobs : {1, 8}) {
+    auto p = prepare(src, 32, 4);
+    np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(3000, jobs));
+    auto run = runner.run_sanitized(p.kernel(), p.workload);
+    bool tripped = false;
+    for (const auto& r : run.engine.reports())
+      tripped = tripped || r.kind == sim::HazardKind::kWatchdogTrip;
+    EXPECT_TRUE(tripped) << "jobs=" << jobs << "\n" << run.engine.summary();
+    reports[slot++] = run.engine.reports();
+  }
+  expect_reports_equal(reports[0], reports[1]);
+}
+
+// Every block of a wide grid spins: cooperative cancellation stops the
+// launch after the first (lowest-index) trip, and the merged report
+// stream must not depend on how many host threads were racing ahead.
+TEST(Watchdog, WideGridCancellationIsDeterministic) {
+  std::vector<sim::HazardReport> reports[2];
+  sim::KernelStats stats[2];
+  int slot = 0;
+  for (int jobs : {1, 8}) {
+    auto p = prepare(kInfiniteWhile, 32, 64);
+    np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(1000, jobs));
+    auto run = runner.run_sanitized(p.kernel(), p.workload);
+    ASSERT_EQ(run.engine.reports().size(), 1u)
+        << "jobs=" << jobs << "\n" << run.engine.summary();
+    EXPECT_EQ(run.engine.reports().front().kind,
+              sim::HazardKind::kWatchdogTrip);
+    // The surviving trip is the deterministic first one: block (0,0,0).
+    EXPECT_EQ(run.engine.reports().front().block.x, 0);
+    reports[slot] = run.engine.reports();
+    stats[slot] = run.result.stats;
+    ++slot;
+  }
+  expect_reports_equal(reports[0], reports[1]);
+  EXPECT_EQ(stats[0].blocks, stats[1].blocks);
+  EXPECT_EQ(stats[0].issue_slots, stats[1].issue_slots);
+  EXPECT_EQ(stats[0].crit_path_cycles, stats[1].crit_path_cycles);
+}
+
+TEST(Watchdog, FiniteKernelRunsCleanUnderDefaultBudget) {
+  auto p = prepare(R"(
+__global__ void fine(float* out, int n) {
+  float s = 0.0f;
+  for (int i = 0; i < n; i++) {
+    s = s + 1.0f;
+  }
+  out[threadIdx.x] = s;
+}
+)",
+                   32, 4);
+  np::Runner runner(sim::DeviceSpec::gtx680());  // budget 0 = auto
+  auto run = runner.run_sanitized(p.kernel(), p.workload);
+  EXPECT_TRUE(run.clean()) << run.engine.summary();
+}
+
+TEST(Watchdog, ResolveMaxStepsPrecedence) {
+  using I = sim::Interpreter;
+  EXPECT_EQ(I::resolve_max_steps(123), 123);
+  EXPECT_EQ(I::resolve_max_steps(-1),
+            std::numeric_limits<std::int64_t>::max());
+  ::unsetenv("CUDANP_MAX_STEPS");
+  EXPECT_EQ(I::resolve_max_steps(0), I::kDefaultMaxStepsPerBlock);
+  ::setenv("CUDANP_MAX_STEPS", "4567", 1);
+  EXPECT_EQ(I::resolve_max_steps(0), 4567);
+  // Explicit request still beats the environment.
+  EXPECT_EQ(I::resolve_max_steps(9), 9);
+  ::unsetenv("CUDANP_MAX_STEPS");
+}
+
+// ---------------------------------------------------------------------
+// Structured launch validation (runs before any block executes).
+
+TEST(LaunchValidation, RejectsNonPositiveDimensions) {
+  auto spec = sim::DeviceSpec::gtx680();
+  sim::LaunchConfig cfg;
+  cfg.block = {0, 1, 1};
+  cfg.grid = {1, 1, 1};
+  EXPECT_THROW(sim::validate_launch(spec, cfg), SimError);
+  cfg.block = {32, 1, 1};
+  cfg.grid = {-2, 1, 1};
+  try {
+    sim::validate_launch(spec, cfg);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("invalid launch"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(LaunchValidation, RejectsOversizedBlock) {
+  auto spec = sim::DeviceSpec::gtx680();
+  sim::LaunchConfig cfg;
+  cfg.block = {spec.max_threads_per_block + 1, 1, 1};
+  cfg.grid = {1, 1, 1};
+  try {
+    sim::validate_launch(spec, cfg);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("invalid launch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("device limit"), std::string::npos) << msg;
+  }
+}
+
+TEST(LaunchValidation, RejectsSharedMemoryOverflow) {
+  auto spec = sim::DeviceSpec::gtx680();
+  sim::LaunchConfig cfg;
+  cfg.block = {32, 1, 1};
+  cfg.grid = {1, 1, 1};
+  EXPECT_NO_THROW(sim::validate_launch(spec, cfg, 1024));
+  try {
+    sim::validate_launch(spec, cfg, spec.shared_mem_per_smx + 1);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("shared memory"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// The sanitized path turns an invalid launch into a structured kSimFault
+// report with ran=false instead of an exception.
+TEST(LaunchValidation, SanitizedRunRecordsStructuredFault) {
+  auto p = prepare(kInfiniteWhile, 32, 1);
+  p.workload.launch.block = {2048, 1, 1};  // over the 1024-thread limit
+  np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(100));
+  auto run = runner.run_sanitized(p.kernel(), p.workload);
+  EXPECT_FALSE(run.ran);
+  EXPECT_FALSE(run.clean());
+  ASSERT_EQ(run.engine.reports().size(), 1u) << run.engine.summary();
+  const auto& r = run.engine.reports().front();
+  EXPECT_EQ(r.kind, sim::HazardKind::kSimFault);
+  EXPECT_NE(r.message.find("invalid launch"), std::string::npos)
+      << r.message;
+}
+
+}  // namespace
+}  // namespace cudanp

@@ -27,11 +27,23 @@
 //   --jobs=<n>            host threads simulating thread blocks (default:
 //                         CUDANP_JOBS env var, else hardware concurrency;
 //                         results are identical at every job count)
+//   --watchdog-steps=<n>  per-block interpreted-statement budget before the
+//                         execution watchdog cancels a launch (0 = auto:
+//                         CUDANP_MAX_STEPS env var, else 2^26; negative
+//                         disables the watchdog; see docs/robustness.md)
+//   --fallback=baseline   graceful degradation: pick the best candidate
+//                         variant that survives the sanitizer + watchdog +
+//                         output cross-check, falling back to the baseline
+//                         kernel when every candidate is quarantined. The
+//                         chosen kernel is always printed; the structured
+//                         failure report (JSON) goes to stderr.
 //   -o <file>             write output to file (default stdout)
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
 // 3 when --sanitize found hazards or an output mismatch, 4 on simulation
-// errors, 5 on internal errors.
+// errors, 5 on internal errors, 6 when --fallback degraded (a candidate
+// was quarantined or the baseline was used) or the watchdog cancelled an
+// unsanitized run — the output is still a runnable answer.
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -72,6 +84,10 @@ struct CliOptions {
   int elems = 64;
   bool portable_races = false;
   int jobs = 0;  // 0 = auto (CUDANP_JOBS env var, else hardware concurrency)
+  // 0 = auto (CUDANP_MAX_STEPS env var, else the interpreter default);
+  // negative disables the watchdog entirely.
+  long long watchdog_steps = 0;
+  bool fallback = false;  // --fallback=baseline graceful degradation
 };
 
 void usage() {
@@ -82,7 +98,8 @@ void usage() {
          "                 [--sm=<n>] [--pad] [--no-shfl] [--all]\n"
          "                 [--report] [--preprocess] [-o <file>]\n"
          "                 [--sanitize] [--error-limit=<n>] [--elems=<n>]\n"
-         "                 [--portable-races] [--jobs=<n>]\n";
+         "                 [--portable-races] [--jobs=<n>]\n"
+         "                 [--watchdog-steps=<n>] [--fallback=baseline]\n";
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -138,6 +155,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (a.rfind("--jobs=", 0) == 0) {
       opt.jobs = std::atoi(value("--jobs="));
       if (opt.jobs <= 0) return std::nullopt;
+    } else if (a.rfind("--watchdog-steps=", 0) == 0) {
+      opt.watchdog_steps = std::atoll(value("--watchdog-steps="));
+    } else if (a.rfind("--fallback=", 0) == 0) {
+      std::string v = value("--fallback=");
+      if (v != "baseline") return std::nullopt;
+      opt.fallback = true;
     } else if (a == "-o") {
       if (++i >= argc) return std::nullopt;
       opt.output = argv[i];
@@ -259,7 +282,7 @@ int main(int argc, char** argv) {
   try {
     auto program = np::NpCompiler::parse(buffer.str());
     const ir::Kernel* kernel =
-        pick_kernel(*program, opt->kernel, opt->sanitize);
+        pick_kernel(*program, opt->kernel, opt->sanitize || opt->fallback);
     if (!kernel) {
       std::cerr << "cudanp-cc: no kernel "
                 << (opt->kernel.empty() ? "with #pragma np loops"
@@ -280,7 +303,7 @@ int main(int argc, char** argv) {
     auto spec = sim::DeviceSpec::gtx680();
     spec.sm_version = opt->sm;
 
-    if (opt->sanitize) {
+    if (opt->sanitize || opt->fallback) {
       sim::SanitizerEngine::Options sopt;
       sopt.error_limit = static_cast<std::size_t>(opt->error_limit);
       sopt.race_mode = opt->portable_races
@@ -291,10 +314,19 @@ int main(int argc, char** argv) {
       if (kernel->parallel_loop_count() == 0) {
         sim::Interpreter::Options iopt;
         iopt.jobs = opt->jobs;
+        iopt.max_steps_per_block = opt->watchdog_steps;
         np::Runner runner(spec, iopt);
         np::Workload w =
             make_synthetic_workload(*kernel, opt->elems, opt->tb);
         auto run = runner.run_sanitized(*kernel, w, sopt);
+        if (opt->fallback) {
+          // Nothing to fall back from: the baseline is the answer either
+          // way, but hazards still mean a degraded (exit 6) outcome.
+          *os << "// baseline (kernel has no #pragma np loops)\n"
+              << ir::print_kernel(*kernel) << "\n";
+          std::cerr << run.engine.summary();
+          return run.clean() ? 0 : 6;
+        }
         *os << run.engine.summary();
         return run.clean() ? 0 : 3;
       }
@@ -303,12 +335,31 @@ int main(int argc, char** argv) {
       np::ValidationOptions vopt;
       vopt.sanitizer = sopt;
       vopt.interp.jobs = opt->jobs;
+      vopt.interp.max_steps_per_block = opt->watchdog_steps;
       const ir::Kernel& k = *kernel;
       const int n = opt->elems;
       const int tb = opt->tb;
-      auto report = np::NpCompiler::validate(
-          k, configs, [&k, n, tb] { return make_synthetic_workload(k, n, tb); },
-          spec, vopt);
+      auto factory = [&k, n, tb] {
+        return make_synthetic_workload(k, n, tb);
+      };
+      if (opt->fallback) {
+        auto result =
+            np::NpCompiler::compile_with_fallback(k, configs, factory, spec,
+                                                  vopt);
+        const auto& d = result.decision;
+        if (d.used_baseline) {
+          *os << "// baseline (every NP candidate was quarantined)\n"
+              << ir::print_kernel(k) << "\n";
+        } else {
+          *os << "// " << d.chosen_config << "\n"
+              << ir::print_kernel(*result.variant.kernel) << "\n";
+        }
+        std::cerr << d.json() << "\n";
+        for (const auto& f : d.quarantined)
+          std::cerr << "cudanp-cc: " << f.str() << "\n";
+        return d.pristine() ? 0 : 6;
+      }
+      auto report = np::NpCompiler::validate(k, configs, factory, spec, vopt);
       *os << report.summary() << "\n";
       return report.all_clean() ? 0 : 3;
     }
@@ -350,6 +401,9 @@ int main(int argc, char** argv) {
   } catch (const CompileError& e) {
     std::cerr << "cudanp-cc: " << e.what() << "\n";
     return 2;
+  } catch (const sim::WatchdogError& e) {
+    std::cerr << "cudanp-cc: " << e.what() << "\n";
+    return 6;
   } catch (const SimError& e) {
     std::cerr << "cudanp-cc: simulation error: " << e.what() << "\n";
     return 4;
