@@ -201,6 +201,10 @@ const char* to_string(FailureCause c) {
   return "unknown";
 }
 
+bool transient(FailureCause c) {
+  return c == FailureCause::kWatchdogTrip || c == FailureCause::kRunError;
+}
+
 namespace {
 
 std::string json_escape(const std::string& s) {
@@ -262,7 +266,8 @@ std::string FallbackDecision::json() const {
   std::ostringstream os;
   os << "{\"kernel\":\"" << json_escape(kernel) << "\",\"used_baseline\":"
      << (used_baseline ? "true" : "false") << ",\"chosen_config\":\""
-     << json_escape(chosen_config) << "\",\"quarantined\":[";
+     << json_escape(chosen_config) << "\",\"first_choice\":\""
+     << json_escape(first_choice) << "\",\"quarantined\":[";
   for (std::size_t i = 0; i < quarantined.size(); ++i) {
     if (i) os << ",";
     os << quarantined[i].json();
@@ -288,14 +293,21 @@ FallbackResult NpCompiler::compile_with_fallback(
     }
     const auto& reports = run.engine.reports();
     f->hazard_count = reports.size();
+    bool all_sim_faults = !reports.empty();
     for (const auto& r : reports) {
       if (r.kind == sim::HazardKind::kWatchdogTrip) {
         f->cause = FailureCause::kWatchdogTrip;
         f->detail = r.message;
         return;
       }
+      if (r.kind != sim::HazardKind::kSimFault) all_sim_faults = false;
     }
-    f->cause = FailureCause::kHazards;
+    // Only contained SimErrors (injected faults, OOB aborts) and no
+    // genuine hazards: a run error, which retry policies treat as
+    // potentially transient — unlike races/uninit reads, which are
+    // deterministic properties of the variant.
+    f->cause =
+        all_sim_faults ? FailureCause::kRunError : FailureCause::kHazards;
     if (!reports.empty()) f->detail = reports.front().str();
   };
 
@@ -330,6 +342,7 @@ FallbackResult NpCompiler::compile_with_fallback(
                            });
     if (it != candidates.end() && it != candidates.begin())
       std::rotate(candidates.begin(), it, it + 1);
+    out.decision.first_choice = candidates.front().describe();
   }
 
   for (const auto& cfg : candidates) {

@@ -89,6 +89,15 @@ enum class FailureCause : std::uint8_t {
 
 [[nodiscard]] const char* to_string(FailureCause c);
 
+/// True when a failure of this cause is plausibly transient — worth a
+/// retry with backoff rather than permanent quarantine. Watchdog trips
+/// (the budget may have been deadline-tightened) and contained run
+/// errors (injected faults, flaky inputs) qualify; transform errors,
+/// hazards, launch errors and output mismatches are deterministic
+/// properties of the (kernel, config) pair and will not improve. The
+/// serve layer's retry policy is built on this split.
+[[nodiscard]] bool transient(FailureCause c);
+
 /// One quarantined variant: the structured record graceful degradation is
 /// built on. Serializable both human-readable (str) and machine-readable
 /// (json, one object per line in cudanp-cc's fallback report).
@@ -115,6 +124,10 @@ struct FallbackDecision {
   bool used_baseline = true;
   /// describe() of the chosen configuration; empty when used_baseline.
   std::string chosen_config;
+  /// describe() of the first candidate tried (the heuristic's pick) —
+  /// the configuration whose health per-(kernel, variant) circuit
+  /// breakers track. Empty when there were no candidates at all.
+  std::string first_choice;
   std::vector<VariantFailure> quarantined;
 
   /// True when the first-choice candidate was chosen with nothing

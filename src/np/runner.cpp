@@ -1,7 +1,10 @@
 #include "np/runner.hpp"
 
+#include <algorithm>
 #include <utility>
 #include <vector>
+
+#include "support/rng.hpp"
 
 namespace cudanp::np {
 
@@ -131,6 +134,33 @@ SanitizedRun Runner::run_variant_sanitized(
   }
   release_extras(workload, extras);
   return out;
+}
+
+Workload make_synthetic_workload(const ir::Kernel& kernel, int n, int tb) {
+  Workload w;
+  SplitMix64 rng(0x5eedu);
+  std::size_t buf_elems =
+      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
+  for (const auto& p : kernel.params) {
+    if (p.type.is_pointer) {
+      sim::BufferId id = w.mem->alloc(p.type.scalar, buf_elems);
+      auto& buf = w.mem->buffer(id);
+      if (p.type.scalar == ir::ScalarType::kFloat) {
+        for (auto& v : buf.f32()) v = rng.next_float(-1.f, 1.f);
+      } else {
+        for (auto& v : buf.i32())
+          v = static_cast<std::int32_t>(rng.next_below(7));
+      }
+      w.launch.args.push_back(id);
+    } else if (p.type.scalar == ir::ScalarType::kFloat) {
+      w.launch.args.push_back(sim::LaunchConfig::scalar_float(1.0));
+    } else {
+      w.launch.args.push_back(sim::LaunchConfig::scalar_int(n));
+    }
+  }
+  w.launch.block = {tb, 1, 1};
+  w.launch.grid = {std::max(1, (n + tb - 1) / tb), 1, 1};
+  return w;
 }
 
 }  // namespace cudanp::np

@@ -60,9 +60,26 @@ class Runner {
     return analysis::estimate_resources(kernel, spec_);
   }
 
+  /// Mutable interpreter options, so a long-lived caller can re-budget
+  /// between launches (the serve layer maps each job's remaining
+  /// wall-clock deadline onto max_steps_per_block per attempt).
+  [[nodiscard]] sim::Interpreter::Options& options() { return opt_; }
+  [[nodiscard]] const sim::Interpreter::Options& options() const {
+    return opt_;
+  }
+
  private:
   sim::DeviceSpec spec_;
   sim::Interpreter::Options opt_;
 };
+
+/// Deterministic synthetic workload for kernels the driver knows nothing
+/// about (cudanp-cc --sanitize / --fallback, and every serve-layer job):
+/// each int scalar parameter becomes the problem size n, each float
+/// scalar 1.0, each pointer an n*n-element buffer of seeded
+/// pseudo-random data. Block {tb,1,1}, grid covering n elements — the
+/// convention the paper suite itself launches with.
+[[nodiscard]] Workload make_synthetic_workload(const ir::Kernel& kernel,
+                                               int n, int tb);
 
 }  // namespace cudanp::np

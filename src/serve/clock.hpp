@@ -1,0 +1,27 @@
+// Virtual time for the serve layer.
+//
+// The batch service never reads the host clock: deadlines, retry
+// backoffs and breaker cooldowns are all accounted in virtual
+// milliseconds that the scheduler advances deterministically (each job
+// is charged for the attempts and backoffs it actually performed, in
+// commit order). This is what makes every serve test — and the whole
+// 50-job chaos manifest — bit-identical between --jobs=1 and --jobs=8:
+// nothing downstream of admission depends on wall-clock scheduling.
+#pragma once
+
+#include <cstdint>
+
+namespace cudanp::serve {
+
+class VirtualClock {
+ public:
+  [[nodiscard]] std::int64_t now_ms() const { return now_ms_; }
+  void advance_ms(std::int64_t delta) {
+    if (delta > 0) now_ms_ += delta;
+  }
+
+ private:
+  std::int64_t now_ms_ = 0;
+};
+
+}  // namespace cudanp::serve

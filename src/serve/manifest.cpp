@@ -1,0 +1,156 @@
+#include "serve/manifest.hpp"
+
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "support/string_utils.hpp"
+
+namespace cudanp::serve {
+
+namespace {
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+std::string basename_of(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+}  // namespace
+
+std::vector<JobSpec> parse_manifest(const std::string& text,
+                                    const std::string& base_dir,
+                                    const ManifestDefaults& defaults,
+                                    std::string* error) {
+  std::vector<JobSpec> jobs;
+  auto fail = [&](int line_no, const std::string& msg) {
+    if (error) *error = "line " + std::to_string(line_no) + ": " + msg;
+    jobs.clear();
+    return jobs;
+  };
+
+  int line_no = 0;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    std::string_view sv = trim(line);
+    if (sv.empty() || sv[0] == '#') continue;
+
+    JobSpec job;
+    job.elems = defaults.elems;
+    job.tb = defaults.tb;
+    job.deadline_ms = defaults.deadline_ms;
+    job.max_attempts = defaults.max_attempts;
+    job.watchdog_steps = defaults.watchdog_steps;
+    std::string file;
+
+    std::istringstream fields{std::string(sv)};
+    std::string field;
+    while (fields >> field) {
+      std::size_t eq = field.find('=');
+      std::string key = field.substr(0, eq);
+      std::string value =
+          eq == std::string::npos ? "" : field.substr(eq + 1);
+      // parse_i64 rejects partial parses ("64x"), empties and
+      // out-of-range values; each bad field is a manifest error.
+      auto num = [&](std::int64_t min, std::int64_t max,
+                     std::int64_t* out) {
+        auto v = parse_i64(value, min, max);
+        if (v) *out = *v;
+        return v.has_value();
+      };
+      std::int64_t n = 0;
+      if (key == "file") {
+        file = value;
+      } else if (key == "name") {
+        job.name = value;
+      } else if (key == "kernel") {
+        job.kernel = value;
+      } else if (key == "elems") {
+        if (!num(1, 1 << 20, &n)) return fail(line_no, "bad elems=" + value);
+        job.elems = static_cast<int>(n);
+      } else if (key == "tb") {
+        if (!num(1, 1024, &n)) return fail(line_no, "bad tb=" + value);
+        job.tb = static_cast<int>(n);
+      } else if (key == "deadline-ms") {
+        if (!num(1, std::numeric_limits<std::int64_t>::max() / 2, &n))
+          return fail(line_no, "bad deadline-ms=" + value);
+        job.deadline_ms = n;
+      } else if (key == "attempts") {
+        if (!num(1, 1000, &n)) return fail(line_no, "bad attempts=" + value);
+        job.max_attempts = static_cast<int>(n);
+      } else if (key == "watchdog-steps") {
+        if (!num(-1, std::numeric_limits<std::int64_t>::max(), &n))
+          return fail(line_no, "bad watchdog-steps=" + value);
+        job.watchdog_steps = n;
+      } else if (key == "seed") {
+        if (!num(0, std::numeric_limits<std::int64_t>::max(), &n))
+          return fail(line_no, "bad seed=" + value);
+        job.fault.seed = static_cast<std::uint64_t>(n);
+        job.inject = true;
+      } else if (key == "fault-step") {
+        if (!num(1, std::numeric_limits<std::int64_t>::max(), &n))
+          return fail(line_no, "bad fault-step=" + value);
+        job.fault.sim_error_at_step = n;
+        job.inject = true;
+      } else if (key == "fault-block") {
+        if (!num(-1, std::numeric_limits<std::int64_t>::max(), &n))
+          return fail(line_no, "bad fault-block=" + value);
+        job.fault.fault_block = n;
+        job.inject = true;
+      } else if (key == "stall-block") {
+        if (!num(0, std::numeric_limits<std::int64_t>::max(), &n))
+          return fail(line_no, "bad stall-block=" + value);
+        job.fault.stall_block = n;
+        job.inject = true;
+      } else if (key == "transient-attempts") {
+        if (!num(0, 1000, &n))
+          return fail(line_no, "bad transient-attempts=" + value);
+        job.transient_attempts = static_cast<int>(n);
+      } else if (key == "drop-barrier") {
+        job.fault.drop_barrier = true;
+        job.inject = true;
+      } else if (key == "skew-index") {
+        job.fault.skew_index = true;
+        job.inject = true;
+      } else {
+        return fail(line_no, "unknown field '" + field + "'");
+      }
+    }
+    if (file.empty()) return fail(line_no, "missing file=");
+    std::string path = file;
+    if (!base_dir.empty() && !file.empty() && file[0] != '/')
+      path = base_dir + "/" + file;
+    if (!read_file(path, &job.source))
+      return fail(line_no, "cannot read " + path);
+    if (job.name.empty())
+      job.name = basename_of(file) + ":" + std::to_string(line_no);
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> load_manifest(const std::string& path,
+                                   const ManifestDefaults& defaults,
+                                   std::string* error) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    if (error) *error = "cannot read manifest " + path;
+    return {};
+  }
+  std::size_t slash = path.find_last_of('/');
+  std::string base_dir =
+      slash == std::string::npos ? "" : path.substr(0, slash);
+  return parse_manifest(text, base_dir, defaults, error);
+}
+
+}  // namespace cudanp::serve

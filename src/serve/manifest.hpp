@@ -1,0 +1,60 @@
+// Batch manifest: the `cudanp-cc --batch=<file>` input format.
+//
+// One job per line; blank lines and `#` comments are skipped. A line is
+// whitespace-separated `key=value` fields (plus bare flag keys):
+//
+//   file=examples/tmv.cu kernel=tmv elems=64 tb=32 deadline-ms=500
+//   file=bad.cu fault-step=5 fault-block=0 transient-attempts=1
+//   file=spin.cu stall-block=0 deadline-ms=50 name=hang
+//
+// Keys:
+//   file=<path>            kernel source file (required)
+//   name=<label>           report label (default: file + line number)
+//   kernel=<name>          kernel to compile (default: first annotated)
+//   elems=<n> tb=<n>       workload size / baseline block size
+//   deadline-ms=<n>        per-job virtual deadline
+//   attempts=<n>           per-job attempt cap
+//   watchdog-steps=<n>     per-block step budget (deadline still clamps)
+//   seed=<n>               fault plan seed
+//   fault-step=<n>         inject a SimError at the Nth statement
+//   fault-block=<n>        block the injected SimError targets (-1=all)
+//   stall-block=<n>        block that spins until the watchdog trips
+//   transient-attempts=<n> inject only on the first N attempts
+//   drop-barrier           corrupt the AST: remove first __syncthreads
+//   skew-index             corrupt the AST: skew first indexed store
+//
+// Every numeric field goes through the checked parser — `elems=64x`
+// is a manifest error, not a silent 64 (or 0).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "serve/service.hpp"
+
+namespace cudanp::serve {
+
+/// Defaults applied to fields a manifest line does not set.
+struct ManifestDefaults {
+  int elems = 32;
+  int tb = 32;
+  std::int64_t deadline_ms = 0;      // 0 = ServiceOptions default
+  int max_attempts = 0;              // 0 = retry policy default
+  long long watchdog_steps = 0;
+};
+
+/// Parses manifest text. On success returns the jobs (kernel sources
+/// loaded from each line's file=, resolved relative to `base_dir` when
+/// not absolute). On failure returns an empty vector and sets *error to
+/// a "line N: ..." message.
+[[nodiscard]] std::vector<JobSpec> parse_manifest(
+    const std::string& text, const std::string& base_dir,
+    const ManifestDefaults& defaults, std::string* error);
+
+/// Reads and parses a manifest file (base_dir = the manifest's parent
+/// directory, so file= entries resolve relative to the manifest).
+[[nodiscard]] std::vector<JobSpec> load_manifest(
+    const std::string& path, const ManifestDefaults& defaults,
+    std::string* error);
+
+}  // namespace cudanp::serve

@@ -1,0 +1,43 @@
+// Retry with exponential backoff and deterministic jitter.
+//
+// Transient failures (injected faults, watchdog trips at tightened
+// budgets — see np::transient(FailureCause)) are retried up to
+// max_attempts, sleeping backoff_ms() of virtual time between attempts.
+// The jitter is a pure function of (seed, job index, attempt), so two
+// jobs never thunder in phase yet every run replays byte-identically.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "support/rng.hpp"
+
+namespace cudanp::serve {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 disables retries.
+  int max_attempts = 3;
+  std::int64_t base_backoff_ms = 20;
+  std::int64_t max_backoff_ms = 1000;
+  /// Jitter added on top of the exponential term, in [0, jitter_ms).
+  std::int64_t jitter_ms = 10;
+  std::uint64_t seed = 0x5eedULL;
+
+  /// Virtual backoff charged after failed attempt number `attempt`
+  /// (1-based): base * 2^(attempt-1), capped, plus deterministic jitter.
+  [[nodiscard]] std::int64_t backoff_ms(std::uint64_t job,
+                                        int attempt) const {
+    std::int64_t b = base_backoff_ms;
+    for (int i = 1; i < attempt && b < max_backoff_ms; ++i) b *= 2;
+    b = std::min(b, max_backoff_ms);
+    if (jitter_ms > 0) {
+      SplitMix64 rng(seed ^ (job + 1) * 0x9e3779b97f4a7c15ULL ^
+                     static_cast<std::uint64_t>(attempt));
+      b += static_cast<std::int64_t>(
+          rng.next_below(static_cast<std::uint64_t>(jitter_ms)));
+    }
+    return b;
+  }
+};
+
+}  // namespace cudanp::serve

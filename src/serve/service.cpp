@@ -1,0 +1,433 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "np/runner.hpp"
+#include "serve/clock.hpp"
+#include "sim/exec_pool.hpp"
+#include "sim/interpreter.hpp"
+#include "support/diagnostics.hpp"
+
+namespace cudanp::serve {
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kSucceeded: return "succeeded";
+    case JobState::kSucceededAfterRetry: return "succeeded-after-retry";
+    case JobState::kDegraded: return "degraded";
+    case JobState::kRejected: return "rejected";
+  }
+  return "unknown";
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+const ir::Kernel* pick_kernel(const ir::Program& program,
+                              const std::string& name) {
+  if (!name.empty()) return program.find_kernel(name);
+  for (const auto& k : program.kernels)
+    if (k->parallel_loop_count() > 0) return k.get();
+  return program.kernels.empty() ? nullptr : program.kernels.front().get();
+}
+
+}  // namespace
+
+std::string JobResult::str() const {
+  std::ostringstream os;
+  os << name << ": " << to_string(state);
+  if (!cause.empty()) os << " (" << cause << ")";
+  if (!chosen_config.empty()) os << " -> " << chosen_config;
+  os << " [attempts=" << attempts << ", virtual_ms=" << virtual_ms << "]";
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+std::string JobResult::json() const {
+  std::ostringstream os;
+  os << "{\"index\":" << index << ",\"name\":\"" << json_escape(name)
+     << "\",\"state\":\"" << to_string(state) << "\",\"cause\":\""
+     << json_escape(cause) << "\",\"chosen_config\":\""
+     << json_escape(chosen_config) << "\",\"breaker_key\":\""
+     << json_escape(breaker_key) << "\",\"attempts\":" << attempts
+     << ",\"deadline_ms\":" << deadline_ms
+     << ",\"virtual_ms\":" << virtual_ms << ",\"deadline_exceeded\":"
+     << (deadline_exceeded ? "true" : "false") << ",\"breaker_routed\":"
+     << (breaker_routed ? "true" : "false") << ",\"quarantined\":[";
+  for (std::size_t i = 0; i < quarantined.size(); ++i) {
+    if (i) os << ",";
+    os << quarantined[i].json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::string BreakerSnapshot::json() const {
+  std::ostringstream os;
+  os << "{\"key\":\"" << json_escape(key) << "\",\"state\":\""
+     << to_string(state) << "\",\"opens\":" << opens
+     << ",\"probes\":" << probes
+     << ",\"short_circuits\":" << short_circuits << "}";
+  return os.str();
+}
+
+std::string ServiceReport::str() const {
+  std::ostringstream os;
+  os << "batch: " << submitted << " submitted, " << accepted << " accepted, "
+     << shed << " shed, " << rejected_admission << " rejected at admission, "
+     << drained << " drained\n"
+     << "outcomes: " << succeeded << " succeeded, " << succeeded_after_retry
+     << " succeeded after retry, " << degraded << " degraded, "
+     << rejected_execution << " rejected in execution\n"
+     << "retries: " << retries << " extra attempt(s), " << deadline_exceeded
+     << " deadline(s) exceeded\n"
+     << "breakers: " << breaker_opens << " open(s), " << breaker_probes
+     << " probe(s), " << breaker_short_circuits
+     << " short-circuit(s); virtual clock " << virtual_ms << " ms\n";
+  for (const auto& b : breakers)
+    os << "  breaker " << b.key << ": " << to_string(b.state) << " (opens "
+       << b.opens << ", probes " << b.probes << ", short-circuits "
+       << b.short_circuits << ")\n";
+  for (const auto& j : jobs) os << "  " << j.str() << "\n";
+  os << (all_succeeded() ? "SERVED" : "SERVED-DEGRADED") << "\n";
+  return os.str();
+}
+
+std::string ServiceReport::json() const {
+  std::ostringstream os;
+  os << "{\"submitted\":" << submitted << ",\"accepted\":" << accepted
+     << ",\"shed\":" << shed
+     << ",\"rejected_admission\":" << rejected_admission
+     << ",\"drained\":" << drained << ",\"succeeded\":" << succeeded
+     << ",\"succeeded_after_retry\":" << succeeded_after_retry
+     << ",\"degraded\":" << degraded
+     << ",\"rejected_execution\":" << rejected_execution
+     << ",\"retries\":" << retries
+     << ",\"deadline_exceeded\":" << deadline_exceeded
+     << ",\"breaker_opens\":" << breaker_opens
+     << ",\"breaker_probes\":" << breaker_probes
+     << ",\"breaker_short_circuits\":" << breaker_short_circuits
+     << ",\"virtual_ms\":" << virtual_ms << ",\"breakers\":[";
+  for (std::size_t i = 0; i < breakers.size(); ++i) {
+    if (i) os << ",";
+    os << breakers[i].json();
+  }
+  os << "],\"jobs\":[";
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i) os << ",";
+    os << jobs[i].json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+/// Speculative per-job result, produced on worker threads and committed
+/// (breaker decisions, counters, clock) serially in admission order.
+struct BatchService::Outcome {
+  bool ran = false;       // run_job executed (false = drained slot)
+  bool success = false;   // pristine decision on the final attempt
+  bool rejected = false;  // terminal kRejected during execution
+  std::string reject_cause;
+  std::string reject_detail;
+  int attempts = 0;
+  std::int64_t virtual_ms = 0;
+  bool deadline_exceeded = false;
+  std::int64_t deadline_ms = 0;
+  std::string breaker_key;
+  np::FallbackDecision decision;
+};
+
+void BatchService::run_job(const JobSpec& spec, std::size_t index,
+                           Outcome* out) const {
+  out->ran = true;
+  const std::int64_t deadline =
+      spec.deadline_ms > 0 ? spec.deadline_ms : opt_.default_deadline_ms;
+  out->deadline_ms = deadline;
+  const int max_attempts =
+      std::max(1, spec.max_attempts > 0 ? spec.max_attempts
+                                        : opt_.retry.max_attempts);
+
+  std::unique_ptr<ir::Program> program;
+  try {
+    program = np::NpCompiler::parse(spec.source);
+  } catch (const CompileError& e) {
+    out->rejected = true;
+    out->reject_cause = "compile-error";
+    out->reject_detail = e.what();
+    return;
+  }
+  const ir::Kernel* kernel = pick_kernel(*program, spec.kernel);
+  if (!kernel) {
+    out->rejected = true;
+    out->reject_cause = "no-kernel";
+    return;
+  }
+
+  // Chaos: AST corruption exists before the first launch, like a real
+  // transform bug; statement-level faults hook in per attempt below.
+  sim::FaultInjector injector(spec.fault);
+  std::unique_ptr<ir::Kernel> corrupted;
+  if (spec.inject && (spec.fault.drop_barrier || spec.fault.skew_index)) {
+    corrupted = kernel->clone();
+    (void)injector.corrupt_kernel(*corrupted);
+    kernel = corrupted.get();
+  }
+  out->breaker_key = kernel->name;
+
+  const std::int64_t configured_steps =
+      sim::Interpreter::resolve_max_steps(spec.watchdog_steps);
+  std::int64_t elapsed = 0;
+  for (int attempt = 1;; ++attempt) {
+    const std::int64_t remaining = deadline - elapsed;
+    if (remaining <= 0) {
+      out->deadline_exceeded = true;
+      break;
+    }
+    // Map the remaining wall-clock budget onto the step watchdog
+    // (saturating): a hanging kernel trips at its deadline.
+    std::int64_t deadline_steps =
+        remaining > std::numeric_limits<std::int64_t>::max() /
+                        std::max<std::int64_t>(1, opt_.steps_per_ms)
+            ? std::numeric_limits<std::int64_t>::max()
+            : remaining * opt_.steps_per_ms;
+    np::ValidationOptions vopt;
+    vopt.sanitizer = opt_.sanitizer;
+    vopt.f32_rel_tol = opt_.f32_rel_tol;
+    // Jobs are the unit of parallelism; each job simulates its grid
+    // serially (the exec_pool is not reentrant from worker threads).
+    vopt.interp.jobs = 1;
+    vopt.interp.max_steps_per_block =
+        sim::Interpreter::resolve_max_steps(spec.watchdog_steps,
+                                            deadline_steps);
+    const bool inject_now =
+        spec.inject && (spec.transient_attempts <= 0 ||
+                        attempt <= spec.transient_attempts);
+    if (inject_now) vopt.interp.fault = &injector;
+
+    const ir::Kernel& k = *kernel;
+    const int elems = spec.elems;
+    const int tb = spec.tb;
+    auto factory = [&k, elems, tb] {
+      return np::make_synthetic_workload(k, elems, tb);
+    };
+    np::FallbackResult result = np::NpCompiler::compile_with_fallback(
+        k, /*configs=*/{}, factory, spec_, vopt);
+    out->attempts = attempt;
+    out->decision = std::move(result.decision);
+
+    // Virtual cost: a watchdog trip whose budget the deadline tightened
+    // consumed the job's whole remaining budget; any other attempt
+    // charges the flat attempt cost.
+    bool deadline_bound_trip = false;
+    bool any_transient = false;
+    for (const auto& q : out->decision.quarantined) {
+      if (np::transient(q.cause)) any_transient = true;
+      if (q.cause == np::FailureCause::kWatchdogTrip &&
+          deadline_steps < configured_steps)
+        deadline_bound_trip = true;
+    }
+    elapsed += deadline_bound_trip
+                   ? remaining
+                   : std::min(opt_.attempt_cost_ms, remaining);
+    out->virtual_ms = elapsed;
+
+    if (out->decision.pristine()) {
+      out->success = true;
+      break;
+    }
+    if (!any_transient || attempt >= max_attempts) break;
+    std::int64_t backoff = opt_.retry.backoff_ms(index, attempt);
+    elapsed += std::min(backoff, deadline - elapsed);
+    out->virtual_ms = elapsed;
+    if (elapsed >= deadline) {
+      out->deadline_exceeded = true;
+      break;
+    }
+  }
+  if (!out->success && elapsed >= deadline) out->deadline_exceeded = true;
+}
+
+ServiceReport BatchService::run(const std::vector<JobSpec>& jobs) {
+  ServiceReport report;
+  report.submitted = jobs.size();
+  report.jobs.resize(jobs.size());
+
+  // --- Admission (arrival order): structured rejection + shedding. ---
+  std::vector<std::size_t> accepted;
+  accepted.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    JobResult& r = report.jobs[i];
+    r.index = i;
+    r.name = jobs[i].name.empty() ? "job" + std::to_string(i) : jobs[i].name;
+    const std::int64_t deadline = jobs[i].deadline_ms > 0
+                                      ? jobs[i].deadline_ms
+                                      : opt_.default_deadline_ms;
+    r.deadline_ms = deadline;
+    if (jobs[i].source.empty()) {
+      r.state = JobState::kRejected;
+      r.cause = "empty-source";
+      ++report.rejected_admission;
+      continue;
+    }
+    if (deadline < opt_.min_feasible_ms) {
+      r.state = JobState::kRejected;
+      r.cause = "deadline-infeasible";
+      ++report.rejected_admission;
+      continue;
+    }
+    if (static_cast<std::int64_t>(accepted.size()) >=
+        static_cast<std::int64_t>(opt_.queue_capacity)) {
+      r.state = JobState::kRejected;
+      r.cause = "queue-full";
+      ++report.shed;
+      continue;
+    }
+    accepted.push_back(i);
+  }
+  report.accepted = accepted.size();
+
+  // --- Execution: jobs in parallel on the exec_pool; results land in
+  // per-index storage (the pool's determinism contract). ---
+  std::vector<Outcome> outcomes(accepted.size());
+  const std::int64_t drain_at = opt_.drain_before_job;
+  auto run_one = [&](std::int64_t k) {
+    if (drain_.load(std::memory_order_relaxed) ||
+        (drain_at >= 0 && k >= drain_at))
+      return;  // drained: the commit loop rejects it
+    const std::size_t i = accepted[static_cast<std::size_t>(k)];
+    try {
+      run_job(jobs[i], i, &outcomes[static_cast<std::size_t>(k)]);
+    } catch (const std::exception& e) {
+      Outcome& o = outcomes[static_cast<std::size_t>(k)];
+      o.ran = true;
+      o.rejected = true;
+      o.reject_cause = "internal-error";
+      o.reject_detail = e.what();
+    } catch (...) {
+      Outcome& o = outcomes[static_cast<std::size_t>(k)];
+      o.ran = true;
+      o.rejected = true;
+      o.reject_cause = "internal-error";
+    }
+  };
+  sim::ExecPool::instance().parallel_for(
+      static_cast<std::int64_t>(accepted.size()),
+      sim::ExecPool::resolve_jobs(opt_.jobs), run_one);
+
+  // --- Commit (admission order): virtual clock, breakers, counters. ---
+  VirtualClock clock;
+  std::map<std::string, CircuitBreaker> breakers;
+  for (std::size_t k = 0; k < accepted.size(); ++k) {
+    const std::size_t i = accepted[k];
+    Outcome& o = outcomes[k];
+    JobResult& r = report.jobs[i];
+    if (!o.ran) {
+      r.state = JobState::kRejected;
+      r.cause = "drained";
+      ++report.drained;
+      continue;
+    }
+    r.attempts = o.attempts;
+    r.virtual_ms = o.virtual_ms;
+    r.deadline_exceeded = o.deadline_exceeded;
+    r.quarantined = o.decision.quarantined;
+    if (o.attempts > 1)
+      report.retries += static_cast<std::size_t>(o.attempts - 1);
+    if (o.rejected) {
+      r.state = JobState::kRejected;
+      r.cause = o.reject_cause;
+      r.detail = o.reject_detail;
+      ++report.rejected_execution;
+      continue;
+    }
+    clock.advance_ms(o.virtual_ms);
+    // Breakers track the health of the first-choice variant (the
+    // baseline when the kernel has no candidates).
+    r.breaker_key = o.breaker_key + "|" +
+                    (o.decision.first_choice.empty()
+                         ? "baseline"
+                         : o.decision.first_choice);
+    CircuitBreaker& br =
+        breakers.try_emplace(r.breaker_key, CircuitBreaker(opt_.breaker))
+            .first->second;
+    if (!br.allow(clock.now_ms())) {
+      // Open breaker: traffic routes straight to the guaranteed
+      // baseline; the speculative result is discarded and no failure is
+      // counted against the (already open) breaker.
+      r.state = JobState::kDegraded;
+      r.cause = "breaker-open";
+      r.chosen_config = "baseline";
+      r.breaker_routed = true;
+      ++report.degraded;
+      continue;
+    }
+    if (o.success) {
+      r.state = o.attempts > 1 ? JobState::kSucceededAfterRetry
+                               : JobState::kSucceeded;
+      r.chosen_config = o.decision.chosen_config;
+      if (r.state == JobState::kSucceeded)
+        ++report.succeeded;
+      else
+        ++report.succeeded_after_retry;
+      br.on_success();
+    } else {
+      r.state = JobState::kDegraded;
+      r.chosen_config = o.decision.used_baseline
+                            ? "baseline"
+                            : o.decision.chosen_config;
+      if (o.deadline_exceeded) {
+        r.cause = "deadline-exceeded";
+        ++report.deadline_exceeded;
+      } else if (!o.decision.quarantined.empty()) {
+        r.cause = np::to_string(o.decision.quarantined.front().cause);
+      } else {
+        r.cause = "degraded";
+      }
+      ++report.degraded;
+      br.on_failure(clock.now_ms());
+    }
+  }
+  report.virtual_ms = clock.now_ms();
+  for (const auto& [key, br] : breakers) {
+    BreakerSnapshot s;
+    s.key = key;
+    s.state = br.state();
+    s.opens = br.opens();
+    s.probes = br.probes();
+    s.short_circuits = br.short_circuits();
+    report.breaker_opens += static_cast<std::size_t>(br.opens());
+    report.breaker_probes += static_cast<std::size_t>(br.probes());
+    report.breaker_short_circuits +=
+        static_cast<std::size_t>(br.short_circuits());
+    report.breakers.push_back(std::move(s));
+  }
+  return report;
+}
+
+}  // namespace cudanp::serve

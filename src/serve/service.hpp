@@ -1,0 +1,230 @@
+// Resilient batch serving: the failure *policy* layered on PR 3's
+// failure primitives.
+//
+// A BatchService accepts compile-and-run jobs (kernel source + workload
+// + sanitizer options) into a bounded queue and drives each one through
+// the full guarded pipeline (parse -> NpCompiler::compile_with_fallback
+// under sanitizer + watchdog), surviving every failure mode the chaos
+// harness can produce:
+//
+//   admission   - structured overload rejection: infeasible deadlines
+//                 are rejected up front, and jobs beyond the queue
+//                 capacity are shed with a distinct cause;
+//   deadlines   - each job's remaining wall-clock budget is mapped onto
+//                 the per-block step watchdog (remaining_ms *
+//                 steps_per_ms), so a hanging kernel trips at its
+//                 deadline instead of consuming the global budget;
+//   retry       - transient failures (np::transient) retry with
+//                 exponential backoff and deterministic jitter until
+//                 attempts or deadline run out;
+//   breakers    - a per-(kernel, first-choice variant) circuit breaker
+//                 opens after K consecutive failures, routes traffic to
+//                 the guaranteed baseline, and half-open-probes back;
+//   drain       - request_drain() lets in-flight jobs finish and
+//                 rejects queued ones with cause "drained".
+//
+// Every job ends in exactly one terminal state — succeeded /
+// succeeded-after-retry / degraded-to-baseline / rejected — and the run
+// emits a ServiceReport with str() + json(). All time is virtual
+// (serve/clock.hpp) and breaker transitions commit in admission order,
+// so a whole run is bit-identical at every --jobs count. Scheduling
+// runs on the PR-2 exec_pool: jobs execute concurrently, each
+// simulating its grid serially (the pool is not reentrant).
+//
+// Exposed as `cudanp-cc --batch=<manifest>`; see serve/manifest.hpp and
+// docs/robustness.md ("Serving and degradation policy").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "np/compiler.hpp"
+#include "serve/breaker.hpp"
+#include "serve/retry.hpp"
+#include "sim/device.hpp"
+#include "sim/fault.hpp"
+#include "sim/sanitizer.hpp"
+
+namespace cudanp::serve {
+
+/// One compile-and-run job.
+struct JobSpec {
+  /// Label used in reports; defaults to "job<index>" when empty.
+  std::string name;
+  /// Kernel source text (required).
+  std::string source;
+  /// Kernel to compile; empty = first kernel with #pragma np loops,
+  /// else the first kernel.
+  std::string kernel;
+  /// Synthetic workload problem size and baseline block size.
+  int elems = 32;
+  int tb = 32;
+  /// Per-job wall-clock deadline in virtual ms; 0 = service default.
+  std::int64_t deadline_ms = 0;
+  /// Attempt cap for this job; 0 = the retry policy's max_attempts.
+  int max_attempts = 0;
+  /// Per-block watchdog budget (0 = auto); the deadline clamps it.
+  long long watchdog_steps = 0;
+  /// Chaos knobs: when inject is true, `fault` is wired into the
+  /// interpreter. transient_attempts > 0 limits injection to the first
+  /// N attempts (a transient fault the retry loop outlives); 0 injects
+  /// on every attempt (a persistent fault the breaker learns about).
+  bool inject = false;
+  sim::FaultPlan fault;
+  int transient_attempts = 0;
+};
+
+/// The four terminal states; every submitted job ends in exactly one.
+enum class JobState : std::uint8_t {
+  kSucceeded,            // pristine first attempt
+  kSucceededAfterRetry,  // pristine after >= 1 retry
+  kDegraded,             // ran, but a quarantine/breaker/deadline meant
+                         // a non-first-choice (usually baseline) answer
+  kRejected,             // never produced an answer: admission, drain,
+                         // compile error, or internal error
+};
+
+[[nodiscard]] const char* to_string(JobState s);
+
+struct JobResult {
+  std::size_t index = 0;
+  std::string name;
+  JobState state = JobState::kRejected;
+  /// Terminal cause slug: empty on success; "queue-full",
+  /// "deadline-infeasible", "empty-source", "drained", "compile-error",
+  /// "no-kernel", "internal-error", "breaker-open",
+  /// "deadline-exceeded", or a np::FailureCause slug.
+  std::string cause;
+  /// Human detail for rejections (compile diagnostics etc.).
+  std::string detail;
+  /// Chosen configuration ("baseline" when degraded to baseline).
+  std::string chosen_config;
+  /// Breaker key this job reported to; empty when it never ran.
+  std::string breaker_key;
+  int attempts = 0;
+  std::int64_t deadline_ms = 0;
+  /// Virtual ms this job consumed (attempt costs + backoffs).
+  std::int64_t virtual_ms = 0;
+  bool deadline_exceeded = false;
+  /// True when an open breaker routed this job to the baseline.
+  bool breaker_routed = false;
+  /// Quarantine records from the final attempt.
+  std::vector<np::VariantFailure> quarantined;
+
+  [[nodiscard]] bool terminal_ok() const {
+    return state == JobState::kSucceeded ||
+           state == JobState::kSucceededAfterRetry;
+  }
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string json() const;
+};
+
+/// Final state of one circuit breaker, for the report.
+struct BreakerSnapshot {
+  std::string key;  // "<kernel>|<first-choice config>"
+  BreakerState state = BreakerState::kClosed;
+  int opens = 0;
+  int probes = 0;
+  int short_circuits = 0;
+
+  [[nodiscard]] std::string json() const;
+};
+
+/// Per-run accounting: every counter a long-lived operator cares about.
+struct ServiceReport {
+  std::size_t submitted = 0;
+  std::size_t accepted = 0;
+  /// Load-shed at admission (queue full).
+  std::size_t shed = 0;
+  /// Rejected at admission for structured reasons other than shedding
+  /// (infeasible deadline, empty source).
+  std::size_t rejected_admission = 0;
+  /// Accepted but rejected by a drain before starting.
+  std::size_t drained = 0;
+  std::size_t succeeded = 0;
+  std::size_t succeeded_after_retry = 0;
+  std::size_t degraded = 0;
+  /// Terminal kRejected during execution (compile errors etc.).
+  std::size_t rejected_execution = 0;
+  /// Extra attempts performed across all jobs.
+  std::size_t retries = 0;
+  std::size_t deadline_exceeded = 0;
+  std::size_t breaker_opens = 0;
+  std::size_t breaker_probes = 0;
+  std::size_t breaker_short_circuits = 0;
+  /// Final virtual clock (sum of committed job costs).
+  std::int64_t virtual_ms = 0;
+
+  std::vector<JobResult> jobs;
+  std::vector<BreakerSnapshot> breakers;
+
+  /// True when every submitted job reached a terminal state (always, by
+  /// construction — asserted by tests, relied on by CI).
+  [[nodiscard]] bool complete() const { return jobs.size() == submitted; }
+  /// True when every job succeeded (possibly after retries).
+  [[nodiscard]] bool all_succeeded() const {
+    return degraded == 0 && rejected_admission == 0 && shed == 0 &&
+           drained == 0 && rejected_execution == 0;
+  }
+  [[nodiscard]] std::string str() const;
+  [[nodiscard]] std::string json() const;
+};
+
+struct ServiceOptions {
+  /// Bounded admission queue; submissions beyond it are shed.
+  int queue_capacity = 256;
+  /// Host threads executing jobs concurrently (exec_pool semantics:
+  /// 0 = CUDANP_JOBS env, else hardware concurrency).
+  int jobs = 0;
+  /// Deadline applied to jobs that do not set one.
+  std::int64_t default_deadline_ms = 2000;
+  /// Admission floor: declared deadlines below this are rejected
+  /// outright (structured overload rejection) rather than admitted to
+  /// fail.
+  std::int64_t min_feasible_ms = 1;
+  /// Deadline -> watchdog mapping: a job with R virtual ms remaining
+  /// runs its next attempt under a step budget of R * steps_per_ms.
+  std::int64_t steps_per_ms = 4096;
+  /// Virtual cost charged per completed attempt (a watchdog trip whose
+  /// budget was deadline-bound charges the full remaining deadline
+  /// instead).
+  std::int64_t attempt_cost_ms = 10;
+  /// Deterministic drain point for tests: accepted-queue positions >=
+  /// this are rejected with cause "drained" (as if request_drain() had
+  /// been called after that many jobs were claimed). Negative = never.
+  std::int64_t drain_before_job = -1;
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  sim::SanitizerEngine::Options sanitizer;
+  double f32_rel_tol = 1e-3;
+};
+
+class BatchService {
+ public:
+  BatchService(sim::DeviceSpec spec, ServiceOptions opt)
+      : spec_(std::move(spec)), opt_(std::move(opt)) {}
+
+  /// Runs a whole batch to completion and returns the report. Every job
+  /// in `jobs` appears in report.jobs (same order) in exactly one
+  /// terminal state; the call never throws on job misbehaviour.
+  [[nodiscard]] ServiceReport run(const std::vector<JobSpec>& jobs);
+
+  /// Graceful shutdown: jobs already executing finish and commit;
+  /// queued jobs are rejected with cause "drained". Safe to call from
+  /// any thread while run() is in flight. (For deterministic tests use
+  /// ServiceOptions::drain_before_job instead — which jobs a live drain
+  /// catches depends on scheduling, by nature.)
+  void request_drain() { drain_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Outcome;
+  void run_job(const JobSpec& spec, std::size_t index, Outcome* out) const;
+
+  sim::DeviceSpec spec_;
+  ServiceOptions opt_;
+  std::atomic<bool> drain_{false};
+};
+
+}  // namespace cudanp::serve

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "support/string_utils.hpp"
+
 namespace cudanp::sim {
 
 ExecPool& ExecPool::instance() {
@@ -13,8 +15,9 @@ ExecPool& ExecPool::instance() {
 int ExecPool::resolve_jobs(int requested) {
   if (requested > 0) return std::min(requested, kMaxWorkers + 1);
   if (const char* env = std::getenv("CUDANP_JOBS")) {
-    int v = std::atoi(env);
-    if (v > 0) return std::min(v, kMaxWorkers + 1);
+    // Checked parse: "8x", "", or out-of-range values are ignored (fall
+    // through to hardware concurrency) instead of atoi-ing to a prefix.
+    if (auto v = parse_int(env, 1, kMaxWorkers + 1)) return *v;
   }
   unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<int>(std::min<unsigned>(hw, kMaxWorkers + 1));

@@ -16,6 +16,7 @@
 #include "sim/exec_pool.hpp"
 #include "sim/fault.hpp"
 #include "sim/sanitizer.hpp"
+#include "support/string_utils.hpp"
 
 namespace cudanp::sim {
 
@@ -1403,11 +1404,19 @@ std::int64_t Interpreter::resolve_max_steps(std::int64_t requested) {
   if (requested > 0) return requested;
   if (requested < 0) return std::numeric_limits<std::int64_t>::max();
   if (const char* env = std::getenv("CUDANP_MAX_STEPS")) {
-    char* end = nullptr;
-    long long v = std::strtoll(env, &end, 10);
-    if (end != env && v > 0) return static_cast<std::int64_t>(v);
+    // Checked parse: partial ("10x") or out-of-range values are ignored
+    // (fall through to the default) instead of strtoll's prefix parse.
+    if (auto v = parse_i64(env, 1, std::numeric_limits<std::int64_t>::max()))
+      return *v;
   }
   return kDefaultMaxStepsPerBlock;
+}
+
+std::int64_t Interpreter::resolve_max_steps(std::int64_t requested,
+                                            std::int64_t deadline_budget) {
+  std::int64_t steps = resolve_max_steps(requested);
+  if (deadline_budget > 0) steps = std::min(steps, deadline_budget);
+  return steps;
 }
 
 void validate_launch(const DeviceSpec& spec, const LaunchConfig& cfg,

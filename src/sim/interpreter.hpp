@@ -120,6 +120,15 @@ class Interpreter {
   /// disables the watchdog (returns INT64_MAX).
   [[nodiscard]] static std::int64_t resolve_max_steps(std::int64_t requested);
 
+  /// Deadline-aware resolution: like resolve_max_steps(requested), then
+  /// clamped to `deadline_budget` steps when that is positive. This is
+  /// how the serve layer maps a job's remaining wall-clock deadline onto
+  /// the per-block watchdog (deadline_ms * steps_per_ms -> steps): a
+  /// hanging kernel trips the watchdog at its deadline instead of
+  /// consuming the full default budget. See docs/robustness.md.
+  [[nodiscard]] static std::int64_t resolve_max_steps(
+      std::int64_t requested, std::int64_t deadline_budget);
+
  private:
   const DeviceSpec& spec_;
   DeviceMemory& mem_;

@@ -78,6 +78,24 @@ class DeviceBuffer {
       i32_.assign(i32_.size(), 0);
   }
 
+  /// Host bytes retained by this buffer's payload.
+  [[nodiscard]] std::uint64_t payload_bytes() const {
+    return static_cast<std::uint64_t>(size()) *
+           ir::Type::scalar_size_bytes(type_);
+  }
+
+  /// Frees the payload storage for good. Only the free-list trim policy
+  /// calls this, on released buffers: the slot (and its BufferId) stays
+  /// valid but is never recycled again, so a long-lived service does not
+  /// retain every buffer size it has ever seen. Accesses to a discarded
+  /// buffer fail the usual bounds check (size() == 0).
+  void discard() {
+    discarded_ = true;
+    f32_ = {};
+    i32_ = {};
+  }
+  [[nodiscard]] bool discarded() const { return discarded_; }
+
  private:
   void check(std::size_t idx) const {
     if (idx >= size())
@@ -88,6 +106,7 @@ class DeviceBuffer {
   ir::ScalarType type_;
   std::uint64_t base_addr_;
   bool constant_ = false;
+  bool discarded_ = false;
   std::vector<float> f32_;
   std::vector<std::int32_t> i32_;
 };
@@ -104,6 +123,11 @@ class DeviceMemory {
   /// shape reuses it instead of growing the address space. The id stays
   /// valid (slots are never destroyed) until alloc() hands it out again.
   /// Used for per-run scratch (e.g. CUDA-NP re-homed local arrays).
+  ///
+  /// The pool is bounded: when the bytes retained by released buffers
+  /// exceed free_limit_bytes(), the oldest releases are discarded
+  /// (payload freed, slot never recycled) so a long-lived service
+  /// processing heterogeneous jobs does not grow without limit.
   void release(BufferId id);
   [[nodiscard]] DeviceBuffer& buffer(BufferId id);
   [[nodiscard]] const DeviceBuffer& buffer(BufferId id) const;
@@ -111,10 +135,29 @@ class DeviceMemory {
   /// High-water mark of allocated bytes (for reporting).
   [[nodiscard]] std::uint64_t allocated_bytes() const { return next_addr_; }
 
+  /// Host bytes currently retained by the free pool awaiting reuse.
+  [[nodiscard]] std::uint64_t free_list_bytes() const { return free_bytes_; }
+  /// Cap on free_list_bytes(); releases beyond it evict FIFO-oldest.
+  [[nodiscard]] std::uint64_t free_limit_bytes() const {
+    return free_limit_bytes_;
+  }
+  /// Re-caps the pool and trims immediately; 0 disables pooling (every
+  /// release discards its payload).
+  void set_free_limit_bytes(std::uint64_t limit);
+
+  /// Default pool cap: generous for one workload's scratch churn, small
+  /// enough that a service run over thousands of heterogeneous jobs
+  /// stays bounded.
+  static constexpr std::uint64_t kDefaultFreeLimitBytes = 64ull << 20;
+
  private:
+  void trim_free_list();  // evict FIFO-oldest until under the cap
+
   std::vector<DeviceBuffer> buffers_;
-  std::vector<BufferId> free_;  // released ids awaiting reuse
+  std::vector<BufferId> free_;  // released ids awaiting reuse (FIFO)
   std::uint64_t next_addr_ = 0;
+  std::uint64_t free_bytes_ = 0;
+  std::uint64_t free_limit_bytes_ = kDefaultFreeLimitBytes;
 };
 
 /// Counts the 128-byte segments touched by one warp-wide access. `addrs`

@@ -74,4 +74,37 @@ std::string replace_all(std::string s, std::string_view from,
   return s;
 }
 
+std::optional<std::int64_t> parse_i64(std::string_view s, std::int64_t min,
+                                      std::int64_t max) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  bool negative = false;
+  if (s[0] == '+' || s[0] == '-') {
+    negative = s[0] == '-';
+    s.remove_prefix(1);
+    if (s.empty()) return std::nullopt;
+  }
+  // Accumulate negatively so INT64_MIN parses without overflow.
+  std::int64_t v = 0;
+  constexpr std::int64_t kMin = std::numeric_limits<std::int64_t>::min();
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    int digit = c - '0';
+    if (v < (kMin + digit) / 10) return std::nullopt;
+    v = v * 10 - digit;
+  }
+  if (!negative) {
+    if (v == kMin) return std::nullopt;
+    v = -v;
+  }
+  if (v < min || v > max) return std::nullopt;
+  return v;
+}
+
+std::optional<int> parse_int(std::string_view s, int min, int max) {
+  auto v = parse_i64(s, min, max);
+  if (!v) return std::nullopt;
+  return static_cast<int>(*v);
+}
+
 }  // namespace cudanp

@@ -1,6 +1,9 @@
 // Small string helpers used across the frontend and bench harness.
 #pragma once
 
+#include <cstdint>
+#include <limits>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -29,5 +32,21 @@ namespace cudanp {
 /// Replaces every occurrence of `from` with `to` in `s`.
 [[nodiscard]] std::string replace_all(std::string s, std::string_view from,
                                       std::string_view to);
+
+/// Checked integer parsing for CLI flags, environment variables and
+/// manifest fields. Unlike atoi/strtoll, the whole string (after
+/// optional surrounding whitespace) must be a base-10 integer inside
+/// [min, max]; partial parses ("8x"), empty strings, and out-of-range
+/// values all return nullopt instead of silently becoming 0 or a
+/// truncated prefix.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(
+    std::string_view s,
+    std::int64_t min = std::numeric_limits<std::int64_t>::min(),
+    std::int64_t max = std::numeric_limits<std::int64_t>::max());
+
+/// parse_i64 narrowed to int, for the many int-typed knobs.
+[[nodiscard]] std::optional<int> parse_int(
+    std::string_view s, int min = std::numeric_limits<int>::min(),
+    int max = std::numeric_limits<int>::max());
 
 }  // namespace cudanp

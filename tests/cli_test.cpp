@@ -281,6 +281,102 @@ TEST(Cli, FallbackRejectsUnknownPolicy) {
   EXPECT_EQ(r.exit_code, 1);
 }
 
+TEST(Cli, RejectsGarbageNumericFlags) {
+  // The atoi era: --tb=8x silently meant 8 and --jobs=x meant 0. Every
+  // numeric flag now goes through the checked parser.
+  auto path = write_temp_kernel(kTmv);
+  for (const char* flag :
+       {"--tb=8x", "--tb=", "--tb=99999", "--slave-size=four", "--sm=abc",
+        "--elems=1e3", "--jobs=0", "--watchdog-steps=10x",
+        "--error-limit=-2", "--queue-cap=0x10", "--deadline-ms=soon",
+        "--retries=1.5"}) {
+    auto r = run_cli(path + " " + flag);
+    EXPECT_EQ(r.exit_code, 1) << flag << ": " << r.output;
+  }
+  auto ok = run_cli(path + " --tb=64");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
+std::string write_temp_file(const std::string& name,
+                            const std::string& body) {
+  std::string path = ::testing::TempDir() + "cudanp_cli_" +
+                     std::to_string(::getpid()) + "_" + name;
+  std::ofstream f(path);
+  f << body;
+  return path;
+}
+
+TEST(Cli, BatchHealthyManifestExitsZero) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "healthy.txt", "file=" + kernel + " elems=16 tb=8 name=ok\n");
+  auto r = run_cli("--batch=" + manifest);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ok: succeeded"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("SERVED\n"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("\"submitted\":1"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, BatchMixedManifestExitsSevenWithAllTerminalStates) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto spin = write_temp_file("spin.cu", R"(
+__global__ void spin(int* a, int n) {
+  int i = 0;
+  while (n > 0) { i = i + 1; }
+  a[0] = i;
+}
+)");
+  auto manifest = write_temp_file(
+      "mixed.txt",
+      "# healthy / flaky / broken / hanging\n"
+      "file=" + kernel + " elems=16 tb=8 name=healthy\n"
+      "file=" + kernel +
+          " elems=16 tb=8 fault-step=5 transient-attempts=1 name=flaky\n"
+      "file=" + kernel + " elems=16 tb=8 fault-step=5 name=broken\n"
+      "file=" + spin + " deadline-ms=20 name=hang\n");
+  auto r = run_cli("--batch=" + manifest + " --jobs=4");
+  EXPECT_EQ(r.exit_code, 7) << r.output;
+  EXPECT_NE(r.output.find("healthy: succeeded"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("flaky: succeeded-after-retry"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("broken: degraded"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("hang: degraded (deadline-exceeded)"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("SERVED-DEGRADED"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, BatchBadManifestExitsOneWithLineNumber) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "bad.txt", "file=" + kernel + " elems=64x\n");
+  auto r = run_cli("--batch=" + manifest);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("line 1: bad elems=64x"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, BatchMissingManifestExitsOne) {
+  auto r = run_cli("--batch=/nonexistent/manifest.txt");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("cannot read manifest"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, BatchAndInputFileAreMutuallyExclusive) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest =
+      write_temp_file("both.txt", "file=" + kernel + " name=x\n");
+  auto r = run_cli(kernel + " --batch=" + manifest);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
 TEST(Cli, EmittedOutputIsReparsable) {
   // Feed cudanp-cc its own output: source-to-source must close the loop.
   auto path = write_temp_kernel(kTmv);

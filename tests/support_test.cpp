@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 
 #include "support/diagnostics.hpp"
@@ -69,6 +71,55 @@ TEST(StringUtils, ReplaceAll) {
 TEST(StringUtils, FormatDouble) {
   EXPECT_EQ(format_double(2.5, 3), "2.5");
   EXPECT_EQ(format_double(1234.0, 2), "1.2e+03");
+}
+
+TEST(ParseI64, AcceptsWholeIntegers) {
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("42"), 42);
+  EXPECT_EQ(parse_i64("-7"), -7);
+  EXPECT_EQ(parse_i64("+13"), 13);
+  EXPECT_EQ(parse_i64("  99 "), 99);  // surrounding whitespace is trimmed
+}
+
+TEST(ParseI64, RejectsPartialParses) {
+  // The atoi failure modes this parser exists to kill: "8x" silently
+  // became 8, "x8" and "" silently became 0.
+  EXPECT_FALSE(parse_i64("8x").has_value());
+  EXPECT_FALSE(parse_i64("x8").has_value());
+  EXPECT_FALSE(parse_i64("").has_value());
+  EXPECT_FALSE(parse_i64("   ").has_value());
+  EXPECT_FALSE(parse_i64("-").has_value());
+  EXPECT_FALSE(parse_i64("+").has_value());
+  EXPECT_FALSE(parse_i64("1.5").has_value());
+  EXPECT_FALSE(parse_i64("1 2").has_value());
+  EXPECT_FALSE(parse_i64("0x10").has_value());
+}
+
+TEST(ParseI64, RangeChecked) {
+  EXPECT_EQ(parse_i64("5", 1, 10), 5);
+  EXPECT_FALSE(parse_i64("0", 1, 10).has_value());
+  EXPECT_FALSE(parse_i64("11", 1, 10).has_value());
+  EXPECT_EQ(parse_i64("10", 1, 10), 10);  // bounds are inclusive
+}
+
+TEST(ParseI64, ExtremesAndOverflow) {
+  EXPECT_EQ(parse_i64("9223372036854775807"),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(parse_i64("-9223372036854775808"),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_FALSE(parse_i64("9223372036854775808").has_value());
+  EXPECT_FALSE(parse_i64("-9223372036854775809").has_value());
+  EXPECT_FALSE(parse_i64("99999999999999999999999").has_value());
+}
+
+TEST(ParseInt, NarrowsWithRange) {
+  EXPECT_EQ(parse_int("1024", 1, 1024), 1024);
+  EXPECT_FALSE(parse_int("1025", 1, 1024).has_value());
+  EXPECT_FALSE(parse_int("abc", 1, 1024).has_value());
+  EXPECT_EQ(parse_int("-3"), -3);
+  // Values outside int's own range never narrow, whatever the caller's
+  // bounds.
+  EXPECT_FALSE(parse_int("4294967296").has_value());
 }
 
 TEST(Stats, GeometricMean) {

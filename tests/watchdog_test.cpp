@@ -262,6 +262,62 @@ TEST(LaunchValidation, RejectsSharedMemoryOverflow) {
   }
 }
 
+TEST(LaunchValidation, RejectsZeroDimensionInEveryAxis) {
+  auto spec = sim::DeviceSpec::gtx680();
+  sim::LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  const sim::Dim3 zero_blocks[] = {{0, 8, 8}, {8, 0, 8}, {8, 8, 0}};
+  for (const auto& b : zero_blocks) {
+    cfg.block = b;
+    EXPECT_THROW(sim::validate_launch(spec, cfg), SimError);
+  }
+  cfg.block = {8, 8, 1};
+  const sim::Dim3 zero_grids[] = {{0, 4, 4}, {4, 0, 4}, {4, 4, 0}};
+  for (const auto& g : zero_grids) {
+    cfg.grid = g;
+    EXPECT_THROW(sim::validate_launch(spec, cfg), SimError);
+  }
+  cfg.grid = {4, 4, 4};
+  EXPECT_NO_THROW(sim::validate_launch(spec, cfg));
+}
+
+TEST(LaunchValidation, RejectsBlockProductOverflowing32Bits) {
+  // Each axis fits an int, but the product (65535 * 65535 * 64 ~ 2^38)
+  // overflows 32 bits. Dim3::count() computes in 64 bits, so this must
+  // be rejected as oversized rather than wrapping into a small in-range
+  // count.
+  auto spec = sim::DeviceSpec::gtx680();
+  sim::LaunchConfig cfg;
+  cfg.block = {65535, 65535, 64};
+  cfg.grid = {1, 1, 1};
+  EXPECT_GT(cfg.block.count(),
+            static_cast<std::int64_t>(1) << 32);  // no 32-bit wrap
+  try {
+    sim::validate_launch(spec, cfg);
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("device limit"), std::string::npos)
+        << e.what();
+  }
+  // A product that a 32-bit wrap would make look tiny (2^31 * 2 = 2^32
+  // wraps to 0) must still be rejected.
+  cfg.block = {1 << 30, 4, 1};
+  EXPECT_THROW(sim::validate_launch(spec, cfg), SimError);
+}
+
+TEST(LaunchValidation, SharedMemoryExactlyAtCapacityIsAccepted) {
+  auto spec = sim::DeviceSpec::gtx680();
+  ASSERT_EQ(spec.shared_mem_per_smx, 48 * 1024);
+  sim::LaunchConfig cfg;
+  cfg.block = {32, 1, 1};
+  cfg.grid = {1, 1, 1};
+  // The boundary is inclusive: exactly 48 KB launches, one byte more
+  // does not.
+  EXPECT_NO_THROW(sim::validate_launch(spec, cfg, 48 * 1024));
+  EXPECT_THROW(sim::validate_launch(spec, cfg, 48 * 1024 + 1), SimError);
+  EXPECT_NO_THROW(sim::validate_launch(spec, cfg, 0));
+}
+
 // The sanitized path turns an invalid launch into a structured kSimFault
 // report with ran=false instead of an exception.
 TEST(LaunchValidation, SanitizedRunRecordsStructuredFault) {

@@ -37,17 +37,29 @@
 //                         kernel when every candidate is quarantined. The
 //                         chosen kernel is always printed; the structured
 //                         failure report (JSON) goes to stderr.
+//   --batch=<manifest>    resilient batch serving: run every job in the
+//                         manifest (one kernel+workload per line; see
+//                         src/serve/manifest.hpp) through admission
+//                         control, deadlines, retry/backoff and circuit
+//                         breakers. The ServiceReport goes to the output
+//                         stream (human) and stderr (JSON).
+//   --queue-cap=<n>       batch admission queue capacity (default 256)
+//   --deadline-ms=<n>     default per-job virtual deadline (batch mode)
+//   --retries=<n>         max attempts per job incl. the first (batch)
 //   -o <file>             write output to file (default stdout)
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
 // 3 when --sanitize found hazards or an output mismatch, 4 on simulation
 // errors, 5 on internal errors, 6 when --fallback degraded (a candidate
 // was quarantined or the baseline was used) or the watchdog cancelled an
-// unsanitized run — the output is still a runnable answer.
-#include <algorithm>
+// unsanitized run — the output is still a runnable answer, 7 when a
+// --batch run completed but not every job succeeded (some jobs were
+// degraded to the baseline, shed, drained, or rejected; every job still
+// reached a terminal state).
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -57,8 +69,11 @@
 #include "ir/printer.hpp"
 #include "np/compiler.hpp"
 #include "np/runner.hpp"
+#include "serve/manifest.hpp"
+#include "serve/service.hpp"
+#include "sim/exec_pool.hpp"
 #include "support/diagnostics.hpp"
-#include "support/rng.hpp"
+#include "support/string_utils.hpp"
 #include "transform/preprocess.hpp"
 
 using namespace cudanp;
@@ -88,6 +103,10 @@ struct CliOptions {
   // negative disables the watchdog entirely.
   long long watchdog_steps = 0;
   bool fallback = false;  // --fallback=baseline graceful degradation
+  std::string batch;      // --batch=<manifest> resilient batch serving
+  int queue_cap = 256;
+  long long deadline_ms = 0;  // 0 = service default
+  int retries = 0;            // 0 = retry policy default
 };
 
 void usage() {
@@ -99,7 +118,33 @@ void usage() {
          "                 [--report] [--preprocess] [-o <file>]\n"
          "                 [--sanitize] [--error-limit=<n>] [--elems=<n>]\n"
          "                 [--portable-races] [--jobs=<n>]\n"
-         "                 [--watchdog-steps=<n>] [--fallback=baseline]\n";
+         "                 [--watchdog-steps=<n>] [--fallback=baseline]\n"
+         "       cudanp-cc --batch=<manifest> [--jobs=<n>]\n"
+         "                 [--queue-cap=<n>] [--deadline-ms=<n>]\n"
+         "                 [--retries=<n>] [--elems=<n>] [--tb=<n>]\n"
+         "                 [--watchdog-steps=<n>] [-o <file>]\n";
+}
+
+/// Checked numeric flag: "--tb=32x", "--tb=", and out-of-range values
+/// are usage errors instead of silently atoi-ing to 0 or a prefix.
+bool parse_flag_i64(const char* flag, const char* text, long long min,
+                    long long max, long long* out) {
+  auto v = parse_i64(text, min, max);
+  if (!v) {
+    std::cerr << "cudanp-cc: bad value for " << flag << ": '" << text
+              << "' (expected integer in [" << min << ", " << max << "])\n";
+    return false;
+  }
+  *out = *v;
+  return true;
+}
+
+bool parse_flag_int(const char* flag, const char* text, int min, int max,
+                    int* out) {
+  long long v = 0;
+  if (!parse_flag_i64(flag, text, min, max, &v)) return false;
+  *out = static_cast<int>(v);
+  return true;
 }
 
 std::optional<CliOptions> parse_args(int argc, char** argv) {
@@ -112,9 +157,12 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     if (a.rfind("--kernel=", 0) == 0) {
       opt.kernel = value("--kernel=");
     } else if (a.rfind("--tb=", 0) == 0) {
-      opt.tb = std::atoi(value("--tb="));
+      if (!parse_flag_int("--tb", value("--tb="), 1, 1024, &opt.tb))
+        return std::nullopt;
     } else if (a.rfind("--slave-size=", 0) == 0) {
-      opt.slave_size = std::atoi(value("--slave-size="));
+      if (!parse_flag_int("--slave-size", value("--slave-size="), 1, 1024,
+                          &opt.slave_size))
+        return std::nullopt;
     } else if (a.rfind("--np-type=", 0) == 0) {
       std::string v = value("--np-type=");
       if (v == "inter") opt.np_type = ir::NpType::kInterWarp;
@@ -131,7 +179,8 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         opt.placement = transform::LocalPlacement::kGlobal;
       else return std::nullopt;
     } else if (a.rfind("--sm=", 0) == 0) {
-      opt.sm = std::atoi(value("--sm="));
+      if (!parse_flag_int("--sm", value("--sm="), 10, 999, &opt.sm))
+        return std::nullopt;
     } else if (a == "--pad") {
       opt.pad = true;
     } else if (a == "--no-shfl") {
@@ -145,18 +194,41 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
     } else if (a == "--sanitize") {
       opt.sanitize = true;
     } else if (a.rfind("--error-limit=", 0) == 0) {
-      opt.error_limit = std::atoi(value("--error-limit="));
-      if (opt.error_limit < 0) return std::nullopt;
+      if (!parse_flag_int("--error-limit", value("--error-limit="), 0,
+                          1 << 30, &opt.error_limit))
+        return std::nullopt;
     } else if (a.rfind("--elems=", 0) == 0) {
-      opt.elems = std::atoi(value("--elems="));
-      if (opt.elems <= 0) return std::nullopt;
+      if (!parse_flag_int("--elems", value("--elems="), 1, 1 << 20,
+                          &opt.elems))
+        return std::nullopt;
     } else if (a == "--portable-races") {
       opt.portable_races = true;
     } else if (a.rfind("--jobs=", 0) == 0) {
-      opt.jobs = std::atoi(value("--jobs="));
-      if (opt.jobs <= 0) return std::nullopt;
+      if (!parse_flag_int("--jobs", value("--jobs="), 1,
+                          sim::ExecPool::kMaxWorkers, &opt.jobs))
+        return std::nullopt;
     } else if (a.rfind("--watchdog-steps=", 0) == 0) {
-      opt.watchdog_steps = std::atoll(value("--watchdog-steps="));
+      if (!parse_flag_i64("--watchdog-steps", value("--watchdog-steps="),
+                          std::numeric_limits<long long>::min(),
+                          std::numeric_limits<long long>::max(),
+                          &opt.watchdog_steps))
+        return std::nullopt;
+    } else if (a.rfind("--batch=", 0) == 0) {
+      opt.batch = value("--batch=");
+      if (opt.batch.empty()) return std::nullopt;
+    } else if (a.rfind("--queue-cap=", 0) == 0) {
+      if (!parse_flag_int("--queue-cap", value("--queue-cap="), 1, 1 << 20,
+                          &opt.queue_cap))
+        return std::nullopt;
+    } else if (a.rfind("--deadline-ms=", 0) == 0) {
+      if (!parse_flag_i64("--deadline-ms", value("--deadline-ms="), 1,
+                          std::numeric_limits<long long>::max() / 2,
+                          &opt.deadline_ms))
+        return std::nullopt;
+    } else if (a.rfind("--retries=", 0) == 0) {
+      if (!parse_flag_int("--retries", value("--retries="), 1, 1000,
+                          &opt.retries))
+        return std::nullopt;
     } else if (a.rfind("--fallback=", 0) == 0) {
       std::string v = value("--fallback=");
       if (v != "baseline") return std::nullopt;
@@ -176,7 +248,10 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  if (opt.input.empty()) return std::nullopt;
+  // Batch mode takes its inputs from the manifest; every other mode
+  // needs exactly one source file.
+  if (opt.batch.empty() && opt.input.empty()) return std::nullopt;
+  if (!opt.batch.empty() && !opt.input.empty()) return std::nullopt;
   return opt;
 }
 
@@ -188,40 +263,6 @@ const ir::Kernel* pick_kernel(const ir::Program& program,
   if (any_fallback && !program.kernels.empty())
     return program.kernels.front().get();
   return nullptr;
-}
-
-/// Builds a deterministic synthetic workload for --sanitize when the tool
-/// knows nothing about the kernel's semantics: every int scalar parameter
-/// becomes the problem size n, every float scalar 1.0, and every pointer an
-/// n*n-element buffer filled with seeded pseudo-random data. The block is
-/// {tb,1,1} and the grid covers n elements — the convention the paper suite
-/// itself launches with.
-np::Workload make_synthetic_workload(const ir::Kernel& kernel, int n,
-                                     int tb) {
-  np::Workload w;
-  SplitMix64 rng(0x5eedu);
-  std::size_t buf_elems =
-      static_cast<std::size_t>(n) * static_cast<std::size_t>(n);
-  for (const auto& p : kernel.params) {
-    if (p.type.is_pointer) {
-      sim::BufferId id = w.mem->alloc(p.type.scalar, buf_elems);
-      auto& buf = w.mem->buffer(id);
-      if (p.type.scalar == ir::ScalarType::kFloat) {
-        for (auto& v : buf.f32()) v = rng.next_float(-1.f, 1.f);
-      } else {
-        for (auto& v : buf.i32())
-          v = static_cast<std::int32_t>(rng.next_below(7));
-      }
-      w.launch.args.push_back(id);
-    } else if (p.type.scalar == ir::ScalarType::kFloat) {
-      w.launch.args.push_back(sim::LaunchConfig::scalar_float(1.0));
-    } else {
-      w.launch.args.push_back(sim::LaunchConfig::scalar_int(n));
-    }
-  }
-  w.launch.block = {tb, 1, 1};
-  w.launch.grid = {std::max(1, (n + tb - 1) / tb), 1, 1};
-  return w;
 }
 
 void print_report(std::ostream& os, const ir::Kernel& kernel,
@@ -253,11 +294,70 @@ void print_report(std::ostream& os, const ir::Kernel& kernel,
 
 }  // namespace
 
+/// --batch mode: load the manifest, run every job through the resilient
+/// batch service, and report. Exit 0 only when every job succeeded
+/// outright; 7 when the batch completed but some jobs retried into
+/// success is still 0 — only degraded/rejected/shed outcomes flip to 7.
+int run_batch(const CliOptions& opt, std::ostream& os) {
+  serve::ManifestDefaults defaults;
+  defaults.elems = opt.elems;
+  defaults.tb = opt.tb;
+  defaults.deadline_ms = opt.deadline_ms;
+  defaults.max_attempts = opt.retries;
+  defaults.watchdog_steps = opt.watchdog_steps;
+
+  std::string error;
+  std::vector<serve::JobSpec> jobs =
+      serve::load_manifest(opt.batch, defaults, &error);
+  if (jobs.empty()) {
+    std::cerr << "cudanp-cc: " << opt.batch << ": "
+              << (error.empty() ? "empty manifest" : error) << "\n";
+    return 1;
+  }
+
+  serve::ServiceOptions sopts;
+  sopts.queue_capacity = opt.queue_cap;
+  sopts.jobs = opt.jobs;
+  if (opt.deadline_ms > 0) sopts.default_deadline_ms = opt.deadline_ms;
+  if (opt.retries > 0) sopts.retry.max_attempts = opt.retries;
+  sopts.sanitizer.error_limit = static_cast<std::size_t>(opt.error_limit);
+  sopts.sanitizer.race_mode = opt.portable_races
+                                  ? sim::SanitizerEngine::RaceMode::kPortable
+                                  : sim::SanitizerEngine::RaceMode::kLockstep;
+
+  auto spec = sim::DeviceSpec::gtx680();
+  spec.sm_version = opt.sm;
+  serve::BatchService service(spec, sopts);
+  serve::ServiceReport report = service.run(jobs);
+  os << report.str();
+  std::cerr << report.json() << "\n";
+  return report.all_succeeded() ? 0 : 7;
+}
+
 int main(int argc, char** argv) {
   auto opt = parse_args(argc, argv);
   if (!opt) {
     usage();
     return 1;
+  }
+
+  if (!opt->batch.empty()) {
+    std::ofstream batch_file;
+    std::ostream* bos = &std::cout;
+    if (!opt->output.empty()) {
+      batch_file.open(opt->output);
+      if (!batch_file) {
+        std::cerr << "cudanp-cc: cannot write " << opt->output << "\n";
+        return 1;
+      }
+      bos = &batch_file;
+    }
+    try {
+      return run_batch(*opt, *bos);
+    } catch (const std::exception& e) {
+      std::cerr << "cudanp-cc: internal error: " << e.what() << "\n";
+      return 5;
+    }
   }
 
   std::ifstream in(opt->input);
@@ -317,7 +417,7 @@ int main(int argc, char** argv) {
         iopt.max_steps_per_block = opt->watchdog_steps;
         np::Runner runner(spec, iopt);
         np::Workload w =
-            make_synthetic_workload(*kernel, opt->elems, opt->tb);
+            np::make_synthetic_workload(*kernel, opt->elems, opt->tb);
         auto run = runner.run_sanitized(*kernel, w, sopt);
         if (opt->fallback) {
           // Nothing to fall back from: the baseline is the answer either
@@ -340,7 +440,7 @@ int main(int argc, char** argv) {
       const int n = opt->elems;
       const int tb = opt->tb;
       auto factory = [&k, n, tb] {
-        return make_synthetic_workload(k, n, tb);
+        return np::make_synthetic_workload(k, n, tb);
       };
       if (opt->fallback) {
         auto result =
