@@ -11,6 +11,7 @@
 #include "frontend/parser.hpp"
 #include "np/heuristic.hpp"
 #include "np/runner.hpp"
+#include "support/json.hpp"
 
 namespace cudanp::np {
 
@@ -197,38 +198,34 @@ const char* to_string(FailureCause c) {
     case FailureCause::kHazards: return "hazards";
     case FailureCause::kOutputMismatch: return "output-mismatch";
     case FailureCause::kRunError: return "run-error";
+    case FailureCause::kCrash: return "crash";
+    case FailureCause::kResourceLimit: return "resource-limit";
   }
   return "unknown";
 }
 
+std::optional<FailureCause> failure_cause_from_string(std::string_view s) {
+  for (FailureCause c :
+       {FailureCause::kTransformError, FailureCause::kLaunchError,
+        FailureCause::kWatchdogTrip, FailureCause::kHazards,
+        FailureCause::kOutputMismatch, FailureCause::kRunError,
+        FailureCause::kCrash, FailureCause::kResourceLimit})
+    if (s == to_string(c)) return c;
+  return std::nullopt;
+}
+
 bool transient(FailureCause c) {
-  return c == FailureCause::kWatchdogTrip || c == FailureCause::kRunError;
+  // A worker crash is transient like a run error: the crash may be
+  // load- or timing-dependent, so the retry loop gets a chance before
+  // the job degrades. A resource-limit kill is deterministic for a
+  // given cap and never retried (but still feeds the breaker).
+  return c == FailureCause::kWatchdogTrip || c == FailureCause::kRunError ||
+         c == FailureCause::kCrash;
 }
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 }  // namespace
 
@@ -274,6 +271,54 @@ std::string FallbackDecision::json() const {
   }
   os << "]}";
   return os.str();
+}
+
+std::optional<VariantFailure> VariantFailure::from_json_value(
+    const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  VariantFailure f;
+  f.kernel = v.get_str("kernel");
+  f.config = v.get_str("config");
+  auto cause = failure_cause_from_string(v.get_str("cause"));
+  if (!cause) return std::nullopt;
+  f.cause = *cause;
+  f.hazard_count = static_cast<std::size_t>(v.get_i64("hazards"));
+  f.detail = v.get_str("detail");
+  return f;
+}
+
+std::optional<VariantFailure> VariantFailure::from_json(
+    std::string_view text) {
+  auto v = json::parse(text);
+  if (!v) return std::nullopt;
+  return from_json_value(*v);
+}
+
+std::optional<FallbackDecision> FallbackDecision::from_json_value(
+    const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  FallbackDecision d;
+  d.kernel = v.get_str("kernel");
+  d.used_baseline = v.get_bool("used_baseline", true);
+  d.chosen_config = v.get_str("chosen_config");
+  d.first_choice = v.get_str("first_choice");
+  const json::Value* q = v.find("quarantined");
+  if (q) {
+    if (!q->is_array()) return std::nullopt;
+    for (const auto& item : q->arr()) {
+      auto f = VariantFailure::from_json_value(item);
+      if (!f) return std::nullopt;
+      d.quarantined.push_back(std::move(*f));
+    }
+  }
+  return d;
+}
+
+std::optional<FallbackDecision> FallbackDecision::from_json(
+    std::string_view text) {
+  auto v = json::parse(text);
+  if (!v) return std::nullopt;
+  return from_json_value(*v);
 }
 
 FallbackResult NpCompiler::compile_with_fallback(

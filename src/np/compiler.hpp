@@ -9,8 +9,11 @@
 //   std::string cuda_text = ir::print_kernel(*variant.kernel);
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/kernel.hpp"
@@ -20,6 +23,10 @@
 #include "sim/sanitizer.hpp"
 #include "transform/np_config.hpp"
 #include "transform/transformer.hpp"
+
+namespace cudanp::json {
+class Value;
+}
 
 namespace cudanp::np {
 
@@ -85,9 +92,21 @@ enum class FailureCause : std::uint8_t {
   kOutputMismatch,
   /// Any other SimError raised while running (autotuner paths).
   kRunError,
+  /// The execution worker process died (nonzero exit, signal, wedged
+  /// pipe) while running the attempt — only produced by the serve
+  /// layer's process-isolation mode (serve/supervisor.*).
+  kCrash,
+  /// The attempt exceeded a resource cap (allocation failure under the
+  /// worker's RLIMIT_AS budget). Deterministic for a given cap, so it is
+  /// never retried, but it is breaker-eligible like any other failure.
+  kResourceLimit,
 };
 
 [[nodiscard]] const char* to_string(FailureCause c);
+
+/// Reverses to_string; nullopt on an unknown slug.
+[[nodiscard]] std::optional<FailureCause> failure_cause_from_string(
+    std::string_view s);
 
 /// True when a failure of this cause is plausibly transient — worth a
 /// retry with backoff rather than permanent quarantine. Watchdog trips
@@ -111,6 +130,13 @@ struct VariantFailure {
 
   [[nodiscard]] std::string str() const;
   [[nodiscard]] std::string json() const;
+  /// Parses a json() document back; nullopt on malformed input. The
+  /// round trip is exact: from_json(x.json())->json() == x.json().
+  [[nodiscard]] static std::optional<VariantFailure> from_json(
+      std::string_view text);
+  /// Same, from an already-parsed value (nested inside a larger doc).
+  [[nodiscard]] static std::optional<VariantFailure> from_json_value(
+      const json::Value& v);
 };
 
 /// Outcome of compile_with_fallback: which candidate was chosen and every
@@ -137,6 +163,14 @@ struct FallbackDecision {
   }
   [[nodiscard]] std::string summary() const;
   [[nodiscard]] std::string json() const;
+  /// Parses a json() document back; nullopt on malformed input. This is
+  /// how decisions cross the worker-process boundary in the serve
+  /// layer's --isolate=process mode.
+  [[nodiscard]] static std::optional<FallbackDecision> from_json(
+      std::string_view text);
+  /// Same, from an already-parsed value (nested inside a larger doc).
+  [[nodiscard]] static std::optional<FallbackDecision> from_json_value(
+      const json::Value& v);
 };
 
 struct FallbackResult {

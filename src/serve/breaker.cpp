@@ -11,6 +11,13 @@ const char* to_string(BreakerState s) {
   return "unknown";
 }
 
+std::optional<BreakerState> breaker_state_from_string(std::string_view s) {
+  for (BreakerState st : {BreakerState::kClosed, BreakerState::kOpen,
+                          BreakerState::kHalfOpen})
+    if (s == to_string(st)) return st;
+  return std::nullopt;
+}
+
 bool CircuitBreaker::allow(std::int64_t now_ms) {
   switch (state_) {
     case BreakerState::kClosed:

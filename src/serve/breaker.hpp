@@ -15,7 +15,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 
 namespace cudanp::serve {
 
@@ -29,6 +31,9 @@ struct BreakerPolicy {
 enum class BreakerState : std::uint8_t { kClosed, kOpen, kHalfOpen };
 
 [[nodiscard]] const char* to_string(BreakerState s);
+/// Reverses to_string; nullopt on an unknown slug.
+[[nodiscard]] std::optional<BreakerState> breaker_state_from_string(
+    std::string_view s);
 
 class CircuitBreaker {
  public:

@@ -1,0 +1,263 @@
+#include "serve/journal.hpp"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "serve/supervisor.hpp"
+#include "support/json.hpp"
+
+namespace cudanp::serve {
+
+namespace {
+
+constexpr int kJournalVersion = 1;
+
+std::string dirname_of(const std::string& path) {
+  std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+/// fsync the directory so the rename (or append target) itself is
+/// durable, not just the file contents.
+void fsync_dir(const std::string& dir) {
+  int fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  (void)fsync(fd);
+  close(fd);
+}
+
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void fnv1a(std::uint64_t* h, std::string_view s) {
+  for (char c : s) {
+    *h ^= static_cast<std::uint8_t>(c);
+    *h *= 0x100000001b3ULL;
+  }
+  // Field separator: "ab" + "c" must hash differently from "a" + "bc".
+  *h ^= 0x1f;
+  *h *= 0x100000001b3ULL;
+}
+
+void fnv1a_i64(std::uint64_t* h, std::int64_t v) {
+  fnv1a(h, std::to_string(v));
+}
+
+}  // namespace
+
+std::string batch_fingerprint(const std::vector<JobSpec>& jobs,
+                              const ServiceOptions& opt) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv1a_i64(&h, kJournalVersion);
+  fnv1a_i64(&h, static_cast<std::int64_t>(jobs.size()));
+  for (const JobSpec& j : jobs) {
+    fnv1a(&h, j.name);
+    fnv1a(&h, j.source);
+    fnv1a(&h, j.kernel);
+    fnv1a_i64(&h, j.elems);
+    fnv1a_i64(&h, j.tb);
+    fnv1a_i64(&h, j.deadline_ms);
+    fnv1a_i64(&h, j.max_attempts);
+    fnv1a_i64(&h, j.watchdog_steps);
+    fnv1a_i64(&h, j.inject ? 1 : 0);
+    fnv1a(&h, j.fault.json());
+    fnv1a_i64(&h, j.transient_attempts);
+  }
+  // Every option that can change an outcome or the commit derivation.
+  // --jobs and commit_chunk are deliberately absent: reports are
+  // bit-identical across both.
+  fnv1a_i64(&h, opt.queue_capacity);
+  fnv1a_i64(&h, opt.default_deadline_ms);
+  fnv1a_i64(&h, opt.min_feasible_ms);
+  fnv1a_i64(&h, opt.steps_per_ms);
+  fnv1a_i64(&h, opt.attempt_cost_ms);
+  fnv1a_i64(&h, opt.drain_before_job);
+  fnv1a_i64(&h, opt.retry.max_attempts);
+  fnv1a_i64(&h, opt.retry.base_backoff_ms);
+  fnv1a_i64(&h, opt.retry.max_backoff_ms);
+  fnv1a_i64(&h, opt.retry.jitter_ms);
+  fnv1a_i64(&h, static_cast<std::int64_t>(opt.retry.seed));
+  fnv1a_i64(&h, opt.breaker.failure_threshold);
+  fnv1a_i64(&h, opt.breaker.cooldown_ms);
+  fnv1a_i64(&h, static_cast<std::int64_t>(opt.sanitizer.error_limit));
+  fnv1a_i64(&h, static_cast<std::int64_t>(opt.sanitizer.race_mode));
+  fnv1a_i64(&h, opt.sanitizer.dedupe ? 1 : 0);
+  std::ostringstream tol;
+  tol.precision(17);
+  tol << opt.f32_rel_tol;
+  fnv1a(&h, tol.str());
+  fnv1a(&h, to_string(opt.isolate));
+  fnv1a_i64(&h, opt.worker_mem_mb);
+
+  char buf[17];
+  snprintf(buf, sizeof(buf), "%016llx",
+           static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::optional<JournalContents> load_journal(const std::string& path,
+                                            std::string* error) {
+  int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (error) *error = "cannot open journal " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t r = read(fd, buf, sizeof(buf));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      if (error) *error = "cannot read journal " + path;
+      return std::nullopt;
+    }
+    if (r == 0) break;
+    text.append(buf, static_cast<std::size_t>(r));
+  }
+  close(fd);
+
+  JournalContents out;
+  std::size_t pos = 0;
+  bool have_header = false;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;  // torn tail: no newline yet
+    std::string_view line(text.data() + pos, nl - pos);
+    auto v = json::parse(line);
+    if (!v || !v->is_object()) {
+      // A torn or corrupt line ends the intact prefix; everything
+      // after it is re-executed on resume.
+      break;
+    }
+    if (!have_header) {
+      if (v->get_i64("cudanp_journal") != kJournalVersion) {
+        if (error) *error = path + ": not a cudanp journal";
+        return std::nullopt;
+      }
+      out.fingerprint = v->get_str("fingerprint");
+      have_header = true;
+    } else {
+      const json::Value* o = v->find("outcome");
+      if (!o) break;
+      auto outcome = JobOutcome::from_json_value(*o);
+      if (!outcome) break;
+      JournalRecord rec;
+      rec.k = static_cast<std::size_t>(v->get_i64("k"));
+      rec.outcome = std::move(*outcome);
+      out.records.push_back(std::move(rec));
+    }
+    pos = nl + 1;
+  }
+  if (!have_header) {
+    if (error) *error = path + ": missing journal header";
+    return std::nullopt;
+  }
+  out.valid_bytes = static_cast<std::int64_t>(pos);
+  return out;
+}
+
+std::optional<JournalWriter> JournalWriter::create(
+    const std::string& path, const std::string& fingerprint,
+    std::string* error) {
+  // pid-unique temp segment, O_EXCL so two racing batches can never
+  // interleave writes into one half-written header.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(getpid()));
+  int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    if (error)
+      *error = "cannot create journal segment " + tmp + ": " +
+               strerror(errno);
+    return std::nullopt;
+  }
+  cleanup::register_path(tmp);
+  std::string header = "{\"cudanp_journal\":" +
+                       std::to_string(kJournalVersion) +
+                       ",\"fingerprint\":\"" + json::escape(fingerprint) +
+                       "\"}\n";
+  bool ok = write_all(fd, header.data(), header.size()) && fsync(fd) == 0;
+  if (!ok || rename(tmp.c_str(), path.c_str()) != 0) {
+    close(fd);
+    unlink(tmp.c_str());
+    cleanup::unregister_path(tmp);
+    if (error) *error = "cannot write journal " + path;
+    return std::nullopt;
+  }
+  cleanup::unregister_path(tmp);
+  fsync_dir(dirname_of(path));
+  JournalWriter w;
+  w.fd_ = fd;
+  return w;
+}
+
+std::optional<JournalWriter> JournalWriter::open_for_resume(
+    const std::string& path, std::int64_t valid_bytes,
+    std::string* error) {
+  int fd = open(path.c_str(), O_WRONLY);
+  if (fd < 0) {
+    if (error) *error = "cannot open journal " + path;
+    return std::nullopt;
+  }
+  // Drop the torn tail before appending: the journal must stay a clean
+  // prefix of intact lines at all times.
+  if (ftruncate(fd, static_cast<off_t>(valid_bytes)) != 0 ||
+      lseek(fd, 0, SEEK_END) < 0) {
+    close(fd);
+    if (error) *error = "cannot truncate journal " + path;
+    return std::nullopt;
+  }
+  JournalWriter w;
+  w.fd_ = fd;
+  return w;
+}
+
+JournalWriter::JournalWriter(JournalWriter&& other) noexcept
+    : fd_(other.fd_), write_failed_(other.write_failed_) {
+  other.fd_ = -1;
+}
+
+JournalWriter& JournalWriter::operator=(JournalWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) close(fd_);
+    fd_ = other.fd_;
+    write_failed_ = other.write_failed_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) close(fd_);
+}
+
+bool JournalWriter::append(std::size_t k, const JobOutcome& outcome) {
+  if (fd_ < 0 || write_failed_) return false;
+  std::string line = "{\"k\":" + std::to_string(k) +
+                     ",\"outcome\":" + outcome.json() + "}\n";
+  if (!write_all(fd_, line.data(), line.size()) || fsync(fd_) != 0) {
+    write_failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cudanp::serve

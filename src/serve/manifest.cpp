@@ -116,6 +116,19 @@ std::vector<JobSpec> parse_manifest(const std::string& text,
         if (!num(0, 1000, &n))
           return fail(line_no, "bad transient-attempts=" + value);
         job.transient_attempts = static_cast<int>(n);
+      } else if (key == "crash-step") {
+        if (!num(1, std::numeric_limits<std::int64_t>::max(), &n))
+          return fail(line_no, "bad crash-step=" + value);
+        job.fault.crash_at_step = n;
+        job.inject = true;
+      } else if (key == "oom-mb") {
+        if (!num(1, 1LL << 20, &n))
+          return fail(line_no, "bad oom-mb=" + value);
+        job.fault.oom_mb = n;
+        job.inject = true;
+      } else if (key == "wedge") {
+        job.fault.wedge_worker = true;
+        job.inject = true;
       } else if (key == "drop-barrier") {
         job.fault.drop_barrier = true;
         job.inject = true;

@@ -22,6 +22,14 @@
 //   transient-attempts=<n> inject only on the first N attempts
 //   drop-barrier           corrupt the AST: remove first __syncthreads
 //   skew-index             corrupt the AST: skew first indexed store
+//   crash-step=<n>         raise SIGSEGV at the Nth statement (a real
+//                          native crash; survivable only under
+//                          --isolate=process)
+//   oom-mb=<n>             allocate N MiB before the first launch; fails
+//                          as "resource-limit" under --worker-mem-mb
+//   wedge                  worker stops responding (no heartbeat, no
+//                          result); caught by the supervisor read
+//                          timeout (--isolate=process only)
 //
 // Every numeric field goes through the checked parser — `elems=64x`
 // is a manifest error, not a silent 64 (or 0).

@@ -8,9 +8,13 @@
 
 #include "np/runner.hpp"
 #include "serve/clock.hpp"
+#include "serve/journal.hpp"
+#include "serve/supervisor.hpp"
+#include "serve/worker.hpp"
 #include "sim/exec_pool.hpp"
 #include "sim/interpreter.hpp"
 #include "support/diagnostics.hpp"
+#include "support/json.hpp"
 
 namespace cudanp::serve {
 
@@ -24,30 +28,32 @@ const char* to_string(JobState s) {
   return "unknown";
 }
 
+std::optional<JobState> job_state_from_string(std::string_view s) {
+  for (JobState st :
+       {JobState::kSucceeded, JobState::kSucceededAfterRetry,
+        JobState::kDegraded, JobState::kRejected})
+    if (s == to_string(st)) return st;
+  return std::nullopt;
+}
+
+const char* to_string(IsolationMode m) {
+  switch (m) {
+    case IsolationMode::kNone: return "none";
+    case IsolationMode::kProcess: return "process";
+  }
+  return "unknown";
+}
+
+std::optional<IsolationMode> isolation_mode_from_string(
+    std::string_view s) {
+  for (IsolationMode m : {IsolationMode::kNone, IsolationMode::kProcess})
+    if (s == to_string(m)) return m;
+  return std::nullopt;
+}
+
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 8);
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
+std::string json_escape(const std::string& s) { return json::escape(s); }
 
 const ir::Kernel* pick_kernel(const ir::Program& program,
                               const std::string& name) {
@@ -73,9 +79,11 @@ std::string JobResult::json() const {
   std::ostringstream os;
   os << "{\"index\":" << index << ",\"name\":\"" << json_escape(name)
      << "\",\"state\":\"" << to_string(state) << "\",\"cause\":\""
-     << json_escape(cause) << "\",\"chosen_config\":\""
-     << json_escape(chosen_config) << "\",\"breaker_key\":\""
-     << json_escape(breaker_key) << "\",\"attempts\":" << attempts
+     << json_escape(cause) << "\",\"detail\":\"" << json_escape(detail)
+     << "\",\"chosen_config\":\"" << json_escape(chosen_config)
+     << "\",\"breaker_key\":\"" << json_escape(breaker_key)
+     << "\",\"attempts\":" << attempts
+     << ",\"crashed_attempts\":" << crashed_attempts
      << ",\"deadline_ms\":" << deadline_ms
      << ",\"virtual_ms\":" << virtual_ms << ",\"deadline_exceeded\":"
      << (deadline_exceeded ? "true" : "false") << ",\"breaker_routed\":"
@@ -88,6 +96,41 @@ std::string JobResult::json() const {
   return os.str();
 }
 
+std::optional<JobResult> JobResult::from_json_value(const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  JobResult r;
+  r.index = static_cast<std::size_t>(v.get_i64("index"));
+  r.name = v.get_str("name");
+  auto state = job_state_from_string(v.get_str("state"));
+  if (!state) return std::nullopt;
+  r.state = *state;
+  r.cause = v.get_str("cause");
+  r.detail = v.get_str("detail");
+  r.chosen_config = v.get_str("chosen_config");
+  r.breaker_key = v.get_str("breaker_key");
+  r.attempts = static_cast<int>(v.get_i64("attempts"));
+  r.crashed_attempts = static_cast<int>(v.get_i64("crashed_attempts"));
+  r.deadline_ms = v.get_i64("deadline_ms");
+  r.virtual_ms = v.get_i64("virtual_ms");
+  r.deadline_exceeded = v.get_bool("deadline_exceeded");
+  r.breaker_routed = v.get_bool("breaker_routed");
+  if (const json::Value* q = v.find("quarantined")) {
+    if (!q->is_array()) return std::nullopt;
+    for (const auto& item : q->arr()) {
+      auto f = np::VariantFailure::from_json_value(item);
+      if (!f) return std::nullopt;
+      r.quarantined.push_back(std::move(*f));
+    }
+  }
+  return r;
+}
+
+std::optional<JobResult> JobResult::from_json(std::string_view text) {
+  auto v = json::parse(text);
+  if (!v) return std::nullopt;
+  return from_json_value(*v);
+}
+
 std::string BreakerSnapshot::json() const {
   std::ostringstream os;
   os << "{\"key\":\"" << json_escape(key) << "\",\"state\":\""
@@ -95,6 +138,72 @@ std::string BreakerSnapshot::json() const {
      << ",\"probes\":" << probes
      << ",\"short_circuits\":" << short_circuits << "}";
   return os.str();
+}
+
+std::optional<BreakerSnapshot> BreakerSnapshot::from_json_value(
+    const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  BreakerSnapshot b;
+  b.key = v.get_str("key");
+  auto state = breaker_state_from_string(v.get_str("state"));
+  if (!state) return std::nullopt;
+  b.state = *state;
+  b.opens = static_cast<int>(v.get_i64("opens"));
+  b.probes = static_cast<int>(v.get_i64("probes"));
+  b.short_circuits = static_cast<int>(v.get_i64("short_circuits"));
+  return b;
+}
+
+std::optional<BreakerSnapshot> BreakerSnapshot::from_json(
+    std::string_view text) {
+  auto v = json::parse(text);
+  if (!v) return std::nullopt;
+  return from_json_value(*v);
+}
+
+std::string JobOutcome::json() const {
+  std::ostringstream os;
+  os << "{\"ran\":" << (ran ? "true" : "false") << ",\"success\":"
+     << (success ? "true" : "false") << ",\"rejected\":"
+     << (rejected ? "true" : "false") << ",\"reject_cause\":\""
+     << json_escape(reject_cause) << "\",\"reject_detail\":\""
+     << json_escape(reject_detail) << "\",\"attempts\":" << attempts
+     << ",\"crashed_attempts\":" << crashed_attempts
+     << ",\"virtual_ms\":" << virtual_ms << ",\"deadline_exceeded\":"
+     << (deadline_exceeded ? "true" : "false")
+     << ",\"deadline_ms\":" << deadline_ms << ",\"breaker_key\":\""
+     << json_escape(breaker_key) << "\",\"decision\":" << decision.json()
+     << "}";
+  return os.str();
+}
+
+std::optional<JobOutcome> JobOutcome::from_json_value(
+    const json::Value& v) {
+  if (!v.is_object()) return std::nullopt;
+  JobOutcome o;
+  o.ran = v.get_bool("ran");
+  o.success = v.get_bool("success");
+  o.rejected = v.get_bool("rejected");
+  o.reject_cause = v.get_str("reject_cause");
+  o.reject_detail = v.get_str("reject_detail");
+  o.attempts = static_cast<int>(v.get_i64("attempts"));
+  o.crashed_attempts = static_cast<int>(v.get_i64("crashed_attempts"));
+  o.virtual_ms = v.get_i64("virtual_ms");
+  o.deadline_exceeded = v.get_bool("deadline_exceeded");
+  o.deadline_ms = v.get_i64("deadline_ms");
+  o.breaker_key = v.get_str("breaker_key");
+  if (const json::Value* d = v.find("decision")) {
+    auto dec = np::FallbackDecision::from_json_value(*d);
+    if (!dec) return std::nullopt;
+    o.decision = std::move(*dec);
+  }
+  return o;
+}
+
+std::optional<JobOutcome> JobOutcome::from_json(std::string_view text) {
+  auto v = json::parse(text);
+  if (!v) return std::nullopt;
+  return from_json_value(*v);
 }
 
 std::string ServiceReport::str() const {
@@ -106,8 +215,13 @@ std::string ServiceReport::str() const {
      << " succeeded after retry, " << degraded << " degraded, "
      << rejected_execution << " rejected in execution\n"
      << "retries: " << retries << " extra attempt(s), " << deadline_exceeded
-     << " deadline(s) exceeded\n"
-     << "breakers: " << breaker_opens << " open(s), " << breaker_probes
+     << " deadline(s) exceeded\n";
+  // Only crashing batches grow an isolation line, so byte-for-byte
+  // output of every pre-isolation batch is preserved.
+  if (crashes > 0 || resource_limited > 0)
+    os << "isolation: " << crashes << " crashed attempt(s), "
+       << resource_limited << " resource-limited job(s)\n";
+  os << "breakers: " << breaker_opens << " open(s), " << breaker_probes
      << " probe(s), " << breaker_short_circuits
      << " short-circuit(s); virtual clock " << virtual_ms << " ms\n";
   for (const auto& b : breakers)
@@ -128,7 +242,8 @@ std::string ServiceReport::json() const {
      << ",\"succeeded_after_retry\":" << succeeded_after_retry
      << ",\"degraded\":" << degraded
      << ",\"rejected_execution\":" << rejected_execution
-     << ",\"retries\":" << retries
+     << ",\"retries\":" << retries << ",\"crashes\":" << crashes
+     << ",\"resource_limited\":" << resource_limited
      << ",\"deadline_exceeded\":" << deadline_exceeded
      << ",\"breaker_opens\":" << breaker_opens
      << ",\"breaker_probes\":" << breaker_probes
@@ -147,24 +262,57 @@ std::string ServiceReport::json() const {
   return os.str();
 }
 
-/// Speculative per-job result, produced on worker threads and committed
-/// (breaker decisions, counters, clock) serially in admission order.
-struct BatchService::Outcome {
-  bool ran = false;       // run_job executed (false = drained slot)
-  bool success = false;   // pristine decision on the final attempt
-  bool rejected = false;  // terminal kRejected during execution
-  std::string reject_cause;
-  std::string reject_detail;
-  int attempts = 0;
-  std::int64_t virtual_ms = 0;
-  bool deadline_exceeded = false;
-  std::int64_t deadline_ms = 0;
-  std::string breaker_key;
-  np::FallbackDecision decision;
-};
+std::optional<ServiceReport> ServiceReport::from_json(
+    std::string_view text) {
+  auto v = json::parse(text);
+  if (!v || !v->is_object()) return std::nullopt;
+  ServiceReport r;
+  auto sz = [&](const char* key) {
+    return static_cast<std::size_t>(v->get_i64(key));
+  };
+  r.submitted = sz("submitted");
+  r.accepted = sz("accepted");
+  r.shed = sz("shed");
+  r.rejected_admission = sz("rejected_admission");
+  r.drained = sz("drained");
+  r.succeeded = sz("succeeded");
+  r.succeeded_after_retry = sz("succeeded_after_retry");
+  r.degraded = sz("degraded");
+  r.rejected_execution = sz("rejected_execution");
+  r.retries = sz("retries");
+  r.crashes = sz("crashes");
+  r.resource_limited = sz("resource_limited");
+  r.deadline_exceeded = sz("deadline_exceeded");
+  r.breaker_opens = sz("breaker_opens");
+  r.breaker_probes = sz("breaker_probes");
+  r.breaker_short_circuits = sz("breaker_short_circuits");
+  r.virtual_ms = v->get_i64("virtual_ms");
+  if (const json::Value* bs = v->find("breakers")) {
+    if (!bs->is_array()) return std::nullopt;
+    for (const auto& item : bs->arr()) {
+      auto b = BreakerSnapshot::from_json_value(item);
+      if (!b) return std::nullopt;
+      r.breakers.push_back(std::move(*b));
+    }
+  }
+  if (const json::Value* js = v->find("jobs")) {
+    if (!js->is_array()) return std::nullopt;
+    for (const auto& item : js->arr()) {
+      auto j = JobResult::from_json_value(item);
+      if (!j) return std::nullopt;
+      r.jobs.push_back(std::move(*j));
+    }
+  }
+  return r;
+}
+
+BatchService::BatchService(sim::DeviceSpec spec, ServiceOptions opt)
+    : spec_(std::move(spec)), opt_(std::move(opt)) {}
+
+BatchService::~BatchService() = default;
 
 void BatchService::run_job(const JobSpec& spec, std::size_t index,
-                           Outcome* out) const {
+                           JobOutcome* out) const {
   out->ran = true;
   const std::int64_t deadline =
       spec.deadline_ms > 0 ? spec.deadline_ms : opt_.default_deadline_ms;
@@ -173,6 +321,10 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
       std::max(1, spec.max_attempts > 0 ? spec.max_attempts
                                         : opt_.retry.max_attempts);
 
+  // Admission-grade structural checks run in-process regardless of the
+  // isolation mode: an unparseable job must not cost a worker spawn,
+  // and the breaker key (kernel name) must be known even if every
+  // isolated attempt later crashes before reporting.
   std::unique_ptr<ir::Program> program;
   try {
     program = np::NpCompiler::parse(spec.source);
@@ -188,17 +340,28 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
     out->reject_cause = "no-kernel";
     return;
   }
-
-  // Chaos: AST corruption exists before the first launch, like a real
-  // transform bug; statement-level faults hook in per attempt below.
-  sim::FaultInjector injector(spec.fault);
-  std::unique_ptr<ir::Kernel> corrupted;
-  if (spec.inject && (spec.fault.drop_barrier || spec.fault.skew_index)) {
-    corrupted = kernel->clone();
-    (void)injector.corrupt_kernel(*corrupted);
-    kernel = corrupted.get();
-  }
   out->breaker_key = kernel->name;
+
+  AttemptRequest req;
+  req.source = spec.source;
+  req.kernel = spec.kernel;
+  req.elems = spec.elems;
+  req.tb = spec.tb;
+  req.device = spec_.name == sim::DeviceSpec::k20c().name ? "k20c"
+                                                          : "gtx680";
+  req.sm_version = spec_.sm_version;
+  // AST corruption exists before the first launch, like a real
+  // transform bug, and persists across attempts (it is seeded, so each
+  // attempt reconstructs the identical corrupted kernel).
+  req.corrupt_ast =
+      spec.inject && (spec.fault.drop_barrier || spec.fault.skew_index);
+  req.fault = spec.fault;
+  req.error_limit = static_cast<std::int64_t>(opt_.sanitizer.error_limit);
+  req.portable_races = opt_.sanitizer.race_mode ==
+                       sim::SanitizerEngine::RaceMode::kPortable;
+  req.dedupe = opt_.sanitizer.dedupe;
+  req.f32_rel_tol = opt_.f32_rel_tol;
+  req.heartbeat_ms = opt_.worker_heartbeat_ms;
 
   const std::int64_t configured_steps =
       sim::Interpreter::resolve_max_steps(spec.watchdog_steps);
@@ -216,28 +379,53 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
                         std::max<std::int64_t>(1, opt_.steps_per_ms)
             ? std::numeric_limits<std::int64_t>::max()
             : remaining * opt_.steps_per_ms;
-    np::ValidationOptions vopt;
-    vopt.sanitizer = opt_.sanitizer;
-    vopt.f32_rel_tol = opt_.f32_rel_tol;
-    // Jobs are the unit of parallelism; each job simulates its grid
-    // serially (the exec_pool is not reentrant from worker threads).
-    vopt.interp.jobs = 1;
-    vopt.interp.max_steps_per_block =
-        sim::Interpreter::resolve_max_steps(spec.watchdog_steps,
-                                            deadline_steps);
-    const bool inject_now =
+    req.max_steps = sim::Interpreter::resolve_max_steps(
+        spec.watchdog_steps, deadline_steps);
+    req.hook_faults =
         spec.inject && (spec.transient_attempts <= 0 ||
                         attempt <= spec.transient_attempts);
-    if (inject_now) vopt.interp.fault = &injector;
 
-    const ir::Kernel& k = *kernel;
-    const int elems = spec.elems;
-    const int tb = spec.tb;
-    auto factory = [&k, elems, tb] {
-      return np::make_synthetic_workload(k, elems, tb);
-    };
-    np::FallbackResult result = np::NpCompiler::compile_with_fallback(
-        k, /*configs=*/{}, factory, spec_, vopt);
+    AttemptResult result;
+    bool crashed = false;
+    std::string crash_detail;
+    if (supervisor_) {
+      SupervisedAttempt sa = supervisor_->execute(req);
+      if (sa.status == AttemptStatus::kCompleted) {
+        result = std::move(sa.result);
+      } else {
+        crashed = true;
+        crash_detail = std::move(sa.detail);
+      }
+    } else {
+      result = execute_attempt(req, spec_);
+    }
+
+    if (crashed) {
+      // The worker died with the attempt. Synthesize the decision the
+      // retry/breaker/fallback machinery expects: degraded to the
+      // guaranteed baseline, with a structured kCrash quarantine. kCrash
+      // is transient — the next attempt gets a fresh worker.
+      ++out->crashed_attempts;
+      np::VariantFailure f;
+      f.kernel = out->breaker_key;
+      f.config = "worker";
+      f.cause = np::FailureCause::kCrash;
+      f.detail = std::move(crash_detail);
+      result = AttemptResult{};
+      result.kernel_name = out->breaker_key;
+      result.decision.kernel = out->breaker_key;
+      result.decision.used_baseline = true;
+      result.decision.quarantined.push_back(std::move(f));
+    } else if (result.rejected) {
+      // Structural rejection from the attempt itself (worker-side parse
+      // or internal error): terminal, uncharged, like the in-process
+      // pre-loop rejection above.
+      out->rejected = true;
+      out->reject_cause = result.reject_cause;
+      out->reject_detail = result.reject_detail;
+      return;
+    }
+
     out->attempts = attempt;
     out->decision = std::move(result.decision);
 
@@ -312,107 +500,180 @@ ServiceReport BatchService::run(const std::vector<JobSpec>& jobs) {
   }
   report.accepted = accepted.size();
 
-  // --- Execution: jobs in parallel on the exec_pool; results land in
-  // per-index storage (the pool's determinism contract). ---
-  std::vector<Outcome> outcomes(accepted.size());
-  const std::int64_t drain_at = opt_.drain_before_job;
-  auto run_one = [&](std::int64_t k) {
-    if (drain_.load(std::memory_order_relaxed) ||
-        (drain_at >= 0 && k >= drain_at))
-      return;  // drained: the commit loop rejects it
-    const std::size_t i = accepted[static_cast<std::size_t>(k)];
-    try {
-      run_job(jobs[i], i, &outcomes[static_cast<std::size_t>(k)]);
-    } catch (const std::exception& e) {
-      Outcome& o = outcomes[static_cast<std::size_t>(k)];
-      o.ran = true;
-      o.rejected = true;
-      o.reject_cause = "internal-error";
-      o.reject_detail = e.what();
-    } catch (...) {
-      Outcome& o = outcomes[static_cast<std::size_t>(k)];
-      o.ran = true;
-      o.rejected = true;
-      o.reject_cause = "internal-error";
-    }
-  };
-  sim::ExecPool::instance().parallel_for(
-      static_cast<std::int64_t>(accepted.size()),
-      sim::ExecPool::resolve_jobs(opt_.jobs), run_one);
-
-  // --- Commit (admission order): virtual clock, breakers, counters. ---
-  VirtualClock clock;
-  std::map<std::string, CircuitBreaker> breakers;
-  for (std::size_t k = 0; k < accepted.size(); ++k) {
-    const std::size_t i = accepted[k];
-    Outcome& o = outcomes[k];
-    JobResult& r = report.jobs[i];
-    if (!o.ran) {
-      r.state = JobState::kRejected;
-      r.cause = "drained";
-      ++report.drained;
-      continue;
-    }
-    r.attempts = o.attempts;
-    r.virtual_ms = o.virtual_ms;
-    r.deadline_exceeded = o.deadline_exceeded;
-    r.quarantined = o.decision.quarantined;
-    if (o.attempts > 1)
-      report.retries += static_cast<std::size_t>(o.attempts - 1);
-    if (o.rejected) {
-      r.state = JobState::kRejected;
-      r.cause = o.reject_cause;
-      r.detail = o.reject_detail;
-      ++report.rejected_execution;
-      continue;
-    }
-    clock.advance_ms(o.virtual_ms);
-    // Breakers track the health of the first-choice variant (the
-    // baseline when the kernel has no candidates).
-    r.breaker_key = o.breaker_key + "|" +
-                    (o.decision.first_choice.empty()
-                         ? "baseline"
-                         : o.decision.first_choice);
-    CircuitBreaker& br =
-        breakers.try_emplace(r.breaker_key, CircuitBreaker(opt_.breaker))
-            .first->second;
-    if (!br.allow(clock.now_ms())) {
-      // Open breaker: traffic routes straight to the guaranteed
-      // baseline; the speculative result is discarded and no failure is
-      // counted against the (already open) breaker.
-      r.state = JobState::kDegraded;
-      r.cause = "breaker-open";
-      r.chosen_config = "baseline";
-      r.breaker_routed = true;
-      ++report.degraded;
-      continue;
-    }
-    if (o.success) {
-      r.state = o.attempts > 1 ? JobState::kSucceededAfterRetry
-                               : JobState::kSucceeded;
-      r.chosen_config = o.decision.chosen_config;
-      if (r.state == JobState::kSucceeded)
-        ++report.succeeded;
-      else
-        ++report.succeeded_after_retry;
-      br.on_success();
+  // --- Journal: replay what a previous (killed) run already proved,
+  // and arrange durable append-before-commit for everything else. ---
+  std::vector<std::optional<JobOutcome>> replayed(accepted.size());
+  std::optional<JournalWriter> journal;
+  if (!opt_.journal_path.empty()) {
+    const std::string fp = batch_fingerprint(jobs, opt_);
+    std::string error;
+    std::optional<JournalContents> prior;
+    if (opt_.resume) prior = load_journal(opt_.journal_path, &error);
+    if (prior) {
+      if (prior->fingerprint != fp)
+        throw ResumeMismatchError(
+            "journal " + opt_.journal_path +
+            " was written for a different batch or different options "
+            "(fingerprint " +
+            prior->fingerprint + ", batch " + fp + ")");
+      for (JournalRecord& rec : prior->records)
+        if (rec.k < replayed.size())
+          replayed[rec.k] = std::move(rec.outcome);
+      journal = JournalWriter::open_for_resume(opt_.journal_path,
+                                               prior->valid_bytes, &error);
     } else {
-      r.state = JobState::kDegraded;
-      r.chosen_config = o.decision.used_baseline
-                            ? "baseline"
-                            : o.decision.chosen_config;
-      if (o.deadline_exceeded) {
-        r.cause = "deadline-exceeded";
-        ++report.deadline_exceeded;
-      } else if (!o.decision.quarantined.empty()) {
-        r.cause = np::to_string(o.decision.quarantined.front().cause);
-      } else {
-        r.cause = "degraded";
-      }
-      ++report.degraded;
-      br.on_failure(clock.now_ms());
+      // Fresh journal — also the resume path when there is nothing to
+      // resume from (the batch was killed before the header landed, or
+      // never ran).
+      journal = JournalWriter::create(opt_.journal_path, fp, &error);
     }
   }
+
+  // --- Worker sandbox for --isolate=process. ---
+  if (opt_.isolate == IsolationMode::kProcess) {
+    SupervisorOptions sopt;
+    sopt.worker_cmd = opt_.worker_cmd;
+    sopt.worker_mem_mb = opt_.worker_mem_mb;
+    sopt.read_timeout_ms = opt_.worker_read_timeout_ms;
+    sopt.heartbeat_ms = opt_.worker_heartbeat_ms;
+    supervisor_ = std::make_unique<WorkerSupervisor>(std::move(sopt));
+  }
+
+  // --- Execution + commit, chunked when journaling. Each round runs a
+  // chunk of jobs in parallel on the exec_pool, appends their outcomes
+  // durably in admission order, then commits them. Chunking (and the
+  // chunk size) cannot affect the report: outcomes are independent and
+  // the commit scan order is fixed. ---
+  const std::size_t chunk =
+      journal && opt_.commit_chunk > 0
+          ? static_cast<std::size_t>(opt_.commit_chunk)
+          : (accepted.empty() ? 1 : accepted.size());
+  std::vector<JobOutcome> outcomes(accepted.size());
+  const std::int64_t drain_at = opt_.drain_before_job;
+  VirtualClock clock;
+  std::map<std::string, CircuitBreaker> breakers;
+
+  for (std::size_t base = 0; base < accepted.size(); base += chunk) {
+    const std::size_t count = std::min(chunk, accepted.size() - base);
+    auto run_one = [&](std::int64_t rel) {
+      const std::size_t k = base + static_cast<std::size_t>(rel);
+      if (replayed[k]) return;  // already journaled by the killed run
+      if (drain_.load(std::memory_order_relaxed) ||
+          (drain_at >= 0 && static_cast<std::int64_t>(k) >= drain_at))
+        return;  // drained: the commit loop rejects it
+      const std::size_t i = accepted[k];
+      try {
+        run_job(jobs[i], i, &outcomes[k]);
+      } catch (const std::exception& e) {
+        JobOutcome& o = outcomes[k];
+        o = JobOutcome{};
+        o.ran = true;
+        o.rejected = true;
+        o.reject_cause = "internal-error";
+        o.reject_detail = e.what();
+      } catch (...) {
+        JobOutcome& o = outcomes[k];
+        o = JobOutcome{};
+        o.ran = true;
+        o.rejected = true;
+        o.reject_cause = "internal-error";
+      }
+    };
+    sim::ExecPool::instance().parallel_for(
+        static_cast<std::int64_t>(count),
+        sim::ExecPool::resolve_jobs(opt_.jobs), run_one);
+
+    // Durable write-ahead, admission order, before any commit in this
+    // chunk: a kill after this loop re-executes nothing.
+    for (std::size_t k = base; k < base + count; ++k) {
+      if (replayed[k])
+        outcomes[k] = std::move(*replayed[k]);
+      else if (journal)
+        (void)journal->append(k, outcomes[k]);
+    }
+
+    // --- Commit (admission order): virtual clock, breakers, counters. ---
+    for (std::size_t k = base; k < base + count; ++k) {
+      const std::size_t i = accepted[k];
+      JobOutcome& o = outcomes[k];
+      JobResult& r = report.jobs[i];
+      if (!o.ran) {
+        r.state = JobState::kRejected;
+        r.cause = "drained";
+        ++report.drained;
+        continue;
+      }
+      r.attempts = o.attempts;
+      r.crashed_attempts = o.crashed_attempts;
+      r.virtual_ms = o.virtual_ms;
+      r.deadline_exceeded = o.deadline_exceeded;
+      r.quarantined = o.decision.quarantined;
+      if (o.attempts > 1)
+        report.retries += static_cast<std::size_t>(o.attempts - 1);
+      report.crashes += static_cast<std::size_t>(o.crashed_attempts);
+      for (const auto& q : o.decision.quarantined) {
+        if (q.cause == np::FailureCause::kResourceLimit) {
+          ++report.resource_limited;
+          break;
+        }
+      }
+      if (o.rejected) {
+        r.state = JobState::kRejected;
+        r.cause = o.reject_cause;
+        r.detail = o.reject_detail;
+        ++report.rejected_execution;
+        continue;
+      }
+      clock.advance_ms(o.virtual_ms);
+      // Breakers track the health of the first-choice variant (the
+      // baseline when the kernel has no candidates).
+      r.breaker_key = o.breaker_key + "|" +
+                      (o.decision.first_choice.empty()
+                           ? "baseline"
+                           : o.decision.first_choice);
+      CircuitBreaker& br =
+          breakers.try_emplace(r.breaker_key, CircuitBreaker(opt_.breaker))
+              .first->second;
+      if (!br.allow(clock.now_ms())) {
+        // Open breaker: traffic routes straight to the guaranteed
+        // baseline; the speculative result is discarded and no failure is
+        // counted against the (already open) breaker.
+        r.state = JobState::kDegraded;
+        r.cause = "breaker-open";
+        r.chosen_config = "baseline";
+        r.breaker_routed = true;
+        ++report.degraded;
+        continue;
+      }
+      if (o.success) {
+        r.state = o.attempts > 1 ? JobState::kSucceededAfterRetry
+                                 : JobState::kSucceeded;
+        r.chosen_config = o.decision.chosen_config;
+        if (r.state == JobState::kSucceeded)
+          ++report.succeeded;
+        else
+          ++report.succeeded_after_retry;
+        br.on_success();
+      } else {
+        r.state = JobState::kDegraded;
+        r.chosen_config = o.decision.used_baseline
+                              ? "baseline"
+                              : o.decision.chosen_config;
+        if (o.deadline_exceeded) {
+          r.cause = "deadline-exceeded";
+          ++report.deadline_exceeded;
+        } else if (!o.decision.quarantined.empty()) {
+          r.cause = np::to_string(o.decision.quarantined.front().cause);
+        } else {
+          r.cause = "degraded";
+        }
+        ++report.degraded;
+        br.on_failure(clock.now_ms());
+      }
+    }
+  }
+  supervisor_.reset();
+
   report.virtual_ms = clock.now_ms();
   for (const auto& [key, br] : breakers) {
     BreakerSnapshot s;

@@ -37,7 +37,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "np/compiler.hpp"
@@ -48,6 +51,8 @@
 #include "sim/sanitizer.hpp"
 
 namespace cudanp::serve {
+
+class WorkerSupervisor;
 
 /// One compile-and-run job.
 struct JobSpec {
@@ -87,6 +92,19 @@ enum class JobState : std::uint8_t {
 };
 
 [[nodiscard]] const char* to_string(JobState s);
+/// Reverses to_string; nullopt on an unknown slug.
+[[nodiscard]] std::optional<JobState> job_state_from_string(
+    std::string_view s);
+
+/// Where each job's compile-and-run step executes.
+enum class IsolationMode : std::uint8_t {
+  kNone,     // in-process (the historical default)
+  kProcess,  // sandboxed worker subprocess per attempt (crash-isolated)
+};
+
+[[nodiscard]] const char* to_string(IsolationMode m);
+[[nodiscard]] std::optional<IsolationMode> isolation_mode_from_string(
+    std::string_view s);
 
 struct JobResult {
   std::size_t index = 0;
@@ -104,6 +122,9 @@ struct JobResult {
   /// Breaker key this job reported to; empty when it never ran.
   std::string breaker_key;
   int attempts = 0;
+  /// Attempts that died with the worker (--isolate=process only): the
+  /// worker crashed, was killed, or went silent past the read timeout.
+  int crashed_attempts = 0;
   std::int64_t deadline_ms = 0;
   /// Virtual ms this job consumed (attempt costs + backoffs).
   std::int64_t virtual_ms = 0;
@@ -119,6 +140,11 @@ struct JobResult {
   }
   [[nodiscard]] std::string str() const;
   [[nodiscard]] std::string json() const;
+  /// Parses a json() document back; nullopt on malformed input.
+  [[nodiscard]] static std::optional<JobResult> from_json(
+      std::string_view text);
+  [[nodiscard]] static std::optional<JobResult> from_json_value(
+      const json::Value& v);
 };
 
 /// Final state of one circuit breaker, for the report.
@@ -130,6 +156,36 @@ struct BreakerSnapshot {
   int short_circuits = 0;
 
   [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<BreakerSnapshot> from_json(
+      std::string_view text);
+  [[nodiscard]] static std::optional<BreakerSnapshot> from_json_value(
+      const json::Value& v);
+};
+
+/// Speculative per-job outcome: what execution produced, before the
+/// serial commit turns it into a JobResult. Public (and serializable)
+/// because the write-ahead journal persists exactly these — the commit
+/// pass is a pure function of outcomes in admission order, which is why
+/// a resumed batch reproduces an uninterrupted report byte for byte.
+struct JobOutcome {
+  bool ran = false;       // executed (false = drained slot)
+  bool success = false;   // pristine decision on the final attempt
+  bool rejected = false;  // terminal kRejected during execution
+  std::string reject_cause;
+  std::string reject_detail;
+  int attempts = 0;
+  int crashed_attempts = 0;
+  std::int64_t virtual_ms = 0;
+  bool deadline_exceeded = false;
+  std::int64_t deadline_ms = 0;
+  std::string breaker_key;
+  np::FallbackDecision decision;
+
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<JobOutcome> from_json(
+      std::string_view text);
+  [[nodiscard]] static std::optional<JobOutcome> from_json_value(
+      const json::Value& v);
 };
 
 /// Per-run accounting: every counter a long-lived operator cares about.
@@ -150,6 +206,13 @@ struct ServiceReport {
   std::size_t rejected_execution = 0;
   /// Extra attempts performed across all jobs.
   std::size_t retries = 0;
+  /// Attempts that died with their worker process (exit / signal /
+  /// wedge), across all jobs. Nonzero only under --isolate=process;
+  /// nonzero crashes flip cudanp-cc's exit to 8 (crashed-but-completed).
+  std::size_t crashes = 0;
+  /// Jobs whose final decision hit a resource cap (RLIMIT_AS) — the
+  /// non-transient, breaker-eligible cousin of a crash.
+  std::size_t resource_limited = 0;
   std::size_t deadline_exceeded = 0;
   std::size_t breaker_opens = 0;
   std::size_t breaker_probes = 0;
@@ -170,6 +233,11 @@ struct ServiceReport {
   }
   [[nodiscard]] std::string str() const;
   [[nodiscard]] std::string json() const;
+  /// Parses a json() document back; nullopt on malformed input. The
+  /// round trip is exact — the resume CI job diffs json() of a resumed
+  /// run against an uninterrupted one byte for byte.
+  [[nodiscard]] static std::optional<ServiceReport> from_json(
+      std::string_view text);
 };
 
 struct ServiceOptions {
@@ -199,16 +267,46 @@ struct ServiceOptions {
   BreakerPolicy breaker;
   sim::SanitizerEngine::Options sanitizer;
   double f32_rel_tol = 1e-3;
+
+  /// Crash isolation: kProcess runs every attempt in a sandboxed worker
+  /// subprocess (serve/supervisor.hpp), so a natively crashing,
+  /// aborting, or wedged job cannot take the batch down. Reports are
+  /// bit-identical across modes for batches that do not actually crash.
+  IsolationMode isolate = IsolationMode::kNone;
+  /// Worker command line; empty = re-exec /proc/self/exe --worker.
+  std::vector<std::string> worker_cmd;
+  /// RLIMIT_AS cap per worker in MiB (0 = uncapped); overruns surface
+  /// as the "resource-limit" failure cause.
+  std::int64_t worker_mem_mb = 0;
+  /// Supervisor read timeout / worker heartbeat interval (real ms).
+  int worker_read_timeout_ms = 10000;
+  int worker_heartbeat_ms = 200;
+
+  /// Write-ahead commit journal: when set, every job's outcome is
+  /// appended durably (fsync per record) in admission order before its
+  /// commit. A batch killed at any point — including SIGKILL — can then
+  /// finish under resume=true with a ServiceReport byte-identical to an
+  /// uninterrupted run; a journal whose fingerprint does not match the
+  /// submitted batch raises ResumeMismatchError (exit 9 in cudanp-cc).
+  std::string journal_path;
+  bool resume = false;
+  /// Jobs executed per execute->journal->commit round when journaling
+  /// (bounds how much re-execution a crash can cost). Chunking cannot
+  /// affect the report: outcomes are independent and commit order is
+  /// fixed. <= 0 runs the whole batch as one chunk.
+  int commit_chunk = 16;
 };
 
 class BatchService {
  public:
-  BatchService(sim::DeviceSpec spec, ServiceOptions opt)
-      : spec_(std::move(spec)), opt_(std::move(opt)) {}
+  BatchService(sim::DeviceSpec spec, ServiceOptions opt);
+  ~BatchService();
 
   /// Runs a whole batch to completion and returns the report. Every job
   /// in `jobs` appears in report.jobs (same order) in exactly one
-  /// terminal state; the call never throws on job misbehaviour.
+  /// terminal state; the call never throws on job misbehaviour (a
+  /// resume fingerprint mismatch throws ResumeMismatchError — operator
+  /// error, not job misbehaviour).
   [[nodiscard]] ServiceReport run(const std::vector<JobSpec>& jobs);
 
   /// Graceful shutdown: jobs already executing finish and commit;
@@ -219,12 +317,14 @@ class BatchService {
   void request_drain() { drain_.store(true, std::memory_order_relaxed); }
 
  private:
-  struct Outcome;
-  void run_job(const JobSpec& spec, std::size_t index, Outcome* out) const;
+  void run_job(const JobSpec& spec, std::size_t index,
+               JobOutcome* out) const;
 
   sim::DeviceSpec spec_;
   ServiceOptions opt_;
   std::atomic<bool> drain_{false};
+  /// Live only while run() executes with isolate == kProcess.
+  std::unique_ptr<WorkerSupervisor> supervisor_;
 };
 
 }  // namespace cudanp::serve

@@ -1,0 +1,181 @@
+#include "serve/wire.hpp"
+
+#include <errno.h>
+#include <poll.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "support/json.hpp"
+
+namespace cudanp::serve {
+
+namespace {
+
+std::int64_t monotonic_ms() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::int64_t>(ts.tv_sec) * 1000 +
+         ts.tv_nsec / 1000000;
+}
+
+/// Writes all of `n` bytes, riding out EINTR and short writes.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// Reads exactly `n` bytes with a poll-based deadline. deadline_ms < 0
+/// blocks forever.
+ReadStatus read_exact(int fd, char* data, std::size_t n,
+                      std::int64_t deadline_ms) {
+  while (n > 0) {
+    if (deadline_ms >= 0) {
+      std::int64_t remaining = deadline_ms - monotonic_ms();
+      if (remaining <= 0) return ReadStatus::kTimeout;
+      pollfd p{fd, POLLIN, 0};
+      int pr = ::poll(&p, 1,
+                      static_cast<int>(remaining > 1000000 ? 1000000
+                                                           : remaining));
+      if (pr < 0) {
+        if (errno == EINTR) continue;
+        return ReadStatus::kError;
+      }
+      if (pr == 0) continue;  // re-check the deadline
+    }
+    ssize_t r = ::read(fd, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return ReadStatus::kError;
+    }
+    if (r == 0) return ReadStatus::kEof;
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return ReadStatus::kOk;
+}
+
+}  // namespace
+
+bool write_frame(int fd, char type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  // One contiguous buffer per frame: a single writer thread per fd plus
+  // whole-frame writes keep frames from interleaving on the pipe.
+  std::string buf;
+  buf.reserve(5 + payload.size());
+  buf.push_back(type);
+  auto len = static_cast<std::uint32_t>(payload.size());
+  char hdr[4] = {static_cast<char>(len & 0xff),
+                 static_cast<char>((len >> 8) & 0xff),
+                 static_cast<char>((len >> 16) & 0xff),
+                 static_cast<char>((len >> 24) & 0xff)};
+  buf.append(hdr, 4);
+  buf.append(payload.data(), payload.size());
+  return write_all(fd, buf.data(), buf.size());
+}
+
+ReadStatus read_frame(int fd, Frame* out, int timeout_ms) {
+  const std::int64_t deadline =
+      timeout_ms < 0 ? -1 : monotonic_ms() + timeout_ms;
+  char hdr[5];
+  ReadStatus s = read_exact(fd, hdr, sizeof(hdr), deadline);
+  if (s != ReadStatus::kOk) return s;
+  out->type = hdr[0];
+  std::uint32_t len = static_cast<std::uint8_t>(hdr[1]) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(hdr[2]))
+                       << 8) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(hdr[3]))
+                       << 16) |
+                      (static_cast<std::uint32_t>(
+                           static_cast<std::uint8_t>(hdr[4]))
+                       << 24);
+  if (len > kMaxFramePayload) return ReadStatus::kError;
+  out->payload.resize(len);
+  if (len == 0) return ReadStatus::kOk;
+  return read_exact(fd, out->payload.data(), len, deadline);
+}
+
+std::string AttemptRequest::json() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "{\"source\":\"" << json::escape(source) << "\",\"kernel\":\""
+     << json::escape(kernel) << "\",\"elems\":" << elems
+     << ",\"tb\":" << tb << ",\"device\":\"" << json::escape(device)
+     << "\",\"sm_version\":" << sm_version
+     << ",\"max_steps\":" << max_steps << ",\"corrupt_ast\":"
+     << (corrupt_ast ? "true" : "false") << ",\"hook_faults\":"
+     << (hook_faults ? "true" : "false") << ",\"fault\":" << fault.json()
+     << ",\"error_limit\":" << error_limit << ",\"portable_races\":"
+     << (portable_races ? "true" : "false") << ",\"dedupe\":"
+     << (dedupe ? "true" : "false") << ",\"f32_rel_tol\":" << f32_rel_tol
+     << ",\"heartbeat_ms\":" << heartbeat_ms << "}";
+  return os.str();
+}
+
+std::optional<AttemptRequest> AttemptRequest::from_json(
+    std::string_view text) {
+  auto v = json::parse(text);
+  if (!v || !v->is_object()) return std::nullopt;
+  AttemptRequest r;
+  r.source = v->get_str("source");
+  r.kernel = v->get_str("kernel");
+  r.elems = static_cast<int>(v->get_i64("elems", 32));
+  r.tb = static_cast<int>(v->get_i64("tb", 32));
+  r.device = v->get_str("device", "gtx680");
+  r.sm_version = static_cast<int>(v->get_i64("sm_version", 30));
+  r.max_steps = v->get_i64("max_steps");
+  r.corrupt_ast = v->get_bool("corrupt_ast");
+  r.hook_faults = v->get_bool("hook_faults");
+  if (const json::Value* f = v->find("fault")) {
+    auto plan = sim::FaultPlan::from_json_value(*f);
+    if (!plan) return std::nullopt;
+    r.fault = *plan;
+  }
+  r.error_limit = v->get_i64("error_limit", 100);
+  r.portable_races = v->get_bool("portable_races");
+  r.dedupe = v->get_bool("dedupe", true);
+  r.f32_rel_tol = v->get_double("f32_rel_tol", 1e-3);
+  r.heartbeat_ms = static_cast<int>(v->get_i64("heartbeat_ms", 200));
+  return r;
+}
+
+std::string AttemptResult::json() const {
+  std::ostringstream os;
+  os << "{\"rejected\":" << (rejected ? "true" : "false")
+     << ",\"reject_cause\":\"" << json::escape(reject_cause)
+     << "\",\"reject_detail\":\"" << json::escape(reject_detail)
+     << "\",\"kernel_name\":\"" << json::escape(kernel_name)
+     << "\",\"decision\":" << decision.json() << "}";
+  return os.str();
+}
+
+std::optional<AttemptResult> AttemptResult::from_json(
+    std::string_view text) {
+  auto v = json::parse(text);
+  if (!v || !v->is_object()) return std::nullopt;
+  AttemptResult r;
+  r.rejected = v->get_bool("rejected");
+  r.reject_cause = v->get_str("reject_cause");
+  r.reject_detail = v->get_str("reject_detail");
+  r.kernel_name = v->get_str("kernel_name");
+  if (const json::Value* d = v->find("decision")) {
+    auto dec = np::FallbackDecision::from_json_value(*d);
+    if (!dec) return std::nullopt;
+    r.decision = std::move(*dec);
+  }
+  return r;
+}
+
+}  // namespace cudanp::serve

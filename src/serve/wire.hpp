@@ -1,0 +1,124 @@
+// Wire protocol between the batch supervisor and its sandboxed
+// execution workers (`cudanp-cc --worker`).
+//
+// A worker speaks length-prefixed frames over a pipe pair:
+//
+//   [1 byte type][4 bytes little-endian payload length][payload]
+//
+//   'J'  job      supervisor -> worker   AttemptRequest JSON
+//   'R'  result   worker -> supervisor   AttemptResult JSON
+//   'H'  heartbeat worker -> supervisor  empty payload, sent on a real
+//        timer while an attempt is executing so the supervisor can tell
+//        "slow but alive" from "wedged"
+//
+// One frame in, one frame out: the worker executes exactly ONE attempt
+// per 'J' frame (the retry/deadline/backoff loop stays in the
+// supervisor, where it remains a pure function of virtual time). All
+// framed reads in the supervisor go through read_frame's poll-based
+// timeout, so a worker that stops responding mid-job — crashed, wedged,
+// or killed — can never hang the batch (ISSUE: crash isolation).
+//
+// Payloads are JSON (support/json.hpp) rather than a packed struct so a
+// torn or corrupt frame degrades to a structured parse failure, which
+// the supervisor classifies as a crash, never undefined behaviour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "np/compiler.hpp"
+#include "sim/fault.hpp"
+
+namespace cudanp::serve {
+
+inline constexpr char kFrameJob = 'J';
+inline constexpr char kFrameResult = 'R';
+inline constexpr char kFrameHeartbeat = 'H';
+
+/// Frames above this are treated as stream corruption (a real request
+/// is kernel source + options, well under a mebibyte).
+inline constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+
+struct Frame {
+  char type = 0;
+  std::string payload;
+};
+
+enum class ReadStatus : std::uint8_t {
+  kOk,       // a complete frame was read
+  kTimeout,  // nothing (or a partial frame) within the time budget
+  kEof,      // orderly close — the peer exited
+  kError,    // read error or a corrupt frame header
+};
+
+/// Writes one complete frame to `fd`, retrying on EINTR / short writes.
+/// Returns false on any write error (e.g. EPIPE from a dead worker; the
+/// supervisor runs with SIGPIPE ignored so this surfaces as an error
+/// return, not a process kill).
+bool write_frame(int fd, char type, std::string_view payload);
+
+/// Reads one complete frame from `fd`. `timeout_ms` bounds the whole
+/// read (poll-based, measured against CLOCK_MONOTONIC); negative waits
+/// forever. Every blocking supervisor read goes through this — the
+/// read-timeout satellite of the crash-isolation issue.
+ReadStatus read_frame(int fd, Frame* out, int timeout_ms);
+
+/// One attempt's worth of work, shipped to a worker (or executed
+/// in-process via execute_attempt — both isolation modes run exactly
+/// this struct, which is why their reports are bit-identical).
+struct AttemptRequest {
+  std::string source;
+  /// Requested kernel name; empty = first kernel with NP pragmas.
+  std::string kernel;
+  int elems = 32;
+  int tb = 32;
+  /// Device model: resolved by name ("gtx680"/"k20c") + sm override so
+  /// the worker reconstructs the supervisor's spec exactly.
+  std::string device = "gtx680";
+  int sm_version = 30;
+  /// Final per-block step budget for this attempt (the supervisor has
+  /// already folded the deadline clamp in).
+  std::int64_t max_steps = 0;
+  /// Apply the fault plan's AST corruption before compiling (mirrors
+  /// spec.inject && (drop_barrier || skew_index); corruption persists
+  /// across attempts like a real transform bug).
+  bool corrupt_ast = false;
+  /// Wire the fault plan's statement-level hooks (and the OOM probe /
+  /// worker wedge) into this attempt. The supervisor clears this after
+  /// JobSpec::transient_attempts, which is how injected faults stay
+  /// transient under retry.
+  bool hook_faults = false;
+  sim::FaultPlan fault;
+  /// Sanitizer knobs (sim::SanitizerEngine::Options, flattened).
+  std::int64_t error_limit = 100;
+  bool portable_races = false;
+  bool dedupe = true;
+  double f32_rel_tol = 1e-3;
+  /// Real-time heartbeat interval the worker keeps while executing.
+  int heartbeat_ms = 200;
+
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<AttemptRequest> from_json(
+      std::string_view text);
+};
+
+/// What one attempt produced. Either a structured rejection (parse
+/// failed, kernel missing, internal error) or a FallbackDecision — the
+/// same split BatchService::run_job has always committed.
+struct AttemptResult {
+  bool rejected = false;
+  std::string reject_cause;   // "compile-error" / "no-kernel" /
+                              // "internal-error"
+  std::string reject_detail;
+  /// Name of the kernel actually compiled (breaker identity).
+  std::string kernel_name;
+  np::FallbackDecision decision;
+
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<AttemptResult> from_json(
+      std::string_view text);
+};
+
+}  // namespace cudanp::serve

@@ -16,12 +16,18 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/kernel.hpp"
 #include "sim/memory.hpp"
 #include "support/source_location.hpp"
+
+namespace cudanp::json {
+class Value;
+}
 
 namespace cudanp::sim {
 
@@ -51,6 +57,31 @@ struct FaultPlan {
   /// the step limit trips (requires a finite watchdog; with the watchdog
   /// disabled the stall degrades to an immediate injected SimError).
   std::int64_t stall_block = -1;
+  /// When > 0, raise SIGSEGV (a genuine native crash, not an exception)
+  /// at exactly this interpreted-statement count of the targeted block.
+  /// Kills the whole process — survivable only under the serve layer's
+  /// --isolate=process worker sandbox, which is the point.
+  std::int64_t crash_at_step = 0;
+  /// When > 0, attempt a single allocation of this many MiB before the
+  /// first launch of the attempt (serve::execute_attempt). Under a
+  /// worker RLIMIT_AS cap the allocation fails and the attempt is
+  /// classified resource-limit; without a cap the probe is allocated,
+  /// never touched, and immediately freed (harmless).
+  std::int64_t oom_mb = 0;
+  /// Worker-only fault: the execution worker stops responding entirely
+  /// (no heartbeat, no result) while holding the job, modelling a wedged
+  /// process. Caught by the supervisor's read timeout; ignored by
+  /// in-process execution.
+  bool wedge_worker = false;
+
+  /// Serializes every field; from_json reverses it exactly. This is how
+  /// fault plans ride the worker-process wire protocol.
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<FaultPlan> from_json(
+      std::string_view text);
+  /// Same, from an already-parsed value (nested inside a larger doc).
+  [[nodiscard]] static std::optional<FaultPlan> from_json_value(
+      const cudanp::json::Value& v);
 };
 
 class FaultInjector {

@@ -1,0 +1,106 @@
+// Minimal JSON: the escape helper every report emitter shares, and a
+// small recursive-descent parser for the reports we ourselves emit.
+//
+// The serve layer's process-isolation split (serve/supervisor.*) and the
+// durable batch journal (serve/journal.*) both need to *read back* the
+// structured records the repo has always written — FallbackDecision,
+// VariantFailure, JobResult, ServiceReport — so every one of those types
+// now has a from_json next to its json(), built on this parser. The
+// parser accepts standard JSON (objects, arrays, strings with the usual
+// escapes, integers, doubles, bools, null); it is not a streaming parser
+// and is sized for reports, not gigabyte documents.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cudanp::json {
+
+/// Escapes `s` for embedding in a JSON string literal: quotes,
+/// backslashes, \n \t \r, and \u00xx for remaining control bytes.
+/// Exactly the escaping every json() emitter in the repo uses.
+[[nodiscard]] std::string escape(const std::string& s);
+
+/// Reverses escape(): returns nullopt on a malformed escape sequence.
+[[nodiscard]] std::optional<std::string> unescape(std::string_view s);
+
+class Value;
+using Object = std::vector<std::pair<std::string, Value>>;
+using Array = std::vector<Value>;
+
+/// One parsed JSON value. Numbers keep both an integer and a double
+/// view; every numeric field the repo emits is an integer.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kNull, kBool, kNumber, kString, kArray, kObject,
+  };
+
+  Value() = default;
+  [[nodiscard]] Kind kind() const { return kind_; }
+
+  [[nodiscard]] bool is_null() const { return kind_ == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind_ == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind_ == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind_ == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind_ == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; the default is returned on a kind mismatch so
+  /// report parsers can be written as straight-line field reads.
+  [[nodiscard]] bool as_bool(bool def = false) const {
+    return is_bool() ? bool_ : def;
+  }
+  [[nodiscard]] std::int64_t as_i64(std::int64_t def = 0) const {
+    return is_number() ? i64_ : def;
+  }
+  [[nodiscard]] double as_double(double def = 0.0) const {
+    return is_number() ? num_ : def;
+  }
+  [[nodiscard]] const std::string& as_str() const { return str_; }
+
+  [[nodiscard]] const Array& arr() const { return arr_; }
+  [[nodiscard]] const Object& obj() const { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(std::string_view key) const;
+
+  /// Convenience field reads straight off an object.
+  [[nodiscard]] bool get_bool(std::string_view key, bool def = false) const;
+  [[nodiscard]] std::int64_t get_i64(std::string_view key,
+                                     std::int64_t def = 0) const;
+  [[nodiscard]] std::string get_str(std::string_view key,
+                                    const std::string& def = {}) const;
+  [[nodiscard]] double get_double(std::string_view key,
+                                  double def = 0.0) const;
+
+  static Value make_null() { return Value(); }
+  static Value make_bool(bool b);
+  static Value make_number(std::int64_t i);
+  static Value make_double(double d);
+  static Value make_string(std::string s);
+  static Value make_array(Array a);
+  static Value make_object(Object o);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t i64_ = 0;
+  double num_ = 0.0;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). On failure returns nullopt and, when `error` is
+/// non-null, a byte-offset diagnostic.
+[[nodiscard]] std::optional<Value> parse(std::string_view text,
+                                         std::string* error = nullptr);
+
+}  // namespace cudanp::json

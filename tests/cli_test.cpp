@@ -2,6 +2,9 @@
 // subprocess, exactly as a user would).
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <array>
@@ -34,14 +37,32 @@ RunResult run_cli(const std::string& args) {
   return r;
 }
 
-std::string write_temp_kernel(const std::string& body) {
-  // ctest runs each test as its own process, possibly in parallel: the
-  // temp file must be unique per process or concurrent tests race.
-  std::string path = ::testing::TempDir() + "cudanp_cli_test_" +
-                     std::to_string(::getpid()) + ".cu";
-  std::ofstream f(path);
-  f << body;
+// ctest runs each test as its own process, possibly in parallel: every
+// temp path must be unique per process, and creation uses O_EXCL so a
+// collision (pid reuse, leftover file from a killed run) fails loudly
+// instead of silently interleaving two tests' data.
+std::string temp_name(const std::string& name) {
+  return ::testing::TempDir() + "cudanp_cli_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+std::string write_exclusive(const std::string& path,
+                            const std::string& body) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    // A previous in-process test already created it; recreate fresh.
+    ::unlink(path.c_str());
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  }
+  EXPECT_GE(fd, 0) << "cannot create " << path;
+  ssize_t n = ::write(fd, body.data(), body.size());
+  EXPECT_EQ(n, static_cast<ssize_t>(body.size()));
+  ::close(fd);
   return path;
+}
+
+std::string write_temp_kernel(const std::string& body) {
+  return write_exclusive(temp_name("test.cu"), body);
 }
 
 const char* kTmv = R"(
@@ -66,7 +87,7 @@ TEST(Cli, TransformsToStdout) {
 
 TEST(Cli, WritesOutputFile) {
   auto path = write_temp_kernel(kTmv);
-  std::string out = ::testing::TempDir() + "cudanp_cli_out.cu";
+  std::string out = temp_name("out.cu");
   auto r = run_cli(path + " -o " + out);
   EXPECT_EQ(r.exit_code, 0) << r.output;
   std::ifstream f(out);
@@ -299,11 +320,7 @@ TEST(Cli, RejectsGarbageNumericFlags) {
 
 std::string write_temp_file(const std::string& name,
                             const std::string& body) {
-  std::string path = ::testing::TempDir() + "cudanp_cli_" +
-                     std::to_string(::getpid()) + "_" + name;
-  std::ofstream f(path);
-  f << body;
-  return path;
+  return write_exclusive(temp_name(name), body);
 }
 
 TEST(Cli, BatchHealthyManifestExitsZero) {
@@ -380,7 +397,7 @@ TEST(Cli, BatchAndInputFileAreMutuallyExclusive) {
 TEST(Cli, EmittedOutputIsReparsable) {
   // Feed cudanp-cc its own output: source-to-source must close the loop.
   auto path = write_temp_kernel(kTmv);
-  std::string out = ::testing::TempDir() + "cudanp_cli_round.cu";
+  std::string out = temp_name("round.cu");
   auto r1 = run_cli(path + " --slave-size=4 -o " + out);
   ASSERT_EQ(r1.exit_code, 0) << r1.output;
   // The transformed kernel has no pragmas left, so ask for a report of a
@@ -388,6 +405,166 @@ TEST(Cli, EmittedOutputIsReparsable) {
   auto r2 = run_cli(out + " --kernel=tmv_np --report");
   EXPECT_EQ(r2.exit_code, 0) << r2.output;
   EXPECT_NE(r2.output.find("kernel tmv_np"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Crash isolation and durable recovery (--isolate / --journal).
+
+TEST(Cli, IsolatedCrashingBatchExitsEightDegraded) {
+  // A kernel that raises a genuine SIGSEGV mid-interpretation: without
+  // isolation it kills cudanp-cc outright; under --isolate=process the
+  // batch completes degraded with the crashed-but-completed exit code.
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "crash.txt",
+      "file=" + kernel + " elems=16 tb=8 name=ok\n"
+      "file=" + kernel +
+          " elems=16 tb=8 crash-step=3 attempts=2 name=boom\n");
+  auto r = run_cli("--batch=" + manifest + " --isolate=process");
+  EXPECT_EQ(r.exit_code, 8) << r.output;
+  EXPECT_NE(r.output.find("ok: succeeded"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("boom: degraded (crash)"), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("crashed attempt(s)"), std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, UnisolatedReportHasNoIsolationLine) {
+  // Zero-crash batches must print the exact pre-isolation report.
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "quiet.txt", "file=" + kernel + " elems=16 tb=8 name=ok\n");
+  auto r = run_cli("--batch=" + manifest);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_EQ(r.output.find("isolation:"), std::string::npos) << r.output;
+}
+
+TEST(Cli, WorkerMemoryCapExitsEightWithResourceLimit) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "oom.txt",
+      "file=" + kernel + " elems=16 tb=8 oom-mb=4096 name=fat\n");
+  auto r = run_cli("--batch=" + manifest +
+                   " --isolate=process --worker-mem-mb=512");
+  EXPECT_EQ(r.exit_code, 8) << r.output;
+  EXPECT_NE(r.output.find("fat: degraded (resource-limit)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, JournaledRunThenResumeReproducesReportBitForBit) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "journal.txt",
+      "file=" + kernel + " elems=16 tb=8 name=a\n"
+      "file=" + kernel + " elems=16 tb=8 fault-step=5"
+      " transient-attempts=1 name=flaky\n"
+      "file=" + kernel + " elems=16 tb=8 crash-step=3 name=boom\n");
+  std::string j_full = temp_name("full.journal");
+  std::string j_cut = temp_name("cut.journal");
+  std::string args = "--batch=" + manifest +
+                     " --isolate=process --commit-chunk=1 --journal=";
+  auto full = run_cli(args + j_full);
+  EXPECT_EQ(full.exit_code, 8) << full.output;
+
+  // Simulate a SIGKILL after the first commit: keep the header and the
+  // first record, truncating mid-way through the second (a torn tail).
+  {
+    std::ifstream in(j_full);
+    std::string line, kept;
+    for (int i = 0; i < 2 && std::getline(in, line); ++i)
+      kept += line + "\n";
+    std::getline(in, line);
+    kept += line.substr(0, line.size() / 2);  // torn final record
+    write_exclusive(j_cut, kept);
+  }
+  auto resumed = run_cli(args + j_cut + " --resume --jobs=2");
+  EXPECT_EQ(resumed.exit_code, 8) << resumed.output;
+  EXPECT_EQ(full.output, resumed.output);
+  std::remove(j_full.c_str());
+  std::remove(j_cut.c_str());
+}
+
+TEST(Cli, SigkilledBatchResumesToIdenticalReport) {
+  // The real thing: SIGKILL the process mid-batch (a wedge job holds it
+  // in flight), then --resume and diff against an uninterrupted run.
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "kill.txt",
+      "file=" + kernel + " elems=16 tb=8 name=a\n"
+      "file=" + kernel + " elems=16 tb=8 name=b\n"
+      "file=" + kernel + " elems=16 tb=8 wedge attempts=1 name=stuck\n"
+      "file=" + kernel + " elems=16 tb=8 name=c\n");
+  std::string j_full = temp_name("sk_full.journal");
+  std::string j_kill = temp_name("sk_kill.journal");
+  std::string common = "--batch=" + manifest +
+                       " --isolate=process --commit-chunk=1"
+                       " --worker-timeout-ms=4000 --jobs=1 --journal=";
+  auto full = run_cli(common + j_full);
+  EXPECT_EQ(full.exit_code, 8) << full.output;
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Quiet child: the report goes nowhere, only the journal matters.
+    ::execl("/bin/sh", "sh", "-c",
+            (std::string(CUDANP_CC_PATH) + " " + common + j_kill +
+             " >/dev/null 2>&1")
+                .c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  // a and b commit fast; "stuck" then wedges for seconds — kill lands
+  // mid-batch with a partially written journal.
+  ::usleep(800 * 1000);
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+
+  std::ifstream probe(j_kill);
+  ASSERT_TRUE(probe.good()) << "journal was never created";
+  auto resumed = run_cli(common + j_kill + " --resume");
+  EXPECT_EQ(resumed.exit_code, 8) << resumed.output;
+  EXPECT_EQ(full.output, resumed.output);
+  std::remove(j_full.c_str());
+  std::remove(j_kill.c_str());
+}
+
+TEST(Cli, ResumeMismatchExitsNine) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto m1 = write_temp_file(
+      "m1.txt", "file=" + kernel + " elems=16 tb=8 name=a\n");
+  auto m2 = write_temp_file(
+      "m2.txt", "file=" + kernel + " elems=16 tb=8 name=renamed\n");
+  std::string j = temp_name("mismatch.journal");
+  auto r1 = run_cli("--batch=" + m1 + " --journal=" + j);
+  EXPECT_EQ(r1.exit_code, 0) << r1.output;
+  auto r2 = run_cli("--batch=" + m2 + " --journal=" + j + " --resume");
+  EXPECT_EQ(r2.exit_code, 9) << r2.output;
+  EXPECT_NE(r2.output.find("different batch"), std::string::npos)
+      << r2.output;
+  std::remove(j.c_str());
+}
+
+TEST(Cli, ResumeRequiresJournal) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "nr.txt", "file=" + kernel + " name=a\n");
+  auto r = run_cli("--batch=" + manifest + " --resume");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--resume requires --journal"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(Cli, RejectsBadIsolateValue) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "bi.txt", "file=" + kernel + " name=a\n");
+  auto r = run_cli("--batch=" + manifest + " --isolate=vm");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("bad value for --isolate"), std::string::npos)
+      << r.output;
 }
 
 }  // namespace

@@ -1,0 +1,604 @@
+// Crash-isolated execution workers and durable batch recovery: the
+// supervisor contains native crashes (SIGSEGV), wedged workers (read
+// timeout), and RLIMIT_AS overruns as structured failure causes; the
+// write-ahead journal makes a SIGKILL'd batch resumable with a
+// byte-identical report. Reports must stay bit-identical across
+// isolation modes (for non-crashing batches), job counts, commit chunk
+// sizes, and resume boundaries.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "serve/journal.hpp"
+#include "serve/service.hpp"
+#include "serve/supervisor.hpp"
+#include "serve/wire.hpp"
+#include "serve/worker.hpp"
+#include "sim/device.hpp"
+
+#ifndef CUDANP_CC_PATH
+#define CUDANP_CC_PATH "tools/cudanp-cc"
+#endif
+
+namespace cudanp {
+namespace {
+
+const char* kTmv = R"(
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++)
+    sum += a[i * w + tx] * b[i];
+  c[tx] = sum;
+}
+)";
+
+serve::JobSpec tmv_job(const std::string& name) {
+  serve::JobSpec j;
+  j.name = name;
+  j.source = kTmv;
+  j.elems = 16;
+  j.tb = 8;
+  return j;
+}
+
+serve::JobSpec crashing_job(const std::string& name) {
+  serve::JobSpec j = tmv_job(name);
+  j.inject = true;
+  j.fault.crash_at_step = 3;
+  return j;
+}
+
+serve::JobSpec wedging_job(const std::string& name) {
+  serve::JobSpec j = tmv_job(name);
+  j.inject = true;
+  j.fault.wedge_worker = true;
+  j.max_attempts = 1;
+  return j;
+}
+
+/// Process-isolated options pointing the supervisor at the real
+/// cudanp-cc binary (the test binary itself has no --worker mode).
+serve::ServiceOptions isolated_options() {
+  serve::ServiceOptions opt;
+  opt.isolate = serve::IsolationMode::kProcess;
+  opt.worker_cmd = {CUDANP_CC_PATH, "--worker"};
+  return opt;
+}
+
+serve::ServiceReport run_batch(const std::vector<serve::JobSpec>& jobs,
+                               serve::ServiceOptions opt) {
+  serve::BatchService service(sim::DeviceSpec::gtx680(), opt);
+  return service.run(jobs);
+}
+
+/// ctest runs suites in parallel processes: every temp path must be
+/// pid-unique, and journals are created O_EXCL by the writer itself.
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "cudanp_sup_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+// ---------------------------------------------------------------------
+// Crash isolation.
+
+TEST(Supervisor, NativeCrashDegradesInsteadOfKillingTheBatch) {
+  // In-process this SIGSEGV would take the whole test runner down; the
+  // worker sandbox must convert it into a structured kCrash degradation
+  // while neighbouring jobs succeed untouched.
+  auto report = run_batch(
+      {tmv_job("a"), crashing_job("boom"), tmv_job("b")},
+      isolated_options());
+  ASSERT_EQ(report.jobs.size(), 3u);
+  EXPECT_EQ(report.jobs[0].state, serve::JobState::kSucceeded);
+  EXPECT_EQ(report.jobs[2].state, serve::JobState::kSucceeded);
+
+  const serve::JobResult& boom = report.jobs[1];
+  EXPECT_EQ(boom.state, serve::JobState::kDegraded);
+  EXPECT_EQ(boom.cause, "crash");
+  EXPECT_EQ(boom.chosen_config, "baseline");
+  EXPECT_GT(boom.crashed_attempts, 0);
+  ASSERT_FALSE(boom.quarantined.empty());
+  EXPECT_EQ(boom.quarantined.front().cause, np::FailureCause::kCrash);
+  EXPECT_NE(boom.quarantined.front().detail.find("signal"),
+            std::string::npos)
+      << boom.quarantined.front().detail;
+  EXPECT_GT(report.crashes, 0u);
+}
+
+TEST(Supervisor, CrashIsTransientAndRetried) {
+  // kCrash is a transient cause: the job gets its full attempt budget,
+  // each on a fresh worker (the persistent fault crashes every one).
+  serve::JobSpec j = crashing_job("boom");
+  j.max_attempts = 3;
+  auto report = run_batch({j}, isolated_options());
+  EXPECT_EQ(report.jobs[0].attempts, 3);
+  EXPECT_EQ(report.jobs[0].crashed_attempts, 3);
+  EXPECT_EQ(report.crashes, 3u);
+  EXPECT_EQ(report.retries, 2u);
+}
+
+TEST(Supervisor, ReportBitIdenticalAcrossIsolationModes) {
+  // The isolation mode is an execution detail: a batch that does not
+  // crash must produce the same bytes either way.
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), tmv_job("b")};
+  serve::JobSpec flaky = tmv_job("flaky");
+  flaky.inject = true;
+  flaky.fault.sim_error_at_step = 5;
+  flaky.transient_attempts = 1;
+  jobs.push_back(flaky);
+
+  serve::ServiceOptions in_process;
+  auto a = run_batch(jobs, in_process);
+  auto b = run_batch(jobs, isolated_options());
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(a.json(), b.json());
+}
+
+TEST(Supervisor, CrashingBatchBitIdenticalAcrossJobCounts) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), crashing_job("boom"),
+                                      tmv_job("b"), crashing_job("boom2"),
+                                      tmv_job("c")};
+  serve::ServiceOptions opt = isolated_options();
+  opt.jobs = 1;
+  auto serial = run_batch(jobs, opt);
+  opt.jobs = 4;
+  auto parallel = run_batch(jobs, opt);
+  EXPECT_EQ(serial.str(), parallel.str());
+  EXPECT_EQ(serial.json(), parallel.json());
+}
+
+TEST(Supervisor, UnlaunchableWorkerIsAStructuredCrashNotAHang) {
+  // exec of the worker binary fails: the child _exits 127 (the shell
+  // convention), which the supervisor reaps into a deterministic
+  // structured crash — the batch completes degraded, never hangs.
+  serve::ServiceOptions opt = isolated_options();
+  opt.worker_cmd = {"/nonexistent/cudanp-worker", "--worker"};
+  auto report = run_batch({tmv_job("a")}, opt);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].state, serve::JobState::kDegraded);
+  EXPECT_EQ(report.jobs[0].cause, "crash");
+  ASSERT_FALSE(report.jobs[0].quarantined.empty());
+  EXPECT_EQ(report.jobs[0].quarantined.front().detail,
+            "worker exited with status 127");
+}
+
+// ---------------------------------------------------------------------
+// Read-timeout regression: a worker that stops responding mid-job.
+
+TEST(Supervisor, WedgedWorkerTripsReadTimeoutNotForever) {
+  // The worker takes the job and then goes silent — no heartbeat, no
+  // result, no exit. Every blocking supervisor read has a deadline, so
+  // the batch must finish (well inside the ctest timeout) with the
+  // wedged job degraded as a crash.
+  serve::ServiceOptions opt = isolated_options();
+  opt.worker_read_timeout_ms = 500;
+  opt.worker_heartbeat_ms = 50;
+  auto report =
+      run_batch({wedging_job("stuck"), tmv_job("after")}, opt);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  EXPECT_EQ(report.jobs[0].state, serve::JobState::kDegraded);
+  EXPECT_EQ(report.jobs[0].cause, "crash");
+  ASSERT_FALSE(report.jobs[0].quarantined.empty());
+  EXPECT_NE(
+      report.jobs[0].quarantined.front().detail.find("unresponsive"),
+      std::string::npos)
+      << report.jobs[0].quarantined.front().detail;
+  // The slot was reclaimed: the next job ran on a fresh worker.
+  EXPECT_EQ(report.jobs[1].state, serve::JobState::kSucceeded);
+}
+
+TEST(Supervisor, SlowButAliveWorkerIsNotKilled) {
+  // Heartbeats arrive faster than the read timeout, so a job that takes
+  // longer than one timeout interval still completes.
+  serve::ServiceOptions opt = isolated_options();
+  opt.worker_read_timeout_ms = 300;
+  opt.worker_heartbeat_ms = 50;
+  serve::JobSpec big = tmv_job("big");
+  big.elems = 4096;
+  big.tb = 64;
+  auto report = run_batch({big}, opt);
+  EXPECT_EQ(report.jobs[0].state, serve::JobState::kSucceeded)
+      << report.str();
+  EXPECT_EQ(report.crashes, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Resource limits.
+
+TEST(Supervisor, MemoryCapSurfacesAsResourceLimit) {
+  serve::ServiceOptions opt = isolated_options();
+  opt.worker_mem_mb = 512;
+  serve::JobSpec fat = tmv_job("fat");
+  fat.inject = true;
+  fat.fault.oom_mb = 4096;  // far past the cap
+  fat.max_attempts = 3;
+  auto report = run_batch({fat, tmv_job("thin")}, opt);
+  ASSERT_EQ(report.jobs.size(), 2u);
+  const serve::JobResult& r = report.jobs[0];
+  EXPECT_EQ(r.state, serve::JobState::kDegraded);
+  EXPECT_EQ(r.cause, "resource-limit");
+  // Deterministic for a given cap: never retried.
+  EXPECT_EQ(r.attempts, 1);
+  ASSERT_FALSE(r.quarantined.empty());
+  EXPECT_EQ(r.quarantined.front().cause,
+            np::FailureCause::kResourceLimit);
+  EXPECT_EQ(report.resource_limited, 1u);
+  EXPECT_EQ(report.crashes, 0u);
+  // A modest job under the same cap is unaffected.
+  EXPECT_EQ(report.jobs[1].state, serve::JobState::kSucceeded);
+}
+
+TEST(Supervisor, ResourceLimitFeedsTheBreaker) {
+  // Non-transient and breaker-eligible: repeat offenders open the
+  // breaker exactly like any other persistent failure.
+  serve::ServiceOptions opt = isolated_options();
+  opt.worker_mem_mb = 512;
+  opt.breaker.failure_threshold = 2;
+  std::vector<serve::JobSpec> jobs;
+  for (int i = 0; i < 4; ++i) {
+    serve::JobSpec j = tmv_job("fat" + std::to_string(i));
+    j.inject = true;
+    j.fault.oom_mb = 4096;
+    jobs.push_back(j);
+  }
+  auto report = run_batch(jobs, opt);
+  EXPECT_GT(report.breaker_opens, 0u);
+  bool routed = false;
+  for (const auto& j : report.jobs) routed |= j.breaker_routed;
+  EXPECT_TRUE(routed) << report.str();
+}
+
+TEST(Supervisor, OomProbeIsHarmlessWithoutACap) {
+  serve::ServiceOptions opt = isolated_options();
+  serve::JobSpec j = tmv_job("probe");
+  j.inject = true;
+  j.fault.oom_mb = 64;  // allocatable: probe succeeds, job is clean
+  auto report = run_batch({j}, opt);
+  EXPECT_EQ(report.jobs[0].state, serve::JobState::kSucceeded)
+      << report.str();
+  EXPECT_EQ(report.resource_limited, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Write-ahead journal and resume.
+
+TEST(Journal, UninterruptedJournaledRunMatchesUnjournaled) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), crashing_job("boom"),
+                                      tmv_job("b")};
+  serve::ServiceOptions opt = isolated_options();
+  auto plain = run_batch(jobs, opt);
+
+  std::string path = temp_path("j_uninterrupted.log");
+  opt.journal_path = path;
+  opt.commit_chunk = 1;
+  auto journaled = run_batch(jobs, opt);
+  EXPECT_EQ(plain.str(), journaled.str());
+  EXPECT_EQ(plain.json(), journaled.json());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeReplaysCompletedJobsWithoutReexecution) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), tmv_job("b"),
+                                      crashing_job("boom"), tmv_job("c")};
+  std::string path = temp_path("j_replay.log");
+  serve::ServiceOptions opt = isolated_options();
+  opt.journal_path = path;
+  opt.commit_chunk = 1;
+  auto full = run_batch(jobs, opt);
+
+  // Truncate the journal to the header + first two records — as if the
+  // batch had been SIGKILL'd after committing two jobs.
+  std::ifstream in(path);
+  std::string line, kept;
+  for (int i = 0; i < 3 && std::getline(in, line); ++i)
+    kept += line + "\n";
+  in.close();
+  std::remove(path.c_str());
+  std::ofstream(path) << kept;
+
+  opt.resume = true;
+  auto resumed = run_batch(jobs, opt);
+  EXPECT_EQ(full.str(), resumed.str());
+  EXPECT_EQ(full.json(), resumed.json());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, TornTailIsDiscardedAndReexecuted) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), tmv_job("b")};
+  std::string path = temp_path("j_torn.log");
+  serve::ServiceOptions opt = isolated_options();
+  opt.journal_path = path;
+  opt.commit_chunk = 1;
+  auto full = run_batch(jobs, opt);
+
+  // Chop the final record mid-line: a SIGKILL during append.
+  std::ifstream in(path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  std::size_t cut = text.rfind("\"success\"");
+  ASSERT_NE(cut, std::string::npos);
+  std::remove(path.c_str());
+  std::ofstream(path) << text.substr(0, cut);
+
+  std::string error;
+  auto contents = serve::load_journal(path, &error);
+  ASSERT_TRUE(contents.has_value()) << error;
+  EXPECT_EQ(contents->records.size(), 1u);  // torn record dropped
+  EXPECT_LT(static_cast<std::size_t>(contents->valid_bytes), text.size());
+
+  opt.resume = true;
+  auto resumed = run_batch(jobs, opt);
+  EXPECT_EQ(full.str(), resumed.str());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, HeaderOnlyJournalResumesFromScratch) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a")};
+  serve::ServiceOptions opt = isolated_options();
+  auto full = run_batch(jobs, opt);
+
+  std::string path = temp_path("j_header.log");
+  std::string error;
+  {
+    auto w = serve::JournalWriter::create(
+        path, serve::batch_fingerprint(jobs, opt), &error);
+    ASSERT_TRUE(w.has_value()) << error;
+  }
+  opt.journal_path = path;
+  opt.resume = true;
+  auto resumed = run_batch(jobs, opt);
+  EXPECT_EQ(full.str(), resumed.str());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, ResumeAgainstDifferentBatchThrowsMismatch) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a")};
+  std::string path = temp_path("j_mismatch.log");
+  serve::ServiceOptions opt = isolated_options();
+  opt.journal_path = path;
+  (void)run_batch(jobs, opt);
+
+  opt.resume = true;
+  std::vector<serve::JobSpec> other = {tmv_job("renamed")};
+  EXPECT_THROW((void)run_batch(other, opt), serve::ResumeMismatchError);
+  // Changed determinism-relevant options also mismatch.
+  serve::ServiceOptions tweaked = opt;
+  tweaked.attempt_cost_ms = 99;
+  EXPECT_THROW((void)run_batch(jobs, tweaked),
+               serve::ResumeMismatchError);
+  std::remove(path.c_str());
+}
+
+TEST(Journal, MissingJournalOnResumeStartsFresh) {
+  // Killed before the header landed (or never ran): resume is a fresh
+  // run, not an error — the recovery loop must converge.
+  std::vector<serve::JobSpec> jobs = {tmv_job("a")};
+  serve::ServiceOptions opt = isolated_options();
+  auto full = run_batch(jobs, opt);
+  std::string path = temp_path("j_missing.log");
+  opt.journal_path = path;
+  opt.resume = true;
+  auto resumed = run_batch(jobs, opt);
+  EXPECT_EQ(full.str(), resumed.str());
+  std::remove(path.c_str());
+}
+
+TEST(Journal, FingerprintIgnoresJobsCountAndCommitChunk) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a")};
+  serve::ServiceOptions a;
+  serve::ServiceOptions b;
+  b.jobs = 8;
+  b.commit_chunk = 1;
+  EXPECT_EQ(serve::batch_fingerprint(jobs, a),
+            serve::batch_fingerprint(jobs, b));
+  b.worker_mem_mb = 512;  // outcome-relevant: must change the print
+  EXPECT_NE(serve::batch_fingerprint(jobs, a),
+            serve::batch_fingerprint(jobs, b));
+}
+
+TEST(Journal, CommitChunkCannotAffectTheReport) {
+  std::vector<serve::JobSpec> jobs;
+  for (int i = 0; i < 7; ++i) jobs.push_back(tmv_job("j" + std::to_string(i)));
+  jobs.push_back(crashing_job("boom"));
+  serve::ServiceOptions opt = isolated_options();
+  std::string p1 = temp_path("j_chunk1.log");
+  std::string p3 = temp_path("j_chunk3.log");
+  opt.journal_path = p1;
+  opt.commit_chunk = 1;
+  auto one = run_batch(jobs, opt);
+  opt.journal_path = p3;
+  opt.commit_chunk = 3;
+  auto three = run_batch(jobs, opt);
+  EXPECT_EQ(one.str(), three.str());
+  EXPECT_EQ(one.json(), three.json());
+  std::remove(p1.c_str());
+  std::remove(p3.c_str());
+}
+
+// ---------------------------------------------------------------------
+// JSON round trips: every wire/journal/report type must satisfy
+// parse(str(x)) == x for every terminal state.
+
+TEST(RoundTrip, ServiceReportSurvivesJsonForEveryTerminalState) {
+  // One batch exercising succeeded, succeeded-after-retry, degraded
+  // (crash + resource-limit), and rejected.
+  serve::JobSpec flaky = tmv_job("flaky");
+  flaky.inject = true;
+  flaky.fault.sim_error_at_step = 5;
+  flaky.transient_attempts = 1;
+  serve::JobSpec broken = tmv_job("broken");
+  broken.source = "__global__ void oops(";
+  serve::JobSpec fat = tmv_job("fat");
+  fat.inject = true;
+  fat.fault.oom_mb = 4096;
+  serve::ServiceOptions opt = isolated_options();
+  opt.worker_mem_mb = 512;
+  auto report = run_batch(
+      {tmv_job("a"), flaky, crashing_job("boom"), broken, fat}, opt);
+  EXPECT_GT(report.crashes, 0u);
+  EXPECT_GT(report.resource_limited, 0u);
+
+  auto parsed = serve::ServiceReport::from_json(report.json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->json(), report.json());
+  EXPECT_EQ(parsed->str(), report.str());
+}
+
+TEST(RoundTrip, JobOutcomeSurvivesJson) {
+  serve::JobOutcome o;
+  o.ran = true;
+  o.success = false;
+  o.rejected = false;
+  o.attempts = 3;
+  o.crashed_attempts = 2;
+  o.virtual_ms = 145;
+  o.deadline_exceeded = true;
+  o.deadline_ms = 150;
+  o.breaker_key = "tmv";
+  o.decision.kernel = "tmv";
+  o.decision.used_baseline = true;
+  np::VariantFailure f;
+  f.kernel = "tmv";
+  f.config = "worker";
+  f.cause = np::FailureCause::kCrash;
+  f.detail = "worker killed by signal 11";
+  o.decision.quarantined.push_back(f);
+  auto parsed = serve::JobOutcome::from_json(o.json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->json(), o.json());
+}
+
+TEST(RoundTrip, JournalRecordsSurviveLoad) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), crashing_job("boom")};
+  std::string path = temp_path("j_roundtrip.log");
+  serve::ServiceOptions opt = isolated_options();
+  opt.journal_path = path;
+  opt.commit_chunk = 1;
+  (void)run_batch(jobs, opt);
+
+  std::string error;
+  auto contents = serve::load_journal(path, &error);
+  ASSERT_TRUE(contents.has_value()) << error;
+  EXPECT_EQ(contents->fingerprint, serve::batch_fingerprint(jobs, opt));
+  ASSERT_EQ(contents->records.size(), 2u);
+  // Loaded outcomes re-serialize to the exact bytes that were appended.
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);  // header
+  for (const auto& rec : contents->records) {
+    std::getline(in, line);
+    EXPECT_EQ(line, "{\"k\":" + std::to_string(rec.k) +
+                        ",\"outcome\":" + rec.outcome.json() + "}");
+  }
+  std::remove(path.c_str());
+}
+
+TEST(RoundTrip, WireTypesSurviveJson) {
+  serve::AttemptRequest req;
+  req.source = kTmv;
+  req.kernel = "tmv";
+  req.elems = 64;
+  req.tb = 16;
+  req.device = "k20c";
+  req.sm_version = 35;
+  req.max_steps = 1 << 20;
+  req.corrupt_ast = true;
+  req.hook_faults = true;
+  req.fault.seed = 77;
+  req.fault.crash_at_step = 9;
+  req.fault.oom_mb = 12;
+  req.fault.wedge_worker = true;
+  req.error_limit = 5;
+  req.portable_races = true;
+  req.dedupe = false;
+  req.f32_rel_tol = 2.5e-4;
+  req.heartbeat_ms = 125;
+  auto req2 = serve::AttemptRequest::from_json(req.json());
+  ASSERT_TRUE(req2.has_value());
+  EXPECT_EQ(req2->json(), req.json());
+
+  serve::AttemptResult res;
+  res.rejected = true;
+  res.reject_cause = "compile-error";
+  res.reject_detail = "line 1: expected ')'";
+  res.kernel_name = "tmv";
+  auto res2 = serve::AttemptResult::from_json(res.json());
+  ASSERT_TRUE(res2.has_value());
+  EXPECT_EQ(res2->json(), res.json());
+}
+
+TEST(RoundTrip, EnumSlugsReverse) {
+  using serve::IsolationMode;
+  using serve::JobState;
+  for (JobState s :
+       {JobState::kSucceeded, JobState::kSucceededAfterRetry,
+        JobState::kDegraded, JobState::kRejected})
+    EXPECT_EQ(serve::job_state_from_string(serve::to_string(s)), s);
+  for (IsolationMode m : {IsolationMode::kNone, IsolationMode::kProcess})
+    EXPECT_EQ(serve::isolation_mode_from_string(serve::to_string(m)), m);
+  for (np::FailureCause c :
+       {np::FailureCause::kCrash, np::FailureCause::kResourceLimit})
+    EXPECT_EQ(np::failure_cause_from_string(np::to_string(c)), c);
+  EXPECT_FALSE(serve::job_state_from_string("nope").has_value());
+  EXPECT_FALSE(serve::isolation_mode_from_string("vm").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Wire protocol plumbing.
+
+TEST(Wire, FramesRoundTripThroughAPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  ASSERT_TRUE(serve::write_frame(fds[1], serve::kFrameJob, "payload"));
+  serve::Frame f;
+  ASSERT_EQ(serve::read_frame(fds[0], &f, 1000),
+            serve::ReadStatus::kOk);
+  EXPECT_EQ(f.type, serve::kFrameJob);
+  EXPECT_EQ(f.payload, "payload");
+  close(fds[1]);
+  EXPECT_EQ(serve::read_frame(fds[0], &f, 1000),
+            serve::ReadStatus::kEof);
+  close(fds[0]);
+}
+
+TEST(Wire, ReadTimesOutOnASilentPipe) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  serve::Frame f;
+  EXPECT_EQ(serve::read_frame(fds[0], &f, 50),
+            serve::ReadStatus::kTimeout);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+TEST(Wire, OversizedFrameIsAnErrorNotAnAllocation) {
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  // Hand-craft a header claiming a payload beyond kMaxFramePayload.
+  unsigned char hdr[5];
+  hdr[0] = static_cast<unsigned char>(serve::kFrameResult);
+  std::uint32_t n = serve::kMaxFramePayload + 1;
+  hdr[1] = n & 0xff;
+  hdr[2] = (n >> 8) & 0xff;
+  hdr[3] = (n >> 16) & 0xff;
+  hdr[4] = (n >> 24) & 0xff;
+  ASSERT_EQ(write(fds[1], hdr, sizeof(hdr)),
+            static_cast<ssize_t>(sizeof(hdr)));
+  serve::Frame f;
+  EXPECT_EQ(serve::read_frame(fds[0], &f, 1000),
+            serve::ReadStatus::kError);
+  close(fds[0]);
+  close(fds[1]);
+}
+
+}  // namespace
+}  // namespace cudanp

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "support/diagnostics.hpp"
+#include "support/json.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 #include "support/string_utils.hpp"
@@ -203,6 +204,75 @@ TEST(SourceLoc, Validity) {
   EXPECT_FALSE(SourceLoc{}.valid());
   EXPECT_TRUE((SourceLoc{1, 1}).valid());
   EXPECT_EQ(SourceLoc{}.str(), "<synthesized>");
+}
+
+TEST(Json, EscapeUnescapeRoundTrip) {
+  const std::string raw = "a\"b\\c\nd\te\rf\x01g";
+  auto back = json::unescape(json::escape(raw));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, raw);
+  EXPECT_FALSE(json::unescape("trailing\\").has_value());
+  EXPECT_FALSE(json::unescape("\\q").has_value());
+}
+
+TEST(Json, ParsesTheShapesTheReportsEmit) {
+  auto v = json::parse(
+      R"({"name":"tmv","ok":true,"n":42,"none":null,)"
+      R"("xs":[1,2,3],"inner":{"deep":-7}})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->get_str("name"), "tmv");
+  EXPECT_TRUE(v->get_bool("ok"));
+  EXPECT_EQ(v->get_i64("n"), 42);
+  ASSERT_NE(v->find("none"), nullptr);
+  EXPECT_TRUE(v->find("none")->is_null());
+  ASSERT_EQ(v->find("xs")->arr().size(), 3u);
+  EXPECT_EQ(v->find("xs")->arr()[1].as_i64(), 2);
+  EXPECT_EQ(v->find("inner")->get_i64("deep"), -7);
+  // Missing keys fall back to the caller's default, never throw.
+  EXPECT_EQ(v->get_i64("absent", 99), 99);
+  EXPECT_EQ(v->get_str("absent", "d"), "d");
+}
+
+TEST(Json, GetDoubleParsesDecimalsAndExponents) {
+  auto v = json::parse(
+      R"({"tol":0.001,"exp":1.5e-3,"big":2E2,"whole":3,"neg":-0.25})");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->get_double("tol"), 0.001);
+  EXPECT_DOUBLE_EQ(v->get_double("exp"), 1.5e-3);
+  EXPECT_DOUBLE_EQ(v->get_double("big"), 200.0);
+  // Integers are visible through both numeric views.
+  EXPECT_DOUBLE_EQ(v->get_double("whole"), 3.0);
+  EXPECT_EQ(v->get_i64("whole"), 3);
+  EXPECT_DOUBLE_EQ(v->get_double("neg"), -0.25);
+  EXPECT_DOUBLE_EQ(v->get_double("absent", 1e-3), 1e-3);
+}
+
+TEST(Json, DoubleRoundTripAtFullPrecision) {
+  // The wire layer serializes f32_rel_tol with precision 17, which is
+  // enough to reproduce any double exactly. Mimic that path.
+  for (double d : {1e-3, 0.1, 1.0 / 3.0, 2.5e-7, 123456.789}) {
+    std::ostringstream os;
+    os.precision(17);
+    os << "{\"x\":" << d << "}";
+    auto v = json::parse(os.str());
+    ASSERT_TRUE(v.has_value()) << os.str();
+    EXPECT_EQ(v->get_double("x"), d) << os.str();
+  }
+}
+
+TEST(Json, RejectsMalformedAndTornInput) {
+  std::string err;
+  EXPECT_FALSE(json::parse("", &err).has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1", &err).has_value());
+  EXPECT_FALSE(json::parse("{\"a\":1} trailing", &err).has_value());
+  EXPECT_FALSE(json::parse("{'a':1}", &err).has_value());
+  // A torn journal line — cut mid-record by SIGKILL — must fail to
+  // parse, not yield a half-filled value.
+  const std::string whole = R"({"k":3,"outcome":{"ran":true,"n":12}})";
+  for (std::size_t cut = 1; cut < whole.size(); ++cut) {
+    EXPECT_FALSE(json::parse(whole.substr(0, cut)).has_value())
+        << whole.substr(0, cut);
+  }
 }
 
 }  // namespace

@@ -46,6 +46,26 @@
 //   --queue-cap=<n>       batch admission queue capacity (default 256)
 //   --deadline-ms=<n>     default per-job virtual deadline (batch mode)
 //   --retries=<n>         max attempts per job incl. the first (batch)
+//   --isolate=none|process  batch crash isolation: "process" runs every
+//                         attempt in a sandboxed worker subprocess, so a
+//                         natively crashing or wedged job degrades instead
+//                         of killing the batch (default none)
+//   --worker-mem-mb=<n>   RLIMIT_AS cap per worker in MiB; overruns become
+//                         the breaker-eligible "resource-limit" cause
+//   --worker-timeout-ms=<n>  supervisor read timeout: a worker that sends
+//                         neither heartbeat nor result for this long (real
+//                         ms) is declared wedged and killed (default 10000)
+//   --journal=<file>      write-ahead commit journal: append every job's
+//                         outcome durably before it commits, so a killed
+//                         batch can be finished with --resume
+//   --resume              replay completed jobs from --journal and execute
+//                         only the remainder; the final report is
+//                         byte-identical to an uninterrupted run
+//   --commit-chunk=<n>    jobs executed per execute->journal->commit round
+//                         when journaling (bounds how much work a kill can
+//                         lose; cannot affect the report; default 16)
+//   --worker              (internal) run as an execution worker: serve
+//                         attempt frames on stdin/stdout until EOF
 //   -o <file>             write output to file (default stdout)
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
@@ -55,7 +75,11 @@
 // unsanitized run — the output is still a runnable answer, 7 when a
 // --batch run completed but not every job succeeded (some jobs were
 // degraded to the baseline, shed, drained, or rejected; every job still
-// reached a terminal state).
+// reached a terminal state), 8 when a --batch run completed but only by
+// surviving worker crashes or resource-limit kills under
+// --isolate=process (crashed-but-completed; takes precedence over 7),
+// 9 when --resume was given a journal written for a different batch or
+// different options (no report is produced).
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -65,12 +89,17 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "analysis/resources.hpp"
 #include "ir/printer.hpp"
 #include "np/compiler.hpp"
 #include "np/runner.hpp"
+#include "serve/journal.hpp"
 #include "serve/manifest.hpp"
 #include "serve/service.hpp"
+#include "serve/supervisor.hpp"
+#include "serve/worker.hpp"
 #include "sim/exec_pool.hpp"
 #include "support/diagnostics.hpp"
 #include "support/string_utils.hpp"
@@ -107,6 +136,13 @@ struct CliOptions {
   int queue_cap = 256;
   long long deadline_ms = 0;  // 0 = service default
   int retries = 0;            // 0 = retry policy default
+  serve::IsolationMode isolate = serve::IsolationMode::kNone;
+  long long worker_mem_mb = 0;      // 0 = uncapped
+  int worker_timeout_ms = 10000;    // supervisor read timeout (real ms)
+  std::string journal;          // --journal=<file> write-ahead journal
+  bool resume = false;          // --resume a killed --journal batch
+  int commit_chunk = 16;        // execute->journal->commit round size
+  bool worker = false;          // --worker: internal execution-worker mode
 };
 
 void usage() {
@@ -122,7 +158,10 @@ void usage() {
          "       cudanp-cc --batch=<manifest> [--jobs=<n>]\n"
          "                 [--queue-cap=<n>] [--deadline-ms=<n>]\n"
          "                 [--retries=<n>] [--elems=<n>] [--tb=<n>]\n"
-         "                 [--watchdog-steps=<n>] [-o <file>]\n";
+         "                 [--watchdog-steps=<n>] [--isolate=none|process]\n"
+         "                 [--worker-mem-mb=<n>] [--worker-timeout-ms=<n>]\n"
+         "                 [--journal=<file>] [--resume]\n"
+         "                 [--commit-chunk=<n>] [-o <file>]\n";
 }
 
 /// Checked numeric flag: "--tb=32x", "--tb=", and out-of-range values
@@ -229,6 +268,34 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       if (!parse_flag_int("--retries", value("--retries="), 1, 1000,
                           &opt.retries))
         return std::nullopt;
+    } else if (a.rfind("--isolate=", 0) == 0) {
+      auto mode = serve::isolation_mode_from_string(value("--isolate="));
+      if (!mode) {
+        std::cerr << "cudanp-cc: bad value for --isolate: '"
+                  << value("--isolate=") << "' (expected none|process)\n";
+        return std::nullopt;
+      }
+      opt.isolate = *mode;
+    } else if (a.rfind("--worker-mem-mb=", 0) == 0) {
+      if (!parse_flag_i64("--worker-mem-mb", value("--worker-mem-mb="), 1,
+                          1LL << 20, &opt.worker_mem_mb))
+        return std::nullopt;
+    } else if (a.rfind("--worker-timeout-ms=", 0) == 0) {
+      if (!parse_flag_int("--worker-timeout-ms",
+                          value("--worker-timeout-ms="), 1, 1 << 30,
+                          &opt.worker_timeout_ms))
+        return std::nullopt;
+    } else if (a.rfind("--journal=", 0) == 0) {
+      opt.journal = value("--journal=");
+      if (opt.journal.empty()) return std::nullopt;
+    } else if (a == "--resume") {
+      opt.resume = true;
+    } else if (a.rfind("--commit-chunk=", 0) == 0) {
+      if (!parse_flag_int("--commit-chunk", value("--commit-chunk="), 1,
+                          1 << 20, &opt.commit_chunk))
+        return std::nullopt;
+    } else if (a == "--worker") {
+      opt.worker = true;
     } else if (a.rfind("--fallback=", 0) == 0) {
       std::string v = value("--fallback=");
       if (v != "baseline") return std::nullopt;
@@ -248,8 +315,17 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
-  // Batch mode takes its inputs from the manifest; every other mode
-  // needs exactly one source file.
+  // Worker mode serves frames on stdin/stdout; batch mode takes its
+  // inputs from the manifest; every other mode needs exactly one source
+  // file.
+  if (opt.worker) {
+    if (!opt.input.empty() || !opt.batch.empty()) return std::nullopt;
+    return opt;
+  }
+  if (opt.resume && opt.journal.empty()) {
+    std::cerr << "cudanp-cc: --resume requires --journal=<file>\n";
+    return std::nullopt;
+  }
   if (opt.batch.empty() && opt.input.empty()) return std::nullopt;
   if (!opt.batch.empty() && !opt.input.empty()) return std::nullopt;
   return opt;
@@ -297,7 +373,9 @@ void print_report(std::ostream& os, const ir::Kernel& kernel,
 /// --batch mode: load the manifest, run every job through the resilient
 /// batch service, and report. Exit 0 only when every job succeeded
 /// outright; 7 when the batch completed but some jobs retried into
-/// success is still 0 — only degraded/rejected/shed outcomes flip to 7.
+/// success is still 0 — only degraded/rejected/shed outcomes flip to 7;
+/// 8 (precedence over 7) when completion required surviving worker
+/// crashes or resource-limit kills under --isolate=process.
 int run_batch(const CliOptions& opt, std::ostream& os) {
   serve::ManifestDefaults defaults;
   defaults.elems = opt.elems;
@@ -324,6 +402,12 @@ int run_batch(const CliOptions& opt, std::ostream& os) {
   sopts.sanitizer.race_mode = opt.portable_races
                                   ? sim::SanitizerEngine::RaceMode::kPortable
                                   : sim::SanitizerEngine::RaceMode::kLockstep;
+  sopts.isolate = opt.isolate;
+  sopts.worker_mem_mb = opt.worker_mem_mb;
+  sopts.worker_read_timeout_ms = opt.worker_timeout_ms;
+  sopts.journal_path = opt.journal;
+  sopts.resume = opt.resume;
+  sopts.commit_chunk = opt.commit_chunk;
 
   auto spec = sim::DeviceSpec::gtx680();
   spec.sm_version = opt.sm;
@@ -331,6 +415,9 @@ int run_batch(const CliOptions& opt, std::ostream& os) {
   serve::ServiceReport report = service.run(jobs);
   os << report.str();
   std::cerr << report.json() << "\n";
+  // Crashed-but-completed takes precedence: the batch finished, but only
+  // because the sandbox absorbed worker deaths.
+  if (report.crashes > 0 || report.resource_limited > 0) return 8;
   return report.all_succeeded() ? 0 : 7;
 }
 
@@ -339,6 +426,14 @@ int main(int argc, char** argv) {
   if (!opt) {
     usage();
     return 1;
+  }
+
+  if (opt->worker) {
+    // Execution worker: serve attempt frames on stdin/stdout until the
+    // supervisor closes the pipe. Crashes here are the whole point —
+    // the supervisor contains them.
+    return serve::run_worker_loop(STDIN_FILENO, STDOUT_FILENO,
+                                  opt->worker_mem_mb);
   }
 
   if (!opt->batch.empty()) {
@@ -352,8 +447,14 @@ int main(int argc, char** argv) {
       }
       bos = &batch_file;
     }
+    // Signal exit (SIGINT/SIGTERM) must not leak worker processes or
+    // half-written journal segments.
+    serve::cleanup::install_signal_handlers();
     try {
       return run_batch(*opt, *bos);
+    } catch (const serve::ResumeMismatchError& e) {
+      std::cerr << "cudanp-cc: " << e.what() << "\n";
+      return 9;
     } catch (const std::exception& e) {
       std::cerr << "cudanp-cc: internal error: " << e.what() << "\n";
       return 5;
