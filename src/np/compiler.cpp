@@ -475,4 +475,24 @@ ValidationReport NpCompiler::validate(
   return report;
 }
 
+std::string NpCompiler::artifact_key(std::string_view source,
+                                     std::string_view options_fingerprint) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::string_view s) {
+    for (char c : s) {
+      h ^= static_cast<std::uint8_t>(c);
+      h *= 0x100000001b3ULL;
+    }
+    // Field separator: "ab" + "c" must hash differently from "a" + "bc".
+    h ^= 0x1f;
+    h *= 0x100000001b3ULL;
+  };
+  mix(source);
+  mix(options_fingerprint);
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
 }  // namespace cudanp::np

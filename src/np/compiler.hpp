@@ -224,6 +224,14 @@ class NpCompiler {
       const std::vector<transform::NpConfig>& configs,
       const WorkloadFactory& make_workload, const sim::DeviceSpec& spec,
       const ValidationOptions& opt = {});
+
+  /// Content-addressed artifact identity: a 16-hex-digit FNV-1a hash of
+  /// the kernel source plus a caller-built fingerprint of every option
+  /// that can change the compile-and-validate outcome. Two equal keys
+  /// mean compile_with_fallback would produce the identical decision,
+  /// which is the contract serve::ArtifactCache caches on.
+  [[nodiscard]] static std::string artifact_key(
+      std::string_view source, std::string_view options_fingerprint);
 };
 
 }  // namespace cudanp::np

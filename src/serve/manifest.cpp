@@ -129,6 +129,13 @@ std::vector<JobSpec> parse_manifest(const std::string& text,
       } else if (key == "wedge") {
         job.fault.wedge_worker = true;
         job.inject = true;
+      } else if (key == "cache-corrupt") {
+        // Serve-layer fault: acts on the artifact cache, not the
+        // interpreter, so it does not set inject (the attempt itself
+        // stays clean and cacheable once recompiled).
+        job.fault.corrupt_cache = true;
+      } else if (key == "cache-torn") {
+        job.fault.tear_cache = true;
       } else if (key == "drop-barrier") {
         job.fault.drop_barrier = true;
         job.inject = true;

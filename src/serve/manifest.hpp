@@ -30,6 +30,12 @@
 //   wedge                  worker stops responding (no heartbeat, no
 //                          result); caught by the supervisor read
 //                          timeout (--isolate=process only)
+//   cache-corrupt          flip a byte in this job's artifact-cache
+//                          entry before lookup; the cache must detect
+//                          the checksum mismatch, quarantine the entry
+//                          and recompile (no-op without a cache)
+//   cache-torn             truncate the cache entry (torn write); same
+//                          quarantine-and-recompile contract
 //
 // Every numeric field goes through the checked parser — `elems=64x`
 // is a manifest error, not a silent 64 (or 0).

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <set>
 #include <sstream>
 #include <utility>
 
 #include "np/runner.hpp"
+#include "serve/artifact_cache.hpp"
 #include "serve/clock.hpp"
 #include "serve/journal.hpp"
 #include "serve/supervisor.hpp"
@@ -61,6 +63,22 @@ const ir::Kernel* pick_kernel(const ir::Program& program,
   for (const auto& k : program.kernels)
     if (k->parallel_loop_count() > 0) return k.get();
   return program.kernels.empty() ? nullptr : program.kernels.front().get();
+}
+
+/// Content identity of one attempt: the source plus every request field
+/// that can change its AttemptResult (max_steps included — a tighter
+/// watchdog budget can change the decision). Attempts with interpreter
+/// faults hooked in are never cached, so the fault plan is not part of
+/// the key.
+std::string attempt_cache_key(const AttemptRequest& req) {
+  std::ostringstream os;
+  os.precision(17);
+  os << req.kernel << '\x1f' << req.elems << '\x1f' << req.tb << '\x1f'
+     << req.device << '\x1f' << req.sm_version << '\x1f' << req.max_steps
+     << '\x1f' << req.error_limit << '\x1f'
+     << (req.portable_races ? 1 : 0) << '\x1f' << (req.dedupe ? 1 : 0)
+     << '\x1f' << req.f32_rel_tol;
+  return np::NpCompiler::artifact_key(req.source, os.str());
 }
 
 }  // namespace
@@ -385,11 +403,37 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
         spec.inject && (spec.transient_attempts <= 0 ||
                         attempt <= spec.transient_attempts);
 
+    // Content-addressed cache: only clean attempts are cacheable (an
+    // injected-fault or corrupted-AST attempt is chaos, not content).
+    // The chaos hooks damage the stored entry *before* lookup, so the
+    // quarantine-and-recompile path runs under the exact code the
+    // production hit path uses.
+    ArtifactCache* cache = opt_.artifact_cache;
+    const bool cacheable =
+        cache != nullptr && !req.corrupt_ast && !req.hook_faults;
+    std::string cache_key;
+    bool cache_hit = false;
     AttemptResult result;
+    if (cacheable) {
+      cache_key = attempt_cache_key(req);
+      if (spec.fault.corrupt_cache) (void)cache->corrupt_entry(cache_key);
+      if (spec.fault.tear_cache) (void)cache->tear_entry(cache_key);
+      if (auto payload = cache->lookup(cache_key)) {
+        if (auto cached = AttemptResult::from_json(*payload)) {
+          result = std::move(*cached);
+          cache_hit = true;
+        }
+      }
+    }
+
     bool crashed = false;
     std::string crash_detail;
-    if (supervisor_) {
-      SupervisedAttempt sa = supervisor_->execute(req);
+    if (cache_hit) {
+      // Nothing to execute: the verified entry is byte-identical to
+      // what recompilation would produce (virtual cost is still charged
+      // below — caching must not change the report).
+    } else if (sup_) {
+      SupervisedAttempt sa = sup_->execute(req);
       if (sa.status == AttemptStatus::kCompleted) {
         result = std::move(sa.result);
       } else {
@@ -399,6 +443,8 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
     } else {
       result = execute_attempt(req, spec_);
     }
+    if (cacheable && !cache_hit && !crashed)
+      cache->store(cache_key, result.json());
 
     if (crashed) {
       // The worker died with the attempt. Synthesize the decision the
@@ -529,14 +575,21 @@ ServiceReport BatchService::run(const std::vector<JobSpec>& jobs) {
     }
   }
 
-  // --- Worker sandbox for --isolate=process. ---
+  // --- Worker sandbox for --isolate=process. A daemon-provided shared
+  // supervisor keeps one worker pool (and its crash-loop backoff state)
+  // alive across requests; otherwise the pool lives for this run only.
   if (opt_.isolate == IsolationMode::kProcess) {
-    SupervisorOptions sopt;
-    sopt.worker_cmd = opt_.worker_cmd;
-    sopt.worker_mem_mb = opt_.worker_mem_mb;
-    sopt.read_timeout_ms = opt_.worker_read_timeout_ms;
-    sopt.heartbeat_ms = opt_.worker_heartbeat_ms;
-    supervisor_ = std::make_unique<WorkerSupervisor>(std::move(sopt));
+    if (opt_.shared_supervisor) {
+      sup_ = opt_.shared_supervisor;
+    } else {
+      SupervisorOptions sopt;
+      sopt.worker_cmd = opt_.worker_cmd;
+      sopt.worker_mem_mb = opt_.worker_mem_mb;
+      sopt.read_timeout_ms = opt_.worker_read_timeout_ms;
+      sopt.heartbeat_ms = opt_.worker_heartbeat_ms;
+      owned_supervisor_ = std::make_unique<WorkerSupervisor>(std::move(sopt));
+      sup_ = owned_supervisor_.get();
+    }
   }
 
   // --- Execution + commit, chunked when journaling. Each round runs a
@@ -551,7 +604,16 @@ ServiceReport BatchService::run(const std::vector<JobSpec>& jobs) {
   std::vector<JobOutcome> outcomes(accepted.size());
   const std::int64_t drain_at = opt_.drain_before_job;
   VirtualClock clock;
-  std::map<std::string, CircuitBreaker> breakers;
+  // Breakers live in the shared registry when one is provided (daemon
+  // mode), else in a registry local to this run. base_ms offsets the
+  // per-run virtual clock into the registry's continuing timeline so
+  // cooldowns keep elapsing across requests; the report still uses the
+  // run-local clock, keeping virtual_ms identical to a standalone run.
+  BreakerRegistry local_registry;
+  BreakerRegistry& registry =
+      opt_.breaker_registry ? *opt_.breaker_registry : local_registry;
+  const std::int64_t breaker_base = registry.base_ms;
+  std::set<std::string> touched_breakers;
 
   for (std::size_t base = 0; base < accepted.size(); base += chunk) {
     const std::size_t count = std::min(chunk, accepted.size() - base);
@@ -632,9 +694,11 @@ ServiceReport BatchService::run(const std::vector<JobSpec>& jobs) {
                            ? "baseline"
                            : o.decision.first_choice);
       CircuitBreaker& br =
-          breakers.try_emplace(r.breaker_key, CircuitBreaker(opt_.breaker))
+          registry.breakers
+              .try_emplace(r.breaker_key, CircuitBreaker(opt_.breaker))
               .first->second;
-      if (!br.allow(clock.now_ms())) {
+      touched_breakers.insert(r.breaker_key);
+      if (!br.allow(breaker_base + clock.now_ms())) {
         // Open breaker: traffic routes straight to the guaranteed
         // baseline; the speculative result is discarded and no failure is
         // counted against the (already open) breaker.
@@ -668,14 +732,19 @@ ServiceReport BatchService::run(const std::vector<JobSpec>& jobs) {
           r.cause = "degraded";
         }
         ++report.degraded;
-        br.on_failure(clock.now_ms());
+        br.on_failure(breaker_base + clock.now_ms());
       }
     }
   }
-  supervisor_.reset();
+  owned_supervisor_.reset();
+  sup_ = nullptr;
 
   report.virtual_ms = clock.now_ms();
-  for (const auto& [key, br] : breakers) {
+  // Snapshot only the keys this run touched, in sorted order (std::set
+  // matches the old std::map iteration): a run whose keys nobody else
+  // shares reports exactly what a standalone run would.
+  for (const auto& key : touched_breakers) {
+    const CircuitBreaker& br = registry.breakers.at(key);
     BreakerSnapshot s;
     s.key = key;
     s.state = br.state();
@@ -688,6 +757,7 @@ ServiceReport BatchService::run(const std::vector<JobSpec>& jobs) {
         static_cast<std::size_t>(br.short_circuits());
     report.breakers.push_back(std::move(s));
   }
+  registry.base_ms = breaker_base + clock.now_ms();
   return report;
 }
 

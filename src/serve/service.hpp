@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -52,7 +53,19 @@
 
 namespace cudanp::serve {
 
+class ArtifactCache;
 class WorkerSupervisor;
+
+/// Breakers that outlive a single BatchService::run — the daemon's
+/// cross-request (and, when enabled, cross-tenant) breaker state.
+/// Breaker cooldowns are measured in virtual time, which restarts at 0
+/// every run; base_ms carries the virtual clock forward across runs so
+/// an open breaker keeps cooling down between requests. Not
+/// thread-safe: the daemon executes requests serially.
+struct BreakerRegistry {
+  std::map<std::string, CircuitBreaker> breakers;
+  std::int64_t base_ms = 0;
+};
 
 /// One compile-and-run job.
 struct JobSpec {
@@ -295,6 +308,24 @@ struct ServiceOptions {
   /// affect the report: outcomes are independent and commit order is
   /// fixed. <= 0 runs the whole batch as one chunk.
   int commit_chunk = 16;
+
+  /// Content-addressed compile cache shared across runs (non-owning;
+  /// the daemon owns one). A hit returns the byte-identical
+  /// AttemptResult recompilation would produce, so caching can never
+  /// change a report — only skip work. Null = no caching.
+  ArtifactCache* artifact_cache = nullptr;
+  /// Long-lived worker pool shared across runs (non-owning). When set
+  /// (and isolate == kProcess) the service uses it instead of spawning
+  /// its own, so crash-loop respawn backoff accumulates daemon-wide
+  /// instead of resetting per batch. Null = per-run supervisor.
+  WorkerSupervisor* shared_supervisor = nullptr;
+  /// Cross-run breaker state (non-owning). When set, this run reads
+  /// and advances the shared breakers (keyed identically to the local
+  /// ones) and snapshots only the keys it touched, in sorted order —
+  /// so a run that shares breakers with nobody reports exactly what a
+  /// standalone run would. Null = per-run breakers (the default, and
+  /// the strict determinism contract).
+  BreakerRegistry* breaker_registry = nullptr;
 };
 
 class BatchService {
@@ -323,8 +354,12 @@ class BatchService {
   sim::DeviceSpec spec_;
   ServiceOptions opt_;
   std::atomic<bool> drain_{false};
-  /// Live only while run() executes with isolate == kProcess.
-  std::unique_ptr<WorkerSupervisor> supervisor_;
+  /// Live only while run() executes with isolate == kProcess and no
+  /// shared supervisor was provided.
+  std::unique_ptr<WorkerSupervisor> owned_supervisor_;
+  /// The supervisor run_job executes through (owned or shared); null
+  /// outside run() or under isolate == kNone.
+  WorkerSupervisor* sup_ = nullptr;
 };
 
 }  // namespace cudanp::serve

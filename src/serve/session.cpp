@@ -1,0 +1,125 @@
+#include "serve/session.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "serve/daemon.hpp"
+#include "serve/manifest.hpp"
+#include "serve/wire.hpp"
+
+namespace cudanp::serve {
+
+Session::Session(int fd, std::uint64_t id, ServeDaemon* daemon)
+    : fd_(fd), id_(id), daemon_(daemon) {}
+
+Session::~Session() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void Session::wake() {
+  // shutdown(2), not close(2): the fd number stays reserved until the
+  // destructor, so a concurrent wake can never hit a recycled fd.
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Session::send_reject(const std::string& cause,
+                          const std::string& detail) {
+  RejectReply rej;
+  rej.cause = cause;
+  rej.detail = detail;
+  (void)write_frame_deadline(fd_, kFrameReject, rej.json(),
+                             daemon_->options().reply_timeout_ms);
+}
+
+void Session::run() {
+  for (;;) {
+    Frame f;
+    ReadStatus s =
+        read_frame(fd_, &f, daemon_->options().session_idle_ms);
+    if (s == ReadStatus::kTimeout) {
+      // Wedged (or merely idle) client: reap this session. Healthy
+      // sessions are untouched — the timeout is per-connection.
+      daemon_->note_session_reaped();
+      break;
+    }
+    if (s != ReadStatus::kOk) break;  // EOF or error: client went away
+    switch (f.type) {
+      case kFrameSubmit:
+        handle_submit(f.payload);
+        break;
+      case kFrameStatus:
+        handle_status(f.payload);
+        break;
+      case kFrameShutdown:
+        // Ack before draining: request_drain() wakes idle sessions via
+        // shutdown(2), which would cut off this very reply.
+        (void)write_frame_deadline(fd_, kFrameStatusReply,
+                                   "{\"status\":\"draining\"}",
+                                   daemon_->options().reply_timeout_ms);
+        daemon_->request_drain();
+        break;
+      default:
+        daemon_->note_bad_request();
+        send_reject("bad-request", "unknown frame type");
+        break;
+    }
+    // After a drain begins, each session finishes the exchange it was
+    // in and closes; new submissions would be rejected anyway.
+    if (daemon_->draining()) break;
+  }
+  done_.store(true, std::memory_order_release);
+}
+
+void Session::handle_submit(const std::string& payload) {
+  busy_.store(true, std::memory_order_release);
+  auto req = SubmitRequest::from_json(payload);
+  if (!req) {
+    daemon_->note_bad_request();
+    send_reject("bad-request", "malformed submit payload");
+    busy_.store(false, std::memory_order_release);
+    return;
+  }
+  std::string error;
+  std::vector<JobSpec> jobs = parse_manifest(
+      req->manifest, req->base_dir, daemon_->options().defaults, &error);
+  if (jobs.empty()) {
+    daemon_->note_bad_request();
+    send_reject("bad-manifest",
+                error.empty() ? "empty manifest" : error);
+    busy_.store(false, std::memory_order_release);
+    return;
+  }
+  auto r = std::make_shared<ServeRequest>();
+  r->tenant = req->tenant.empty() ? "default" : req->tenant;
+  r->jobs = std::move(jobs);
+  const std::string cause = daemon_->submit(r);
+  if (!cause.empty()) {
+    send_reject(cause, "");
+    busy_.store(false, std::memory_order_release);
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lk(r->m);
+    r->cv.wait(lk, [&] { return r->done; });
+  }
+  if (r->failed) {
+    send_reject("internal-error", r->error);
+  } else {
+    SubmitReply reply;
+    reply.report_text = r->report.str();
+    reply.report_json = r->report.json();
+    if (!write_frame_deadline(fd_, kFrameReport, reply.json(),
+                              daemon_->options().reply_timeout_ms))
+      daemon_->note_session_reaped();
+  }
+  busy_.store(false, std::memory_order_release);
+}
+
+void Session::handle_status(const std::string& payload) {
+  const std::string body = payload == "healthz" ? daemon_->healthz_json()
+                                                : daemon_->status_json();
+  (void)write_frame_deadline(fd_, kFrameStatusReply, body,
+                             daemon_->options().reply_timeout_ms);
+}
+
+}  // namespace cudanp::serve

@@ -1,0 +1,70 @@
+// One daemon client connection (`cudanp-cc --serve`).
+//
+// A Session owns the accepted AF_UNIX stream fd and runs on its own
+// thread, decoding wire frames in a loop: 'M' submits a manifest
+// through the daemon's admission scheduler and blocks until the
+// executor delivers the ServiceReport (or a structured reject), 'S'
+// answers status/healthz, 'Q' begins a graceful drain. A client may
+// stream any number of requests over one connection.
+//
+// Robustness contract (the wedged-session watchdog):
+//   - every read carries the daemon's idle timeout — a client that goes
+//     silent is reaped (counted in status) without touching any other
+//     session;
+//   - every reply write carries a deadline (write_frame_deadline on the
+//     O_NONBLOCK fd) — a client that stops draining its socket cannot
+//     pin the session thread;
+//   - a malformed frame or manifest earns an 'X' reject, never a
+//     daemon-side crash; the connection stays usable.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace cudanp::serve {
+
+class ServeDaemon;
+
+class Session {
+ public:
+  /// Takes ownership of `fd` (already O_NONBLOCK); closed on destruction.
+  Session(int fd, std::uint64_t id, ServeDaemon* daemon);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Thread body: frame loop until EOF, idle timeout, error, or drain.
+  void run();
+
+  /// Wakes a read blocked in run() (shutdown(2) on the fd, which stays
+  /// open until destruction — safe against fd reuse). Called by the
+  /// daemon on drain/exit for sessions that are not mid-request.
+  void wake();
+
+  /// True while a submitted request is in flight (admission through
+  /// reply); the daemon does not wake() busy sessions on drain — their
+  /// in-flight reply is delivered first.
+  [[nodiscard]] bool busy() const {
+    return busy_.load(std::memory_order_acquire);
+  }
+  /// True once run() returned; the daemon joins and reaps the slot.
+  [[nodiscard]] bool done() const {
+    return done_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+ private:
+  void handle_submit(const std::string& payload);
+  void handle_status(const std::string& payload);
+  void send_reject(const std::string& cause, const std::string& detail);
+
+  int fd_;
+  std::uint64_t id_;
+  ServeDaemon* daemon_;
+  std::atomic<bool> busy_{false};
+  std::atomic<bool> done_{false};
+};
+
+}  // namespace cudanp::serve

@@ -223,6 +223,11 @@ int WorkerSupervisor::timeouts() const {
   return timeouts_;
 }
 
+int WorkerSupervisor::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
 namespace cleanup {
 
 namespace {

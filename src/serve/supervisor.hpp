@@ -89,6 +89,12 @@ class WorkerSupervisor {
   [[nodiscard]] int spawned() const;
   [[nodiscard]] int crashes() const;
   [[nodiscard]] int timeouts() const;
+  /// Live crash-loop depth: consecutive worker deaths / spawn failures
+  /// with no completed attempt in between. When the supervisor is
+  /// shared daemon-wide (ServiceOptions::shared_supervisor), this value
+  /// persists across batches — the respawn backoff becomes daemon
+  /// policy, and healthz flips to "crash-loop" past a threshold.
+  [[nodiscard]] int consecutive_failures() const;
 
  private:
   struct Worker {

@@ -56,6 +56,15 @@ ReadStatus read_exact(int fd, char* data, std::size_t n,
     ssize_t r = ::read(fd, data, n);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // O_NONBLOCK fd raced a spurious poll wakeup. With a deadline
+        // the loop re-polls; without one, block here until readable.
+        if (deadline_ms < 0) {
+          pollfd p{fd, POLLIN, 0};
+          (void)::poll(&p, 1, -1);
+        }
+        continue;
+      }
       return ReadStatus::kError;
     }
     if (r == 0) return ReadStatus::kEof;
@@ -65,12 +74,7 @@ ReadStatus read_exact(int fd, char* data, std::size_t n,
   return ReadStatus::kOk;
 }
 
-}  // namespace
-
-bool write_frame(int fd, char type, std::string_view payload) {
-  if (payload.size() > kMaxFramePayload) return false;
-  // One contiguous buffer per frame: a single writer thread per fd plus
-  // whole-frame writes keep frames from interleaving on the pipe.
+std::string frame_buffer(char type, std::string_view payload) {
   std::string buf;
   buf.reserve(5 + payload.size());
   buf.push_back(type);
@@ -81,7 +85,46 @@ bool write_frame(int fd, char type, std::string_view payload) {
                  static_cast<char>((len >> 24) & 0xff)};
   buf.append(hdr, 4);
   buf.append(payload.data(), payload.size());
+  return buf;
+}
+
+}  // namespace
+
+bool write_frame(int fd, char type, std::string_view payload) {
+  if (payload.size() > kMaxFramePayload) return false;
+  // One contiguous buffer per frame: a single writer thread per fd plus
+  // whole-frame writes keep frames from interleaving on the pipe.
+  std::string buf = frame_buffer(type, payload);
   return write_all(fd, buf.data(), buf.size());
+}
+
+bool write_frame_deadline(int fd, char type, std::string_view payload,
+                          int timeout_ms) {
+  if (payload.size() > kMaxFramePayload) return false;
+  std::string buf = frame_buffer(type, payload);
+  const std::int64_t deadline = monotonic_ms() + timeout_ms;
+  const char* data = buf.data();
+  std::size_t n = buf.size();
+  while (n > 0) {
+    std::int64_t remaining = deadline - monotonic_ms();
+    if (remaining <= 0) return false;
+    pollfd p{fd, POLLOUT, 0};
+    int pr = ::poll(&p, 1, static_cast<int>(remaining));
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) continue;  // re-check the deadline
+    ssize_t w = ::write(fd, data, n);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
 }
 
 ReadStatus read_frame(int fd, Frame* out, int timeout_ms) {
@@ -175,6 +218,57 @@ std::optional<AttemptResult> AttemptResult::from_json(
     if (!dec) return std::nullopt;
     r.decision = std::move(*dec);
   }
+  return r;
+}
+
+std::string SubmitRequest::json() const {
+  std::ostringstream os;
+  os << "{\"tenant\":\"" << json::escape(tenant) << "\",\"manifest\":\""
+     << json::escape(manifest) << "\",\"base_dir\":\""
+     << json::escape(base_dir) << "\"}";
+  return os.str();
+}
+
+std::optional<SubmitRequest> SubmitRequest::from_json(
+    std::string_view text) {
+  auto v = json::parse(text);
+  if (!v || !v->is_object()) return std::nullopt;
+  SubmitRequest r;
+  r.tenant = v->get_str("tenant");
+  r.manifest = v->get_str("manifest");
+  r.base_dir = v->get_str("base_dir");
+  return r;
+}
+
+std::string SubmitReply::json() const {
+  std::ostringstream os;
+  os << "{\"report_text\":\"" << json::escape(report_text)
+     << "\",\"report_json\":\"" << json::escape(report_json) << "\"}";
+  return os.str();
+}
+
+std::optional<SubmitReply> SubmitReply::from_json(std::string_view text) {
+  auto v = json::parse(text);
+  if (!v || !v->is_object()) return std::nullopt;
+  SubmitReply r;
+  r.report_text = v->get_str("report_text");
+  r.report_json = v->get_str("report_json");
+  return r;
+}
+
+std::string RejectReply::json() const {
+  std::ostringstream os;
+  os << "{\"cause\":\"" << json::escape(cause) << "\",\"detail\":\""
+     << json::escape(detail) << "\"}";
+  return os.str();
+}
+
+std::optional<RejectReply> RejectReply::from_json(std::string_view text) {
+  auto v = json::parse(text);
+  if (!v || !v->is_object()) return std::nullopt;
+  RejectReply r;
+  r.cause = v->get_str("cause");
+  r.detail = v->get_str("detail");
   return r;
 }
 

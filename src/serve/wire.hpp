@@ -37,6 +37,27 @@ inline constexpr char kFrameJob = 'J';
 inline constexpr char kFrameResult = 'R';
 inline constexpr char kFrameHeartbeat = 'H';
 
+// Daemon frames (`cudanp-cc --serve`, same framing over an AF_UNIX
+// stream; see serve/daemon.hpp and docs/robustness.md "Persistent
+// serving"):
+//
+//   'M'  submit       client -> daemon   SubmitRequest JSON (a whole
+//        manifest, driven through BatchService as one request)
+//   'P'  report       daemon -> client   SubmitReply JSON (the
+//        ServiceReport, human + JSON renderings)
+//   'X'  reject       daemon -> client   RejectReply JSON with a
+//        structured cause: "tenant-quota" / "queue-full" / "draining" /
+//        "bad-request" / "bad-manifest" / "internal-error"
+//   'S'  status       client -> daemon   payload "status" or "healthz"
+//   'T'  status-reply daemon -> client   JSON counters document
+//   'Q'  shutdown     client -> daemon   empty; begins a graceful drain
+inline constexpr char kFrameSubmit = 'M';
+inline constexpr char kFrameReport = 'P';
+inline constexpr char kFrameReject = 'X';
+inline constexpr char kFrameStatus = 'S';
+inline constexpr char kFrameStatusReply = 'T';
+inline constexpr char kFrameShutdown = 'Q';
+
 /// Frames above this are treated as stream corruption (a real request
 /// is kernel source + options, well under a mebibyte).
 inline constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
@@ -62,8 +83,16 @@ bool write_frame(int fd, char type, std::string_view payload);
 /// Reads one complete frame from `fd`. `timeout_ms` bounds the whole
 /// read (poll-based, measured against CLOCK_MONOTONIC); negative waits
 /// forever. Every blocking supervisor read goes through this — the
-/// read-timeout satellite of the crash-isolation issue.
+/// read-timeout satellite of the crash-isolation issue. Handles
+/// O_NONBLOCK fds (daemon session sockets) as well as blocking pipes.
 ReadStatus read_frame(int fd, Frame* out, int timeout_ms);
+
+/// write_frame with a wall-clock deadline, for O_NONBLOCK session
+/// sockets: a client that stops draining its receive buffer (a wedged
+/// reader) makes this return false within `timeout_ms` instead of
+/// blocking the session thread forever — the daemon reaps the session.
+bool write_frame_deadline(int fd, char type, std::string_view payload,
+                          int timeout_ms);
 
 /// One attempt's worth of work, shipped to a worker (or executed
 /// in-process via execute_attempt — both isolation modes run exactly
@@ -118,6 +147,42 @@ struct AttemptResult {
 
   [[nodiscard]] std::string json() const;
   [[nodiscard]] static std::optional<AttemptResult> from_json(
+      std::string_view text);
+};
+
+/// One client request to the daemon: a whole manifest, attributed to a
+/// tenant for admission accounting. base_dir resolves relative file=
+/// entries (the client sends its manifest's parent directory).
+struct SubmitRequest {
+  std::string tenant;
+  std::string manifest;
+  std::string base_dir;
+
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<SubmitRequest> from_json(
+      std::string_view text);
+};
+
+/// The daemon's answer to an admitted request: both renderings of the
+/// ServiceReport, verbatim — the client re-emits them so its output is
+/// byte-identical to a --batch run of the same manifest.
+struct SubmitReply {
+  std::string report_text;
+  std::string report_json;
+
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<SubmitReply> from_json(
+      std::string_view text);
+};
+
+/// Structured refusal ('X' frame): the request never entered the
+/// pipeline. cause is machine-readable; detail is for humans.
+struct RejectReply {
+  std::string cause;
+  std::string detail;
+
+  [[nodiscard]] std::string json() const;
+  [[nodiscard]] static std::optional<RejectReply> from_json(
       std::string_view text);
 };
 

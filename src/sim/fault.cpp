@@ -183,7 +183,9 @@ std::string FaultPlan::json() const {
      << (skew_index ? "true" : "false")
      << ",\"stall_block\":" << stall_block
      << ",\"crash_at_step\":" << crash_at_step << ",\"oom_mb\":" << oom_mb
-     << ",\"wedge_worker\":" << (wedge_worker ? "true" : "false") << "}";
+     << ",\"wedge_worker\":" << (wedge_worker ? "true" : "false")
+     << ",\"corrupt_cache\":" << (corrupt_cache ? "true" : "false")
+     << ",\"tear_cache\":" << (tear_cache ? "true" : "false") << "}";
   return os.str();
 }
 
@@ -200,6 +202,8 @@ std::optional<FaultPlan> FaultPlan::from_json_value(const json::Value& v) {
   p.crash_at_step = v.get_i64("crash_at_step");
   p.oom_mb = v.get_i64("oom_mb");
   p.wedge_worker = v.get_bool("wedge_worker");
+  p.corrupt_cache = v.get_bool("corrupt_cache");
+  p.tear_cache = v.get_bool("tear_cache");
   return p;
 }
 

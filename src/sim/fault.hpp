@@ -73,6 +73,14 @@ struct FaultPlan {
   /// process. Caught by the supervisor's read timeout; ignored by
   /// in-process execution.
   bool wedge_worker = false;
+  /// Serve-layer fault: before this job's artifact-cache lookup, flip a
+  /// byte in the stored entry's payload (checksum mismatch). The cache
+  /// must quarantine the entry and recompile, never serve it. Ignored
+  /// when the batch runs without a cache.
+  bool corrupt_cache = false;
+  /// Serve-layer fault: truncate the stored cache entry (a torn write),
+  /// which must be quarantined exactly like corruption.
+  bool tear_cache = false;
 
   /// Serializes every field; from_json reverses it exactly. This is how
   /// fault plans ride the worker-process wire protocol.

@@ -13,11 +13,16 @@
 #include <fstream>
 #include <string>
 
+#include "temp_util.hpp"
+
 #ifndef CUDANP_CC_PATH
 #define CUDANP_CC_PATH "tools/cudanp-cc"
 #endif
 
 namespace {
+
+using cudanp::test::ScopedTempDir;
+using cudanp::test::write_exclusive;
 
 struct RunResult {
   int exit_code = -1;
@@ -37,28 +42,10 @@ RunResult run_cli(const std::string& args) {
   return r;
 }
 
-// ctest runs each test as its own process, possibly in parallel: every
-// temp path must be unique per process, and creation uses O_EXCL so a
-// collision (pid reuse, leftover file from a killed run) fails loudly
-// instead of silently interleaving two tests' data.
+// Pid-unique temp paths + O_EXCL creation live in tests/temp_util.hpp
+// (shared with the daemon/supervisor suites).
 std::string temp_name(const std::string& name) {
-  return ::testing::TempDir() + "cudanp_cli_" +
-         std::to_string(::getpid()) + "_" + name;
-}
-
-std::string write_exclusive(const std::string& path,
-                            const std::string& body) {
-  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-  if (fd < 0) {
-    // A previous in-process test already created it; recreate fresh.
-    ::unlink(path.c_str());
-    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
-  }
-  EXPECT_GE(fd, 0) << "cannot create " << path;
-  ssize_t n = ::write(fd, body.data(), body.size());
-  EXPECT_EQ(n, static_cast<ssize_t>(body.size()));
-  ::close(fd);
-  return path;
+  return cudanp::test::temp_name("cudanp_cli", name);
 }
 
 std::string write_temp_kernel(const std::string& body) {
@@ -460,8 +447,9 @@ TEST(Cli, JournaledRunThenResumeReproducesReportBitForBit) {
       "file=" + kernel + " elems=16 tb=8 fault-step=5"
       " transient-attempts=1 name=flaky\n"
       "file=" + kernel + " elems=16 tb=8 crash-step=3 name=boom\n");
-  std::string j_full = temp_name("full.journal");
-  std::string j_cut = temp_name("cut.journal");
+  ScopedTempDir tmp("cudanp_cli_journal");
+  std::string j_full = tmp.file("full.journal");
+  std::string j_cut = tmp.file("cut.journal");
   std::string args = "--batch=" + manifest +
                      " --isolate=process --commit-chunk=1 --journal=";
   auto full = run_cli(args + j_full);
@@ -481,8 +469,6 @@ TEST(Cli, JournaledRunThenResumeReproducesReportBitForBit) {
   auto resumed = run_cli(args + j_cut + " --resume --jobs=2");
   EXPECT_EQ(resumed.exit_code, 8) << resumed.output;
   EXPECT_EQ(full.output, resumed.output);
-  std::remove(j_full.c_str());
-  std::remove(j_cut.c_str());
 }
 
 TEST(Cli, SigkilledBatchResumesToIdenticalReport) {
@@ -495,8 +481,9 @@ TEST(Cli, SigkilledBatchResumesToIdenticalReport) {
       "file=" + kernel + " elems=16 tb=8 name=b\n"
       "file=" + kernel + " elems=16 tb=8 wedge attempts=1 name=stuck\n"
       "file=" + kernel + " elems=16 tb=8 name=c\n");
-  std::string j_full = temp_name("sk_full.journal");
-  std::string j_kill = temp_name("sk_kill.journal");
+  ScopedTempDir tmp("cudanp_cli_sigkill");
+  std::string j_full = tmp.file("sk_full.journal");
+  std::string j_kill = tmp.file("sk_kill.journal");
   std::string common = "--batch=" + manifest +
                        " --isolate=process --commit-chunk=1"
                        " --worker-timeout-ms=4000 --jobs=1 --journal=";
@@ -526,8 +513,6 @@ TEST(Cli, SigkilledBatchResumesToIdenticalReport) {
   auto resumed = run_cli(common + j_kill + " --resume");
   EXPECT_EQ(resumed.exit_code, 8) << resumed.output;
   EXPECT_EQ(full.output, resumed.output);
-  std::remove(j_full.c_str());
-  std::remove(j_kill.c_str());
 }
 
 TEST(Cli, ResumeMismatchExitsNine) {
@@ -536,14 +521,14 @@ TEST(Cli, ResumeMismatchExitsNine) {
       "m1.txt", "file=" + kernel + " elems=16 tb=8 name=a\n");
   auto m2 = write_temp_file(
       "m2.txt", "file=" + kernel + " elems=16 tb=8 name=renamed\n");
-  std::string j = temp_name("mismatch.journal");
+  ScopedTempDir tmp("cudanp_cli_mismatch");
+  std::string j = tmp.file("mismatch.journal");
   auto r1 = run_cli("--batch=" + m1 + " --journal=" + j);
   EXPECT_EQ(r1.exit_code, 0) << r1.output;
   auto r2 = run_cli("--batch=" + m2 + " --journal=" + j + " --resume");
   EXPECT_EQ(r2.exit_code, 9) << r2.output;
   EXPECT_NE(r2.output.find("different batch"), std::string::npos)
       << r2.output;
-  std::remove(j.c_str());
 }
 
 TEST(Cli, ResumeRequiresJournal) {
@@ -565,6 +550,179 @@ TEST(Cli, RejectsBadIsolateValue) {
   EXPECT_EQ(r.exit_code, 1);
   EXPECT_NE(r.output.find("bad value for --isolate"), std::string::npos)
       << r.output;
+}
+
+// ---------------------------------------------------------------------
+// Heartbeat/timeout validation and the persistent serve daemon.
+
+TEST(Cli, HeartbeatMustFitInsideWorkerTimeout) {
+  // 2 * heartbeat must fit inside the supervisor read timeout, or a
+  // healthy worker would be declared wedged between beats. Caught at
+  // parse time with a structured message.
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "hb.txt", "file=" + kernel + " name=a\n");
+  auto r = run_cli("--batch=" + manifest +
+                   " --heartbeat-ms=800 --worker-timeout-ms=1000");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("2*heartbeat <= --worker-timeout-ms"),
+            std::string::npos)
+      << r.output;
+  // The boundary case is legal: 2 * 500 == 1000.
+  auto ok = run_cli("--batch=" + manifest +
+                    " --heartbeat-ms=500 --worker-timeout-ms=1000");
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+}
+
+/// Launches `cudanp-cc --serve` as a real subprocess and waits for the
+/// socket to appear; kills the daemon on destruction if the test did
+/// not shut it down.
+struct ScopedDaemon {
+  pid_t pid = -1;
+  std::string socket;
+  bool reaped = false;
+
+  ScopedDaemon(const std::string& sock, const std::string& extra_args)
+      : socket(sock) {
+    // `exec` makes the daemon replace the shell, so `pid` is the daemon
+    // itself and signals land directly.
+    std::string cmd = "exec " + std::string(CUDANP_CC_PATH) +
+                      " --serve=" + sock + " " + extra_args +
+                      " >/dev/null 2>&1";
+    pid = ::fork();
+    if (pid == 0) {
+      ::execl("/bin/sh", "sh", "-c", cmd.c_str(),
+              static_cast<char*>(nullptr));
+      ::_exit(127);
+    }
+    for (int i = 0; i < 200 && ::access(sock.c_str(), F_OK) != 0; ++i)
+      ::usleep(25 * 1000);
+    EXPECT_EQ(::access(sock.c_str(), F_OK), 0)
+        << "daemon never bound " << sock;
+  }
+
+  /// Waits for the daemon to exit and returns its exit code.
+  int wait() {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    reaped = true;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  ~ScopedDaemon() {
+    if (!reaped && pid > 0) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+  }
+};
+
+TEST(Cli, DaemonServesManifestIdenticalToBatchThenDrains) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "daemon.txt",
+      "file=" + kernel + " elems=16 tb=8 name=ok\n"
+      "file=" + kernel +
+          " elems=16 tb=8 fault-step=5 transient-attempts=1 name=flaky\n");
+  ScopedTempDir tmp("cudanp_cli_daemon");
+  ScopedDaemon daemon(tmp.file("d.sock"), "--cache-entries=64");
+
+  auto local = run_cli("--batch=" + manifest);
+  auto served = run_cli("--connect=" + daemon.socket + " --batch=" +
+                        manifest + " --tenant=t1");
+  EXPECT_EQ(served.exit_code, local.exit_code) << served.output;
+  // The daemon's answer — report text, JSON, and exit code — is
+  // byte-identical to a local --batch run (the determinism contract).
+  EXPECT_EQ(served.output, local.output);
+  // A second submission hits the compile cache; the report must not
+  // change.
+  auto again = run_cli("--connect=" + daemon.socket + " --batch=" +
+                       manifest + " --tenant=t2");
+  EXPECT_EQ(again.output, local.output);
+
+  auto status = run_cli("--connect=" + daemon.socket + " --status");
+  EXPECT_EQ(status.exit_code, 0) << status.output;
+  EXPECT_NE(status.output.find("\"served\":2"), std::string::npos)
+      << status.output;
+  EXPECT_NE(status.output.find("\"hits\":"), std::string::npos)
+      << status.output;
+  auto health = run_cli("--connect=" + daemon.socket + " --healthz");
+  EXPECT_NE(health.output.find("\"status\":\"ok\""), std::string::npos)
+      << health.output;
+
+  auto sd = run_cli("--connect=" + daemon.socket + " --shutdown");
+  EXPECT_EQ(sd.exit_code, 0) << sd.output;
+  EXPECT_NE(sd.output.find("draining"), std::string::npos) << sd.output;
+  EXPECT_EQ(daemon.wait(), 0);
+  // After a graceful drain, new connections find no daemon.
+  auto after = run_cli("--connect=" + daemon.socket + " --status");
+  EXPECT_EQ(after.exit_code, 1) << after.output;
+}
+
+TEST(Cli, DaemonSigtermDrainsGracefully) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "sig.txt", "file=" + kernel + " elems=16 tb=8 name=ok\n");
+  ScopedTempDir tmp("cudanp_cli_sigterm");
+  ScopedDaemon daemon(tmp.file("d.sock"), "");
+  auto served = run_cli("--connect=" + daemon.socket + " --batch=" +
+                        manifest);
+  EXPECT_EQ(served.exit_code, 0) << served.output;
+  // The signal path, not the 'Q' frame: SIGTERM begins a graceful drain
+  // and the daemon exits 0.
+  ASSERT_EQ(::kill(daemon.pid, SIGTERM), 0);
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(Cli, DaemonRejectsBadManifestWithExitTen) {
+  ScopedTempDir tmp("cudanp_cli_reject");
+  ScopedDaemon daemon(tmp.file("d.sock"), "");
+  auto bad = write_temp_file("badm.txt", "file=/nonexistent/x.cu name=a\n");
+  auto r = run_cli("--connect=" + daemon.socket + " --batch=" + bad);
+  EXPECT_EQ(r.exit_code, 10) << r.output;
+  EXPECT_NE(r.output.find("rejected: bad-manifest"), std::string::npos)
+      << r.output;
+  // The daemon survives the bad request and still serves.
+  auto health = run_cli("--connect=" + daemon.socket + " --healthz");
+  EXPECT_NE(health.output.find("\"status\":\"ok\""), std::string::npos)
+      << health.output;
+  auto sd = run_cli("--connect=" + daemon.socket + " --shutdown");
+  EXPECT_EQ(sd.exit_code, 0) << sd.output;
+  EXPECT_EQ(daemon.wait(), 0);
+}
+
+TEST(Cli, DaemonRestartReplaysJournalBitForBit) {
+  auto kernel = write_temp_kernel(kTmv);
+  auto manifest = write_temp_file(
+      "replay.txt",
+      "file=" + kernel + " elems=16 tb=8 name=a\n"
+      "file=" + kernel + " elems=16 tb=8 fault-step=5 name=broken\n");
+  ScopedTempDir tmp("cudanp_cli_replay");
+  const std::string args = "--journal-dir=" + tmp.file("journals");
+
+  std::string first_out;
+  {
+    ScopedDaemon daemon(tmp.file("d.sock"), args);
+    auto r = run_cli("--connect=" + daemon.socket + " --batch=" +
+                     manifest);
+    EXPECT_EQ(r.exit_code, 7) << r.output;
+    first_out = r.output;
+    auto sd = run_cli("--connect=" + daemon.socket + " --shutdown");
+    EXPECT_EQ(daemon.wait(), 0);
+  }
+  // Restart on the same socket + journal dir: the same manifest resumes
+  // its fingerprint-named journal (all outcomes replayed, nothing
+  // re-executed) and the report is byte-identical.
+  {
+    ScopedDaemon daemon(tmp.file("d.sock"), args);
+    auto r = run_cli("--connect=" + daemon.socket + " --batch=" +
+                     manifest);
+    EXPECT_EQ(r.exit_code, 7) << r.output;
+    EXPECT_EQ(r.output, first_out);
+    auto sd = run_cli("--connect=" + daemon.socket + " --shutdown");
+    EXPECT_EQ(daemon.wait(), 0);
+  }
 }
 
 }  // namespace

@@ -1,0 +1,544 @@
+// Persistent serve daemon: the content-addressed compile cache
+// (checksums, quarantine, LRU, disk reload), tenant-fair DRR admission,
+// cross-request breaker sharing, and the in-process daemon end-to-end
+// over a real AF_UNIX socket.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "np/compiler.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/daemon.hpp"
+#include "serve/manifest.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "sim/device.hpp"
+#include "temp_util.hpp"
+
+namespace cudanp {
+namespace {
+
+using test::ScopedTempDir;
+
+const char* kTmv = R"(
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++)
+    sum += a[i * w + tx] * b[i];
+  c[tx] = sum;
+}
+)";
+
+serve::JobSpec tmv_job(const std::string& name) {
+  serve::JobSpec j;
+  j.name = name;
+  j.source = kTmv;
+  j.elems = 16;
+  j.tb = 8;
+  return j;
+}
+
+serve::JobSpec broken_job(const std::string& name) {
+  serve::JobSpec j = tmv_job(name);
+  j.inject = true;
+  j.fault.sim_error_at_step = 5;  // persistent: fails every attempt
+  return j;
+}
+
+serve::ServiceReport run_batch(const std::vector<serve::JobSpec>& jobs,
+                               serve::ServiceOptions opt) {
+  serve::BatchService service(sim::DeviceSpec::gtx680(), opt);
+  return service.run(jobs);
+}
+
+// ---------------------------------------------------------------------
+// Content-addressed keys.
+
+TEST(ArtifactKey, DeterministicAndInputSensitive) {
+  const std::string k1 = np::NpCompiler::artifact_key(kTmv, "opts-a");
+  EXPECT_EQ(k1, np::NpCompiler::artifact_key(kTmv, "opts-a"));
+  EXPECT_EQ(k1.size(), 16u);
+  EXPECT_NE(k1, np::NpCompiler::artifact_key(kTmv, "opts-b"));
+  EXPECT_NE(k1, np::NpCompiler::artifact_key("other source", "opts-a"));
+  // The field separator means (ab, c) and (a, bc) cannot collide.
+  EXPECT_NE(np::NpCompiler::artifact_key("ab", "c"),
+            np::NpCompiler::artifact_key("a", "bc"));
+}
+
+// ---------------------------------------------------------------------
+// ArtifactCache: verification, quarantine, LRU, persistence.
+
+TEST(ArtifactCache, HitReturnsStoredBytes) {
+  serve::ArtifactCache cache({/*max_entries=*/8, /*dir=*/""});
+  cache.store("aa11", "payload-bytes");
+  auto hit = cache.lookup("aa11");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "payload-bytes");
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_FALSE(cache.lookup("bb22").has_value());
+  EXPECT_EQ(cache.stats().misses, 1);
+}
+
+TEST(ArtifactCache, CorruptEntryIsQuarantinedNotServed) {
+  serve::ArtifactCache cache({8, ""});
+  cache.store("aa11", "payload-bytes");
+  ASSERT_TRUE(cache.corrupt_entry("aa11"));
+  EXPECT_FALSE(cache.lookup("aa11").has_value());
+  EXPECT_EQ(cache.stats().quarantined_corrupt, 1);
+  EXPECT_EQ(cache.stats().quarantined_torn, 0);
+  EXPECT_EQ(cache.size(), 0u);  // erased, so the caller re-stores
+  // Re-store heals it.
+  cache.store("aa11", "payload-bytes");
+  EXPECT_TRUE(cache.lookup("aa11").has_value());
+}
+
+TEST(ArtifactCache, TornEntryIsQuarantinedAsTorn) {
+  serve::ArtifactCache cache({8, ""});
+  cache.store("aa11", "payload-bytes");
+  ASSERT_TRUE(cache.tear_entry("aa11"));
+  EXPECT_FALSE(cache.lookup("aa11").has_value());
+  EXPECT_EQ(cache.stats().quarantined_torn, 1);
+  EXPECT_EQ(cache.stats().quarantined_corrupt, 0);
+}
+
+TEST(ArtifactCache, ChaosHooksOnMissingEntryReturnFalse) {
+  serve::ArtifactCache cache({8, ""});
+  EXPECT_FALSE(cache.corrupt_entry("nope"));
+  EXPECT_FALSE(cache.tear_entry("nope"));
+}
+
+TEST(ArtifactCache, LruBoundsCapacity) {
+  serve::ArtifactCache cache({2, ""});
+  cache.store("a1", "one");
+  cache.store("b2", "two");
+  ASSERT_TRUE(cache.lookup("a1").has_value());  // a1 now most recent
+  cache.store("c3", "three");                   // evicts b2 (LRU)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1);
+  EXPECT_TRUE(cache.lookup("a1").has_value());
+  EXPECT_FALSE(cache.lookup("b2").has_value());
+  EXPECT_TRUE(cache.lookup("c3").has_value());
+}
+
+TEST(ArtifactCache, ZeroCapacityDisablesStoring) {
+  serve::ArtifactCache cache({0, ""});
+  cache.store("a1", "one");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("a1").has_value());
+}
+
+TEST(ArtifactCache, PersistsAcrossInstances) {
+  ScopedTempDir tmp("cudanp_cache");
+  const std::string dir = tmp.file("cache");
+  {
+    serve::ArtifactCache cache({8, dir});
+    cache.store("deadbeef00112233", "durable-payload");
+  }
+  serve::ArtifactCache reloaded({8, dir});
+  auto hit = reloaded.lookup("deadbeef00112233");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "durable-payload");
+}
+
+TEST(ArtifactCache, ReloadQuarantinesDamagedFiles) {
+  ScopedTempDir tmp("cudanp_cache_dmg");
+  const std::string dir = tmp.file("cache");
+  {
+    serve::ArtifactCache cache({8, dir});
+    cache.store("aaaa000011112222", "will-be-torn");
+    cache.store("bbbb000011112222", "will-be-corrupt");
+  }
+  // Damage the files on disk the way a crashed writer would: truncate
+  // one mid-payload, flip a byte in the other.
+  {
+    const std::string torn_path = dir + "/aaaa000011112222.art";
+    std::ifstream in(torn_path, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(all.size(), 4u);
+    std::ofstream out(torn_path, std::ios::binary | std::ios::trunc);
+    out.write(all.data(), static_cast<std::streamsize>(all.size() - 4));
+  }
+  {
+    const std::string cor_path = dir + "/bbbb000011112222.art";
+    std::ifstream in(cor_path, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(all.size(), 3u);
+    all[all.size() - 3] = static_cast<char>(all[all.size() - 3] ^ 0x40);
+    std::ofstream out(cor_path, std::ios::binary | std::ios::trunc);
+    out.write(all.data(), static_cast<std::streamsize>(all.size()));
+  }
+  serve::ArtifactCache reloaded({8, dir});
+  EXPECT_EQ(reloaded.size(), 0u);
+  EXPECT_EQ(reloaded.stats().quarantined_torn, 1);
+  EXPECT_EQ(reloaded.stats().quarantined_corrupt, 1);
+  EXPECT_FALSE(reloaded.lookup("aaaa000011112222").has_value());
+  EXPECT_FALSE(reloaded.lookup("bbbb000011112222").has_value());
+}
+
+// ---------------------------------------------------------------------
+// DRR scheduler: quotas and fairness.
+
+std::shared_ptr<serve::ServeRequest> request(const std::string& tenant,
+                                             int jobs) {
+  auto r = std::make_shared<serve::ServeRequest>();
+  r->tenant = tenant;
+  r->jobs.assign(static_cast<std::size_t>(jobs), tmv_job("j"));
+  return r;
+}
+
+TEST(DrrScheduler, TenantQuotaShedsWithStructuredCause) {
+  serve::DrrScheduler sched(/*tenant_quota=*/2, /*max_pending=*/64,
+                            /*quantum=*/8);
+  EXPECT_EQ(sched.submit(request("a", 1)), "");
+  EXPECT_EQ(sched.submit(request("a", 1)), "");
+  EXPECT_EQ(sched.submit(request("a", 1)), "tenant-quota");
+  // Another tenant is unaffected by a's quota.
+  EXPECT_EQ(sched.submit(request("b", 1)), "");
+  // Quota covers queued + executing: dequeuing alone frees nothing...
+  auto r = sched.next();
+  ASSERT_TRUE(r);
+  EXPECT_EQ(r->tenant, "a");
+  EXPECT_EQ(sched.submit(request("a", 1)), "tenant-quota");
+  // ...only finishing does.
+  sched.finished("a");
+  EXPECT_EQ(sched.submit(request("a", 1)), "");
+}
+
+TEST(DrrScheduler, GlobalBoundShedsQueueFull) {
+  serve::DrrScheduler sched(/*tenant_quota=*/64, /*max_pending=*/2,
+                            /*quantum=*/8);
+  EXPECT_EQ(sched.submit(request("a", 1)), "");
+  EXPECT_EQ(sched.submit(request("b", 1)), "");
+  EXPECT_EQ(sched.submit(request("c", 1)), "queue-full");
+}
+
+TEST(DrrScheduler, FloodingTenantDoesNotStarveOthers) {
+  serve::DrrScheduler sched(8, 64, /*quantum=*/8);
+  auto a1 = request("flood", 1), a2 = request("flood", 1),
+       a3 = request("flood", 1);
+  auto b1 = request("meek", 1);
+  ASSERT_EQ(sched.submit(a1), "");
+  ASSERT_EQ(sched.submit(a2), "");
+  ASSERT_EQ(sched.submit(a3), "");
+  ASSERT_EQ(sched.submit(b1), "");
+  // One request per tenant visit: the meek tenant is served second, not
+  // after the whole flood.
+  EXPECT_EQ(sched.next(), a1);
+  EXPECT_EQ(sched.next(), b1);
+  EXPECT_EQ(sched.next(), a2);
+  EXPECT_EQ(sched.next(), a3);
+  EXPECT_EQ(sched.next(), nullptr);
+}
+
+TEST(DrrScheduler, CostWeightedDeficitDelaysLargeRequests) {
+  // quantum=1: a 3-job manifest must accumulate three visits of credit,
+  // during which the 1-job tenant keeps being served.
+  serve::DrrScheduler sched(8, 64, /*quantum=*/1);
+  auto big = request("bulk", 3);
+  auto s1 = request("small", 1), s2 = request("small", 1),
+       s3 = request("small", 1);
+  ASSERT_EQ(sched.submit(big), "");
+  ASSERT_EQ(sched.submit(s1), "");
+  ASSERT_EQ(sched.submit(s2), "");
+  ASSERT_EQ(sched.submit(s3), "");
+  EXPECT_EQ(sched.next(), s1);
+  EXPECT_EQ(sched.next(), s2);
+  EXPECT_EQ(sched.next(), big);  // third visit: deficit 3 covers cost 3
+  EXPECT_EQ(sched.next(), s3);
+  EXPECT_EQ(sched.next(), nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Cache + service integration: caching can never change a report.
+
+TEST(ServiceCache, ReportsIdenticalWithAndWithoutCache) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), broken_job("bad"),
+                                      tmv_job("b")};
+  serve::ServiceOptions plain;
+  const std::string baseline = run_batch(jobs, plain).json();
+
+  serve::ArtifactCache cache({64, ""});
+  serve::ServiceOptions cached;
+  cached.artifact_cache = &cache;
+  // Cold pass (stores), then a warm pass (hits): every rendering must
+  // stay byte-identical to the uncached run.
+  EXPECT_EQ(run_batch(jobs, cached).json(), baseline);
+  EXPECT_EQ(run_batch(jobs, cached).json(), baseline);
+  EXPECT_GT(cache.stats().hits, 0);
+  EXPECT_GT(cache.stats().stores, 0);
+}
+
+TEST(ServiceCache, ChaosFaultKeysQuarantineAndRecompile) {
+  serve::ArtifactCache cache({64, ""});
+  serve::ServiceOptions opt;
+  opt.artifact_cache = &cache;
+
+  // Warm the cache with a clean run.
+  serve::ServiceReport warm = run_batch({tmv_job("warm")}, opt);
+  EXPECT_EQ(warm.jobs[0].state, serve::JobState::kSucceeded);
+  ASSERT_GT(cache.stats().stores, 0);
+
+  // cache-corrupt: the stored entry is damaged just before lookup; the
+  // job must quarantine it, recompile, and succeed (the fault key does
+  // not mark the attempt itself as injected, so it stays cacheable).
+  serve::JobSpec chaos = tmv_job("warm");
+  chaos.fault.corrupt_cache = true;
+  serve::ServiceReport r = run_batch({chaos}, opt);
+  EXPECT_EQ(r.jobs[0].state, serve::JobState::kSucceeded);
+  EXPECT_EQ(cache.stats().quarantined_corrupt, 1);
+
+  serve::JobSpec torn = tmv_job("warm");
+  torn.fault.tear_cache = true;
+  r = run_batch({torn}, opt);
+  EXPECT_EQ(r.jobs[0].state, serve::JobState::kSucceeded);
+  EXPECT_EQ(cache.stats().quarantined_torn, 1);
+}
+
+TEST(ServiceCache, ManifestKeysParseIntoCacheFaults) {
+  ScopedTempDir tmp("cudanp_manifest");
+  tmp.write("k.cu", kTmv);
+  serve::ManifestDefaults defaults;
+  std::string error;
+  auto jobs = serve::parse_manifest("file=k.cu\n", tmp.path(), defaults,
+                                    &error);
+  ASSERT_EQ(jobs.size(), 1u) << error;
+  EXPECT_FALSE(jobs[0].fault.corrupt_cache);
+  jobs = serve::parse_manifest(
+      "file=k.cu cache-corrupt\n"
+      "file=k.cu cache-torn\n",
+      tmp.path(), defaults, &error);
+  ASSERT_EQ(jobs.size(), 2u) << error;
+  EXPECT_TRUE(jobs[0].fault.corrupt_cache);
+  EXPECT_FALSE(jobs[0].inject);  // cache chaos is not an exec fault
+  EXPECT_TRUE(jobs[1].fault.tear_cache);
+  EXPECT_FALSE(jobs[1].inject);
+}
+
+// ---------------------------------------------------------------------
+// Shared breakers across requests (the daemon's opt-in mode).
+
+TEST(SharedBreakers, SingleRunMatchesStandaloneReport) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), broken_job("bad"),
+                                      tmv_job("b")};
+  serve::ServiceOptions plain;
+  const std::string baseline = run_batch(jobs, plain).json();
+
+  serve::BreakerRegistry registry;
+  serve::ServiceOptions shared;
+  shared.breaker_registry = &registry;
+  // A run that shares breakers with nobody reports exactly what a
+  // standalone run would, and leaves its state behind in the registry.
+  EXPECT_EQ(run_batch(jobs, shared).json(), baseline);
+  // Two keys: the healthy jobs' first-choice variant and the faulted
+  // job's baseline-degraded key.
+  EXPECT_EQ(registry.breakers.size(), 2u);
+  EXPECT_GT(registry.base_ms, 0);
+}
+
+TEST(SharedBreakers, TwoTenantsSeeDeterministicTransitions) {
+  // Satellite: two tenants hammer the same (kernel, first-choice
+  // variant) breaker across separate requests. The breaker must walk
+  // closed -> open -> (short-circuit) -> half-open probe -> re-open in
+  // admission order, identically at every --jobs count.
+  auto sequence = [](int jobs_knob) {
+    serve::BreakerRegistry registry;
+    serve::ServiceOptions opt;
+    opt.breaker_registry = &registry;
+    opt.breaker.failure_threshold = 3;
+    opt.breaker.cooldown_ms = 100000;  // virtual ms; expired manually
+    opt.jobs = jobs_knob;
+
+    std::string transcript;
+    // Tenant A: three persistent failures open the breaker.
+    serve::ServiceReport a = run_batch(
+        {broken_job("a1"), broken_job("a2"), broken_job("a3")}, opt);
+    EXPECT_GE(a.breaker_opens, 1u);
+    transcript += a.json();
+    EXPECT_EQ(registry.breakers.begin()->second.state(),
+              serve::BreakerState::kOpen);
+    // Tenant B immediately after: same breaker key, still cooling down
+    // -> short-circuited to the baseline without burning an attempt.
+    serve::ServiceReport b1 = run_batch({broken_job("b1")}, opt);
+    EXPECT_TRUE(b1.jobs[0].breaker_routed);
+    EXPECT_EQ(b1.jobs[0].cause, "breaker-open");
+    transcript += b1.json();
+    // Virtual idle time passes (the daemon's base_ms keeps the shared
+    // cooldown ticking between requests).
+    registry.base_ms += opt.breaker.cooldown_ms;
+    // Tenant B again: the cooldown has expired, so this request's job
+    // is the half-open probe; it fails and re-opens the breaker.
+    serve::ServiceReport b2 = run_batch({broken_job("b2")}, opt);
+    EXPECT_GE(b2.breaker_probes, 1u);
+    transcript += b2.json();
+    EXPECT_EQ(registry.breakers.begin()->second.state(),
+              serve::BreakerState::kOpen);
+    return transcript;
+  };
+  // The whole cross-request transcript is scheduling-invariant.
+  EXPECT_EQ(sequence(1), sequence(4));
+}
+
+// ---------------------------------------------------------------------
+// Daemon end-to-end over a real AF_UNIX socket (in-process daemon,
+// frame-level clients).
+
+struct FrameClient {
+  int fd = -1;
+  explicit FrameClient(const std::string& sock)
+      : fd(serve::connect_unix(sock)) {}
+  ~FrameClient() {
+    if (fd >= 0) ::close(fd);
+  }
+  serve::Frame roundtrip(char type, const std::string& payload) {
+    EXPECT_TRUE(serve::write_frame(fd, type, payload));
+    serve::Frame f;
+    EXPECT_EQ(serve::read_frame(fd, &f, 30000), serve::ReadStatus::kOk);
+    return f;
+  }
+};
+
+TEST(Daemon, ServesStatusRejectsAndDrains) {
+  ScopedTempDir tmp("cudanp_daemon");
+  tmp.write("k.cu", kTmv);
+
+  // What a --batch run of the same manifest would report.
+  const std::string manifest = "file=k.cu name=ok elems=16 tb=8\n";
+  std::string perror;
+  auto jobs = serve::parse_manifest(manifest, tmp.path(),
+                                    serve::ManifestDefaults{}, &perror);
+  ASSERT_EQ(jobs.size(), 1u) << perror;
+  serve::ServiceReport expect = run_batch(jobs, serve::ServiceOptions{});
+
+  serve::DaemonOptions dopt;
+  dopt.socket_path = tmp.file("d.sock");
+  dopt.cache_entries = 64;
+  serve::ServeDaemon daemon(std::move(dopt));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  int rc = -1;
+  std::thread server([&] { rc = daemon.serve(); });
+
+  {
+    // Bad manifest: structured reject, daemon survives.
+    FrameClient c(daemon.options().socket_path);
+    ASSERT_GE(c.fd, 0);
+    serve::SubmitRequest bad;
+    bad.tenant = "alice";
+    bad.manifest = "file=__missing__ name=x\n";
+    serve::Frame f = c.roundtrip(serve::kFrameSubmit, bad.json());
+    EXPECT_EQ(f.type, serve::kFrameReject);
+    auto rej = serve::RejectReply::from_json(f.payload);
+    ASSERT_TRUE(rej);
+    EXPECT_EQ(rej->cause, "bad-manifest");
+  }
+  {
+    // Malformed frame type: reject, connection stays usable.
+    FrameClient c(daemon.options().socket_path);
+    ASSERT_GE(c.fd, 0);
+    serve::Frame f = c.roundtrip('Z', "garbage");
+    EXPECT_EQ(f.type, serve::kFrameReject);
+    f = c.roundtrip(serve::kFrameStatus, "healthz");
+    EXPECT_EQ(f.type, serve::kFrameStatusReply);
+    EXPECT_NE(f.payload.find("\"status\":\"ok\""), std::string::npos);
+  }
+  {
+    // Healthy submit: the daemon's reply carries both ServiceReport
+    // renderings byte-identical to the direct run.
+    FrameClient c(daemon.options().socket_path);
+    ASSERT_GE(c.fd, 0);
+    serve::SubmitRequest good;
+    good.tenant = "alice";
+    good.manifest = manifest;
+    good.base_dir = tmp.path();
+    serve::Frame f = c.roundtrip(serve::kFrameSubmit, good.json());
+    ASSERT_EQ(f.type, serve::kFrameReport) << f.payload;
+    auto reply = serve::SubmitReply::from_json(f.payload);
+    ASSERT_TRUE(reply);
+    EXPECT_EQ(reply->report_text, expect.str());
+    EXPECT_EQ(reply->report_json, expect.json());
+
+    // Status reflects the served request and the attached cache.
+    f = c.roundtrip(serve::kFrameStatus, "status");
+    EXPECT_EQ(f.type, serve::kFrameStatusReply);
+    EXPECT_NE(f.payload.find("\"served\":1"), std::string::npos)
+        << f.payload;
+    EXPECT_NE(f.payload.find("\"cache\":{"), std::string::npos)
+        << f.payload;
+  }
+  {
+    // 'Q' begins a graceful drain; serve() returns 0.
+    FrameClient c(daemon.options().socket_path);
+    ASSERT_GE(c.fd, 0);
+    serve::Frame f = c.roundtrip(serve::kFrameShutdown, "");
+    EXPECT_EQ(f.type, serve::kFrameStatusReply);
+    EXPECT_NE(f.payload.find("draining"), std::string::npos);
+  }
+  server.join();
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(Daemon, ReapsIdleSessions) {
+  ScopedTempDir tmp("cudanp_daemon_idle");
+  serve::DaemonOptions dopt;
+  dopt.socket_path = tmp.file("d.sock");
+  dopt.session_idle_ms = 100;  // aggressive for the test
+  serve::ServeDaemon daemon(std::move(dopt));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  int rc = -1;
+  std::thread server([&] { rc = daemon.serve(); });
+
+  // A client that connects and goes silent is reaped; a healthy client
+  // afterwards is unaffected.
+  int idle_fd = serve::connect_unix(daemon.options().socket_path);
+  ASSERT_GE(idle_fd, 0);
+  std::string status;
+  for (int i = 0; i < 100; ++i) {
+    ::usleep(50 * 1000);
+    FrameClient c(daemon.options().socket_path);
+    if (c.fd < 0) continue;
+    serve::Frame f = c.roundtrip(serve::kFrameStatus, "status");
+    status = f.payload;
+    if (status.find("\"reaped\":0") == std::string::npos) break;
+  }
+  EXPECT_EQ(status.find("\"reaped\":0"), std::string::npos) << status;
+  ::close(idle_fd);
+
+  daemon.request_drain();
+  server.join();
+  EXPECT_EQ(rc, 0);
+}
+
+TEST(Daemon, SubmitAfterDrainIsRejected) {
+  ScopedTempDir tmp("cudanp_daemon_drain");
+  serve::DaemonOptions dopt;
+  dopt.socket_path = tmp.file("d.sock");
+  serve::ServeDaemon daemon(std::move(dopt));
+  std::string error;
+  ASSERT_TRUE(daemon.start(&error)) << error;
+  int rc = -1;
+  std::thread server([&] { rc = daemon.serve(); });
+
+  daemon.request_drain();
+  auto r = std::make_shared<serve::ServeRequest>();
+  r->tenant = "late";
+  r->jobs = {tmv_job("x")};
+  EXPECT_EQ(daemon.submit(r), "draining");
+
+  server.join();
+  EXPECT_EQ(rc, 0);
+}
+
+}  // namespace
+}  // namespace cudanp

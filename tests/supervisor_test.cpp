@@ -21,6 +21,7 @@
 #include "serve/wire.hpp"
 #include "serve/worker.hpp"
 #include "sim/device.hpp"
+#include "temp_util.hpp"
 
 #ifndef CUDANP_CC_PATH
 #define CUDANP_CC_PATH "tools/cudanp-cc"
@@ -403,6 +404,64 @@ TEST(Journal, FingerprintIgnoresJobsCountAndCommitChunk) {
   b.worker_mem_mb = 512;  // outcome-relevant: must change the print
   EXPECT_NE(serve::batch_fingerprint(jobs, a),
             serve::batch_fingerprint(jobs, b));
+}
+
+TEST(Journal, FuzzTruncateAtEveryByteOfLastTwoRecords) {
+  // A crash can cut the journal at ANY byte. For every truncation point
+  // inside the last two records (including cutting a line mid-JSON and
+  // cutting exactly at a boundary), resume must replay the intact
+  // prefix and re-execute the rest, reproducing the uninterrupted
+  // report byte-for-byte — never fabricating an outcome from a torn
+  // line. In-process jobs keep the loop hot: the journal logic under
+  // test is identical across isolation modes.
+  serve::JobSpec flaky = tmv_job("flaky");
+  flaky.inject = true;
+  flaky.fault.sim_error_at_step = 5;  // persistent: degrades to baseline
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), flaky, tmv_job("c")};
+
+  test::ScopedTempDir tmp("cudanp_jfuzz");
+  const std::string path = tmp.file("j.log");
+  serve::ServiceOptions opt;
+  opt.journal_path = path;
+  opt.commit_chunk = 1;
+  auto full = run_batch(jobs, opt);
+  const std::string full_text = full.str();
+  const std::string full_json = full.json();
+
+  std::ifstream in(path, std::ios::binary);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+
+  // Line start offsets: header, then one line per record.
+  std::vector<std::size_t> starts = {0};
+  for (std::size_t i = 0; i + 1 < text.size(); ++i)
+    if (text[i] == '\n') starts.push_back(i + 1);
+  ASSERT_EQ(starts.size(), 1u + jobs.size());
+  const std::size_t fuzz_from = starts[starts.size() - 2];
+
+  for (std::size_t cut = fuzz_from; cut <= text.size(); ++cut) {
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(text.data(), static_cast<std::streamsize>(cut));
+    }
+    std::string error;
+    auto contents = serve::load_journal(path, &error);
+    ASSERT_TRUE(contents.has_value()) << "cut=" << cut << ": " << error;
+    // Only whole intact records may load, in order — a torn tail is
+    // dropped, never parsed into a fabricated outcome.
+    ASSERT_LE(contents->records.size(), jobs.size()) << "cut=" << cut;
+    ASSERT_LE(contents->valid_bytes, static_cast<std::int64_t>(cut))
+        << "cut=" << cut;
+    for (std::size_t i = 0; i < contents->records.size(); ++i)
+      ASSERT_EQ(contents->records[i].k, i) << "cut=" << cut;
+
+    serve::ServiceOptions ropt = opt;
+    ropt.resume = true;
+    auto resumed = run_batch(jobs, ropt);
+    ASSERT_TRUE(resumed.str() == full_text) << "cut=" << cut;
+    ASSERT_TRUE(resumed.json() == full_json) << "cut=" << cut;
+  }
 }
 
 TEST(Journal, CommitChunkCannotAffectTheReport) {

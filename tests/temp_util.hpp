@@ -1,0 +1,98 @@
+// Shared temp-file scaffolding for subprocess-driving tests.
+//
+// ctest runs each test binary as its own process, possibly in parallel:
+// every temp path must be unique per process, and files are created
+// O_EXCL so a collision (pid reuse, leftover from a killed run) fails
+// loudly instead of silently interleaving two tests' data.
+//
+// ScopedTempDir is the preferred shape: one pid-unique directory per
+// fixture, removed recursively on destruction, so tests stop hand-
+// rolling unlink lists (and stop leaking files when an EXPECT fails
+// before the cleanup lines run).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <string>
+
+namespace cudanp::test {
+
+/// Pid-unique path under the gtest temp root.
+inline std::string temp_name(const std::string& prefix,
+                             const std::string& name) {
+  return ::testing::TempDir() + prefix + "_" +
+         std::to_string(::getpid()) + "_" + name;
+}
+
+/// O_EXCL create-and-write; recreates fresh when an earlier test in the
+/// same process already used the name.
+inline std::string write_exclusive(const std::string& path,
+                                   const std::string& body) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    ::unlink(path.c_str());
+    fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  }
+  EXPECT_GE(fd, 0) << "cannot create " << path;
+  ssize_t n = ::write(fd, body.data(), body.size());
+  EXPECT_EQ(n, static_cast<ssize_t>(body.size()));
+  ::close(fd);
+  return path;
+}
+
+/// A pid-unique directory that removes itself (one level of files plus
+/// one level of subdirectories — enough for journals and cache dirs)
+/// when it goes out of scope.
+class ScopedTempDir {
+ public:
+  explicit ScopedTempDir(const std::string& tag)
+      : path_(temp_name(tag, "d")) {
+    // A leftover from a killed previous run with the same pid: clear it
+    // so O_EXCL file creation inside does not trip.
+    remove_tree(path_);
+    EXPECT_EQ(::mkdir(path_.c_str(), 0755), 0)
+        << "cannot create " << path_;
+  }
+
+  ~ScopedTempDir() { remove_tree(path_); }
+
+  ScopedTempDir(const ScopedTempDir&) = delete;
+  ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+  /// Path of a (not yet created) file inside the directory.
+  [[nodiscard]] std::string file(const std::string& name) const {
+    return path_ + "/" + name;
+  }
+  /// Creates `name` inside the directory with `body`.
+  std::string write(const std::string& name,
+                    const std::string& body) const {
+    return write_exclusive(file(name), body);
+  }
+
+ private:
+  static void remove_tree(const std::string& dir) {
+    DIR* d = ::opendir(dir.c_str());
+    if (!d) return;
+    while (dirent* ent = ::readdir(d)) {
+      const std::string name = ent->d_name;
+      if (name == "." || name == "..") continue;
+      const std::string child = dir + "/" + name;
+      if (::unlink(child.c_str()) != 0 &&
+          (errno == EISDIR || errno == EPERM))
+        remove_tree(child);
+    }
+    ::closedir(d);
+    ::rmdir(dir.c_str());
+  }
+
+  std::string path_;
+};
+
+}  // namespace cudanp::test

@@ -55,6 +55,11 @@
 //   --worker-timeout-ms=<n>  supervisor read timeout: a worker that sends
 //                         neither heartbeat nor result for this long (real
 //                         ms) is declared wedged and killed (default 10000)
+//   --heartbeat-ms=<n>    worker heartbeat interval (real ms, default 200).
+//                         Validated at parse time against the read timeout:
+//                         2 * heartbeat must fit inside --worker-timeout-ms,
+//                         otherwise a healthy-but-slow worker would be
+//                         declared wedged between beats (usage error)
 //   --journal=<file>      write-ahead commit journal: append every job's
 //                         outcome durably before it commits, so a killed
 //                         batch can be finished with --resume
@@ -68,6 +73,38 @@
 //                         attempt frames on stdin/stdout until EOF
 //   -o <file>             write output to file (default stdout)
 //
+// Persistent serving (see docs/robustness.md "Persistent serving"):
+//
+//   --serve=<socket>      run as a long-lived daemon on an AF_UNIX stream
+//                         socket, driving each submitted manifest through
+//                         the batch pipeline. Batch flags (--elems, --tb,
+//                         --deadline-ms, --retries, --isolate, ...) set the
+//                         daemon-wide defaults. SIGTERM/SIGINT begins a
+//                         graceful drain; the daemon exits 0 once admitted
+//                         requests finished
+//   --tenant-quota=<n>    max requests one tenant may have queued+running
+//                         (default 4; excess is shed with "tenant-quota")
+//   --max-pending=<n>     global pending-request bound (default 64)
+//   --drr-quantum=<n>     deficit-round-robin credit per tenant visit, in
+//                         jobs (default 8)
+//   --session-idle-ms=<n> a client silent this long is reaped (default
+//                         30000)
+//   --cache-entries=<n>   compile-cache capacity (default 256; 0 disables)
+//   --cache-dir=<dir>     persist cache entries across restarts (entries
+//                         are checksummed; torn/corrupt ones quarantined)
+//   --journal-dir=<dir>   journal each request as req-<fingerprint>.journal
+//                         with resume-if-present, making restart idempotent
+//   --shared-breakers     share circuit breakers across tenants (off by
+//                         default: sharing trades the strict per-client
+//                         determinism contract for cross-tenant protection)
+//
+//   --connect=<socket>    client mode: submit --batch=<manifest> to the
+//                         daemon (output identical to a local --batch run)
+//   --tenant=<name>       tenant attribution for --connect (default
+//                         "default")
+//   --status / --healthz  query the daemon's counters / liveness (JSON)
+//   --shutdown            ask the daemon to begin a graceful drain
+//
 // Exit status: 0 on success, 1 on usage errors, 2 on compile errors,
 // 3 when --sanitize found hazards or an output mismatch, 4 on simulation
 // errors, 5 on internal errors, 6 when --fallback degraded (a candidate
@@ -79,7 +116,10 @@
 // surviving worker crashes or resource-limit kills under
 // --isolate=process (crashed-but-completed; takes precedence over 7),
 // 9 when --resume was given a journal written for a different batch or
-// different options (no report is produced).
+// different options (no report is produced), 10 when a daemon refused a
+// --connect request with a structured reject (tenant-quota / queue-full /
+// draining / bad-manifest — the request never entered the pipeline).
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -95,6 +135,7 @@
 #include "ir/printer.hpp"
 #include "np/compiler.hpp"
 #include "np/runner.hpp"
+#include "serve/daemon.hpp"
 #include "serve/journal.hpp"
 #include "serve/manifest.hpp"
 #include "serve/service.hpp"
@@ -143,6 +184,23 @@ struct CliOptions {
   bool resume = false;          // --resume a killed --journal batch
   int commit_chunk = 16;        // execute->journal->commit round size
   bool worker = false;          // --worker: internal execution-worker mode
+  int heartbeat_ms = 200;       // worker heartbeat interval (real ms)
+
+  // Persistent serving.
+  std::string serve_socket;     // --serve=<socket>: daemon mode
+  std::string connect_socket;   // --connect=<socket>: client mode
+  std::string tenant;           // --tenant=<name> (client attribution)
+  bool status = false;          // --status: query daemon counters
+  bool healthz = false;         // --healthz: query daemon liveness
+  bool shutdown = false;        // --shutdown: begin a graceful drain
+  int tenant_quota = 4;
+  int max_pending = 64;
+  int drr_quantum = 8;
+  int session_idle_ms = 30000;
+  int cache_entries = 256;
+  std::string cache_dir;
+  std::string journal_dir;
+  bool shared_breakers = false;
 };
 
 void usage() {
@@ -161,7 +219,16 @@ void usage() {
          "                 [--watchdog-steps=<n>] [--isolate=none|process]\n"
          "                 [--worker-mem-mb=<n>] [--worker-timeout-ms=<n>]\n"
          "                 [--journal=<file>] [--resume]\n"
-         "                 [--commit-chunk=<n>] [-o <file>]\n";
+         "                 [--commit-chunk=<n>] [--heartbeat-ms=<n>]\n"
+         "                 [-o <file>]\n"
+         "       cudanp-cc --serve=<socket> [batch flags]\n"
+         "                 [--tenant-quota=<n>] [--max-pending=<n>]\n"
+         "                 [--drr-quantum=<n>] [--session-idle-ms=<n>]\n"
+         "                 [--cache-entries=<n>] [--cache-dir=<dir>]\n"
+         "                 [--journal-dir=<dir>] [--shared-breakers]\n"
+         "       cudanp-cc --connect=<socket> --batch=<manifest>\n"
+         "                 [--tenant=<name>] [-o <file>]\n"
+         "       cudanp-cc --connect=<socket> --status|--healthz|--shutdown\n";
 }
 
 /// Checked numeric flag: "--tb=32x", "--tb=", and out-of-range values
@@ -296,6 +363,53 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
         return std::nullopt;
     } else if (a == "--worker") {
       opt.worker = true;
+    } else if (a.rfind("--heartbeat-ms=", 0) == 0) {
+      if (!parse_flag_int("--heartbeat-ms", value("--heartbeat-ms="), 1,
+                          1 << 30, &opt.heartbeat_ms))
+        return std::nullopt;
+    } else if (a.rfind("--serve=", 0) == 0) {
+      opt.serve_socket = value("--serve=");
+      if (opt.serve_socket.empty()) return std::nullopt;
+    } else if (a.rfind("--connect=", 0) == 0) {
+      opt.connect_socket = value("--connect=");
+      if (opt.connect_socket.empty()) return std::nullopt;
+    } else if (a.rfind("--tenant=", 0) == 0) {
+      opt.tenant = value("--tenant=");
+    } else if (a == "--status") {
+      opt.status = true;
+    } else if (a == "--healthz") {
+      opt.healthz = true;
+    } else if (a == "--shutdown") {
+      opt.shutdown = true;
+    } else if (a.rfind("--tenant-quota=", 0) == 0) {
+      if (!parse_flag_int("--tenant-quota", value("--tenant-quota="), 1,
+                          1 << 20, &opt.tenant_quota))
+        return std::nullopt;
+    } else if (a.rfind("--max-pending=", 0) == 0) {
+      if (!parse_flag_int("--max-pending", value("--max-pending="), 1,
+                          1 << 20, &opt.max_pending))
+        return std::nullopt;
+    } else if (a.rfind("--drr-quantum=", 0) == 0) {
+      if (!parse_flag_int("--drr-quantum", value("--drr-quantum="), 1,
+                          1 << 20, &opt.drr_quantum))
+        return std::nullopt;
+    } else if (a.rfind("--session-idle-ms=", 0) == 0) {
+      if (!parse_flag_int("--session-idle-ms",
+                          value("--session-idle-ms="), 1, 1 << 30,
+                          &opt.session_idle_ms))
+        return std::nullopt;
+    } else if (a.rfind("--cache-entries=", 0) == 0) {
+      if (!parse_flag_int("--cache-entries", value("--cache-entries="), 0,
+                          1 << 20, &opt.cache_entries))
+        return std::nullopt;
+    } else if (a.rfind("--cache-dir=", 0) == 0) {
+      opt.cache_dir = value("--cache-dir=");
+      if (opt.cache_dir.empty()) return std::nullopt;
+    } else if (a.rfind("--journal-dir=", 0) == 0) {
+      opt.journal_dir = value("--journal-dir=");
+      if (opt.journal_dir.empty()) return std::nullopt;
+    } else if (a == "--shared-breakers") {
+      opt.shared_breakers = true;
     } else if (a.rfind("--fallback=", 0) == 0) {
       std::string v = value("--fallback=");
       if (v != "baseline") return std::nullopt;
@@ -315,11 +429,46 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       return std::nullopt;
     }
   }
+  // The heartbeat must fit (twice) inside the supervisor's read
+  // timeout, or a healthy worker would be declared wedged between
+  // beats. Caught at parse time with a structured message, not at the
+  // first spurious kill.
+  if (2LL * opt.heartbeat_ms > opt.worker_timeout_ms) {
+    std::cerr << "cudanp-cc: --heartbeat-ms=" << opt.heartbeat_ms
+              << " must satisfy 2*heartbeat <= --worker-timeout-ms="
+              << opt.worker_timeout_ms
+              << " (a healthy worker would be declared wedged between "
+                 "beats)\n";
+    return std::nullopt;
+  }
   // Worker mode serves frames on stdin/stdout; batch mode takes its
   // inputs from the manifest; every other mode needs exactly one source
   // file.
   if (opt.worker) {
     if (!opt.input.empty() || !opt.batch.empty()) return std::nullopt;
+    return opt;
+  }
+  if (!opt.serve_socket.empty()) {
+    if (!opt.input.empty() || !opt.batch.empty() ||
+        !opt.connect_socket.empty())
+      return std::nullopt;
+    return opt;
+  }
+  if (opt.status || opt.healthz || opt.shutdown) {
+    if (opt.connect_socket.empty()) {
+      std::cerr << "cudanp-cc: --status/--healthz/--shutdown require "
+                   "--connect=<socket>\n";
+      return std::nullopt;
+    }
+    if (!opt.input.empty() || !opt.batch.empty()) return std::nullopt;
+    return opt;
+  }
+  if (!opt.connect_socket.empty()) {
+    if (opt.batch.empty() || !opt.input.empty()) {
+      std::cerr << "cudanp-cc: --connect requires --batch=<manifest> "
+                   "(or --status/--healthz/--shutdown)\n";
+      return std::nullopt;
+    }
     return opt;
   }
   if (opt.resume && opt.journal.empty()) {
@@ -376,23 +525,19 @@ void print_report(std::ostream& os, const ir::Kernel& kernel,
 /// success is still 0 — only degraded/rejected/shed outcomes flip to 7;
 /// 8 (precedence over 7) when completion required surviving worker
 /// crashes or resource-limit kills under --isolate=process.
-int run_batch(const CliOptions& opt, std::ostream& os) {
+serve::ManifestDefaults manifest_defaults_from_cli(const CliOptions& opt) {
   serve::ManifestDefaults defaults;
   defaults.elems = opt.elems;
   defaults.tb = opt.tb;
   defaults.deadline_ms = opt.deadline_ms;
   defaults.max_attempts = opt.retries;
   defaults.watchdog_steps = opt.watchdog_steps;
+  return defaults;
+}
 
-  std::string error;
-  std::vector<serve::JobSpec> jobs =
-      serve::load_manifest(opt.batch, defaults, &error);
-  if (jobs.empty()) {
-    std::cerr << "cudanp-cc: " << opt.batch << ": "
-              << (error.empty() ? "empty manifest" : error) << "\n";
-    return 1;
-  }
-
+/// Batch flags -> ServiceOptions; shared by --batch and --serve (the
+/// daemon's service template), so the two modes run identical pipelines.
+serve::ServiceOptions service_options_from_cli(const CliOptions& opt) {
   serve::ServiceOptions sopts;
   sopts.queue_capacity = opt.queue_cap;
   sopts.jobs = opt.jobs;
@@ -405,9 +550,26 @@ int run_batch(const CliOptions& opt, std::ostream& os) {
   sopts.isolate = opt.isolate;
   sopts.worker_mem_mb = opt.worker_mem_mb;
   sopts.worker_read_timeout_ms = opt.worker_timeout_ms;
+  sopts.worker_heartbeat_ms = opt.heartbeat_ms;
+  sopts.commit_chunk = opt.commit_chunk;
+  return sopts;
+}
+
+int run_batch(const CliOptions& opt, std::ostream& os) {
+  serve::ManifestDefaults defaults = manifest_defaults_from_cli(opt);
+
+  std::string error;
+  std::vector<serve::JobSpec> jobs =
+      serve::load_manifest(opt.batch, defaults, &error);
+  if (jobs.empty()) {
+    std::cerr << "cudanp-cc: " << opt.batch << ": "
+              << (error.empty() ? "empty manifest" : error) << "\n";
+    return 1;
+  }
+
+  serve::ServiceOptions sopts = service_options_from_cli(opt);
   sopts.journal_path = opt.journal;
   sopts.resume = opt.resume;
-  sopts.commit_chunk = opt.commit_chunk;
 
   auto spec = sim::DeviceSpec::gtx680();
   spec.sm_version = opt.sm;
@@ -419,6 +581,115 @@ int run_batch(const CliOptions& opt, std::ostream& os) {
   // because the sandbox absorbed worker deaths.
   if (report.crashes > 0 || report.resource_limited > 0) return 8;
   return report.all_succeeded() ? 0 : 7;
+}
+
+/// --serve mode: run the persistent daemon until a graceful drain.
+int run_serve(const CliOptions& opt) {
+  serve::DaemonOptions dopt;
+  dopt.socket_path = opt.serve_socket;
+  dopt.service = service_options_from_cli(opt);
+  dopt.defaults = manifest_defaults_from_cli(opt);
+  dopt.spec = sim::DeviceSpec::gtx680();
+  dopt.spec.sm_version = opt.sm;
+  dopt.tenant_quota = opt.tenant_quota;
+  dopt.max_pending = opt.max_pending;
+  dopt.drr_quantum = opt.drr_quantum;
+  dopt.session_idle_ms = opt.session_idle_ms;
+  dopt.cache_entries = opt.cache_entries;
+  dopt.cache_dir = opt.cache_dir;
+  dopt.journal_dir = opt.journal_dir;
+  dopt.shared_breakers = opt.shared_breakers;
+
+  serve::ServeDaemon daemon(std::move(dopt));
+  std::string error;
+  if (!daemon.start(&error)) {
+    std::cerr << "cudanp-cc: " << error << "\n";
+    return 1;
+  }
+  std::cerr << "cudanp-cc: serving on " << opt.serve_socket << "\n";
+  return daemon.serve();
+}
+
+/// --connect mode: one request against a running daemon. Submissions
+/// re-emit the daemon's report verbatim (byte-identical to --batch);
+/// structured rejects exit 10.
+int run_client(const CliOptions& opt, std::ostream& os) {
+  int fd = serve::connect_unix(opt.connect_socket);
+  if (fd < 0) {
+    std::cerr << "cudanp-cc: cannot connect to " << opt.connect_socket
+              << ": " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  if (opt.status || opt.healthz || opt.shutdown) {
+    bool ok;
+    if (opt.shutdown)
+      ok = serve::write_frame(fd, serve::kFrameShutdown, "");
+    else
+      ok = serve::write_frame(fd, serve::kFrameStatus,
+                              opt.healthz ? "healthz" : "status");
+    serve::Frame f;
+    if (!ok ||
+        serve::read_frame(fd, &f, -1) != serve::ReadStatus::kOk ||
+        f.type != serve::kFrameStatusReply) {
+      std::cerr << "cudanp-cc: no reply from daemon\n";
+      return 1;
+    }
+    os << f.payload << "\n";
+    return 0;
+  }
+
+  std::ifstream in(opt.batch);
+  if (!in) {
+    std::cerr << "cudanp-cc: cannot open " << opt.batch << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  serve::SubmitRequest req;
+  req.tenant = opt.tenant;
+  req.manifest = buffer.str();
+  auto slash = opt.batch.find_last_of('/');
+  req.base_dir = slash == std::string::npos ? std::string()
+                                            : opt.batch.substr(0, slash);
+
+  if (!serve::write_frame(fd, serve::kFrameSubmit, req.json())) {
+    std::cerr << "cudanp-cc: cannot submit to daemon\n";
+    return 1;
+  }
+  serve::Frame f;
+  if (serve::read_frame(fd, &f, -1) != serve::ReadStatus::kOk) {
+    std::cerr << "cudanp-cc: daemon closed the connection\n";
+    return 1;
+  }
+  if (f.type == serve::kFrameReject) {
+    auto rej = serve::RejectReply::from_json(f.payload);
+    std::cerr << "cudanp-cc: rejected: "
+              << (rej ? rej->cause : std::string("malformed-reject"));
+    if (rej && !rej->detail.empty()) std::cerr << " (" << rej->detail << ")";
+    std::cerr << "\n";
+    return 10;
+  }
+  if (f.type != serve::kFrameReport) {
+    std::cerr << "cudanp-cc: unexpected reply frame from daemon\n";
+    return 1;
+  }
+  auto reply = serve::SubmitReply::from_json(f.payload);
+  if (!reply) {
+    std::cerr << "cudanp-cc: malformed report from daemon\n";
+    return 1;
+  }
+  // Same renderings, same exit-code policy as a local --batch run.
+  os << reply->report_text;
+  std::cerr << reply->report_json << "\n";
+  auto report = serve::ServiceReport::from_json(reply->report_json);
+  if (!report) return 5;
+  if (report->crashes > 0 || report->resource_limited > 0) return 8;
+  return report->all_succeeded() ? 0 : 7;
 }
 
 int main(int argc, char** argv) {
@@ -434,6 +705,34 @@ int main(int argc, char** argv) {
     // the supervisor contains them.
     return serve::run_worker_loop(STDIN_FILENO, STDOUT_FILENO,
                                   opt->worker_mem_mb);
+  }
+
+  if (!opt->serve_socket.empty()) {
+    try {
+      return run_serve(*opt);
+    } catch (const std::exception& e) {
+      std::cerr << "cudanp-cc: internal error: " << e.what() << "\n";
+      return 5;
+    }
+  }
+
+  if (!opt->connect_socket.empty()) {
+    std::ofstream client_file;
+    std::ostream* cos = &std::cout;
+    if (!opt->output.empty()) {
+      client_file.open(opt->output);
+      if (!client_file) {
+        std::cerr << "cudanp-cc: cannot write " << opt->output << "\n";
+        return 1;
+      }
+      cos = &client_file;
+    }
+    try {
+      return run_client(*opt, *cos);
+    } catch (const std::exception& e) {
+      std::cerr << "cudanp-cc: internal error: " << e.what() << "\n";
+      return 5;
+    }
   }
 
   if (!opt->batch.empty()) {
