@@ -70,13 +70,13 @@ int main(int argc, char** argv) {
   }
   {
     auto io = base_iopt;
-    io.warp_mlp = 2;
+    io.timing.warp_mlp = 2;
     table.add_row({"warp MLP = 2 (less overlap)",
                    bench::fmt(suite_gm(base_spec, io, opt.scale), 3) + "x"});
   }
   {
     auto io = base_iopt;
-    io.warp_mlp = 8;
+    io.timing.warp_mlp = 8;
     table.add_row({"warp MLP = 8 (more overlap)",
                    bench::fmt(suite_gm(base_spec, io, opt.scale), 3) + "x"});
   }

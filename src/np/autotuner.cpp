@@ -12,7 +12,7 @@ TuneResult Autotuner::tune(const ir::Kernel& kernel,
   // Baseline.
   {
     Workload w = make_workload();
-    auto run = runner_.run(kernel, w);
+    auto run = runner_.execute(ExecutionRequest::baseline(kernel, w)).run;
     result.baseline_seconds = run.timing.seconds;
     result.baseline_occupancy = run.occupancy;
     result.baseline_stats = run.stats;
@@ -48,7 +48,8 @@ TuneResult Autotuner::tune(const ir::Kernel& kernel,
     try {
       auto variant = NpCompiler::transform(kernel, cfg);
       Workload w = make_workload();
-      auto run = runner_.run_variant(variant, w);
+      auto run =
+          runner_.execute(ExecutionRequest::transformed(variant, w)).run;
       if (options.validate && w.validate) {
         std::string msg;
         if (!w.validate(*w.mem, &msg)) {

@@ -329,7 +329,7 @@ FallbackResult NpCompiler::compile_with_fallback(
   out.decision.kernel = kernel.name;
   Runner runner(spec, opt.interp);
 
-  auto classify = [](const SanitizedRun& run, VariantFailure* f) {
+  auto classify = [](const ExecutionResult& run, VariantFailure* f) {
     if (!run.ran) {
       f->cause = FailureCause::kLaunchError;
       if (!run.engine.reports().empty())
@@ -360,7 +360,8 @@ FallbackResult NpCompiler::compile_with_fallback(
   // fallback. If it misbehaves itself there is nothing better to offer,
   // so that failure is recorded and the baseline still returned.
   Workload base = make_workload();
-  SanitizedRun base_run = runner.run_sanitized(kernel, base, opt.sanitizer);
+  ExecutionResult base_run = runner.execute(
+      ExecutionRequest::baseline(kernel, base).sanitized(opt.sanitizer));
   if (!base_run.clean()) {
     VariantFailure f;
     f.kernel = kernel.name;
@@ -404,7 +405,8 @@ FallbackResult NpCompiler::compile_with_fallback(
       continue;
     }
     Workload w = make_workload();
-    SanitizedRun run = runner.run_variant_sanitized(variant, w, opt.sanitizer);
+    ExecutionResult run = runner.execute(
+        ExecutionRequest::transformed(variant, w).sanitized(opt.sanitizer));
     if (!run.clean()) {
       classify(run, &f);
       out.decision.quarantined.push_back(std::move(f));
@@ -441,7 +443,8 @@ ValidationReport NpCompiler::validate(
 
   Workload base = make_workload();
   auto t0 = Clock::now();
-  SanitizedRun base_run = runner.run_sanitized(kernel, base, opt.sanitizer);
+  ExecutionResult base_run = runner.execute(
+      ExecutionRequest::baseline(kernel, base).sanitized(opt.sanitizer));
   report.baseline_wall_ms = ms_since(t0);
   report.baseline_ran = base_run.ran;
   report.baseline_hazards = base_run.engine.reports();
@@ -460,8 +463,8 @@ ValidationReport NpCompiler::validate(
     }
     Workload w = make_workload();
     auto tv = Clock::now();
-    SanitizedRun run =
-        runner.run_variant_sanitized(variant, w, opt.sanitizer);
+    ExecutionResult run = runner.execute(
+        ExecutionRequest::transformed(variant, w).sanitized(opt.sanitizer));
     entry.wall_ms = ms_since(tv);
     entry.ran = run.ran;
     entry.hazards = run.engine.reports();

@@ -64,73 +64,56 @@ void record_launch_fault(sim::SanitizerEngine& engine,
 
 }  // namespace
 
-sim::RunResult Runner::run(const ir::Kernel& kernel,
-                           Workload& workload) const {
-  auto res = analysis::estimate_resources(kernel, spec_);
-  return sim::run_and_time(spec_, *workload.mem, kernel, workload.launch,
-                           res.usage, opt_);
-}
+ExecutionResult Runner::execute(const ExecutionRequest& req) const {
+  if ((req.kernel != nullptr) == (req.variant != nullptr))
+    throw SimError(
+        "ExecutionRequest needs exactly one of kernel (baseline) or variant");
+  if (req.workload == nullptr)
+    throw SimError("ExecutionRequest needs a workload");
+  Workload& workload = *req.workload;
+  const ir::Kernel& kernel = req.variant ? *req.variant->kernel : *req.kernel;
 
-sim::RunResult Runner::run_variant(const transform::TransformResult& variant,
-                                   Workload& workload) const {
   std::vector<std::pair<sim::BufferId, std::size_t>> extras;
-  sim::LaunchConfig cfg = variant_config(variant, workload, &extras);
-  auto res = analysis::estimate_resources(*variant.kernel, spec_);
-  try {
-    auto out = sim::run_and_time(spec_, *workload.mem, *variant.kernel, cfg,
-                                 res.usage, opt_);
-    release_extras(workload, extras);
-    return out;
-  } catch (...) {
-    release_extras(workload, extras);
-    throw;
-  }
-}
+  sim::LaunchConfig cfg = req.variant
+                              ? variant_config(*req.variant, workload, &extras)
+                              : workload.launch;
 
-SanitizedRun Runner::run_sanitized(const ir::Kernel& kernel,
-                                   Workload& workload,
-                                   sim::SanitizerEngine::Options sopt) const {
-  SanitizedRun out;
-  out.engine = sim::SanitizerEngine(sopt);
+  ExecutionResult out;
   sim::Interpreter::Options iopt = opt_;
-  iopt.sanitizer = &out.engine;
+  if (req.engine) iopt.engine = *req.engine;
+  if (req.limits) iopt.limits = *req.limits;
+  if (req.jobs) iopt.jobs = *req.jobs;
+  if (req.fault) iopt.fault = req.fault;
+  if (req.sanitize) {
+    out.engine = sim::SanitizerEngine(req.sanitizer_options);
+    // Extra buffers are device scratch: the kernel must write an element
+    // before reading it back.
+    for (const auto& [id, elems] : extras)
+      out.engine.mark_buffer_uninitialized(id, elems);
+    iopt.sanitizer = &out.engine;
+  }
+
   auto res = analysis::estimate_resources(kernel, spec_);
   try {
-    out.result = sim::run_and_time(spec_, *workload.mem, kernel,
-                                   workload.launch, res.usage, iopt);
+    out.run = sim::run_and_time(spec_, *workload.mem, kernel, cfg, res.usage,
+                                iopt);
     out.ran = true;
   } catch (const sim::WatchdogError& e) {
+    if (!req.sanitize) {
+      release_extras(workload, extras);
+      throw;
+    }
     record_launch_fault(out.engine, kernel.name, e.what(),
                         sim::HazardKind::kWatchdogTrip, e.loc());
   } catch (const SimError& e) {
+    if (!req.sanitize) {
+      release_extras(workload, extras);
+      throw;
+    }
     record_launch_fault(out.engine, kernel.name, e.what());
-  }
-  return out;
-}
-
-SanitizedRun Runner::run_variant_sanitized(
-    const transform::TransformResult& variant, Workload& workload,
-    sim::SanitizerEngine::Options sopt) const {
-  SanitizedRun out;
-  out.engine = sim::SanitizerEngine(sopt);
-  std::vector<std::pair<sim::BufferId, std::size_t>> extras;
-  sim::LaunchConfig cfg = variant_config(variant, workload, &extras);
-  // Extra buffers are device scratch: the kernel must write an element
-  // before reading it back.
-  for (const auto& [id, elems] : extras)
-    out.engine.mark_buffer_uninitialized(id, elems);
-  sim::Interpreter::Options iopt = opt_;
-  iopt.sanitizer = &out.engine;
-  auto res = analysis::estimate_resources(*variant.kernel, spec_);
-  try {
-    out.result = sim::run_and_time(spec_, *workload.mem, *variant.kernel,
-                                   cfg, res.usage, iopt);
-    out.ran = true;
-  } catch (const sim::WatchdogError& e) {
-    record_launch_fault(out.engine, variant.kernel->name, e.what(),
-                        sim::HazardKind::kWatchdogTrip, e.loc());
-  } catch (const SimError& e) {
-    record_launch_fault(out.engine, variant.kernel->name, e.what());
+  } catch (...) {
+    release_extras(workload, extras);
+    throw;
   }
   release_extras(workload, extras);
   return out;

@@ -3,6 +3,8 @@
 // re-homed local arrays, and timing.
 #pragma once
 
+#include <optional>
+
 #include "analysis/resources.hpp"
 #include "np/workload.hpp"
 #include "sim/interpreter.hpp"
@@ -23,34 +25,129 @@ struct SanitizedRun {
   [[nodiscard]] bool clean() const { return ran && engine.clean(); }
 };
 
+/// One fully-specified launch: which kernel (a baseline ir::Kernel or a
+/// transformed variant, exactly one), which workload, whether to
+/// sanitize, and optional per-request overrides of the runner's
+/// interpreter options. Built with the factories + chainable setters:
+///
+///   runner.execute(ExecutionRequest::transformed(variant, w)
+///                      .sanitized(sopt)
+///                      .with_engine(sim::Engine::kVm));
+struct ExecutionRequest {
+  const ir::Kernel* kernel = nullptr;
+  const transform::TransformResult* variant = nullptr;
+  Workload* workload = nullptr;
+  /// Collect hazards instead of throwing; per-block SimErrors downgrade
+  /// to kSimFault reports and the rest of the grid keeps running.
+  bool sanitize = false;
+  sim::SanitizerEngine::Options sanitizer_options{};
+  /// Unset fields inherit the runner's Options for this launch.
+  std::optional<sim::Engine> engine{};
+  std::optional<sim::ExecutionLimits> limits{};
+  std::optional<int> jobs{};
+  /// Non-null overrides the runner's fault injector (chaos tests).
+  const sim::FaultInjector* fault = nullptr;
+
+  [[nodiscard]] static ExecutionRequest baseline(const ir::Kernel& k,
+                                                 Workload& w) {
+    ExecutionRequest r;
+    r.kernel = &k;
+    r.workload = &w;
+    return r;
+  }
+  [[nodiscard]] static ExecutionRequest transformed(
+      const transform::TransformResult& v, Workload& w) {
+    ExecutionRequest r;
+    r.variant = &v;
+    r.workload = &w;
+    return r;
+  }
+  ExecutionRequest& sanitized(sim::SanitizerEngine::Options sopt = {}) {
+    sanitize = true;
+    sanitizer_options = sopt;
+    return *this;
+  }
+  ExecutionRequest& with_engine(sim::Engine e) {
+    engine = e;
+    return *this;
+  }
+  ExecutionRequest& with_limits(sim::ExecutionLimits l) {
+    limits = l;
+    return *this;
+  }
+  ExecutionRequest& with_jobs(int j) {
+    jobs = j;
+    return *this;
+  }
+  ExecutionRequest& with_fault(const sim::FaultInjector* f) {
+    fault = f;
+    return *this;
+  }
+};
+
+/// What a launch produced. For unsanitized requests failures propagate
+/// as exceptions, so `ran` is always true on return; for sanitized
+/// requests launch-scoped failures land in `engine` as hazards and
+/// `ran` stays false.
+struct ExecutionResult {
+  sim::RunResult run;
+  sim::SanitizerEngine engine;
+  bool ran = false;
+
+  [[nodiscard]] bool clean() const { return ran && engine.clean(); }
+  [[nodiscard]] const std::vector<sim::HazardReport>& hazards() const {
+    return engine.reports();
+  }
+  /// Legacy shape (consumes the engine); exists for the deprecated
+  /// run_sanitized shims.
+  [[nodiscard]] SanitizedRun to_sanitized() && {
+    return SanitizedRun{std::move(run), std::move(engine), ran};
+  }
+};
+
 class Runner {
  public:
   explicit Runner(sim::DeviceSpec spec, sim::Interpreter::Options opt = {})
       : spec_(std::move(spec)), opt_(opt) {}
 
-  /// Runs `kernel` with the workload's baseline launch config.
+  /// The single execution entry point: baseline or variant, sanitized or
+  /// not, with per-request option overrides. Variant requests swap the
+  /// block dims and allocate the variant's extra global buffers
+  /// (appended to the argument list, returned to the workload's free
+  /// pool afterwards; registered as uninitialized device scratch when
+  /// sanitizing).
+  [[nodiscard]] ExecutionResult execute(const ExecutionRequest& req) const;
+
+  /// \deprecated Shim over execute(); use ExecutionRequest::baseline.
   [[nodiscard]] sim::RunResult run(const ir::Kernel& kernel,
-                                   Workload& workload) const;
+                                   Workload& workload) const {
+    return execute(ExecutionRequest::baseline(kernel, workload)).run;
+  }
 
-  /// Runs a transformed variant: swaps the block dims, allocates the
-  /// variant's extra global buffers (appended to the argument list), and
-  /// launches.
+  /// \deprecated Shim over execute(); use ExecutionRequest::transformed.
   [[nodiscard]] sim::RunResult run_variant(
-      const transform::TransformResult& variant, Workload& workload) const;
+      const transform::TransformResult& variant, Workload& workload) const {
+    return execute(ExecutionRequest::transformed(variant, workload)).run;
+  }
 
-  /// Like run(), but instrumented by a SanitizerEngine: hazards are
-  /// collected instead of thrown, and per-block SimErrors become kSimFault
-  /// reports while the rest of the grid keeps running.
+  /// \deprecated Shim over execute(); use
+  /// ExecutionRequest::baseline(...).sanitized(...).
   [[nodiscard]] SanitizedRun run_sanitized(
       const ir::Kernel& kernel, Workload& workload,
-      sim::SanitizerEngine::Options sopt = {}) const;
+      sim::SanitizerEngine::Options sopt = {}) const {
+    return execute(ExecutionRequest::baseline(kernel, workload).sanitized(sopt))
+        .to_sanitized();
+  }
 
-  /// Like run_variant(), sanitized. The variant's extra global buffers
-  /// (re-homed local arrays) are registered as device scratch, so a read
-  /// of an element the kernel never wrote is an uninit-read hazard.
+  /// \deprecated Shim over execute(); use
+  /// ExecutionRequest::transformed(...).sanitized(...).
   [[nodiscard]] SanitizedRun run_variant_sanitized(
       const transform::TransformResult& variant, Workload& workload,
-      sim::SanitizerEngine::Options sopt = {}) const;
+      sim::SanitizerEngine::Options sopt = {}) const {
+    return execute(
+               ExecutionRequest::transformed(variant, workload).sanitized(sopt))
+        .to_sanitized();
+  }
 
   [[nodiscard]] const sim::DeviceSpec& spec() const { return spec_; }
 

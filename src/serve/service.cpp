@@ -381,8 +381,9 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
   req.f32_rel_tol = opt_.f32_rel_tol;
   req.heartbeat_ms = opt_.worker_heartbeat_ms;
 
-  const std::int64_t configured_steps =
-      sim::Interpreter::resolve_max_steps(spec.watchdog_steps);
+  sim::ExecutionLimits limits;
+  limits.max_steps_per_block = spec.watchdog_steps;
+  const std::int64_t configured_steps = limits.resolve();
   std::int64_t elapsed = 0;
   for (int attempt = 1;; ++attempt) {
     const std::int64_t remaining = deadline - elapsed;
@@ -392,13 +393,12 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
     }
     // Map the remaining wall-clock budget onto the step watchdog
     // (saturating): a hanging kernel trips at its deadline.
-    std::int64_t deadline_steps =
+    limits.deadline_steps =
         remaining > std::numeric_limits<std::int64_t>::max() /
                         std::max<std::int64_t>(1, opt_.steps_per_ms)
             ? std::numeric_limits<std::int64_t>::max()
             : remaining * opt_.steps_per_ms;
-    req.max_steps = sim::Interpreter::resolve_max_steps(
-        spec.watchdog_steps, deadline_steps);
+    req.max_steps = limits.resolve();
     req.hook_faults =
         spec.inject && (spec.transient_attempts <= 0 ||
                         attempt <= spec.transient_attempts);
@@ -483,7 +483,7 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
     for (const auto& q : out->decision.quarantined) {
       if (np::transient(q.cause)) any_transient = true;
       if (q.cause == np::FailureCause::kWatchdogTrip &&
-          deadline_steps < configured_steps)
+          limits.deadline_steps < configured_steps)
         deadline_bound_trip = true;
     }
     elapsed += deadline_bound_trip

@@ -121,7 +121,7 @@ AttemptResult execute_attempt(const AttemptRequest& req,
     // Each attempt simulates its grid serially; batch parallelism lives
     // a layer up (the exec_pool is not reentrant from worker threads).
     vopt.interp.jobs = 1;
-    vopt.interp.max_steps_per_block = req.max_steps;
+    vopt.interp.limits.max_steps_per_block = req.max_steps;
     if (req.hook_faults) vopt.interp.fault = &injector;
 
     const ir::Kernel& k = *kernel;

@@ -4,18 +4,20 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <limits>
 #include <memory>
 #include <sstream>
-#include <unordered_map>
 #include <utility>
 
-#include "ir/printer.hpp"
 #include "sim/binder.hpp"
+#include "sim/bytecode.hpp"
+#include "sim/exec_core.hpp"
 #include "sim/exec_pool.hpp"
 #include "sim/fault.hpp"
 #include "sim/sanitizer.hpp"
+#include "sim/vm.hpp"
 #include "support/string_utils.hpp"
 
 namespace cudanp::sim {
@@ -24,241 +26,29 @@ using namespace cudanp::ir;
 
 namespace {
 
-using Mask = std::vector<std::uint8_t>;
-using Lanes = std::vector<Value>;
+using exec::any;
+using exec::BlockSanitizer;
+using exec::LaneView;
+using exec::Lanes;
+using exec::Mask;
+using exec::Slot;
 
-[[nodiscard]] bool any(const Mask& m) {
-  for (auto b : m)
-    if (b) return true;
-  return false;
-}
-
-/// Per-variable storage within one block, indexed by the binder's slot id
-/// (sim/binder.hpp) in a flat frame vector.
-struct Slot {
-  Type type;
-  /// Register scalars & register/local arrays: per-lane storage
-  /// (lane-major: lane * elems + idx). Shared arrays/scalars: one copy.
-  Lanes data;
-  /// Word offset inside the block's shared or local space (for bank /
-  /// coalescing math).
-  std::uint64_t base_word = 0;
-  bool is_buffer_param = false;
-  /// Scalar kernel argument: one shared copy, read-only.
-  bool is_uniform_param = false;
-  BufferId buffer = 0;
-  /// False until the declaration (or param binding) executes; preserves
-  /// the old map-absence "use of undeclared variable" semantics now that
-  /// every slot exists up front.
-  bool live = false;
-  /// Sanitizer init bitmap, indexed like `data` (empty when the sanitizer
-  /// is off, and for shared / buffer / uniform slots, which are shadowed
-  /// elsewhere).
-  std::vector<std::uint8_t> shadow;
-};
-
-/// Per-block hazard stream. Blocks never touch the shared SanitizerEngine
-/// while executing (so the grid can run on several threads); they collect
-/// reports locally, in execution order, and Interpreter::run replays the
-/// streams through the engine in block-index order afterwards. That
-/// replay reproduces the engine's dedupe, total count and error-limit
-/// semantics exactly, at every job count.
-struct BlockSanitizer {
-  /// Options are read-only during execution; buffer shadow bitmaps are
-  /// written element-wise, and well-formed kernels touch block-disjoint
-  /// elements (like the data buffers themselves).
-  SanitizerEngine* engine = nullptr;
-  std::vector<HazardReport> reports;
-};
-
-class BlockExec {
+/// The reference engine: a recursive walk over the slot-bound AST. All
+/// semantics live in exec::BlockCore, shared with the bytecode VM; this
+/// class only owns the tree traversal and the Lanes materialization the
+/// recursive evaluation style needs.
+class BlockExec : public exec::BlockCore {
  public:
-  BlockExec(const DeviceSpec& spec, DeviceMemory& mem,
-            const Interpreter::Options& opt, const BoundKernel& bound,
-            const LaunchConfig& cfg, Dim3 block_idx, int resident_blocks,
-            BlockSanitizer* san, std::int64_t flat_block = 0,
-            std::int64_t max_steps =
-                std::numeric_limits<std::int64_t>::max())
-      : spec_(spec),
-        mem_(mem),
-        opt_(opt),
-        bound_(bound),
-        kernel_(*bound.kernel),
-        cfg_(cfg),
-        block_idx_(block_idx),
-        flat_block_(flat_block),
-        max_steps_(max_steps),
-        nlanes_(static_cast<int>(cfg.block.count())),
-        nwarps_((nlanes_ + spec.warp_size - 1) / spec.warp_size),
-        l1_(spec.l1_cache_bytes / std::max(resident_blocks, 1),
-            spec.l1_line_bytes) {
-    warp_issue_.assign(static_cast<std::size_t>(nwarps_), 0.0);
-    warp_latency_.assign(static_cast<std::size_t>(nwarps_), 0.0);
-    warp_pending_.assign(static_cast<std::size_t>(nwarps_), 0.0);
-    returned_.assign(static_cast<std::size_t>(nlanes_), 0);
-    san_ = san;
-    if (san_) {
-      warp_gen_.assign(static_cast<std::size_t>(nwarps_), 0);
-      smem_shadow_.reserve(
-          static_cast<std::size_t>(bound.shared_words_bound));
-    }
-    frame_.resize(bound.num_slots());
-    init_geometry();
-    bind_params();
-  }
+  using BlockCore::BlockCore;
 
   KernelStats run() {
     if (opt_.fault && opt_.fault->should_stall(flat_block_)) stall();
     Mask mask(static_cast<std::size_t>(nlanes_), 1);
     exec_block(*kernel_.body, mask);
-    KernelStats s;
-    s.blocks = 1;
-    s.warps = nwarps_;
-    s.global_transactions = global_transactions_;
-    s.local_transactions = local_transactions_;
-    s.local_l1_misses = local_l1_misses_;
-    s.dram_transactions = dram_transactions_;
-    s.smem_accesses = smem_accesses_;
-    s.smem_replays = smem_replays_;
-    s.shfl_ops = shfl_ops_;
-    s.sync_ops = sync_ops_;
-    s.divergent_branches = divergent_branches_;
-    double crit = 0;
-    for (int w = 0; w < nwarps_; ++w) {
-      s.issue_slots += warp_issue_[static_cast<std::size_t>(w)];
-      crit = std::max(crit, warp_issue_[static_cast<std::size_t>(w)] +
-                                warp_latency_[static_cast<std::size_t>(w)] /
-                                    opt_.warp_mlp);
-    }
-    s.crit_path_cycles = crit;
-    return s;
+    return collect_stats();
   }
 
  private:
-  // ---------------- geometry lane caches ----------------
-  /// Precomputes the 12 builtin geometry vectors once per block, so an
-  /// executed threadIdx/blockDim/... reference is a plain vector copy.
-  void init_geometry() {
-    for (int g = 0; g < kGeomCount; ++g)
-      geom_[g].assign(static_cast<std::size_t>(nlanes_), Value::of_int(0));
-    for (int l = 0; l < nlanes_; ++l) {
-      auto li = static_cast<std::size_t>(l);
-      geom_[kGeomThreadIdxX][li] = Value::of_int(l % cfg_.block.x);
-      geom_[kGeomThreadIdxY][li] =
-          Value::of_int((l / cfg_.block.x) % cfg_.block.y);
-      geom_[kGeomThreadIdxZ][li] =
-          Value::of_int(l / (cfg_.block.x * cfg_.block.y));
-    }
-    auto fill = [&](int g, int v) {
-      geom_[g].assign(static_cast<std::size_t>(nlanes_), Value::of_int(v));
-    };
-    fill(kGeomBlockIdxX, block_idx_.x);
-    fill(kGeomBlockIdxY, block_idx_.y);
-    fill(kGeomBlockIdxZ, block_idx_.z);
-    fill(kGeomBlockDimX, cfg_.block.x);
-    fill(kGeomBlockDimY, cfg_.block.y);
-    fill(kGeomBlockDimZ, cfg_.block.z);
-    fill(kGeomGridDimX, cfg_.grid.x);
-    fill(kGeomGridDimY, cfg_.grid.y);
-    fill(kGeomGridDimZ, cfg_.grid.z);
-  }
-
-  // ---------------- parameter binding ----------------
-  void bind_params() {
-    if (cfg_.args.size() != kernel_.params.size())
-      throw SimError("kernel '" + kernel_.name + "' expects " +
-                     std::to_string(kernel_.params.size()) + " args, got " +
-                     std::to_string(cfg_.args.size()));
-    for (std::size_t i = 0; i < kernel_.params.size(); ++i) {
-      const Param& p = kernel_.params[i];
-      Slot& slot = frame_[i];  // binder assigns params slots 0..n-1
-      slot.type = p.type;
-      if (p.type.is_pointer) {
-        const auto* buf = std::get_if<BufferId>(&cfg_.args[i]);
-        if (!buf)
-          throw SimError("arg " + std::to_string(i) + " ('" + p.name +
-                         "') must be a buffer");
-        slot.is_buffer_param = true;
-        slot.buffer = *buf;
-      } else {
-        const auto* v = std::get_if<Value>(&cfg_.args[i]);
-        if (!v)
-          throw SimError("arg " + std::to_string(i) + " ('" + p.name +
-                         "') must be a scalar");
-        Value coerced = p.type.scalar == ScalarType::kFloat
-                            ? Value::of_float(v->as_f()).to_f32()
-                            : Value::of_int(v->as_i());
-        slot.is_uniform_param = true;
-        slot.data.assign(1, coerced);  // uniform scalar, one copy
-      }
-      slot.live = true;
-    }
-  }
-
-  // ---------------- cost charging ----------------
-  /// Iterates warps that have >= 1 active lane.
-  template <typename Fn>
-  void for_each_active_warp(const Mask& mask, Fn&& fn) {
-    for (int w = 0; w < nwarps_; ++w) {
-      int lo = w * spec_.warp_size;
-      int hi = std::min(lo + spec_.warp_size, nlanes_);
-      bool active = false;
-      for (int l = lo; l < hi; ++l) {
-        if (mask[static_cast<std::size_t>(l)]) {
-          active = true;
-          break;
-        }
-      }
-      if (active) fn(w, lo, hi);
-    }
-  }
-
-  void charge_issue(const Mask& mask, double weight) {
-    for_each_active_warp(mask, [&](int w, int, int) {
-      warp_issue_[static_cast<std::size_t>(w)] += weight;
-    });
-  }
-
-  void charge_latency(int warp, double cycles) {
-    warp_pending_[static_cast<std::size_t>(warp)] =
-        std::max(warp_pending_[static_cast<std::size_t>(warp)], cycles);
-  }
-
-  // ---------------- watchdog ----------------
-  /// Charges one interpreted statement (or loop back-edge) against the
-  /// block's step budget and fires the fault-injection hook. Deterministic
-  /// per block — the count never depends on job scheduling.
-  void count_step(const SourceLoc& loc) {
-    ++steps_;
-    if (opt_.fault) opt_.fault->maybe_fault(flat_block_, steps_, loc);
-    if (steps_ > max_steps_) throw make_watchdog_error(loc);
-  }
-
-  [[nodiscard]] WatchdogError make_watchdog_error(const SourceLoc& loc) const {
-    std::ostringstream os;
-    os << "watchdog: block (" << block_idx_.x << "," << block_idx_.y << ","
-       << block_idx_.z << ") exceeded its step budget of " << max_steps_
-       << " interpreted statements at " << loc.str();
-    if (!loop_stack_.empty()) {
-      os << "; loop back-edges (innermost first):";
-      std::size_t shown = 0;
-      for (auto it = loop_stack_.rbegin();
-           it != loop_stack_.rend() && shown < 4; ++it, ++shown)
-        os << " " << it->first.str() << " x" << it->second;
-    }
-    return WatchdogError(os.str(), loc, steps_);
-  }
-
-  /// Injected stall (FaultPlan::stall_block): burns budget until the
-  /// watchdog trips. A disabled watchdog would hang forever, so that
-  /// combination degrades to a plain injected SimError instead.
-  [[noreturn]] void stall() {
-    if (max_steps_ == std::numeric_limits<std::int64_t>::max())
-      throw SimError(
-          "injected stall: watchdog disabled, aborting instead of hanging");
-    for (;;) count_step(kernel_.body->loc());
-  }
-
   /// Tracks the enclosing loops' back-edge counts for watchdog reports.
   struct LoopScope {
     std::vector<std::pair<SourceLoc, std::int64_t>>& stack;
@@ -270,316 +60,8 @@ class BlockExec {
     ~LoopScope() { stack.pop_back(); }
   };
 
-  void begin_leaf_stmt() {
-    std::fill(warp_pending_.begin(), warp_pending_.end(), 0.0);
-  }
-  void end_leaf_stmt() {
-    for (int w = 0; w < nwarps_; ++w)
-      warp_latency_[static_cast<std::size_t>(w)] +=
-          warp_pending_[static_cast<std::size_t>(w)];
-  }
-
-  // ---------------- memory access paths ----------------
-  /// One warp-wide global access; `idx` are element indices.
-  void charge_global(const DeviceBuffer& buf, const Lanes& idx,
-                     const Mask& mask) {
-    std::int64_t esize = Type::scalar_size_bytes(buf.type());
-    for_each_active_warp(mask, [&](int w, int lo, int hi) {
-      std::uint64_t addrs[32];
-      std::uint8_t act[32];
-      int n = hi - lo;
-      for (int l = lo; l < hi; ++l) {
-        act[l - lo] = mask[static_cast<std::size_t>(l)];
-        addrs[l - lo] =
-            buf.base_addr() +
-            static_cast<std::uint64_t>(idx[static_cast<std::size_t>(l)].as_i()) *
-                static_cast<std::uint64_t>(esize);
-      }
-      if (buf.is_constant()) {
-        // Constant cache: distinct words serialize, identical broadcast.
-        int replays = smem_replays({addrs, static_cast<std::size_t>(n)},
-                                   {act, static_cast<std::size_t>(n)}, 1);
-        smem_accesses_ += replays;  // books constant traffic with smem
-        warp_issue_[static_cast<std::size_t>(w)] +=
-            opt_.weights.mem_issue * replays;
-        charge_latency(w, spec_.smem_latency_cycles);
-        return;
-      }
-      int trans = coalesced_transactions({addrs, static_cast<std::size_t>(n)},
-                                         {act, static_cast<std::size_t>(n)},
-                                         32);
-      global_transactions_ += trans;
-      dram_transactions_ += trans;
-      warp_issue_[static_cast<std::size_t>(w)] += opt_.weights.mem_issue;
-      charge_latency(w, spec_.dram_latency_cycles);
-    });
-  }
-
-  void charge_shared(const Slot& slot, const Lanes& flat_idx,
-                     const Mask& mask) {
-    for_each_active_warp(mask, [&](int w, int lo, int hi) {
-      std::uint64_t words[32];
-      std::uint8_t act[32];
-      int n = hi - lo;
-      for (int l = lo; l < hi; ++l) {
-        act[l - lo] = mask[static_cast<std::size_t>(l)];
-        words[l - lo] =
-            slot.base_word +
-            static_cast<std::uint64_t>(
-                flat_idx[static_cast<std::size_t>(l)].as_i());
-      }
-      int replays =
-          smem_replays({words, static_cast<std::size_t>(n)},
-                       {act, static_cast<std::size_t>(n)},
-                       static_cast<int>(spec_.shared_mem_banks));
-      smem_accesses_ += replays;
-      smem_replays_ += replays - 1;
-      warp_issue_[static_cast<std::size_t>(w)] += opt_.weights.mem_issue;
-      charge_latency(w, spec_.smem_latency_cycles + (replays - 1));
-    });
-  }
-
-  void charge_local(const Slot& slot, const Lanes& elem_idx,
-                    const Mask& mask) {
-    // Local memory is interleaved per thread: addr(lane, e) =
-    // local_base + (e * nlanes + lane) * 4, matching the CUDA ABI layout
-    // that makes uniform-index accesses coalesced.
-    for_each_active_warp(mask, [&](int w, int lo, int hi) {
-      std::uint64_t addrs[32];
-      std::uint8_t act[32];
-      int n = hi - lo;
-      for (int l = lo; l < hi; ++l) {
-        act[l - lo] = mask[static_cast<std::size_t>(l)];
-        std::uint64_t e = static_cast<std::uint64_t>(
-            elem_idx[static_cast<std::size_t>(l)].as_i());
-        addrs[l - lo] = kLocalSpaceBase + (slot.base_word +
-                        e * static_cast<std::uint64_t>(nlanes_) +
-                        static_cast<std::uint64_t>(l)) * 4;
-      }
-      // Unique 128B lines of this access probe the L1.
-      std::uint64_t lines[32];
-      int nlines = 0;
-      for (int k = 0; k < n; ++k) {
-        if (!act[k]) continue;
-        std::uint64_t line = addrs[k] / 128;
-        bool seen = false;
-        for (int j = 0; j < nlines; ++j)
-          if (lines[j] == line) {
-            seen = true;
-            break;
-          }
-        if (!seen) lines[nlines++] = line;
-      }
-      bool all_hit = true;
-      for (int j = 0; j < nlines; ++j) {
-        if (!l1_.access(lines[j] * 128)) {
-          all_hit = false;
-          dram_transactions_ += 4;  // 128B line refill in 32B transactions
-          ++local_l1_misses_;
-        }
-      }
-      local_transactions_ += nlines;
-      warp_issue_[static_cast<std::size_t>(w)] += opt_.weights.mem_issue;
-      charge_latency(w, all_hit ? spec_.l1_latency_cycles
-                                : spec_.dram_latency_cycles);
-    });
-  }
-
-  // ---------------- sanitizer hooks ----------------
-  /// Shadow state for one shared-memory word.
-  struct SharedShadow {
-    bool init = false;
-    // Same-vector-access write tracking (lockstep-mode races).
-    std::uint64_t write_access = 0;
-    int writer_lane = -1;
-    Value written;
-    // Barrier-interval tracking (portable-mode races). A warp's barrier
-    // generation is its arrival count; warp id -1 = none, -2 = several.
-    std::uint64_t write_gen = 0;
-    int writer_warp = -1;
-    std::uint64_t read_gen = 0;
-    int reader_warp = -1;
-    SourceLoc write_loc;
-  };
-
-  [[nodiscard]] bool portable_races() const {
-    return san_->engine->options().race_mode ==
-           SanitizerEngine::RaceMode::kPortable;
-  }
-
-  [[nodiscard]] static bool value_eq(Value a, Value b) {
-    if (a.tag != b.tag) return a.as_f() == b.as_f();
-    return a.is_float() ? a.f == b.f : a.i == b.i;
-  }
-
-  void san_report(HazardKind kind, SourceLoc loc, int lane,
-                  std::string msg) {
-    HazardReport r;
-    r.kind = kind;
-    r.kernel = kernel_.name;
-    r.block = block_idx_;
-    r.thread = lane;
-    r.loc = loc;
-    r.message = std::move(msg);
-    // Collected locally; Interpreter::run replays block streams through
-    // the engine in block-index order (dedupe / limit applied there).
-    san_->reports.push_back(std::move(r));
-  }
-
-  void note_shared_write(const Slot& slot, const std::string& name,
-                         std::size_t idx, int lane, Value val,
-                         SourceLoc loc) {
-    SharedShadow& sh = smem_shadow_[slot.base_word + idx];
-    int w = lane / spec_.warp_size;
-    std::uint64_t gen = warp_gen_[static_cast<std::size_t>(w)];
-    if (sh.write_access == access_seq_ && sh.writer_lane != lane &&
-        !value_eq(sh.written, val)) {
-      san_report(HazardKind::kSharedRace, loc, lane,
-                 "write-write race on shared '" + name + "[" +
-                     std::to_string(idx) + "]': lanes " +
-                     std::to_string(sh.writer_lane) + " and " +
-                     std::to_string(lane) +
-                     " store different values in the same instruction");
-    } else if (portable_races() && sh.writer_warp >= 0 &&
-               sh.write_gen == gen && sh.writer_warp != w &&
-               !value_eq(sh.written, val)) {
-      san_report(HazardKind::kSharedRace, loc, lane,
-                 "write-write race on shared '" + name + "[" +
-                     std::to_string(idx) + "]' with warp " +
-                     std::to_string(sh.writer_warp) + "'s store at " +
-                     sh.write_loc.str() + " in the same barrier interval");
-    }
-    if (portable_races() && sh.reader_warp != -1 && sh.read_gen == gen &&
-        sh.reader_warp != w) {
-      san_report(HazardKind::kSharedRace, loc, lane,
-                 "read-write race on shared '" + name + "[" +
-                     std::to_string(idx) +
-                     "]': store overlaps another warp's read in the same "
-                     "barrier interval");
-    }
-    sh.init = true;
-    sh.write_access = access_seq_;
-    sh.writer_lane = lane;
-    sh.written = val;
-    sh.write_gen = gen;
-    sh.writer_warp = w;
-    sh.write_loc = loc;
-  }
-
-  void note_shared_read(const Slot& slot, const std::string& name,
-                        std::size_t idx, int lane, SourceLoc loc) {
-    SharedShadow& sh = smem_shadow_[slot.base_word + idx];
-    int w = lane / spec_.warp_size;
-    std::uint64_t gen = warp_gen_[static_cast<std::size_t>(w)];
-    if (!sh.init && shfl_arg_depth_ == 0)
-      san_report(HazardKind::kUninitRead, loc, lane,
-                 "read of uninitialized shared memory '" + name + "[" +
-                     std::to_string(idx) + "]'");
-    if (portable_races() && sh.writer_warp >= 0 && sh.write_gen == gen &&
-        sh.writer_warp != w) {
-      san_report(HazardKind::kSharedRace, loc, lane,
-                 "read-write race on shared '" + name + "[" +
-                     std::to_string(idx) + "]': word written by warp " +
-                     std::to_string(sh.writer_warp) + " at " +
-                     sh.write_loc.str() + " in the same barrier interval");
-    }
-    if (sh.reader_warp == -1 || sh.read_gen != gen)
-      sh.reader_warp = w;
-    else if (sh.reader_warp != w)
-      sh.reader_warp = -2;
-    sh.read_gen = gen;
-  }
-
-  /// Kepler's bar.sync counts *warp* arrivals: a warp arrives when >= 1 of
-  /// its lanes executes the barrier, so partial masks inside one warp are
-  /// fine, but a warp whose live lanes all branch around the barrier never
-  /// arrives and the block deadlocks on real hardware.
-  void note_barrier(SourceLoc loc, const Mask& mask) {
-    int arrived = 0;
-    int absent_warp = -1;
-    int absent_lane = -1;
-    for (int w = 0; w < nwarps_; ++w) {
-      int lo = w * spec_.warp_size;
-      int hi = std::min(lo + spec_.warp_size, nlanes_);
-      bool active = false;
-      int live = -1;
-      for (int l = lo; l < hi; ++l) {
-        if (mask[static_cast<std::size_t>(l)]) active = true;
-        if (!returned_[static_cast<std::size_t>(l)] && live < 0) live = l;
-      }
-      if (active) {
-        ++warp_gen_[static_cast<std::size_t>(w)];
-        ++arrived;
-      } else if (live >= 0 && absent_warp < 0) {
-        absent_warp = w;
-        absent_lane = live;
-      }
-    }
-    if (arrived > 0 && absent_warp >= 0)
-      san_report(HazardKind::kBarrierDivergence, loc, absent_lane,
-                 "__syncthreads reached by " + std::to_string(arrived) +
-                     " of " + std::to_string(nwarps_) +
-                     " warps; warp " + std::to_string(absent_warp) +
-                     " has live threads that never arrive (deadlock on "
-                     "real hardware)");
-  }
-
-  // ---------------- variable helpers ----------------
-  /// Resolves a bound slot id to live storage. Geometry codes land here
-  /// only from contexts where a geometry name is invalid (array base,
-  /// assignment target) and get the same "undeclared" error the old map
-  /// lookup produced.
-  Slot& slot_at(std::int32_t s, const std::string& name, SourceLoc loc) {
-    if (s >= 0) {
-      Slot& slot = frame_[static_cast<std::size_t>(s)];
-      if (slot.live) return slot;
-    } else if (s == kSlotUnbound) {
-      throw SimError("internal: unbound reference to '" + name +
-                     "' (kernel AST modified after slot binding)");
-    }
-    throw SimError("use of undeclared variable '" + name + "' at " +
-                   loc.str());
-  }
-
-  /// Declares (or re-declares, for loop bodies) a variable.
-  Slot& declare(const DeclStmt& d) {
-    if (d.sim_slot < 0)
-      throw SimError("internal: unbound declaration of '" + d.name +
-                     "' (kernel AST modified after slot binding)");
-    Slot& slot = frame_[static_cast<std::size_t>(d.sim_slot)];
-    if (!slot.live) {
-      slot.type = d.type;
-      if (d.type.space == AddrSpace::kShared) {
-        slot.data.assign(static_cast<std::size_t>(d.type.element_count()),
-                         Value{});
-        slot.base_word = smem_word_cursor_;
-        smem_word_cursor_ +=
-            static_cast<std::uint64_t>(d.type.element_count());
-      } else if (d.type.is_array()) {  // local / register / constant array
-        slot.data.assign(static_cast<std::size_t>(d.type.element_count() *
-                                                  nlanes_),
-                         Value{});
-        slot.base_word = local_word_cursor_;
-        local_word_cursor_ +=
-            static_cast<std::uint64_t>(d.type.element_count());
-      } else {  // register scalar
-        slot.data.assign(static_cast<std::size_t>(nlanes_), Value{});
-      }
-      if (san_ && d.type.space != AddrSpace::kShared)
-        slot.shadow.assign(slot.data.size(), 0);
-      slot.live = true;
-    }
-    return slot;
-  }
-
-  [[nodiscard]] Value coerce(Value v, ScalarType to) const {
-    switch (to) {
-      case ScalarType::kFloat: return v.to_f32();
-      case ScalarType::kInt:
-      case ScalarType::kBool: return Value::of_int(v.as_i());
-      case ScalarType::kVoid: return v;
-    }
-    return v;
+  [[nodiscard]] static LaneView view(const Lanes& v) {
+    return LaneView{v.data(), Value{}};
   }
 
   // ---------------- expression evaluation ----------------
@@ -597,20 +79,18 @@ class BlockExec {
       case ExprKind::kArrayIndex:
         return eval_index(static_cast<const ArrayIndex&>(e), mask,
                           /*store=*/nullptr);
-      case ExprKind::kBinary:
-        return eval_binary(static_cast<const BinaryExpr&>(e), mask);
+      case ExprKind::kBinary: {
+        const auto& b = static_cast<const BinaryExpr&>(e);
+        Lanes lhs = eval(*b.lhs, mask);
+        Lanes rhs = eval(*b.rhs, mask);
+        Lanes out(static_cast<std::size_t>(nlanes_));
+        do_binop(b.op, view(lhs), view(rhs), mask, out.data(), b.loc());
+        return out;
+      }
       case ExprKind::kUnary: {
         const auto& u = static_cast<const UnaryExpr&>(e);
         Lanes v = eval(*u.operand, mask);
-        charge_issue(mask, opt_.weights.alu);
-        for (int l = 0; l < nlanes_; ++l) {
-          if (!mask[static_cast<std::size_t>(l)]) continue;
-          Value& x = v[static_cast<std::size_t>(l)];
-          if (u.op == UnOp::kNeg)
-            x = x.is_float() ? Value::of_float(-x.f) : Value::of_int(-x.i);
-          else
-            x = Value::of_int(x.truthy() ? 0 : 1);
-        }
+        do_unop(u.op, view(v), mask, v.data());
         return v;
       }
       case ExprKind::kCall:
@@ -620,23 +100,13 @@ class BlockExec {
         Lanes c = eval(*t.cond, mask);
         Lanes a = eval(*t.then_value, mask);
         Lanes b = eval(*t.else_value, mask);
-        charge_issue(mask, opt_.weights.alu);
-        for (int l = 0; l < nlanes_; ++l) {
-          if (!mask[static_cast<std::size_t>(l)]) continue;
-          if (!c[static_cast<std::size_t>(l)].truthy())
-            a[static_cast<std::size_t>(l)] = b[static_cast<std::size_t>(l)];
-        }
+        do_select(view(c), view(a), view(b), mask, a.data());
         return a;
       }
       case ExprKind::kCast: {
         const auto& c = static_cast<const CastExpr&>(e);
         Lanes v = eval(*c.operand, mask);
-        charge_issue(mask, opt_.weights.alu);
-        for (int l = 0; l < nlanes_; ++l) {
-          if (!mask[static_cast<std::size_t>(l)]) continue;
-          v[static_cast<std::size_t>(l)] =
-              coerce(v[static_cast<std::size_t>(l)], c.to);
-        }
+        do_cast(c.to, view(v), mask, v.data());
         return v;
       }
     }
@@ -646,24 +116,9 @@ class BlockExec {
   Lanes eval_varref(const VarRef& v, const Mask& mask) {
     if (slot_is_geometry(v.sim_slot))
       return geom_[slot_geometry_code(v.sim_slot)];
-    Slot& slot = slot_at(v.sim_slot, v.name, v.loc());
-    if (slot.is_buffer_param)
-      throw SimError("pointer '" + v.name +
-                     "' used as a value (only indexing is supported)");
-    if (slot.type.is_array())
-      throw SimError("array '" + v.name + "' used without an index");
+    Slot& slot = var_read_check(v.sim_slot, v.name, mask, v.loc());
     if (slot.is_uniform_param)
       return Lanes(static_cast<std::size_t>(nlanes_), slot.data[0]);
-    if (san_ && shfl_arg_depth_ == 0 && !slot.shadow.empty()) {
-      for (int l = 0; l < nlanes_; ++l) {
-        if (!mask[static_cast<std::size_t>(l)]) continue;
-        if (!slot.shadow[static_cast<std::size_t>(l)]) {
-          san_report(HazardKind::kUninitRead, v.loc(), l,
-                     "read of uninitialized variable '" + v.name + "'");
-          break;  // one report per access; dedupe absorbs repeats
-        }
-      }
-    }
     return slot.data;  // register scalar: copy per-lane values
   }
 
@@ -680,17 +135,9 @@ class BlockExec {
     Lanes flat(static_cast<std::size_t>(nlanes_), Value::of_int(0));
     for (std::size_t d = 0; d < dims.size(); ++d) {
       Lanes idx = eval(*ai.indices[d], mask);
-      if (d > 0) charge_issue(mask, opt_.weights.alu);  // index math
-      for (int l = 0; l < nlanes_; ++l) {
-        if (!mask[static_cast<std::size_t>(l)]) continue;
-        std::int64_t i = idx[static_cast<std::size_t>(l)].as_i();
-        if (i < 0 || i >= dims[d])
-          throw SimError("index " + std::to_string(i) + " out of bounds [0," +
-                         std::to_string(dims[d]) + ") for array at " +
-                         ai.loc().str());
-        auto& f = flat[static_cast<std::size_t>(l)];
-        f = Value::of_int(f.as_i() * dims[d] + i);
-      }
+      if (d > 0) charge_issue(mask, opt_.timing.weights.alu);  // index math
+      flatten_dim(flat.data(), view(idx), dims[d], /*first=*/d == 0, mask,
+                  ai.loc());
     }
     return flat;
   }
@@ -708,27 +155,11 @@ class BlockExec {
       if (ai.indices.size() != 1)
         throw SimError("pointer '" + name + "' requires exactly one index");
       Lanes idx = eval(*ai.indices[0], mask);
-      DeviceBuffer& buf = mem_.buffer(slot.buffer);
-      charge_global(buf, idx, mask);
-      std::vector<std::uint8_t>* bsh =
-          san_ ? san_->engine->buffer_shadow(slot.buffer) : nullptr;
       Lanes out(static_cast<std::size_t>(nlanes_));
-      for (int l = 0; l < nlanes_; ++l) {
-        if (!mask[static_cast<std::size_t>(l)]) continue;
-        std::size_t i = static_cast<std::size_t>(
-            idx[static_cast<std::size_t>(l)].as_i());
-        if (store) {
-          buf.store(i, coerce((*store)[static_cast<std::size_t>(l)],
-                              buf.type()));
-          if (bsh && i < bsh->size()) (*bsh)[i] = 1;
-        } else {
-          if (bsh && shfl_arg_depth_ == 0 && i < bsh->size() && !(*bsh)[i])
-            san_report(HazardKind::kUninitRead, ai.loc(), l,
-                       "read of uninitialized global buffer '" + name +
-                           "[" + std::to_string(i) + "]'");
-          out[static_cast<std::size_t>(l)] = buf.load(i);
-        }
-      }
+      LaneView sv;
+      if (store) sv = view(*store);
+      buffer_access(slot, name, view(idx), mask, store ? &sv : nullptr,
+                    out.data(), ai.loc());
       return out;
     }
 
@@ -736,149 +167,27 @@ class BlockExec {
       throw SimError("'" + name + "' is not an array at " + ai.loc().str());
 
     Lanes flat = flatten_index(ai, slot, mask);
+    LaneView sv;
+    if (store) sv = view(*store);
     switch (slot.type.space) {
       case AddrSpace::kShared: {
-        charge_shared(slot, flat, mask);
-        if (san_) ++access_seq_;
         Lanes out(static_cast<std::size_t>(nlanes_));
-        for (int l = 0; l < nlanes_; ++l) {
-          if (!mask[static_cast<std::size_t>(l)]) continue;
-          std::size_t i = static_cast<std::size_t>(
-              flat[static_cast<std::size_t>(l)].as_i());
-          if (store) {
-            Value val = coerce((*store)[static_cast<std::size_t>(l)],
-                               slot.type.scalar);
-            if (san_) note_shared_write(slot, name, i, l, val, ai.loc());
-            slot.data[i] = val;
-          } else {
-            if (san_) note_shared_read(slot, name, i, l, ai.loc());
-            out[static_cast<std::size_t>(l)] = slot.data[i];
-          }
-        }
+        shared_access(slot, name, flat.data(), mask, store ? &sv : nullptr,
+                      out.data(), ai.loc());
         return out;
       }
       case AddrSpace::kLocal:
       case AddrSpace::kRegister:
       case AddrSpace::kConstant: {
-        if (slot.type.space == AddrSpace::kLocal) {
-          charge_local(slot, flat, mask);
-        } else if (slot.type.space == AddrSpace::kConstant) {
-          // Constant cache broadcasts one word per cycle: lanes reading
-          // distinct words serialize (paper Sec. 3.4's intra-warp hazard).
-          for_each_active_warp(mask, [&](int w, int lo, int hi) {
-            std::uint64_t words[32];
-            std::uint8_t act[32];
-            int n = hi - lo;
-            for (int l = lo; l < hi; ++l) {
-              act[l - lo] = mask[static_cast<std::size_t>(l)];
-              words[l - lo] = static_cast<std::uint64_t>(
-                  flat[static_cast<std::size_t>(l)].as_i());
-            }
-            int replays = smem_replays({words, static_cast<std::size_t>(n)},
-                                       {act, static_cast<std::size_t>(n)}, 1);
-            warp_issue_[static_cast<std::size_t>(w)] +=
-                opt_.weights.mem_issue * replays;
-            charge_latency(w, spec_.smem_latency_cycles);
-          });
-        } else {
-          charge_issue(mask, opt_.weights.alu);  // register-file access
-        }
-        std::int64_t elems = slot.type.element_count();
         Lanes out(static_cast<std::size_t>(nlanes_));
-        for (int l = 0; l < nlanes_; ++l) {
-          if (!mask[static_cast<std::size_t>(l)]) continue;
-          std::size_t i = static_cast<std::size_t>(
-              static_cast<std::int64_t>(l) * elems +
-              flat[static_cast<std::size_t>(l)].as_i());
-          if (store) {
-            slot.data[i] = coerce((*store)[static_cast<std::size_t>(l)],
-                                  slot.type.scalar);
-            if (!slot.shadow.empty()) slot.shadow[i] = 1;
-          } else {
-            if (san_ && shfl_arg_depth_ == 0 && !slot.shadow.empty() &&
-                !slot.shadow[i])
-              san_report(
-                  HazardKind::kUninitRead, ai.loc(), l,
-                  "read of uninitialized array element '" + name + "[" +
-                      std::to_string(
-                          flat[static_cast<std::size_t>(l)].as_i()) +
-                      "]'");
-            out[static_cast<std::size_t>(l)] = slot.data[i];
-          }
-        }
+        local_access(slot, name, flat.data(), mask, store ? &sv : nullptr,
+                     out.data(), ai.loc());
         return out;
       }
       case AddrSpace::kGlobal:
         break;
     }
     throw SimError("unsupported address space for array '" + name + "'");
-  }
-
-  Lanes eval_binary(const BinaryExpr& b, const Mask& mask) {
-    Lanes lhs = eval(*b.lhs, mask);
-    Lanes rhs = eval(*b.rhs, mask);
-    double w = opt_.weights.alu;
-    if (b.op == BinOp::kDiv || b.op == BinOp::kMod) {
-      // Int div/mod and float div are multi-cycle.
-      w = opt_.weights.idiv_imod;
-      if (b.op == BinOp::kDiv &&
-          (lhs[first_active(mask)].is_float() ||
-           rhs[first_active(mask)].is_float()))
-        w = opt_.weights.fdiv_sqrt_transcendental;
-    }
-    charge_issue(mask, w);
-    Lanes out(static_cast<std::size_t>(nlanes_));
-    for (int l = 0; l < nlanes_; ++l) {
-      if (!mask[static_cast<std::size_t>(l)]) continue;
-      out[static_cast<std::size_t>(l)] =
-          apply_binop(b.op, lhs[static_cast<std::size_t>(l)],
-                      rhs[static_cast<std::size_t>(l)], b.loc());
-    }
-    return out;
-  }
-
-  [[nodiscard]] std::size_t first_active(const Mask& mask) const {
-    for (int l = 0; l < nlanes_; ++l)
-      if (mask[static_cast<std::size_t>(l)])
-        return static_cast<std::size_t>(l);
-    return 0;
-  }
-
-  static Value apply_binop(BinOp op, Value a, Value b, SourceLoc loc) {
-    bool fl = a.is_float() || b.is_float();
-    switch (op) {
-      case BinOp::kAdd:
-        return fl ? Value::of_float(a.as_f() + b.as_f()).to_f32()
-                  : Value::of_int(a.i + b.i);
-      case BinOp::kSub:
-        return fl ? Value::of_float(a.as_f() - b.as_f()).to_f32()
-                  : Value::of_int(a.i - b.i);
-      case BinOp::kMul:
-        return fl ? Value::of_float(a.as_f() * b.as_f()).to_f32()
-                  : Value::of_int(a.i * b.i);
-      case BinOp::kDiv:
-        if (fl) return Value::of_float(a.as_f() / b.as_f()).to_f32();
-        if (b.i == 0) throw SimError("integer division by zero at " + loc.str());
-        return Value::of_int(a.i / b.i);
-      case BinOp::kMod:
-        if (fl) throw SimError("operator % requires integers at " + loc.str());
-        if (b.i == 0) throw SimError("modulo by zero at " + loc.str());
-        return Value::of_int(a.i % b.i);
-      case BinOp::kLt: return Value::of_int(fl ? a.as_f() < b.as_f() : a.i < b.i);
-      case BinOp::kLe: return Value::of_int(fl ? a.as_f() <= b.as_f() : a.i <= b.i);
-      case BinOp::kGt: return Value::of_int(fl ? a.as_f() > b.as_f() : a.i > b.i);
-      case BinOp::kGe: return Value::of_int(fl ? a.as_f() >= b.as_f() : a.i >= b.i);
-      case BinOp::kEq: return Value::of_int(fl ? a.as_f() == b.as_f() : a.i == b.i);
-      case BinOp::kNe: return Value::of_int(fl ? a.as_f() != b.as_f() : a.i != b.i);
-      case BinOp::kLAnd: return Value::of_int(a.truthy() && b.truthy());
-      case BinOp::kLOr: return Value::of_int(a.truthy() || b.truthy());
-      case BinOp::kBitAnd: return Value::of_int(a.as_i() & b.as_i());
-      case BinOp::kBitOr: return Value::of_int(a.as_i() | b.as_i());
-      case BinOp::kBitXor: return Value::of_int(a.as_i() ^ b.as_i());
-      case BinOp::kShl: return Value::of_int(a.as_i() << b.as_i());
-      case BinOp::kShr: return Value::of_int(a.as_i() >> b.as_i());
-    }
-    throw SimError("unreachable binop");
   }
 
   Lanes eval_call(const CallExpr& c, const Mask& mask) {
@@ -894,25 +203,13 @@ class BlockExec {
       if (c.args.size() != 1)
         throw SimError(f + " expects 1 argument at " + c.loc().str());
       Lanes v = eval(*c.args[0], mask);
-      charge_issue(mask, sfu ? opt_.weights.fdiv_sqrt_transcendental
-                             : opt_.weights.alu);
-      for (int l = 0; l < nlanes_; ++l) {
-        if (!mask[static_cast<std::size_t>(l)]) continue;
-        v[static_cast<std::size_t>(l)] =
-            Value::of_float(fn(v[static_cast<std::size_t>(l)].as_f()))
-                .to_f32();
-      }
+      do_unary_math(fn, sfu, view(v), mask, v.data());
       return v;
     };
 
     switch (b) {
       case Builtin::kSyncthreads: {
-        ++sync_ops_;
-        charge_issue(mask, opt_.weights.sync);
-        for_each_active_warp(mask, [&](int w, int, int) {
-          charge_latency(w, spec_.sync_latency_cycles);
-        });
-        if (san_) note_barrier(c.loc(), mask);
+        do_sync(mask, c.loc());
         return Lanes(static_cast<std::size_t>(nlanes_), Value::of_int(0));
       }
       case Builtin::kShfl:
@@ -940,13 +237,7 @@ class BlockExec {
         if (c.args.size() != 1)
           throw SimError("abs expects 1 argument at " + c.loc().str());
         Lanes v = eval(*c.args[0], mask);
-        charge_issue(mask, opt_.weights.alu);
-        for (int l = 0; l < nlanes_; ++l) {
-          if (!mask[static_cast<std::size_t>(l)]) continue;
-          Value& x = v[static_cast<std::size_t>(l)];
-          x = x.is_float() ? Value::of_float(std::fabs(x.f))
-                           : Value::of_int(std::abs(x.i));
-        }
+        do_abs(view(v), mask, v.data());
         return v;
       }
       case Builtin::kMin:
@@ -958,36 +249,8 @@ class BlockExec {
           throw SimError(f + " expects 2 arguments at " + c.loc().str());
         Lanes av = eval(*c.args[0], mask);
         Lanes bv = eval(*c.args[1], mask);
-        charge_issue(mask, b == Builtin::kPowf
-                               ? 2 * opt_.weights.fdiv_sqrt_transcendental
-                               : opt_.weights.alu);
-        const bool is_min = b == Builtin::kMin || b == Builtin::kFminf;
-        const bool force_float =
-            b == Builtin::kFminf || b == Builtin::kFmaxf;
         Lanes out(static_cast<std::size_t>(nlanes_));
-        for (int l = 0; l < nlanes_; ++l) {
-          if (!mask[static_cast<std::size_t>(l)]) continue;
-          Value x = av[static_cast<std::size_t>(l)];
-          Value y = bv[static_cast<std::size_t>(l)];
-          if (b == Builtin::kPowf) {
-            out[static_cast<std::size_t>(l)] =
-                Value::of_float(std::pow(x.as_f(), y.as_f())).to_f32();
-          } else if (is_min) {
-            if (x.is_float() || y.is_float() || force_float)
-              out[static_cast<std::size_t>(l)] =
-                  Value::of_float(std::min(x.as_f(), y.as_f())).to_f32();
-            else
-              out[static_cast<std::size_t>(l)] =
-                  Value::of_int(std::min(x.i, y.i));
-          } else {
-            if (x.is_float() || y.is_float() || force_float)
-              out[static_cast<std::size_t>(l)] =
-                  Value::of_float(std::max(x.as_f(), y.as_f())).to_f32();
-            else
-              out[static_cast<std::size_t>(l)] =
-                  Value::of_int(std::max(x.i, y.i));
-          }
-        }
+        do_binmath(b, view(av), view(bv), mask, out.data());
         return out;
       }
       case Builtin::kNotBuiltin:
@@ -1007,10 +270,8 @@ class BlockExec {
                      c.loc().str());
     // Source values must exist for all lanes in active warps, so evaluate
     // the variable under a warp-broadened mask.
-    Mask broad(static_cast<std::size_t>(nlanes_), 0);
-    for_each_active_warp(mask, [&](int, int lo, int hi) {
-      for (int l = lo; l < hi; ++l) broad[static_cast<std::size_t>(l)] = 1;
-    });
+    Mask broad;
+    make_broad_mask(mask, broad);
     // Suppress uninit-read reports while evaluating under the broadened
     // mask: only the lanes actually *selected* as shfl sources matter, and
     // those are checked below once the source lanes are known.
@@ -1019,87 +280,16 @@ class BlockExec {
     --shfl_arg_depth_;
     Lanes sel = eval(*c.args[1], mask);
     Lanes width = eval(*c.args[2], mask);
-    ++shfl_ops_;
-    charge_issue(mask, opt_.weights.shfl);
-    for_each_active_warp(mask, [&](int w, int, int) {
-      charge_latency(w, spec_.shfl_latency_cycles);
-    });
-    std::vector<int> src_of;
-    if (san_) src_of.assign(static_cast<std::size_t>(nlanes_), -1);
-    Lanes out(static_cast<std::size_t>(nlanes_));
-    for (int l = 0; l < nlanes_; ++l) {
-      if (!mask[static_cast<std::size_t>(l)]) continue;
-      int lane = l % spec_.warp_size;
-      int warp_base = l - lane;
-      std::int64_t wdt = width[static_cast<std::size_t>(l)].as_i();
-      if (wdt <= 0 || wdt > spec_.warp_size || (wdt & (wdt - 1)) != 0)
-        throw SimError("__shfl width must be a power of two in [1,32]");
-      int group_base = lane / static_cast<int>(wdt) * static_cast<int>(wdt);
-      std::int64_t s = sel[static_cast<std::size_t>(l)].as_i();
-      int src_lane;
-      if (b == Builtin::kShfl) {
-        src_lane = group_base + static_cast<int>(s % wdt);
-      } else if (b == Builtin::kShflUp) {
-        int cand = lane - static_cast<int>(s);
-        src_lane = cand < group_base ? lane : cand;
-      } else if (b == Builtin::kShflDown) {
-        int cand = lane + static_cast<int>(s);
-        src_lane = cand >= group_base + static_cast<int>(wdt) ? lane : cand;
-      } else {  // __shfl_xor
-        int cand = group_base + ((lane - group_base) ^ static_cast<int>(s));
-        src_lane = cand < group_base + static_cast<int>(wdt) ? cand : lane;
-      }
-      int src_tid = warp_base + src_lane;
-      // A negative selector (e.g. __shfl(v, -1, 32)) or a delta that
-      // escapes the warp produces an out-of-range source lane: undefined
-      // on hardware. Recover with the caller's own value, as the hardware
-      // effectively does for out-of-range segments.
-      if (src_lane < 0 || src_lane >= spec_.warp_size) {
-        if (san_)
-          san_report(HazardKind::kShflHazard, c.loc(), l,
-                     c.callee + " source lane " + std::to_string(src_lane) +
-                         " is outside [0," +
-                         std::to_string(spec_.warp_size) + ")");
-        src_tid = l;
-      } else if (src_tid >= nlanes_) {
-        if (san_)
-          san_report(HazardKind::kShflHazard, c.loc(), l,
-                     c.callee + " source lane " + std::to_string(src_lane) +
-                         " lies beyond the thread block");
-        src_tid = l;
-      } else if (san_ && !mask[static_cast<std::size_t>(src_tid)]) {
-        san_report(HazardKind::kShflHazard, c.loc(), l,
-                   c.callee + " reads from inactive source lane " +
-                       std::to_string(src_lane) +
-                       " (undefined on real hardware)");
-      }
-      if (san_) src_of[static_cast<std::size_t>(l)] = src_tid;
-      out[static_cast<std::size_t>(l)] =
-          var[static_cast<std::size_t>(src_tid)];
-    }
-    if (san_ && c.args[0]->kind() == ExprKind::kVarRef) {
-      // Post-hoc init check on the lanes actually read as sources. The
-      // bound slot id replaces the old vars_.find string lookup.
+    std::int32_t var_slot = kSlotUnbound;
+    const std::string* var_name = nullptr;
+    if (c.args[0]->kind() == ExprKind::kVarRef) {
       const auto& vr = static_cast<const VarRef&>(*c.args[0]);
-      const Slot* vs =
-          vr.sim_slot >= 0 &&
-                  frame_[static_cast<std::size_t>(vr.sim_slot)].live
-              ? &frame_[static_cast<std::size_t>(vr.sim_slot)]
-              : nullptr;
-      if (vs && vs->type.is_scalar() && !vs->is_uniform_param &&
-          !vs->shadow.empty()) {
-        for (int l = 0; l < nlanes_; ++l) {
-          int s = src_of[static_cast<std::size_t>(l)];
-          if (s >= 0 && !vs->shadow[static_cast<std::size_t>(s)]) {
-            san_report(HazardKind::kUninitRead, c.loc(), l,
-                       c.callee + " reads uninitialized variable '" +
-                           vr.name + "' from lane " +
-                           std::to_string(s % spec_.warp_size));
-            break;
-          }
-        }
-      }
+      var_slot = vr.sim_slot;
+      var_name = &vr.name;
     }
+    Lanes out(static_cast<std::size_t>(nlanes_));
+    do_shfl(b, c.callee, view(var), view(sel), view(width), mask, out.data(),
+            c.loc(), var_slot, var_name);
     return out;
   }
 
@@ -1138,28 +328,9 @@ class BlockExec {
           one[0] = 1;
           for (std::size_t e = 0; e < d.init_list.size(); ++e) {
             Lanes v = eval(*d.init_list[e], one);
-            Value val = coerce(v[0], d.type.scalar);
-            if (d.type.space == AddrSpace::kShared) {
-              slot.data[e] = val;
-            } else {
-              std::int64_t elems = d.type.element_count();
-              for (int l = 0; l < nlanes_; ++l)
-                slot.data[static_cast<std::size_t>(l) *
-                              static_cast<std::size_t>(elems) +
-                          e] = val;
-            }
+            decl_fill(slot, d.type, e, v[0]);
           }
-          if (san_) {
-            // Brace initializers zero-fill the tail in C, so the whole
-            // array is initialized, not just the listed elements.
-            if (d.type.space == AddrSpace::kShared) {
-              for (std::int64_t e = 0; e < d.type.element_count(); ++e)
-                smem_shadow_[slot.base_word + static_cast<std::uint64_t>(e)]
-                    .init = true;
-            } else {
-              std::fill(slot.shadow.begin(), slot.shadow.end(), 1);
-            }
-          }
+          decl_shadow_all(slot, d.type);
           end_leaf_stmt();
           return;
         }
@@ -1168,14 +339,7 @@ class BlockExec {
             throw SimError("array initializers are not supported at " +
                            d.loc().str());
           Lanes v = eval(*d.init, mask);
-          charge_issue(mask, opt_.weights.alu);
-          for (int l = 0; l < nlanes_; ++l)
-            if (mask[static_cast<std::size_t>(l)]) {
-              slot.data[static_cast<std::size_t>(l)] =
-                  coerce(v[static_cast<std::size_t>(l)], d.type.scalar);
-              if (!slot.shadow.empty())
-                slot.shadow[static_cast<std::size_t>(l)] = 1;
-            }
+          decl_scalar_init(slot, d.type.scalar, mask, view(v));
         }
         end_leaf_stmt();
         return;
@@ -1190,7 +354,7 @@ class BlockExec {
         const auto& i = static_cast<const IfStmt&>(s);
         begin_leaf_stmt();
         Lanes c = eval(*i.cond, mask);
-        charge_issue(mask, opt_.weights.alu);  // branch
+        charge_issue(mask, opt_.timing.weights.alu);  // branch
         end_leaf_stmt();
         Mask then_mask(static_cast<std::size_t>(nlanes_), 0);
         Mask else_mask(static_cast<std::size_t>(nlanes_), 0);
@@ -1228,7 +392,7 @@ class BlockExec {
           if (f.cond) {
             begin_leaf_stmt();
             Lanes c = eval(*f.cond, active);
-            charge_issue(active, opt_.weights.alu);
+            charge_issue(active, opt_.timing.weights.alu);
             end_leaf_stmt();
             for (int l = 0; l < nlanes_; ++l)
               if (active[static_cast<std::size_t>(l)] &&
@@ -1236,7 +400,7 @@ class BlockExec {
                 active[static_cast<std::size_t>(l)] = 0;
           }
           if (!any(active)) break;
-          if (++iters > opt_.max_loop_iterations)
+          if (++iters > opt_.limits.max_loop_iterations)
             throw SimError("loop exceeded max iterations at " +
                            f.loc().str());
           exec_block(*f.body, active);
@@ -1259,14 +423,14 @@ class BlockExec {
           ++loop_stack_.back().second;
           begin_leaf_stmt();
           Lanes c = eval(*wl.cond, active);
-          charge_issue(active, opt_.weights.alu);
+          charge_issue(active, opt_.timing.weights.alu);
           end_leaf_stmt();
           for (int l = 0; l < nlanes_; ++l)
             if (active[static_cast<std::size_t>(l)] &&
                 !c[static_cast<std::size_t>(l)].truthy())
               active[static_cast<std::size_t>(l)] = 0;
           if (!any(active)) break;
-          if (++iters > opt_.max_loop_iterations)
+          if (++iters > opt_.limits.max_loop_iterations)
             throw SimError("while loop exceeded max iterations at " +
                            wl.loc().str());
           exec_block(*wl.body, active);
@@ -1300,33 +464,15 @@ class BlockExec {
     // Compound assignment reads the target first.
     if (a.op != AssignOp::kAssign) {
       Lanes old = eval(*a.lhs, mask);
-      charge_issue(mask, opt_.weights.alu);
       BinOp op = a.op == AssignOp::kAdd   ? BinOp::kAdd
                  : a.op == AssignOp::kSub ? BinOp::kSub
                  : a.op == AssignOp::kMul ? BinOp::kMul
                                           : BinOp::kDiv;
-      for (int l = 0; l < nlanes_; ++l)
-        if (mask[static_cast<std::size_t>(l)])
-          rhs[static_cast<std::size_t>(l)] =
-              apply_binop(op, old[static_cast<std::size_t>(l)],
-                          rhs[static_cast<std::size_t>(l)], a.loc());
+      do_compound(op, view(old), view(rhs), mask, rhs.data(), a.loc());
     }
     if (a.lhs->kind() == ExprKind::kVarRef) {
       const auto& v = static_cast<const VarRef&>(*a.lhs);
-      Slot& slot = slot_at(v.sim_slot, v.name, v.loc());
-      if (slot.is_buffer_param || slot.type.is_array())
-        throw SimError("cannot assign to '" + v.name + "' without an index");
-      if (slot.is_uniform_param)
-        throw SimError("cannot assign to kernel parameter '" + v.name +
-                       "' (treated as uniform)");
-      charge_issue(mask, opt_.weights.alu);
-      for (int l = 0; l < nlanes_; ++l)
-        if (mask[static_cast<std::size_t>(l)]) {
-          slot.data[static_cast<std::size_t>(l)] =
-              coerce(rhs[static_cast<std::size_t>(l)], slot.type.scalar);
-          if (!slot.shadow.empty())
-            slot.shadow[static_cast<std::size_t>(l)] = 1;
-        }
+      store_var(v.sim_slot, v.name, mask, view(rhs), v.loc());
       return;
     }
     if (a.lhs->kind() == ExprKind::kArrayIndex) {
@@ -1335,54 +481,7 @@ class BlockExec {
     }
     throw SimError("invalid assignment target at " + a.loc().str());
   }
-
-  static constexpr std::uint64_t kLocalSpaceBase = 1ULL << 40;
-
-  const DeviceSpec& spec_;
-  DeviceMemory& mem_;
-  const Interpreter::Options& opt_;
-  const BoundKernel& bound_;
-  const Kernel& kernel_;
-  const LaunchConfig& cfg_;
-  Dim3 block_idx_;
-  std::int64_t flat_block_ = 0;
-  std::int64_t max_steps_ = std::numeric_limits<std::int64_t>::max();
-  std::int64_t steps_ = 0;
-  std::vector<std::pair<SourceLoc, std::int64_t>> loop_stack_;
-  int nlanes_;
-  int nwarps_;
-  L1Cache l1_;
-
-  /// Flat variable frame, indexed by the binder's slot ids.
-  std::vector<Slot> frame_;
-  /// Precomputed geometry lane vectors (threadIdx.x, ..., gridDim.z).
-  Lanes geom_[kGeomCount];
-  Mask returned_;
-  BlockSanitizer* san_ = nullptr;
-  std::unordered_map<std::uint64_t, SharedShadow> smem_shadow_;
-  std::vector<std::uint64_t> warp_gen_;  // barrier arrivals per warp
-  std::uint64_t access_seq_ = 0;         // one id per shared vector access
-  int shfl_arg_depth_ = 0;  // suppress uninit checks under shfl's broad mask
-  std::vector<double> warp_issue_;
-  std::vector<double> warp_latency_;
-  std::vector<double> warp_pending_;
-  std::uint64_t smem_word_cursor_ = 0;
-  std::uint64_t local_word_cursor_ = 0;
-
-  std::int64_t global_transactions_ = 0;
-  std::int64_t local_transactions_ = 0;
-  std::int64_t local_l1_misses_ = 0;
-  std::int64_t dram_transactions_ = 0;
-  std::int64_t smem_accesses_ = 0;
-  std::int64_t smem_replays_ = 0;
-  std::int64_t shfl_ops_ = 0;
-  std::int64_t sync_ops_ = 0;
-  std::int64_t divergent_branches_ = 0;
 };
-
-}  // namespace
-
-namespace {
 
 /// Everything one block produced, staged for the deterministic merge.
 struct BlockOutcome {
@@ -1399,6 +498,36 @@ struct BlockOutcome {
 };
 
 }  // namespace
+
+const char* to_string(Engine e) {
+  switch (e) {
+    case Engine::kAuto: return "auto";
+    case Engine::kAst: return "ast";
+    case Engine::kVm: return "vm";
+    case Engine::kCheck: return "check";
+  }
+  return "?";
+}
+
+std::optional<Engine> engine_from_string(std::string_view s) {
+  if (s == "auto") return Engine::kAuto;
+  if (s == "ast") return Engine::kAst;
+  if (s == "vm") return Engine::kVm;
+  if (s == "check") return Engine::kCheck;
+  return std::nullopt;
+}
+
+Engine resolve_engine(Engine requested) {
+  if (requested != Engine::kAuto) return requested;
+  if (const char* env = std::getenv("CUDANP_ENGINE")) {
+    if (auto e = engine_from_string(env); e && *e != Engine::kAuto) return *e;
+  }
+  return Engine::kVm;
+}
+
+std::int64_t ExecutionLimits::resolve() const {
+  return Interpreter::resolve_max_steps(max_steps_per_block, deadline_steps);
+}
 
 std::int64_t Interpreter::resolve_max_steps(std::int64_t requested) {
   if (requested > 0) return requested;
@@ -1445,12 +574,27 @@ void validate_launch(const DeviceSpec& spec, const LaunchConfig& cfg,
 
 KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
                              int resident_blocks_per_smx) {
+  Engine engine = resolve_engine(opt_.engine);
+  if (engine == Engine::kCheck)
+    return run_checked(kernel, cfg, resident_blocks_per_smx);
+  return run_engine(kernel, cfg, resident_blocks_per_smx, engine);
+}
+
+KernelStats Interpreter::run_engine(const Kernel& kernel,
+                                    const LaunchConfig& cfg,
+                                    int resident_blocks_per_smx,
+                                    Engine engine) {
   validate_launch(spec_, cfg);
 
   const auto bound = bind_kernel(kernel);
+  // Lowered once per launch (after any fault-injected AST corruption);
+  // null means the lowering declined a construct and every block of this
+  // launch runs on the AST walk instead — same semantics either way.
+  std::shared_ptr<const bytecode::Program> program;
+  if (engine == Engine::kVm) program = bytecode::lower(*bound);
   const std::int64_t nblocks = cfg.grid.count();
   const int jobs = ExecPool::resolve_jobs(opt_.jobs);
-  const std::int64_t max_steps = resolve_max_steps(opt_.max_steps_per_block);
+  const std::int64_t max_steps = opt_.limits.resolve();
   // One tripped (or erroring) block cooperatively cancels the blocks that
   // have not started yet; the ordered merge below re-runs any cancelled
   // block that precedes the first trip, so the outcome is bit-identical
@@ -1470,9 +614,15 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
     BlockSanitizer bs{opt_.sanitizer, {}};
     BlockSanitizer* bsp = opt_.sanitizer ? &bs : nullptr;
     try {
-      BlockExec block(spec_, mem_, opt_, *bound, cfg, bidx,
-                      resident_blocks_per_smx, bsp, i, max_steps);
-      out.stats = block.run();
+      if (program) {
+        out.stats =
+            vm::run_block(*program, spec_, mem_, opt_, *bound, cfg, bidx,
+                          resident_blocks_per_smx, bsp, i, max_steps);
+      } else {
+        BlockExec block(spec_, mem_, opt_, *bound, cfg, bidx,
+                        resident_blocks_per_smx, bsp, i, max_steps);
+        out.stats = block.run();
+      }
       out.ok = true;
     } catch (const WatchdogError& e) {
       if (opt_.sanitizer) {
@@ -1583,6 +733,201 @@ KernelStats Interpreter::run(const Kernel& kernel, const LaunchConfig& cfg,
   return total;
 }
 
+namespace {
+
+/// Byte-exact copy of every live buffer's payload, for the cross-check
+/// engine's rewind between the AST and VM passes.
+struct MemorySnapshot {
+  struct Buf {
+    std::vector<float> f;
+    std::vector<std::int32_t> i;
+  };
+  std::vector<Buf> bufs;
+
+  static MemorySnapshot capture(DeviceMemory& mem) {
+    MemorySnapshot s;
+    s.bufs.resize(mem.buffer_count());
+    for (BufferId id = 0; id < mem.buffer_count(); ++id) {
+      const DeviceBuffer& b = mem.buffer(id);
+      if (b.discarded()) continue;
+      if (b.type() == ScalarType::kFloat)
+        s.bufs[id].f.assign(b.f32().begin(), b.f32().end());
+      else
+        s.bufs[id].i.assign(b.i32().begin(), b.i32().end());
+    }
+    return s;
+  }
+
+  void restore(DeviceMemory& mem) const {
+    for (BufferId id = 0; id < bufs.size(); ++id) {
+      DeviceBuffer& b = mem.buffer(id);
+      if (b.discarded()) continue;
+      if (b.type() == ScalarType::kFloat)
+        std::copy(bufs[id].f.begin(), bufs[id].f.end(), b.f32().begin());
+      else
+        std::copy(bufs[id].i.begin(), bufs[id].i.end(), b.i32().begin());
+    }
+  }
+
+  /// First buffer/element where `mem` differs bitwise, or "" if identical.
+  [[nodiscard]] std::string diff(DeviceMemory& mem) const {
+    for (BufferId id = 0; id < bufs.size(); ++id) {
+      const DeviceBuffer& b = mem.buffer(id);
+      if (b.discarded()) continue;
+      if (b.type() == ScalarType::kFloat) {
+        auto cur = b.f32();
+        for (std::size_t e = 0; e < bufs[id].f.size(); ++e) {
+          float a = bufs[id].f[e];
+          float c = cur[e];
+          // Bitwise compare so -0.0 vs 0.0 and NaN payloads count.
+          std::uint32_t ab, cb;
+          std::memcpy(&ab, &a, 4);
+          std::memcpy(&cb, &c, 4);
+          if (ab != cb)
+            return "buffer " + std::to_string(id) + "[" + std::to_string(e) +
+                   "]: ast=" + std::to_string(a) + " vm=" + std::to_string(c);
+        }
+      } else {
+        auto cur = b.i32();
+        for (std::size_t e = 0; e < bufs[id].i.size(); ++e)
+          if (bufs[id].i[e] != cur[e])
+            return "buffer " + std::to_string(id) + "[" + std::to_string(e) +
+                   "]: ast=" + std::to_string(bufs[id].i[e]) +
+                   " vm=" + std::to_string(cur[e]);
+      }
+    }
+    return {};
+  }
+};
+
+[[nodiscard]] std::string diff_stats(const KernelStats& a,
+                                     const KernelStats& b) {
+  auto d = [](const char* name, auto x, auto y) -> std::string {
+    if (x == y) return {};
+    std::ostringstream os;
+    os << name << ": ast=" << x << " vm=" << y;
+    return os.str();
+  };
+  std::string r;
+  if (!(r = d("blocks", a.blocks, b.blocks)).empty()) return r;
+  if (!(r = d("warps", a.warps, b.warps)).empty()) return r;
+  if (!(r = d("issue_slots", a.issue_slots, b.issue_slots)).empty()) return r;
+  if (!(r = d("global_transactions", a.global_transactions,
+              b.global_transactions))
+           .empty())
+    return r;
+  if (!(r = d("local_transactions", a.local_transactions,
+              b.local_transactions))
+           .empty())
+    return r;
+  if (!(r = d("local_l1_misses", a.local_l1_misses, b.local_l1_misses))
+           .empty())
+    return r;
+  if (!(r = d("dram_transactions", a.dram_transactions, b.dram_transactions))
+           .empty())
+    return r;
+  if (!(r = d("smem_accesses", a.smem_accesses, b.smem_accesses)).empty())
+    return r;
+  if (!(r = d("smem_replays", a.smem_replays, b.smem_replays)).empty())
+    return r;
+  if (!(r = d("shfl_ops", a.shfl_ops, b.shfl_ops)).empty()) return r;
+  if (!(r = d("sync_ops", a.sync_ops, b.sync_ops)).empty()) return r;
+  if (!(r = d("divergent_branches", a.divergent_branches,
+              b.divergent_branches))
+           .empty())
+    return r;
+  if (!(r = d("crit_path_cycles", a.crit_path_cycles, b.crit_path_cycles))
+           .empty())
+    return r;
+  return {};
+}
+
+[[nodiscard]] std::string diff_reports(const std::vector<HazardReport>& a,
+                                       const std::vector<HazardReport>& b,
+                                       std::size_t from) {
+  if (a.size() != b.size())
+    return "hazard count: ast=" + std::to_string(a.size() - from) +
+           " vm=" + std::to_string(b.size() - from);
+  for (std::size_t i = from; i < a.size(); ++i) {
+    const HazardReport& x = a[i];
+    const HazardReport& y = b[i];
+    if (x.kind != y.kind || x.kernel != y.kernel ||
+        x.block.x != y.block.x || x.block.y != y.block.y ||
+        x.block.z != y.block.z || x.thread != y.thread ||
+        !(x.loc == y.loc) || x.message != y.message)
+      return "hazard " + std::to_string(i - from) + ": ast={" + x.str() +
+             "} vm={" + y.str() + "}";
+  }
+  return {};
+}
+
+}  // namespace
+
+KernelStats Interpreter::run_checked(const Kernel& kernel,
+                                     const LaunchConfig& cfg,
+                                     int resident_blocks_per_smx) {
+  const MemorySnapshot pre = MemorySnapshot::capture(mem_);
+
+  // AST pass against a scratch copy of the sanitizer, so its hazard
+  // stream can be compared without double-reporting into the real engine.
+  SanitizerEngine* real = opt_.sanitizer;
+  SanitizerEngine scratch;
+  std::size_t base_reports = 0;
+  if (real) {
+    scratch = *real;
+    base_reports = real->reports().size();
+    opt_.sanitizer = &scratch;
+  }
+  KernelStats ast_stats;
+  bool ast_threw = false;
+  std::string ast_error;
+  try {
+    ast_stats = run_engine(kernel, cfg, resident_blocks_per_smx, Engine::kAst);
+  } catch (const SimError& e) {
+    ast_threw = true;
+    ast_error = e.what();
+  } catch (...) {
+    opt_.sanitizer = real;
+    throw;
+  }
+  opt_.sanitizer = real;
+  const MemorySnapshot ast_mem = MemorySnapshot::capture(mem_);
+  pre.restore(mem_);
+
+  KernelStats vm_stats;
+  bool vm_threw = false;
+  std::string vm_error;
+  std::exception_ptr vm_ex;
+  try {
+    vm_stats = run_engine(kernel, cfg, resident_blocks_per_smx, Engine::kVm);
+  } catch (const SimError& e) {
+    vm_threw = true;
+    vm_error = e.what();
+    vm_ex = std::current_exception();
+  }
+
+  if (ast_threw != vm_threw || ast_error != vm_error)
+    throw SimError("engine cross-check: engines disagree on raised error "
+                   "(ast: " +
+                   (ast_threw ? ast_error : std::string("<none>")) +
+                   "; vm: " + (vm_threw ? vm_error : std::string("<none>")) +
+                   ")");
+  if (std::string d = ast_mem.diff(mem_); !d.empty())
+    throw SimError("engine cross-check: memory diverged at " + d);
+  if (!ast_threw) {
+    if (std::string d = diff_stats(ast_stats, vm_stats); !d.empty())
+      throw SimError("engine cross-check: stats diverged on " + d);
+  }
+  if (real) {
+    if (std::string d =
+            diff_reports(scratch.reports(), real->reports(), base_reports);
+        !d.empty())
+      throw SimError("engine cross-check: hazard streams diverged on " + d);
+  }
+  if (vm_ex) std::rethrow_exception(vm_ex);
+  return vm_stats;
+}
+
 RunResult run_and_time(const DeviceSpec& spec, DeviceMemory& mem,
                        const ir::Kernel& kernel, const LaunchConfig& cfg,
                        const ResourceUsage& resources,
@@ -1597,7 +942,7 @@ RunResult run_and_time(const DeviceSpec& spec, DeviceMemory& mem,
                    r.occupancy.limiting_factor + ")");
   Interpreter interp(spec, mem, opt);
   r.stats = interp.run(kernel, cfg, r.occupancy.blocks_per_smx);
-  TimingModel model(spec, opt.weights);
+  TimingModel model(spec, opt.timing.weights);
   r.timing = model.estimate(r.stats, r.occupancy);
   return r;
 }

@@ -9,6 +9,21 @@
 // correct for every race-free kernel that synchronizes through
 // __syncthreads() (all paper benchmarks, and everything CUDA-NP emits).
 //
+// Engines
+// -------
+// Two engines implement this model over the same per-block core
+// (sim/exec_core.hpp), so their outputs, cost-model stats, watchdog step
+// counts and sanitizer hazard streams are bit-identical:
+//   - kAst: the original recursive AST walk (reference engine);
+//   - kVm:  bound kernels are lowered once per launch into a flat
+//           register bytecode (sim/bytecode.hpp) executed by a dispatch
+//           loop over SoA lane state (sim/vm.cpp) — the fast path.
+//   - kCheck: runs both and cross-diffs outputs, stats and hazards
+//           (testing tool; see docs/performance.md).
+// Select with Options::engine or the CUDANP_ENGINE environment variable
+// (ast | vm | check); the default is the VM, with a transparent per-launch
+// fallback to the AST walk for constructs the lowering declines.
+//
 // Cost model hooks
 // ----------------
 // While executing, the interpreter charges per-warp costs (a warp is
@@ -30,7 +45,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ir/kernel.hpp"
@@ -43,6 +61,10 @@ namespace cudanp::sim {
 
 class SanitizerEngine;
 class FaultInjector;
+
+namespace bytecode {
+struct Program;
+}
 
 /// Thrown when a block exceeds its interpreted-statement budget. Derives
 /// from SimError so every existing containment site (sanitized runs, the
@@ -60,25 +82,68 @@ class WatchdogError : public SimError {
   std::int64_t steps_;
 };
 
+/// Which executor runs the blocks of a launch.
+enum class Engine : std::uint8_t {
+  kAuto,   ///< Options::engine unset: CUDANP_ENGINE env var, else kVm.
+  kAst,    ///< Recursive AST walk (reference engine).
+  kVm,     ///< Bytecode VM (fast path; per-launch AST fallback).
+  kCheck,  ///< Run both, diff outputs/stats/hazards, throw on mismatch.
+};
+
+[[nodiscard]] const char* to_string(Engine e);
+[[nodiscard]] std::optional<Engine> engine_from_string(std::string_view s);
+/// Non-auto request wins; else the CUDANP_ENGINE environment variable
+/// (ast | vm | check) if set and valid; else the VM.
+[[nodiscard]] Engine resolve_engine(Engine requested);
+
+/// Cost-model knobs: how executed operations turn into cycles. Purely
+/// observational — never changes results or hazard streams.
+struct TimingOptions {
+  CostWeights weights;
+  /// Memory-level parallelism a single warp extracts from unrolled loop
+  /// bodies: exposed per-statement latency is divided by this when the
+  /// warp critical path is assembled.
+  double warp_mlp = 4.0;
+};
+
+/// Execution-bound knobs: when a runaway block is cut off. Composable so
+/// the serve layer can carry one value object from deadline math to the
+/// interpreter instead of re-deriving resolve_max_steps overload
+/// semantics at each call site.
+struct ExecutionLimits {
+  /// Safety valve for runaway loops.
+  std::int64_t max_loop_iterations = 1 << 26;
+  /// Watchdog: per-thread-block budget of interpreted statements (loop
+  /// back-edges count as one statement, so even empty-body spins trip).
+  /// 0 = auto: the CUDANP_MAX_STEPS environment variable if set, else
+  /// Interpreter::kDefaultMaxStepsPerBlock. Negative = unlimited. A trip
+  /// raises WatchdogError (unsanitized) or a kWatchdogTrip hazard
+  /// (sanitized) carrying the tripping source location and per-loop
+  /// back-edge counts, and cooperatively cancels the rest of the launch;
+  /// results stay bit-identical at every job count. See
+  /// docs/robustness.md.
+  std::int64_t max_steps_per_block = 0;
+  /// Deadline clamp: when positive, the resolved watchdog budget is
+  /// additionally capped at this many steps. This is how the serve layer
+  /// maps a job's remaining wall-clock deadline onto the per-block
+  /// watchdog (deadline_ms * steps_per_ms -> steps): a hanging kernel
+  /// trips at its deadline instead of consuming the full default budget.
+  std::int64_t deadline_steps = 0;
+
+  /// The resolved per-block step budget: max_steps_per_block semantics
+  /// above, then clamped to deadline_steps when that is positive.
+  [[nodiscard]] std::int64_t resolve() const;
+};
+
 class Interpreter {
  public:
   struct Options {
-    CostWeights weights;
-    /// Memory-level parallelism a single warp extracts from unrolled loop
-    /// bodies: exposed per-statement latency is divided by this when the
-    /// warp critical path is assembled.
-    double warp_mlp = 4.0;
-    /// Safety valve for runaway loops.
-    std::int64_t max_loop_iterations = 1 << 26;
-    /// Watchdog: per-thread-block budget of interpreted statements (loop
-    /// back-edges count as one statement, so even empty-body spins trip).
-    /// 0 = auto: the CUDANP_MAX_STEPS environment variable if set, else
-    /// kDefaultMaxStepsPerBlock. Negative = unlimited. A trip raises
-    /// WatchdogError (unsanitized) or a kWatchdogTrip hazard (sanitized)
-    /// carrying the tripping source location and per-loop back-edge
-    /// counts, and cooperatively cancels the rest of the launch; results
-    /// stay bit-identical at every job count. See docs/robustness.md.
-    std::int64_t max_steps_per_block = 0;
+    /// Cost-model weights and warp MLP (observational only).
+    TimingOptions timing;
+    /// Watchdog / loop / deadline bounds.
+    ExecutionLimits limits;
+    /// Which engine executes blocks; kAuto defers to CUDANP_ENGINE.
+    Engine engine = Engine::kAuto;
     /// When non-null, chaos-testing hooks fire during interpretation:
     /// injected SimErrors at the Nth statement and block stalls that the
     /// watchdog must catch. Production runs leave this null.
@@ -110,8 +175,8 @@ class Interpreter {
 
   [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
 
-  /// Default watchdog budget when neither Options::max_steps_per_block
-  /// nor CUDANP_MAX_STEPS chooses one: generous (matches the per-loop
+  /// Default watchdog budget when neither ExecutionLimits nor
+  /// CUDANP_MAX_STEPS chooses one: generous (matches the per-loop
   /// iteration valve) but finite.
   static constexpr std::int64_t kDefaultMaxStepsPerBlock = 1 << 26;
 
@@ -121,15 +186,25 @@ class Interpreter {
   [[nodiscard]] static std::int64_t resolve_max_steps(std::int64_t requested);
 
   /// Deadline-aware resolution: like resolve_max_steps(requested), then
-  /// clamped to `deadline_budget` steps when that is positive. This is
-  /// how the serve layer maps a job's remaining wall-clock deadline onto
-  /// the per-block watchdog (deadline_ms * steps_per_ms -> steps): a
-  /// hanging kernel trips the watchdog at its deadline instead of
-  /// consuming the full default budget. See docs/robustness.md.
+  /// clamped to `deadline_budget` steps when that is positive.
+  /// ExecutionLimits::resolve() packages the same semantics as a value
+  /// object; prefer it in new code.
   [[nodiscard]] static std::int64_t resolve_max_steps(
       std::int64_t requested, std::int64_t deadline_budget);
 
  private:
+  [[nodiscard]] KernelStats run_engine(const ir::Kernel& kernel,
+                                       const LaunchConfig& cfg,
+                                       int resident_blocks_per_smx,
+                                       Engine engine);
+  /// kCheck: runs the AST engine against scratch sanitizer/memory state,
+  /// rewinds device memory, runs the VM for real, and throws a SimError
+  /// describing the first divergence in outputs, stats, hazard streams
+  /// or raised errors.
+  [[nodiscard]] KernelStats run_checked(const ir::Kernel& kernel,
+                                        const LaunchConfig& cfg,
+                                        int resident_blocks_per_smx);
+
   const DeviceSpec& spec_;
   DeviceMemory& mem_;
   Options opt_;

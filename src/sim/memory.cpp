@@ -1,6 +1,7 @@
 #include "sim/memory.hpp"
 
 #include <algorithm>
+#include <bit>
 
 namespace cudanp::sim {
 
@@ -65,20 +66,37 @@ const DeviceBuffer& DeviceMemory::buffer(BufferId id) const {
 int coalesced_transactions(std::span<const std::uint64_t> addrs,
                            std::span<const std::uint8_t> active,
                            int segment_bytes) {
-  // The warp is small (32 lanes); collect unique segment ids.
-  std::uint64_t segs[32];
+  // Count unique segment ids. Strided kernels touch a distinct segment
+  // per lane, so dedupe through a 64-slot open-addressed set (load
+  // factor <= 1/2 with <= 32 lanes) instead of a quadratic rescans.
+  std::uint64_t segs[64];
+  bool used[64] = {false};
   int n = 0;
+  const std::uint64_t sb = static_cast<std::uint64_t>(segment_bytes);
+  const bool pow2 = (sb & (sb - 1)) == 0;  // hardware sizes; div is hot
+  const int shift = pow2 ? std::countr_zero(sb) : 0;
+  std::uint64_t last = 0;
+  bool have_last = false;
   for (std::size_t l = 0; l < addrs.size(); ++l) {
     if (!active[l]) continue;
-    std::uint64_t seg = addrs[l] / static_cast<std::uint64_t>(segment_bytes);
+    std::uint64_t seg = pow2 ? addrs[l] >> shift : addrs[l] / sb;
+    if (have_last && seg == last) continue;  // sequential runs are common
+    last = seg;
+    have_last = true;
+    std::size_t h = (seg * 0x9E3779B97F4A7C15ull) >> 58;
     bool seen = false;
-    for (int k = 0; k < n; ++k) {
-      if (segs[k] == seg) {
+    while (used[h]) {
+      if (segs[h] == seg) {
         seen = true;
         break;
       }
+      h = (h + 1) & 63;
     }
-    if (!seen && n < 32) segs[n++] = seg;
+    if (!seen && n < 32) {
+      used[h] = true;
+      segs[h] = seg;
+      ++n;
+    }
   }
   return n;
 }
@@ -87,25 +105,48 @@ int smem_replays(std::span<const std::uint64_t> word_addrs,
                  std::span<const std::uint8_t> active, int banks) {
   // For each bank, count distinct words requested; the access replays
   // max-over-banks times. Identical words broadcast for free.
-  int replays = 0;
-  for (int b = 0; b < banks; ++b) {
-    std::uint64_t words[32];
-    int n = 0;
-    for (std::size_t l = 0; l < word_addrs.size(); ++l) {
-      if (!active[l]) continue;
-      std::uint64_t w = word_addrs[l];
-      if (static_cast<int>(w % static_cast<std::uint64_t>(banks)) != b)
-        continue;
-      bool seen = false;
-      for (int k = 0; k < n; ++k) {
-        if (words[k] == w) {
-          seen = true;
-          break;
-        }
+  //
+  // One pass over active lanes: dedupe the requested words (a warp holds
+  // at most 32, so the distinct set fits on the stack), then tally each
+  // distinct word's bank. The max tally equals the per-bank scan's
+  // max-over-banks distinct count, and with <= 32 lanes neither
+  // formulation's 32-entry cap can bind.
+  std::uint64_t words[32];
+  int bank_of[32];
+  int n = 0;
+  const std::uint64_t ub = static_cast<std::uint64_t>(banks);
+  const std::uint64_t bmask = (ub & (ub - 1)) == 0 ? ub - 1 : 0;
+  std::uint64_t last = 0;
+  bool have_last = false;
+  for (std::size_t l = 0; l < word_addrs.size(); ++l) {
+    if (!active[l]) continue;
+    const std::uint64_t w = word_addrs[l];
+    if (have_last && w == last) continue;  // broadcast runs are common
+    last = w;
+    have_last = true;
+    bool seen = false;
+    for (int k = 0; k < n; ++k) {
+      if (words[k] == w) {
+        seen = true;
+        break;
       }
-      if (!seen && n < 32) words[n++] = w;
     }
-    replays = std::max(replays, n);
+    if (!seen && n < 32) {
+      bank_of[n] = static_cast<int>(bmask ? (w & bmask) : w % ub);
+      words[n++] = w;
+    }
+  }
+  int replays = 0;
+  if (banks <= 64) {
+    int cnt[64] = {0};
+    for (int k = 0; k < n; ++k) replays = std::max(replays, ++cnt[bank_of[k]]);
+  } else {
+    for (int i = 0; i < n; ++i) {
+      int c = 0;
+      for (int j = 0; j <= i; ++j)
+        if (bank_of[j] == bank_of[i]) ++c;
+      replays = std::max(replays, c);
+    }
   }
   return std::max(replays, 1);
 }

@@ -30,7 +30,7 @@ sim::Interpreter::Options make_opts(int jobs,
   sim::Interpreter::Options opt;
   opt.jobs = jobs;
   opt.fault = fault;
-  opt.max_steps_per_block = max_steps;
+  opt.limits.max_steps_per_block = max_steps;
   return opt;
 }
 
@@ -155,7 +155,8 @@ __global__ void work(float* out, int n) {
   for (int jobs : {1, 8}) {
     auto p = prepare(src, 32, 8);
     np::Runner runner(sim::DeviceSpec::gtx680(), make_opts(jobs, &injector));
-    auto run = runner.run_sanitized(p.kernel(), p.workload);
+    auto run = runner.execute(
+        np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
     EXPECT_TRUE(run.ran);
     ASSERT_EQ(run.engine.reports().size(), 1u)
         << "jobs=" << jobs << "\n" << run.engine.summary();
@@ -185,7 +186,7 @@ __global__ void work(float* out, int n) {
                    32, 2);
   np::Runner runner(sim::DeviceSpec::gtx680(), make_opts(1, &injector));
   try {
-    (void)runner.run(p.kernel(), p.workload);
+    (void)runner.execute(np::ExecutionRequest::baseline(p.kernel(), p.workload));
     FAIL() << "expected SimError";
   } catch (const SimError& e) {
     EXPECT_NE(std::string(e.what()).find("injected fault"),
@@ -218,7 +219,8 @@ __global__ void stage(float* out, int n) {
   {
     auto p = prepare(src, 64, 4);
     np::Runner runner(sim::DeviceSpec::gtx680(), make_opts(1));
-    auto run = runner.run_sanitized(p.kernel(), p.workload, portable);
+    auto run = runner.execute(np::ExecutionRequest::baseline(p.kernel(), p.workload)
+                                  .sanitized(portable));
     EXPECT_TRUE(run.clean()) << run.engine.summary();
   }
 
@@ -235,7 +237,8 @@ __global__ void stage(float* out, int n) {
               std::string::npos)
         << injector.log().front();
     np::Runner runner(sim::DeviceSpec::gtx680(), make_opts(1));
-    auto run = runner.run_sanitized(p.kernel(), p.workload, portable);
+    auto run = runner.execute(np::ExecutionRequest::baseline(p.kernel(), p.workload)
+                                  .sanitized(portable));
     EXPECT_FALSE(run.clean()) << "dropped barrier was silently absorbed";
     bool race_seen = false;
     for (const auto& r : run.engine.reports())
@@ -266,7 +269,8 @@ __global__ void ident(float* out, int n) {
       << injector.log().front();
 
   np::Runner runner(sim::DeviceSpec::gtx680(), make_opts(1));
-  auto run = runner.run_sanitized(p.kernel(), p.workload);
+  auto run = runner.execute(
+        np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
   EXPECT_FALSE(run.clean()) << "skewed index was silently absorbed";
   bool oob_seen = false;
   for (const auto& r : run.engine.reports())
@@ -296,7 +300,8 @@ __global__ void fine(float* out, int n) {
     auto p = prepare(src, 32, 8);
     np::Runner runner(sim::DeviceSpec::gtx680(),
                       make_opts(jobs, &injector, /*max_steps=*/2000));
-    auto run = runner.run_sanitized(p.kernel(), p.workload);
+    auto run = runner.execute(
+        np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
     ASSERT_EQ(run.engine.reports().size(), 1u)
         << "jobs=" << jobs << "\n" << run.engine.summary();
     const auto& r = run.engine.reports().front();
@@ -322,7 +327,7 @@ __global__ void fine(float* out, int n) {
   np::Runner runner(sim::DeviceSpec::gtx680(),
                     make_opts(1, &injector, /*max_steps=*/-1));
   try {
-    (void)runner.run(p.kernel(), p.workload);
+    (void)runner.execute(np::ExecutionRequest::baseline(p.kernel(), p.workload));
     FAIL() << "expected SimError";
   } catch (const SimError& e) {
     EXPECT_NE(std::string(e.what()).find("injected stall"),
@@ -399,7 +404,7 @@ TEST(Chaos, FallbackSurvivesStalledVariants) {
   auto factory = [&]() { return bench->make_workload(); };
   np::ValidationOptions vopt;
   vopt.interp.fault = &injector;
-  vopt.interp.max_steps_per_block = 2000;
+  vopt.interp.limits.max_steps_per_block = 2000;
   auto result = np::NpCompiler::compile_with_fallback(
       bench->kernel(), /*configs=*/{}, factory, spec, vopt);
   const auto& d = result.decision;

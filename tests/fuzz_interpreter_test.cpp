@@ -510,7 +510,7 @@ TEST_P(WatchdogFuzz, LoopNestsNeverOutliveTheBudget) {
               sim::LaunchConfig::scalar_int(64)};
   sim::Interpreter::Options iopt;
   iopt.sanitizer = &engine;
-  iopt.max_steps_per_block = 10000;
+  iopt.limits.max_steps_per_block = 10000;
   sim::Interpreter interp(sim::DeviceSpec::gtx680(), mem, iopt);
   EXPECT_NO_THROW((void)interp.run(kernel, cfg)) << src;
   bool tripped = false;
@@ -523,7 +523,7 @@ TEST_P(WatchdogFuzz, LoopNestsNeverOutliveTheBudget) {
   cfg.args = {mem2.alloc(ScalarType::kFloat, 64),
               sim::LaunchConfig::scalar_int(64)};
   sim::Interpreter::Options popt;
-  popt.max_steps_per_block = 10000;
+  popt.limits.max_steps_per_block = 10000;
   sim::Interpreter plain(sim::DeviceSpec::gtx680(), mem2, popt);
   try {
     (void)plain.run(kernel, cfg);

@@ -393,7 +393,7 @@ TEST(Interpreter, RunawayLoopGuard) {
   Harness h;
   auto out = h.alloc_i(1);
   Interpreter::Options opt;
-  opt.max_loop_iterations = 100;
+  opt.limits.max_loop_iterations = 100;
   h.program = frontend::parse_program_or_throw(
       "__global__ void k(int* o) {"
       "  int x = 0;"

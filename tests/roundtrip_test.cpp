@@ -48,7 +48,7 @@ TEST_P(TransformRoundTrip, EmittedSourceReExecutesCorrectly) {
 
   np::Runner runner{sim::DeviceSpec::gtx680()};
   auto w = bench->make_workload();
-  auto run = runner.run_variant(variant, w);
+  auto run = runner.execute(np::ExecutionRequest::transformed(variant, w)).run;
   EXPECT_GT(run.timing.seconds, 0.0);
   std::string msg;
   EXPECT_TRUE(w.validate(*w.mem, &msg)) << msg << "\n--- emitted ---\n"

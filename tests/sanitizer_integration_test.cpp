@@ -19,7 +19,8 @@ TEST_P(SanitizedBenchmarks, BaselineIsHazardClean) {
   auto bench = kernels::make_benchmark(GetParam(), kTestScale);
   np::Runner runner{sim::DeviceSpec::gtx680()};
   auto w = bench->make_workload();
-  auto run = runner.run_sanitized(bench->kernel(), w);
+  auto run = runner.execute(
+      np::ExecutionRequest::baseline(bench->kernel(), w).sanitized());
   EXPECT_TRUE(run.clean()) << run.engine.summary();
 }
 
@@ -41,7 +42,8 @@ TEST_P(SanitizedBenchmarks, EveryNpVariantIsHazardClean) {
       continue;  // configuration legitimately inapplicable
     }
     auto w = bench->make_workload();
-    auto run = runner.run_variant_sanitized(variant, w);
+    auto run = runner.execute(
+        np::ExecutionRequest::transformed(variant, w).sanitized());
     EXPECT_TRUE(run.clean()) << run.engine.summary();
     ++executed;
   }

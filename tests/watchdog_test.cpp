@@ -21,7 +21,7 @@ namespace {
 
 sim::Interpreter::Options with_budget(std::int64_t max_steps, int jobs = 1) {
   sim::Interpreter::Options opt;
-  opt.max_steps_per_block = max_steps;
+  opt.limits.max_steps_per_block = max_steps;
   opt.jobs = jobs;
   return opt;
 }
@@ -78,7 +78,7 @@ TEST(Watchdog, UnsanitizedInfiniteLoopThrowsWatchdogError) {
   auto p = prepare(kInfiniteWhile, 32, 1);
   np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(1000));
   try {
-    (void)runner.run(p.kernel(), p.workload);
+    (void)runner.execute(np::ExecutionRequest::baseline(p.kernel(), p.workload));
     FAIL() << "expected WatchdogError";
   } catch (const sim::WatchdogError& e) {
     EXPECT_GT(e.steps(), 1000);
@@ -103,7 +103,9 @@ __global__ void spin(float* out, int n) {
 )",
                    32, 1);
   np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(500));
-  EXPECT_THROW((void)runner.run(p.kernel(), p.workload), sim::WatchdogError);
+  EXPECT_THROW(
+      (void)runner.execute(np::ExecutionRequest::baseline(p.kernel(), p.workload)),
+      sim::WatchdogError);
 }
 
 TEST(Watchdog, MissingIncrementForLoopTripsSanitized) {
@@ -118,7 +120,8 @@ __global__ void stuck(float* out, int n) {
 )",
                    32, 1);
   np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(2000));
-  auto run = runner.run_sanitized(p.kernel(), p.workload);
+  auto run = runner.execute(
+      np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
   ASSERT_EQ(run.engine.reports().size(), 1u) << run.engine.summary();
   const auto& r = run.engine.reports().front();
   EXPECT_EQ(r.kind, sim::HazardKind::kWatchdogTrip);
@@ -143,7 +146,8 @@ __global__ void shfl_spin(float* out, int n) {
   for (int jobs : {1, 8}) {
     auto p = prepare(src, 32, 4);
     np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(3000, jobs));
-    auto run = runner.run_sanitized(p.kernel(), p.workload);
+    auto run = runner.execute(
+      np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
     bool tripped = false;
     for (const auto& r : run.engine.reports())
       tripped = tripped || r.kind == sim::HazardKind::kWatchdogTrip;
@@ -163,7 +167,8 @@ TEST(Watchdog, WideGridCancellationIsDeterministic) {
   for (int jobs : {1, 8}) {
     auto p = prepare(kInfiniteWhile, 32, 64);
     np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(1000, jobs));
-    auto run = runner.run_sanitized(p.kernel(), p.workload);
+    auto run = runner.execute(
+      np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
     ASSERT_EQ(run.engine.reports().size(), 1u)
         << "jobs=" << jobs << "\n" << run.engine.summary();
     EXPECT_EQ(run.engine.reports().front().kind,
@@ -171,7 +176,7 @@ TEST(Watchdog, WideGridCancellationIsDeterministic) {
     // The surviving trip is the deterministic first one: block (0,0,0).
     EXPECT_EQ(run.engine.reports().front().block.x, 0);
     reports[slot] = run.engine.reports();
-    stats[slot] = run.result.stats;
+    stats[slot] = run.run.stats;
     ++slot;
   }
   expect_reports_equal(reports[0], reports[1]);
@@ -192,7 +197,8 @@ __global__ void fine(float* out, int n) {
 )",
                    32, 4);
   np::Runner runner(sim::DeviceSpec::gtx680());  // budget 0 = auto
-  auto run = runner.run_sanitized(p.kernel(), p.workload);
+  auto run = runner.execute(
+      np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
   EXPECT_TRUE(run.clean()) << run.engine.summary();
 }
 
@@ -324,7 +330,8 @@ TEST(LaunchValidation, SanitizedRunRecordsStructuredFault) {
   auto p = prepare(kInfiniteWhile, 32, 1);
   p.workload.launch.block = {2048, 1, 1};  // over the 1024-thread limit
   np::Runner runner(sim::DeviceSpec::gtx680(), with_budget(100));
-  auto run = runner.run_sanitized(p.kernel(), p.workload);
+  auto run = runner.execute(
+      np::ExecutionRequest::baseline(p.kernel(), p.workload).sanitized());
   EXPECT_FALSE(run.ran);
   EXPECT_FALSE(run.clean());
   ASSERT_EQ(run.engine.reports().size(), 1u) << run.engine.summary();
