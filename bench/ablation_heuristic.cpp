@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
     try {
       auto variant = np::NpCompiler::transform(b->kernel(), choice.config);
       auto w = b->make_workload();
-      auto run = runner.run_variant(variant, w);
+      auto run =
+          runner.execute(np::ExecutionRequest::transformed(variant, w)).run;
       std::string msg;
       if (w.validate && !w.validate(*w.mem, &msg)) throw SimError(msg);
       double baseline = bench::run_baseline_seconds(*b, spec);

@@ -67,7 +67,8 @@ inline double run_baseline_seconds(const kernels::Benchmark& bench,
                                    const sim::DeviceSpec& spec) {
   np::Runner runner(spec);
   auto w = bench.make_workload();
-  auto r = runner.run(bench.kernel(), w);
+  auto r =
+      runner.execute(np::ExecutionRequest::baseline(bench.kernel(), w)).run;
   std::string msg;
   if (w.validate && !w.validate(*w.mem, &msg))
     throw SimError(bench.name() + " failed validation: " + msg);

@@ -46,7 +46,9 @@ int main(int argc, char** argv) {
           try {
             auto variant = np::NpCompiler::transform(bench->kernel(), cfg);
             auto w = bench->make_workload();
-            auto run = runner.run_variant(variant, w);
+            auto run =
+                runner.execute(np::ExecutionRequest::transformed(variant, w))
+                    .run;
             std::string msg;
             if (w.validate && !w.validate(*w.mem, &msg))
               throw SimError(msg);

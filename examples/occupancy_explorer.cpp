@@ -28,7 +28,8 @@ int main(int argc, char** argv) {
                "warps/SMX", "bound", "us", "speedup"});
 
   auto w0 = bench->make_workload();
-  auto base = runner.run(bench->kernel(), w0);
+  auto base =
+      runner.execute(np::ExecutionRequest::baseline(bench->kernel(), w0)).run;
   auto base_res = runner.resources(bench->kernel());
   table.add_row({"baseline",
                  std::to_string(w0.launch.block.count()),
@@ -49,7 +50,8 @@ int main(int argc, char** argv) {
       auto variant = np::NpCompiler::transform(bench->kernel(), cfg);
       auto res = runner.resources(*variant.kernel);
       auto w = bench->make_workload();
-      auto run = runner.run_variant(variant, w);
+      auto run =
+          runner.execute(np::ExecutionRequest::transformed(variant, w)).run;
       char label[32];
       std::snprintf(label, sizeof(label), "inter S=%d", s);
       table.add_row(

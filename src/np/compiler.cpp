@@ -76,23 +76,23 @@ transform::TransformResult NpCompiler::transform(
   return transform::apply_np_transform(kernel, config, diags);
 }
 
-namespace {
-
-bool floats_close(float ref, float got, double rel_tol) {
+bool floats_close(float ref, float got, double abs_tol, double rel_tol) {
   if (std::isnan(ref) && std::isnan(got)) return true;
-  double scale = std::max({1.0, std::fabs(static_cast<double>(ref)),
-                           std::fabs(static_cast<double>(got))});
+  double scale = std::max(std::fabs(static_cast<double>(ref)),
+                          std::fabs(static_cast<double>(got)));
   return std::fabs(static_cast<double>(ref) - static_cast<double>(got)) <=
-         rel_tol * scale;
+         abs_tol + rel_tol * scale;
 }
+
+namespace {
 
 /// Compares every buffer argument of the baseline launch against the same
 /// buffer in the variant's memory. Workloads come from the same factory, so
 /// equal allocation order yields equal BufferIds; the variant's extra
 /// scratch buffers are appended afterwards and never compared.
 bool buffers_match(const sim::DeviceMemory& ref, const sim::DeviceMemory& got,
-                   const std::vector<sim::KernelArg>& args, double rel_tol,
-                   std::string* msg) {
+                   const std::vector<sim::KernelArg>& args, double abs_tol,
+                   double rel_tol, std::string* msg) {
   for (const auto& arg : args) {
     const auto* id = std::get_if<sim::BufferId>(&arg);
     if (!id) continue;
@@ -111,7 +111,7 @@ bool buffers_match(const sim::DeviceMemory& ref, const sim::DeviceMemory& got,
       auto r = rb.f32();
       auto g = gb.f32();
       for (std::size_t i = 0; i < r.size(); ++i) {
-        if (floats_close(r[i], g[i], rel_tol)) continue;
+        if (floats_close(r[i], g[i], abs_tol, rel_tol)) continue;
         if (msg) {
           std::ostringstream os;
           os << "buffer " << *id << " element " << i << ": baseline " << r[i]
@@ -136,6 +136,29 @@ bool buffers_match(const sim::DeviceMemory& ref, const sim::DeviceMemory& got,
     }
   }
   return true;
+}
+
+/// Certifies `variant`, going through the provider cache when bound.
+/// Tolerances and interpreter knobs are inherited from the validation
+/// options so the certifier and the empirical legs agree on what
+/// "equal" means.
+Certificate certify_with_cache(const ir::Kernel& kernel,
+                               const transform::TransformResult& variant,
+                               const sim::DeviceSpec& spec,
+                               const ValidationOptions& opt,
+                               const WorkloadFactory& make_workload) {
+  const std::string config = variant.config.describe();
+  if (opt.certificates.load) {
+    if (auto cached = opt.certificates.load(config)) return *cached;
+  }
+  CertifyOptions copt = opt.certify_opts;
+  copt.f32_rel_tol = opt.f32_rel_tol;
+  copt.f32_abs_tol = opt.f32_abs_tol;
+  copt.interp = opt.interp;
+  Certificate cert =
+      Certifier(spec, copt).certify_variant(kernel, variant, make_workload);
+  if (opt.certificates.save) opt.certificates.save(cert);
+  return cert;
 }
 
 }  // namespace
@@ -180,6 +203,10 @@ std::string ValidationReport::summary() const {
       os << "OUTPUT MISMATCH: " << e.mismatch;
     else
       os << "clean, outputs match [" << e.wall_ms << " ms]";
+    if (!e.verdict.empty()) {
+      os << " | certified: " << e.verdict;
+      if (!e.verdict_detail.empty()) os << " (" << e.verdict_detail << ")";
+    }
     os << "\n";
     for (const auto& r : e.hazards) os << "  " << r.str() << "\n";
     if (e.ran && e.hazards.empty() && !e.outputs_match && !e.mismatch.empty())
@@ -200,6 +227,7 @@ const char* to_string(FailureCause c) {
     case FailureCause::kRunError: return "run-error";
     case FailureCause::kCrash: return "crash";
     case FailureCause::kResourceLimit: return "resource-limit";
+    case FailureCause::kProvenWrong: return "proven-wrong";
   }
   return "unknown";
 }
@@ -209,7 +237,8 @@ std::optional<FailureCause> failure_cause_from_string(std::string_view s) {
        {FailureCause::kTransformError, FailureCause::kLaunchError,
         FailureCause::kWatchdogTrip, FailureCause::kHazards,
         FailureCause::kOutputMismatch, FailureCause::kRunError,
-        FailureCause::kCrash, FailureCause::kResourceLimit})
+        FailureCause::kCrash, FailureCause::kResourceLimit,
+        FailureCause::kProvenWrong})
     if (s == to_string(c)) return c;
   return std::nullopt;
 }
@@ -218,7 +247,9 @@ bool transient(FailureCause c) {
   // A worker crash is transient like a run error: the crash may be
   // load- or timing-dependent, so the retry loop gets a chance before
   // the job degrades. A resource-limit kill is deterministic for a
-  // given cap and never retried (but still feeds the breaker).
+  // given cap and never retried (but still feeds the breaker). A
+  // proven-wrong variant carries a replayable counterexample — the most
+  // permanent quarantine of all.
   return c == FailureCause::kWatchdogTrip || c == FailureCause::kRunError ||
          c == FailureCause::kCrash;
 }
@@ -404,21 +435,55 @@ FallbackResult NpCompiler::compile_with_fallback(
       out.decision.quarantined.push_back(std::move(f));
       continue;
     }
-    Workload w = make_workload();
-    ExecutionResult run = runner.execute(
-        ExecutionRequest::transformed(variant, w).sanitized(opt.sanitizer));
-    if (!run.clean()) {
-      classify(run, &f);
-      out.decision.quarantined.push_back(std::move(f));
-      continue;
+    // Third leg: symbolic certification. A refuted variant is proven
+    // wrong by a replayable counterexample and never runs at all; a
+    // proven one may skip the per-run sanitize + cross-check entirely
+    // when the certified fast path is on.
+    bool fast_path = false;
+    if (opt.certify) {
+      Certificate cert = certify_with_cache(kernel, variant, spec, opt, make_workload);
+      if (cert.verdict == Verdict::kRefuted) {
+        f.cause = FailureCause::kProvenWrong;
+        f.detail = cert.detail + " (counterexample seed " +
+                   std::to_string(cert.counterexample_seed) + ")";
+        out.decision.quarantined.push_back(std::move(f));
+        continue;
+      }
+      fast_path = opt.certified_fast_path && cert.proven();
     }
-    std::string mismatch;
-    if (!buffers_match(*base.mem, *w.mem, base.launch.args, opt.f32_rel_tol,
-                       &mismatch)) {
-      f.cause = FailureCause::kOutputMismatch;
-      f.detail = mismatch;
-      out.decision.quarantined.push_back(std::move(f));
-      continue;
+    Workload w = make_workload();
+    if (fast_path) {
+      // Unguarded run for raw speed; the watchdog and launch validation
+      // still apply, and any escape quarantines the candidate as usual.
+      try {
+        (void)runner.execute(ExecutionRequest::transformed(variant, w));
+      } catch (const sim::WatchdogError& e) {
+        f.cause = FailureCause::kWatchdogTrip;
+        f.detail = e.what();
+        out.decision.quarantined.push_back(std::move(f));
+        continue;
+      } catch (const SimError& e) {
+        f.cause = FailureCause::kRunError;
+        f.detail = e.what();
+        out.decision.quarantined.push_back(std::move(f));
+        continue;
+      }
+    } else {
+      ExecutionResult run = runner.execute(
+          ExecutionRequest::transformed(variant, w).sanitized(opt.sanitizer));
+      if (!run.clean()) {
+        classify(run, &f);
+        out.decision.quarantined.push_back(std::move(f));
+        continue;
+      }
+      std::string mismatch;
+      if (!buffers_match(*base.mem, *w.mem, base.launch.args, opt.f32_abs_tol,
+                         opt.f32_rel_tol, &mismatch)) {
+        f.cause = FailureCause::kOutputMismatch;
+        f.detail = mismatch;
+        out.decision.quarantined.push_back(std::move(f));
+        continue;
+      }
     }
     out.decision.used_baseline = false;
     out.decision.chosen_config = f.config;
@@ -461,6 +526,11 @@ ValidationReport NpCompiler::validate(
       report.entries.push_back(std::move(entry));
       continue;
     }
+    if (opt.certify) {
+      Certificate cert = certify_with_cache(kernel, variant, spec, opt, make_workload);
+      entry.verdict = to_string(cert.verdict);
+      entry.verdict_detail = cert.detail;
+    }
     Workload w = make_workload();
     auto tv = Clock::now();
     ExecutionResult run = runner.execute(
@@ -470,8 +540,8 @@ ValidationReport NpCompiler::validate(
     entry.hazards = run.engine.reports();
     if (run.ran) {
       entry.outputs_match =
-          buffers_match(*base.mem, *w.mem, base.launch.args, opt.f32_rel_tol,
-                        &entry.mismatch);
+          buffers_match(*base.mem, *w.mem, base.launch.args, opt.f32_abs_tol,
+                        opt.f32_rel_tol, &entry.mismatch);
     }
     report.entries.push_back(std::move(entry));
   }

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "ir/kernel.hpp"
+#include "np/certifier.hpp"
 #include "np/workload.hpp"
 #include "sim/device.hpp"
 #include "sim/interpreter.hpp"
@@ -45,9 +46,14 @@ struct ValidationEntry {
   /// Host wall-clock of this variant's sanitized simulation (transform
   /// excluded); 0 when the transform was inapplicable.
   double wall_ms = 0.0;
+  /// Certification verdict slug when ValidationOptions::certify is set
+  /// (empty otherwise); see np::Verdict.
+  std::string verdict;
+  std::string verdict_detail;
 
   [[nodiscard]] bool clean() const {
-    return !transform_ok || (ran && hazards.empty() && outputs_match);
+    return !transform_ok || (ran && hazards.empty() && outputs_match &&
+                             verdict != "refuted");
   }
 };
 
@@ -70,10 +76,35 @@ struct ValidationOptions {
   /// bit-identical at any job count; see docs/performance.md), and
   /// `max_steps_per_block`, the watchdog budget a runaway variant trips.
   sim::Interpreter::Options interp;
-  /// Relative tolerance for float buffer cross-checks (NP reductions
-  /// reassociate, so bit-exact equality is too strict).
+  /// Mixed tolerance for float buffer cross-checks (NP reductions
+  /// reassociate, so bit-exact equality is too strict):
+  /// |ref-got| <= f32_abs_tol + f32_rel_tol * max(|ref|, |got|). The
+  /// relative term covers large-magnitude outputs, the absolute term
+  /// tiny ones where relative error is meaningless.
   double f32_rel_tol = 1e-3;
+  double f32_abs_tol = 1e-4;
+  /// Third validation leg: symbolically certify every variant (see
+  /// np/certifier.hpp). A kRefuted verdict fails the entry / quarantines
+  /// the candidate as FailureCause::kProvenWrong before it ever runs.
+  bool certify = false;
+  /// Knobs for the certifier (f32 tolerances and interp are inherited
+  /// from this struct at use time and need not be set here).
+  CertifyOptions certify_opts;
+  /// With certify: variants holding a kProven/kProvenModuloReassoc
+  /// certificate skip the per-run sanitize + output cross-check in
+  /// compile_with_fallback and run unguarded for raw speed (the
+  /// watchdog still applies).
+  bool certified_fast_path = false;
+  /// Optional certificate cache hooks (the serve layer binds
+  /// ArtifactCache here so each (kernel, variant) certifies once).
+  CertificateProvider certificates;
 };
+
+/// Mixed absolute/relative float comparison used by every output
+/// cross-check: |ref-got| <= abs_tol + rel_tol * max(|ref|, |got|).
+/// NaN matches NaN (both sides diverging identically is agreement).
+[[nodiscard]] bool floats_close(float ref, float got, double abs_tol,
+                                double rel_tol);
 
 /// Why a variant was quarantined (see VariantFailure / docs/robustness.md).
 enum class FailureCause : std::uint8_t {
@@ -100,6 +131,11 @@ enum class FailureCause : std::uint8_t {
   /// worker's RLIMIT_AS budget). Deterministic for a given cap, so it is
   /// never retried, but it is breaker-eligible like any other failure.
   kResourceLimit,
+  /// The certifier refuted the variant: a concrete counterexample
+  /// reproduces a baseline/variant divergence through the interpreter.
+  /// Non-transient and permanent — stronger than kOutputMismatch
+  /// ("failed here") because it is backed by a replayable proof.
+  kProvenWrong,
 };
 
 [[nodiscard]] const char* to_string(FailureCause c);

@@ -13,18 +13,6 @@
 
 namespace cudanp::np {
 
-/// Result of a sanitized launch: the usual timing/stats (valid when the
-/// launch itself succeeded) plus every hazard the engine collected.
-struct SanitizedRun {
-  sim::RunResult result;
-  sim::SanitizerEngine engine;
-  /// False when the launch aborted before any block ran (bad geometry,
-  /// zero occupancy); the failure is recorded as a kSimFault hazard.
-  bool ran = false;
-
-  [[nodiscard]] bool clean() const { return ran && engine.clean(); }
-};
-
 /// One fully-specified launch: which kernel (a baseline ir::Kernel or a
 /// transformed variant, exactly one), which workload, whether to
 /// sanitize, and optional per-request overrides of the runner's
@@ -98,11 +86,6 @@ struct ExecutionResult {
   [[nodiscard]] const std::vector<sim::HazardReport>& hazards() const {
     return engine.reports();
   }
-  /// Legacy shape (consumes the engine); exists for the deprecated
-  /// run_sanitized shims.
-  [[nodiscard]] SanitizedRun to_sanitized() && {
-    return SanitizedRun{std::move(run), std::move(engine), ran};
-  }
 };
 
 class Runner {
@@ -117,37 +100,6 @@ class Runner {
   /// pool afterwards; registered as uninitialized device scratch when
   /// sanitizing).
   [[nodiscard]] ExecutionResult execute(const ExecutionRequest& req) const;
-
-  /// \deprecated Shim over execute(); use ExecutionRequest::baseline.
-  [[nodiscard]] sim::RunResult run(const ir::Kernel& kernel,
-                                   Workload& workload) const {
-    return execute(ExecutionRequest::baseline(kernel, workload)).run;
-  }
-
-  /// \deprecated Shim over execute(); use ExecutionRequest::transformed.
-  [[nodiscard]] sim::RunResult run_variant(
-      const transform::TransformResult& variant, Workload& workload) const {
-    return execute(ExecutionRequest::transformed(variant, workload)).run;
-  }
-
-  /// \deprecated Shim over execute(); use
-  /// ExecutionRequest::baseline(...).sanitized(...).
-  [[nodiscard]] SanitizedRun run_sanitized(
-      const ir::Kernel& kernel, Workload& workload,
-      sim::SanitizerEngine::Options sopt = {}) const {
-    return execute(ExecutionRequest::baseline(kernel, workload).sanitized(sopt))
-        .to_sanitized();
-  }
-
-  /// \deprecated Shim over execute(); use
-  /// ExecutionRequest::transformed(...).sanitized(...).
-  [[nodiscard]] SanitizedRun run_variant_sanitized(
-      const transform::TransformResult& variant, Workload& workload,
-      sim::SanitizerEngine::Options sopt = {}) const {
-    return execute(
-               ExecutionRequest::transformed(variant, workload).sanitized(sopt))
-        .to_sanitized();
-  }
 
   [[nodiscard]] const sim::DeviceSpec& spec() const { return spec_; }
 

@@ -106,6 +106,8 @@ std::string batch_fingerprint(const std::vector<JobSpec>& jobs,
   fnv1a(&h, tol.str());
   fnv1a(&h, to_string(opt.isolate));
   fnv1a_i64(&h, opt.worker_mem_mb);
+  fnv1a_i64(&h, opt.certify ? 1 : 0);
+  fnv1a_i64(&h, opt.certified_fast_path ? 1 : 0);
 
   char buf[17];
   snprintf(buf, sizeof(buf), "%016llx",

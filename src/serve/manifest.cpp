@@ -136,6 +136,13 @@ std::vector<JobSpec> parse_manifest(const std::string& text,
         job.fault.corrupt_cache = true;
       } else if (key == "cache-torn") {
         job.fault.tear_cache = true;
+      } else if (key == "cert-corrupt") {
+        // Certificate-store fault: like cache-corrupt, acts on the
+        // artifact cache entry holding this job's certificates; the
+        // damaged certificate must be quarantined and re-derived.
+        job.fault.corrupt_cert = true;
+      } else if (key == "cert-torn") {
+        job.fault.tear_cert = true;
       } else if (key == "drop-barrier") {
         job.fault.drop_barrier = true;
         job.inject = true;

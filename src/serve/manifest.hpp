@@ -36,6 +36,14 @@
 //                          and recompile (no-op without a cache)
 //   cache-torn             truncate the cache entry (torn write); same
 //                          quarantine-and-recompile contract
+//   cert-corrupt           flip a byte in this job's stored equivalence
+//                          certificates before lookup; the damaged
+//                          certificate must be quarantined and the
+//                          variant re-certified, never fast-pathed
+//                          (no-op without a cache or without --certify)
+//   cert-torn              truncate the stored certificates (torn
+//                          write); same quarantine-and-recertify
+//                          contract
 //
 // Every numeric field goes through the checked parser — `elems=64x`
 // is a manifest error, not a silent 64 (or 0).

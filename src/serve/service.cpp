@@ -77,7 +77,8 @@ std::string attempt_cache_key(const AttemptRequest& req) {
      << req.device << '\x1f' << req.sm_version << '\x1f' << req.max_steps
      << '\x1f' << req.error_limit << '\x1f'
      << (req.portable_races ? 1 : 0) << '\x1f' << (req.dedupe ? 1 : 0)
-     << '\x1f' << req.f32_rel_tol;
+     << '\x1f' << req.f32_rel_tol << '\x1f' << (req.certify ? 1 : 0)
+     << '\x1f' << (req.certified_fast_path ? 1 : 0);
   return np::NpCompiler::artifact_key(req.source, os.str());
 }
 
@@ -324,6 +325,17 @@ std::optional<ServiceReport> ServiceReport::from_json(
   return r;
 }
 
+std::string certificate_cache_key(
+    const std::string& source, const std::string& kernel,
+    const std::string& device, int sm_version, int elems, int tb,
+    const std::string& config, const np::CertifyOptions& copt) {
+  std::ostringstream os;
+  os << "cert" << '\x1f' << kernel << '\x1f' << device << '\x1f'
+     << sm_version << '\x1f' << elems << '\x1f' << tb << '\x1f' << config
+     << '\x1f' << copt.fingerprint();
+  return np::NpCompiler::artifact_key(source, os.str());
+}
+
 BatchService::BatchService(sim::DeviceSpec spec, ServiceOptions opt)
     : spec_(std::move(spec)), opt_(std::move(opt)) {}
 
@@ -380,6 +392,57 @@ void BatchService::run_job(const JobSpec& spec, std::size_t index,
   req.dedupe = opt_.sanitizer.dedupe;
   req.f32_rel_tol = opt_.f32_rel_tol;
   req.heartbeat_ms = opt_.worker_heartbeat_ms;
+  req.certify = opt_.certify;
+  req.certified_fast_path = opt_.certified_fast_path;
+
+  // Symbolic pre-certification: every candidate (kernel, variant) pair
+  // is certified once, in-process, before any worker spawns — the
+  // certificates ship with the attempt, so a refuted variant is
+  // quarantined as proven-wrong without the worker re-deriving the
+  // verdict, and retries reuse the same proofs. Certificates are
+  // content-addressed serve artifacts: with an artifact cache they
+  // persist across runs and daemon requests. Chaos-corrupted ASTs skip
+  // this (corruption is chaos, not content — the worker certifies the
+  // corrupted kernel fresh and refutes it there).
+  if (opt_.certify && !req.corrupt_ast && kernel->parallel_loop_count() > 0) {
+    np::CertifyOptions copt;
+    copt.f32_rel_tol = opt_.f32_rel_tol;
+    copt.interp.jobs = 1;
+    const np::Certifier certifier(spec_, copt);
+    const ir::Kernel& k = *kernel;
+    const int elems = spec.elems;
+    const int tb = spec.tb;
+    auto factory = [&k, elems, tb] {
+      return np::make_synthetic_workload(k, elems, tb);
+    };
+    np::Workload probe = factory();
+    ArtifactCache* cache = opt_.artifact_cache;
+    for (const auto& cfg : np::NpCompiler::enumerate_configs(
+             k, static_cast<int>(probe.launch.block.count()), spec_)) {
+      std::string key;
+      if (cache) {
+        key = certificate_cache_key(req.source, k.name, req.device,
+                                    req.sm_version, elems, tb,
+                                    cfg.describe(), copt);
+        // The chaos hooks damage the stored certificate *before*
+        // lookup, so a torn/corrupt entry runs the exact
+        // quarantine-and-recertify path a production hit would.
+        if (spec.fault.corrupt_cert) (void)cache->corrupt_entry(key);
+        if (spec.fault.tear_cert) (void)cache->tear_entry(key);
+        if (auto payload = cache->lookup(key)) {
+          if (auto cert = np::Certificate::from_json(*payload);
+              cert && cert->config == cfg.describe()) {
+            req.certificates.push_back(std::move(*payload));
+            continue;
+          }
+        }
+      }
+      np::Certificate cert = certifier.certify(k, cfg, factory);
+      std::string payload = cert.json();
+      if (cache) cache->store(key, payload);
+      req.certificates.push_back(std::move(payload));
+    }
+  }
 
   sim::ExecutionLimits limits;
   limits.max_steps_per_block = spec.watchdog_steps;

@@ -281,6 +281,20 @@ struct ServiceOptions {
   sim::SanitizerEngine::Options sanitizer;
   double f32_rel_tol = 1e-3;
 
+  /// Symbolic equivalence certification (np/certifier.hpp): each
+  /// (kernel, variant) pair is certified once per batch — proven
+  /// variants carry a machine-checkable certificate, refuted ones are
+  /// quarantined as proven-wrong before any worker spawns. Certificates
+  /// are content-addressed serve artifacts: with an artifact_cache they
+  /// persist across runs (checksummed; torn/corrupt entries quarantined
+  /// and re-certified).
+  bool certify = false;
+  /// With certify: variants whose certificate verdict is proven skip
+  /// the per-run sanitized cross-check and execute on the fast path
+  /// (the watchdog still applies). Off, certificates only gate refuted
+  /// variants.
+  bool certified_fast_path = false;
+
   /// Crash isolation: kProcess runs every attempt in a sandboxed worker
   /// subprocess (serve/supervisor.hpp), so a natively crashing,
   /// aborting, or wedged job cannot take the batch down. Reports are
@@ -327,6 +341,15 @@ struct ServiceOptions {
   /// the strict determinism contract).
   BreakerRegistry* breaker_registry = nullptr;
 };
+
+/// Content-addressed artifact-cache key of one equivalence certificate:
+/// the job source plus everything that changes the proof (kernel,
+/// device model, workload shape, config, certifier options). Exposed so
+/// tests and operators can address stored certificates directly.
+[[nodiscard]] std::string certificate_cache_key(
+    const std::string& source, const std::string& kernel,
+    const std::string& device, int sm_version, int elems, int tb,
+    const std::string& config, const np::CertifyOptions& copt);
 
 class BatchService {
  public:

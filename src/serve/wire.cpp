@@ -163,7 +163,14 @@ std::string AttemptRequest::json() const {
      << ",\"error_limit\":" << error_limit << ",\"portable_races\":"
      << (portable_races ? "true" : "false") << ",\"dedupe\":"
      << (dedupe ? "true" : "false") << ",\"f32_rel_tol\":" << f32_rel_tol
-     << ",\"heartbeat_ms\":" << heartbeat_ms << "}";
+     << ",\"heartbeat_ms\":" << heartbeat_ms << ",\"certify\":"
+     << (certify ? "true" : "false") << ",\"certified_fast_path\":"
+     << (certified_fast_path ? "true" : "false") << ",\"certificates\":[";
+  for (std::size_t i = 0; i < certificates.size(); ++i) {
+    if (i) os << ",";
+    os << "\"" << json::escape(certificates[i]) << "\"";
+  }
+  os << "]}";
   return os.str();
 }
 
@@ -191,6 +198,15 @@ std::optional<AttemptRequest> AttemptRequest::from_json(
   r.dedupe = v->get_bool("dedupe", true);
   r.f32_rel_tol = v->get_double("f32_rel_tol", 1e-3);
   r.heartbeat_ms = static_cast<int>(v->get_i64("heartbeat_ms", 200));
+  r.certify = v->get_bool("certify");
+  r.certified_fast_path = v->get_bool("certified_fast_path");
+  if (const json::Value* c = v->find("certificates")) {
+    if (!c->is_array()) return std::nullopt;
+    for (const auto& item : c->arr()) {
+      if (!item.is_string()) return std::nullopt;
+      r.certificates.push_back(item.as_str());
+    }
+  }
   return r;
 }
 

@@ -27,6 +27,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "np/compiler.hpp"
 #include "sim/fault.hpp"
@@ -127,6 +128,18 @@ struct AttemptRequest {
   double f32_rel_tol = 1e-3;
   /// Real-time heartbeat interval the worker keeps while executing.
   int heartbeat_ms = 200;
+  /// Symbolic-equivalence certification (np/certifier.hpp): certify
+  /// every candidate variant and quarantine refuted ones as
+  /// proven-wrong before they can serve an answer.
+  bool certify = false;
+  /// With certify: proven variants skip the per-run sanitized
+  /// cross-check (the watchdog still applies).
+  bool certified_fast_path = false;
+  /// Pre-certified payloads (np::Certificate::json()), one per already
+  /// certified candidate config. The worker binds these as its
+  /// certificate provider so cached / supervisor-side verdicts are
+  /// reused instead of re-derived per attempt.
+  std::vector<std::string> certificates;
 
   [[nodiscard]] std::string json() const;
   [[nodiscard]] static std::optional<AttemptRequest> from_json(

@@ -118,6 +118,22 @@ AttemptResult execute_attempt(const AttemptRequest& req,
                            : sim::SanitizerEngine::RaceMode::kLockstep;
     vopt.sanitizer.dedupe = req.dedupe;
     vopt.f32_rel_tol = req.f32_rel_tol;
+    vopt.certify = req.certify;
+    vopt.certified_fast_path = req.certified_fast_path;
+    if (req.certify && !req.certificates.empty()) {
+      // Bind the shipped certificates as a read-only provider: a hit
+      // reuses the supervisor's (possibly cached) verdict; a miss
+      // certifies fresh in-process.
+      const std::vector<std::string>& payloads = req.certificates;
+      vopt.certificates.load =
+          [&payloads](const std::string& config)
+          -> std::optional<np::Certificate> {
+        for (const std::string& p : payloads)
+          if (auto c = np::Certificate::from_json(p); c && c->config == config)
+            return c;
+        return std::nullopt;
+      };
+    }
     // Each attempt simulates its grid serially; batch parallelism lives
     // a layer up (the exec_pool is not reentrant from worker threads).
     vopt.interp.jobs = 1;

@@ -185,7 +185,9 @@ std::string FaultPlan::json() const {
      << ",\"crash_at_step\":" << crash_at_step << ",\"oom_mb\":" << oom_mb
      << ",\"wedge_worker\":" << (wedge_worker ? "true" : "false")
      << ",\"corrupt_cache\":" << (corrupt_cache ? "true" : "false")
-     << ",\"tear_cache\":" << (tear_cache ? "true" : "false") << "}";
+     << ",\"tear_cache\":" << (tear_cache ? "true" : "false")
+     << ",\"corrupt_cert\":" << (corrupt_cert ? "true" : "false")
+     << ",\"tear_cert\":" << (tear_cert ? "true" : "false") << "}";
   return os.str();
 }
 
@@ -204,6 +206,8 @@ std::optional<FaultPlan> FaultPlan::from_json_value(const json::Value& v) {
   p.wedge_worker = v.get_bool("wedge_worker");
   p.corrupt_cache = v.get_bool("corrupt_cache");
   p.tear_cache = v.get_bool("tear_cache");
+  p.corrupt_cert = v.get_bool("corrupt_cert");
+  p.tear_cert = v.get_bool("tear_cert");
   return p;
 }
 

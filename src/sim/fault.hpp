@@ -81,6 +81,14 @@ struct FaultPlan {
   /// Serve-layer fault: truncate the stored cache entry (a torn write),
   /// which must be quarantined exactly like corruption.
   bool tear_cache = false;
+  /// Serve-layer fault: flip a byte in this job's stored equivalence
+  /// certificates before lookup. A corrupt certificate must be
+  /// quarantined as a miss and the variant re-certified from scratch —
+  /// never trusted for the certified fast path.
+  bool corrupt_cert = false;
+  /// Serve-layer fault: truncate the stored certificates (torn write),
+  /// quarantined exactly like corruption.
+  bool tear_cert = false;
 
   /// Serializes every field; from_json reverses it exactly. This is how
   /// fault plans ride the worker-process wire protocol.

@@ -1,0 +1,228 @@
+// Symbolic evaluator over ir:: kernels (the proof engine behind
+// np/certifier.hpp).
+//
+// The executor runs a kernel in the same block-lockstep vector model as
+// the interpreter, but with *symbolic* float data: geometry and int
+// scalar parameters are concrete (so loop bounds, indices and masks
+// fold), while float buffer elements and float scalar parameters are
+// opaque input leaves. Every arithmetic step builds a hash-consed
+// expression node whose constant folding replicates
+// exec::BlockCore::apply_binop bit-for-bit (float ops round through f32,
+// int64 exact), so a fully-concrete symbolic run computes exactly what
+// the interpreter would.
+//
+// The result is, per output buffer element, an expression DAG over the
+// input leaves. np::Certifier normalizes those DAGs (constant folding,
+// sub -> add/neg, AC-flattening and operand sorting of +,*,min,max
+// chains, select(x<y,x,y) -> min/max) and compares baseline vs variant:
+// identical raw DAGs prove exact equivalence; identical normalized DAGs
+// prove equivalence modulo reassociation/commutation, which is the right
+// contract for NP-transformed float reductions and scans.
+//
+// Anything outside the supported envelope (symbolic loop bounds,
+// symbolic store indices, barriers or shared-memory stores under
+// symbolically divergent branches, cross-block data flow, budget
+// exhaustion) aborts the run with a reason instead of guessing — the
+// certifier maps that to kInconclusive and the empirical
+// sanitize/cross-check legs keep the final say. Global stores under a
+// symbolically divergent branch are supported by folding the branch
+// predicate into the stored value (select(pred, new, old)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/kernel.hpp"
+#include "sim/launch.hpp"
+
+namespace cudanp::sim {
+
+enum class SymKind : std::uint8_t {
+  kConstInt,
+  kConstFloat,
+  /// Symbolic input leaf: element `elem` of buffer argument `param`, or
+  /// the scalar argument `param` itself when elem == -1.
+  kInput,
+  kBin,    // ir::BinOp over kids[0], kids[1]
+  kUnary,  // ir::UnOp over kids[0]
+  kCall,   // SymFn over kids
+  kCast,   // to ScalarType (op field) of kids[0]
+  kSelect, // kids = {cond, then, else}
+  kGather, // kids = {index, cell0, cell1, ...}: load at a symbolic index
+  kNary,   // normalized AC chain (SymNaryOp), operands sorted by id
+};
+
+/// Builtin math functions a symbolic call node can carry (mirrors the
+/// interpreter's Builtin set minus barriers/shfl, which the executor
+/// resolves during execution and never represents as nodes).
+enum class SymFn : std::uint8_t {
+  kSqrt, kFabs, kExp, kLog, kSin, kCos, kFloor, kRsqrt, kAbs,
+  kMin, kMax, kFminf, kFmaxf, kPowf,
+};
+
+/// AC operators the normalizer flattens into kNary chains.
+enum class SymNaryOp : std::uint8_t { kAdd, kMul, kMin, kMax };
+
+struct SymNode {
+  SymKind kind = SymKind::kConstInt;
+  ir::ScalarType type = ir::ScalarType::kInt;
+  /// BinOp / UnOp / SymFn / SymNaryOp / target ScalarType, by kind.
+  std::uint8_t op = 0;
+  std::int32_t param = -1;   // kInput: argument index
+  std::int64_t ival = 0;     // kConstInt value / kInput element index
+  double fval = 0.0;         // kConstFloat value
+  std::vector<std::uint32_t> kids;
+};
+
+/// Raised by constant folding when the folded operation would make the
+/// interpreter throw (integer division by zero); the executor turns it
+/// into an aborted result with fault = true.
+struct SymFault {
+  std::string message;
+};
+
+/// Hash-consing arena. Node ids are indices; structural equality of two
+/// expressions built in the *same* arena is id equality. Builders fold
+/// eagerly when every operand is constant, replicating the interpreter's
+/// exact semantics (f32 rounding on float ops and math calls).
+class SymArena {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t cint(std::int64_t v);
+  /// Constant float, rounded through f32 like every interpreter value.
+  [[nodiscard]] std::uint32_t cfloat(double v);
+  [[nodiscard]] std::uint32_t input(std::int32_t param, std::int64_t elem,
+                                    ir::ScalarType type);
+  [[nodiscard]] std::uint32_t bin(ir::BinOp op, std::uint32_t a,
+                                  std::uint32_t b);
+  [[nodiscard]] std::uint32_t un(ir::UnOp op, std::uint32_t a);
+  [[nodiscard]] std::uint32_t call(SymFn fn, std::vector<std::uint32_t> kids);
+  [[nodiscard]] std::uint32_t cast(ir::ScalarType to, std::uint32_t a);
+  [[nodiscard]] std::uint32_t select(std::uint32_t c, std::uint32_t a,
+                                     std::uint32_t b);
+  [[nodiscard]] std::uint32_t gather(std::uint32_t idx,
+                                     const std::vector<std::uint32_t>& cells,
+                                     ir::ScalarType type);
+  /// Interns an already-normalized n-ary chain (operands must be sorted).
+  [[nodiscard]] std::uint32_t nary(SymNaryOp op, ir::ScalarType type,
+                                   std::vector<std::uint32_t> kids);
+
+  [[nodiscard]] const SymNode& node(std::uint32_t id) const {
+    return nodes_[id];
+  }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+
+  /// True when the node is a constant; fills `out` with its Value.
+  [[nodiscard]] bool constant(std::uint32_t id, Value* out) const;
+
+  /// Canonical form: constants folded, sub/neg rewritten into add/mul
+  /// chains, +,*,min,max flattened into sorted kNary nodes, comparisons
+  /// oriented, select-over-comparison rewritten to min/max. Memoized.
+  [[nodiscard]] std::uint32_t normalize(std::uint32_t id);
+
+  /// Renders an expression for diagnostics (depth-capped).
+  [[nodiscard]] std::string str(std::uint32_t id, int max_depth = 6) const;
+
+ private:
+  [[nodiscard]] std::uint32_t intern(SymNode&& n);
+  [[nodiscard]] std::uint32_t fold_bin(ir::BinOp op, Value a, Value b);
+  [[nodiscard]] std::uint32_t make_nary(SymNaryOp op, ir::ScalarType type,
+                                        std::vector<std::uint32_t> operands);
+
+  std::vector<SymNode> nodes_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> index_;
+  std::unordered_map<std::uint32_t, std::uint32_t> norm_memo_;
+};
+
+/// How one kernel argument is modelled symbolically.
+struct SymArg {
+  enum class Kind : std::uint8_t {
+    kScalarConcrete,  ///< int scalar pinned to a concrete value
+    kScalarSymbolic,  ///< float scalar: one input leaf
+    kBufferSymbolic,  ///< float buffer of `elems` symbolic input leaves
+    kBufferConcrete,  ///< int buffer with the concrete contents of `ints`
+    kBufferScratch,   ///< uninitialized device scratch (variant re-homing)
+  };
+  Kind kind = Kind::kScalarConcrete;
+  ir::ScalarType type = ir::ScalarType::kInt;
+  Value scalar{};           // kScalarConcrete
+  std::int64_t elems = 0;   // buffer kinds
+  /// kBufferConcrete: the elems concrete values (int data steers control
+  /// flow and indexing, so it is pinned, not abstracted).
+  std::vector<std::int32_t> ints;
+};
+
+/// Deterministic float assignment for input leaf (param, elem) under a
+/// counterexample seed (elem == -1 for scalar params). Counterexample
+/// replays fill concrete workloads from the same function, so symbolic
+/// evaluation and interpreter execution see identical inputs.
+[[nodiscard]] float sym_float_input(std::uint64_t seed, int param,
+                                    std::int64_t elem);
+
+struct SymExecOptions {
+  /// Statement budget across the whole grid; exhausted -> aborted run.
+  std::int64_t max_steps = 4'000'000;
+  /// Largest array a load at a symbolic index may be expanded over
+  /// (kGather snapshot size); larger -> aborted run.
+  std::int64_t max_gather_cells = 4096;
+  /// Arena node budget: a run whose expression DAG outgrows this aborts
+  /// (keeps certification time and memory bounded on huge workloads).
+  std::int64_t max_nodes = 8'000'000;
+  int warp_size = 32;
+};
+
+/// A shared-memory (or same-block global) access pair that would be a
+/// data race on real hardware: cross-warp, same barrier epoch. The
+/// simulator's documented lockstep model gives these accesses a
+/// deterministic order — NP master/slave handoffs rely on it and
+/// intentionally report under SanitizerEngine::RaceMode::kPortable — so
+/// these are advisory notes, not correctness verdicts.
+struct SymRace {
+  std::string message;
+};
+
+struct SymExecResult {
+  /// True when the kernel was executed to completion within the model.
+  bool ok = false;
+  /// Set with ok == false when the abort is a *deterministic fault* the
+  /// interpreter would also raise on any input (OOB access, div by
+  /// zero), as opposed to an unsupported-construct bailout.
+  bool fault = false;
+  std::string reason;
+  /// Final symbolic contents per buffer argument (empty vector for
+  /// scalar args), indexed like the `args` input.
+  std::vector<std::vector<std::uint32_t>> buffers;
+  std::vector<SymRace> races;
+  std::int64_t steps = 0;
+};
+
+/// Executes `kernel` over the whole grid in lockstep-vector order.
+/// Blocks run sequentially; a read of a global element written by a
+/// *different* block aborts (cross-block ordering is undefined on real
+/// hardware and uncertifiable).
+[[nodiscard]] SymExecResult sym_execute(const ir::Kernel& kernel, Dim3 grid,
+                                        Dim3 block,
+                                        const std::vector<SymArg>& args,
+                                        SymArena& arena,
+                                        const SymExecOptions& opt = {});
+
+/// Evaluates an expression under a concrete assignment of input leaves
+/// (float leaves from sym_float_input(seed, ...)). Mirrors interpreter
+/// arithmetic exactly. Returns false when evaluation faults (div by
+/// zero, gather index out of range).
+class SymEvaluator {
+ public:
+  SymEvaluator(const SymArena& arena, std::uint64_t seed)
+      : arena_(arena), seed_(seed) {}
+  [[nodiscard]] bool eval(std::uint32_t id, Value* out);
+
+ private:
+  const SymArena& arena_;
+  std::uint64_t seed_;
+  std::unordered_map<std::uint32_t, Value> memo_;
+};
+
+}  // namespace cudanp::sim

@@ -134,7 +134,7 @@ TEST(Runner, VariantAllocatesExtraBuffers) {
   Runner runner = make_runner();
   auto w = bench->make_workload();
   std::size_t before = w.mem->buffer_count();
-  auto run = runner.run_variant(variant, w);
+  auto run = runner.execute(ExecutionRequest::transformed(variant, w)).run;
   EXPECT_EQ(w.mem->buffer_count(), before + 1);
   EXPECT_GT(run.timing.seconds, 0.0);
   std::string msg;

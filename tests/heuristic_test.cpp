@@ -147,7 +147,7 @@ TEST(Heuristic, SuggestionIsValidAndCorrect) {
     auto variant = np::NpCompiler::transform(bench->kernel(), c.config);
     np::Runner runner{sim::DeviceSpec::gtx680()};
     auto w = bench->make_workload();
-    (void)runner.run_variant(variant, w);
+    (void)runner.execute(np::ExecutionRequest::transformed(variant, w));
     std::string msg;
     EXPECT_TRUE(!w.validate || w.validate(*w.mem, &msg))
         << bench->name() << ": " << msg;

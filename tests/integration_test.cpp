@@ -18,7 +18,8 @@ TEST_P(BenchmarkIntegration, BaselineMatchesReference) {
   auto bench = kernels::make_benchmark(GetParam(), kTestScale);
   np::Runner runner{sim::DeviceSpec::gtx680()};
   auto w = bench->make_workload();
-  auto run = runner.run(bench->kernel(), w);
+  auto run =
+      runner.execute(np::ExecutionRequest::baseline(bench->kernel(), w)).run;
   EXPECT_GT(run.timing.seconds, 0.0);
   EXPECT_GT(run.occupancy.blocks_per_smx, 0);
   std::string msg;
@@ -43,7 +44,8 @@ TEST_P(BenchmarkIntegration, EveryNpVariantMatchesReference) {
       continue;  // configuration legitimately inapplicable
     }
     auto w = bench->make_workload();
-    auto run = runner.run_variant(variant, w);
+    auto run =
+        runner.execute(np::ExecutionRequest::transformed(variant, w)).run;
     EXPECT_GT(run.timing.seconds, 0.0);
     std::string msg;
     EXPECT_TRUE(w.validate(*w.mem, &msg)) << msg;

@@ -102,9 +102,12 @@ TEST_P(ParallelExecBenchmarks, BitIdenticalToSerial) {
   np::Runner parallel(spec, with_jobs(8));
 
   np::Workload ws = bench->make_workload();
-  auto rs = serial.run(bench->kernel(), ws);
+  auto rs =
+      serial.execute(np::ExecutionRequest::baseline(bench->kernel(), ws)).run;
   np::Workload wp = bench->make_workload();
-  auto rp = parallel.run(bench->kernel(), wp);
+  auto rp =
+      parallel.execute(np::ExecutionRequest::baseline(bench->kernel(), wp))
+          .run;
 
   expect_stats_equal(rs.stats, rp.stats);
   expect_timing_equal(rs.timing, rp.timing);
@@ -122,9 +125,9 @@ INSTANTIATE_TEST_SUITE_P(AllBenchmarks, ParallelExecBenchmarks,
 
 /// Runs `src`'s first kernel under the sanitizer at the given job count
 /// (same synthetic workload convention as sanitizer_test.cpp).
-np::SanitizedRun run_sanitized_jobs(const std::string& src, int block_x,
-                                    int grid_x, int jobs,
-                                    SanOptions sopt = {}) {
+np::ExecutionResult run_sanitized_jobs(const std::string& src, int block_x,
+                                       int grid_x, int jobs,
+                                       SanOptions sopt = {}) {
   auto program = np::NpCompiler::parse(src);
   const ir::Kernel& kernel = *program->kernels.front();
   np::Workload w;
@@ -139,7 +142,8 @@ np::SanitizedRun run_sanitized_jobs(const std::string& src, int block_x,
   w.launch.block = {block_x, 1, 1};
   w.launch.grid = {grid_x, 1, 1};
   np::Runner runner(sim::DeviceSpec::gtx680(), with_jobs(jobs));
-  return runner.run_sanitized(kernel, w, sopt);
+  return runner.execute(
+      np::ExecutionRequest::baseline(kernel, w).sanitized(sopt));
 }
 
 struct HazardCase {
@@ -223,7 +227,7 @@ TEST(ParallelExec, HazardStreamsBitIdentical) {
     EXPECT_EQ(serial.engine.total_detected(), parallel.engine.total_detected());
     EXPECT_EQ(serial.engine.limit_reached(), parallel.engine.limit_reached());
     expect_reports_equal(serial.engine.reports(), parallel.engine.reports());
-    expect_stats_equal(serial.result.stats, parallel.result.stats);
+    expect_stats_equal(serial.run.stats, parallel.run.stats);
   }
 }
 
@@ -246,7 +250,8 @@ __global__ void oob(float* out, int n) {
     w.launch.grid = {16, 1, 1};
     np::Runner runner(sim::DeviceSpec::gtx680(), with_jobs(jobs));
     try {
-      (void)runner.run(*program->kernels.front(), w);
+      (void)runner.execute(
+          np::ExecutionRequest::baseline(*program->kernels.front(), w));
       FAIL() << "expected SimError at jobs=" << jobs;
     } catch (const SimError& e) {
       (jobs == 1 ? serial_err : parallel_err) = e.what();
@@ -280,8 +285,12 @@ __global__ void scale(float* data, int n) {
       w->launch.block = {32, 1, 1};
       w->launch.grid = {256, 1, 1};
     }
-    auto rs = np::Runner(spec, with_jobs(1)).run(kernel, ws);
-    auto rp = np::Runner(spec, with_jobs(8)).run(kernel, wp);
+    auto rs = np::Runner(spec, with_jobs(1))
+                  .execute(np::ExecutionRequest::baseline(kernel, ws))
+                  .run;
+    auto rp = np::Runner(spec, with_jobs(8))
+                  .execute(np::ExecutionRequest::baseline(kernel, wp))
+                  .run;
     expect_stats_equal(rs.stats, rp.stats);
     expect_memories_equal(*ws.mem, *wp.mem);
   }

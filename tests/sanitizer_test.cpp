@@ -19,8 +19,8 @@ using SanOptions = sim::SanitizerEngine::Options;
 /// Parses `src`, builds a synthetic workload (pointer params get a
 /// 4096-element buffer, int scalars the value 64, float scalars 1.0), and
 /// runs the first kernel under the sanitizer.
-np::SanitizedRun run_sanitized(const std::string& src, int block_x,
-                               SanOptions sopt = {}, int grid_x = 1) {
+np::ExecutionResult run_sanitized(const std::string& src, int block_x,
+                                  SanOptions sopt = {}, int grid_x = 1) {
   auto program = np::NpCompiler::parse(src);
   const ir::Kernel& kernel = *program->kernels.front();
   np::Workload w;
@@ -35,7 +35,8 @@ np::SanitizedRun run_sanitized(const std::string& src, int block_x,
   w.launch.block = {block_x, 1, 1};
   w.launch.grid = {grid_x, 1, 1};
   np::Runner runner(sim::DeviceSpec::gtx680());
-  return runner.run_sanitized(kernel, w, sopt);
+  return runner.execute(
+      np::ExecutionRequest::baseline(kernel, w).sanitized(sopt));
 }
 
 TEST(Sanitizer, DetectsLockstepWriteWriteRace) {
@@ -204,7 +205,8 @@ __global__ void shfl_oob(float* out, int n) {
   w.launch.block = {32, 1, 1};
   w.launch.grid = {1, 1, 1};
   np::Runner runner(sim::DeviceSpec::gtx680());
-  EXPECT_NO_THROW(runner.run(*program->kernels.front(), w));
+  EXPECT_NO_THROW((void)runner.execute(
+      np::ExecutionRequest::baseline(*program->kernels.front(), w)));
 }
 
 TEST(Sanitizer, ErrorLimitStopsTheRunEarly) {

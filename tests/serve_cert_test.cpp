@@ -1,0 +1,200 @@
+// Certified serving: symbolic equivalence certificates as first-class
+// serve artifacts. A certified batch pre-proves every candidate variant
+// once (content-addressed in the artifact cache), ships the proofs with
+// each attempt, quarantines refuted variants as proven-wrong before
+// they can serve an answer, and — under the certified fast path — lets
+// proven variants skip the per-run sanitized cross-check. None of this
+// may change a clean report: certification is evidence, not behaviour.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "np/certifier.hpp"
+#include "np/compiler.hpp"
+#include "np/runner.hpp"
+#include "serve/artifact_cache.hpp"
+#include "serve/service.hpp"
+#include "sim/device.hpp"
+
+namespace cudanp {
+namespace {
+
+// Paper Fig. 1 kernel: compiles cleanly, has candidates, and its NP
+// reduction certifies (modulo float reassociation).
+const char* kTmv = R"(
+__global__ void tmv(float* a, float* b, float* c, int w, int h) {
+  float sum = 0.0f;
+  int tx = threadIdx.x + blockIdx.x * blockDim.x;
+  #pragma np parallel for reduction(+:sum)
+  for (int i = 0; i < h; i++)
+    sum += a[i * w + tx] * b[i];
+  c[tx] = sum;
+}
+)";
+
+serve::JobSpec tmv_job(const std::string& name) {
+  serve::JobSpec j;
+  j.name = name;
+  j.source = kTmv;
+  j.elems = 16;
+  j.tb = 8;
+  return j;
+}
+
+serve::ServiceReport run_batch(const std::vector<serve::JobSpec>& jobs,
+                               serve::ServiceOptions opt) {
+  serve::BatchService service(sim::DeviceSpec::gtx680(), opt);
+  return service.run(jobs);
+}
+
+// The candidate configurations a TMV job enumerates, in compiler order
+// — the set the service pre-certifies.
+std::vector<std::string> tmv_configs(const serve::JobSpec& job) {
+  auto program = np::NpCompiler::parse(job.source);
+  const ir::Kernel& k = *program->kernels.front();
+  np::Workload probe = np::make_synthetic_workload(k, job.elems, job.tb);
+  std::vector<std::string> out;
+  for (const auto& cfg : np::NpCompiler::enumerate_configs(
+           k, static_cast<int>(probe.launch.block.count()),
+           sim::DeviceSpec::gtx680()))
+    out.push_back(cfg.describe());
+  return out;
+}
+
+// The certifier options the service builds for a job — must stay in
+// sync with BatchService::run_job for cache-key poisoning to land.
+np::CertifyOptions service_copt(const serve::ServiceOptions& opt) {
+  np::CertifyOptions copt;
+  copt.f32_rel_tol = opt.f32_rel_tol;
+  copt.interp.jobs = 1;
+  return copt;
+}
+
+// ---------------------------------------------------------------------
+// Certification must not change a clean report: off, on, and fast-path
+// runs of the same batch render byte-identical ServiceReports.
+
+TEST(CertifiedBatch, CleanReportIsByteIdenticalAcrossCertModes) {
+  std::vector<serve::JobSpec> jobs = {tmv_job("a"), tmv_job("b")};
+
+  serve::ServiceOptions off;
+  serve::ServiceReport plain = run_batch(jobs, off);
+  ASSERT_EQ(plain.succeeded, 2u);
+
+  serve::ServiceOptions on = off;
+  on.certify = true;
+  serve::ServiceReport certified = run_batch(jobs, on);
+
+  serve::ServiceOptions fast = on;
+  fast.certified_fast_path = true;
+  serve::ServiceReport fast_path = run_batch(jobs, fast);
+
+  EXPECT_EQ(plain.json(), certified.json());
+  EXPECT_EQ(plain.json(), fast_path.json());
+  EXPECT_EQ(plain.str(), fast_path.str());
+}
+
+// ---------------------------------------------------------------------
+// Certificates are content-addressed serve artifacts: the second run of
+// the same batch reuses every stored proof instead of re-deriving it.
+
+TEST(CertifiedBatch, CertificatesPersistInTheArtifactCache) {
+  serve::ArtifactCache cache(serve::ArtifactCacheOptions{});
+  serve::ServiceOptions opt;
+  opt.certify = true;
+  opt.artifact_cache = &cache;
+
+  std::vector<serve::JobSpec> jobs = {tmv_job("a")};
+  serve::ServiceReport first = run_batch(jobs, opt);
+  ASSERT_EQ(first.succeeded, 1u);
+  const auto after_first = cache.stats();
+  // Every candidate config stored a certificate (plus the attempt
+  // entry itself).
+  const std::size_t n_configs = tmv_configs(jobs[0]).size();
+  ASSERT_GT(n_configs, 0u);
+  EXPECT_GE(static_cast<std::size_t>(after_first.stores), n_configs + 1);
+
+  serve::ServiceReport second = run_batch(jobs, opt);
+  const auto after_second = cache.stats();
+  // Second run: certificate lookups all hit; nothing new is stored.
+  EXPECT_GE(after_second.hits, after_first.hits +
+                                   static_cast<std::int64_t>(n_configs));
+  EXPECT_EQ(after_second.stores, after_first.stores);
+  // Caching can never change the report.
+  EXPECT_EQ(first.json(), second.json());
+}
+
+// ---------------------------------------------------------------------
+// Chaos: a damaged stored certificate (corrupt or torn) is quarantined
+// as a miss and the variant re-certified — never trusted, and never a
+// behaviour change.
+
+TEST(CertifiedBatch, DamagedCertificatesAreQuarantinedAndRederived) {
+  serve::ArtifactCache cache(serve::ArtifactCacheOptions{});
+  serve::ServiceOptions opt;
+  opt.certify = true;
+  opt.certified_fast_path = true;
+  opt.artifact_cache = &cache;
+
+  serve::ServiceReport clean = run_batch({tmv_job("a")}, opt);
+  ASSERT_EQ(clean.succeeded, 1u);
+  const auto before = cache.stats();
+
+  serve::JobSpec corrupt = tmv_job("a");
+  corrupt.fault.corrupt_cert = true;  // serve-layer fault: no inject
+  serve::ServiceReport after_corrupt = run_batch({corrupt}, opt);
+  EXPECT_EQ(clean.json(), after_corrupt.json());
+  EXPECT_GT(cache.stats().quarantined_corrupt, before.quarantined_corrupt);
+
+  serve::JobSpec torn = tmv_job("a");
+  torn.fault.tear_cert = true;
+  serve::ServiceReport after_torn = run_batch({torn}, opt);
+  EXPECT_EQ(clean.json(), after_torn.json());
+  EXPECT_GT(cache.stats().quarantined_torn, before.quarantined_torn);
+}
+
+// ---------------------------------------------------------------------
+// A refuted certificate is binding: poison the cache with a refutation
+// for every candidate config and the job degrades straight to the
+// guaranteed baseline with the permanent proven-wrong cause — no
+// retries (a proof is not transient), no variant execution.
+
+TEST(CertifiedBatch, RefutedCertificateQuarantinesBeforeExecution) {
+  serve::ArtifactCache cache(serve::ArtifactCacheOptions{});
+  serve::ServiceOptions opt;
+  opt.certify = true;
+  opt.artifact_cache = &cache;
+  opt.retry.max_attempts = 3;
+
+  serve::JobSpec job = tmv_job("a");
+  const np::CertifyOptions copt = service_copt(opt);
+  for (const std::string& config : tmv_configs(job)) {
+    np::Certificate cert;
+    cert.kernel = "tmv";
+    cert.config = config;
+    cert.verdict = np::Verdict::kRefuted;
+    cert.detail = "poisoned for test";
+    cert.counterexample_seed = 7;
+    cache.store(
+        serve::certificate_cache_key(job.source, "tmv", "gtx680", 30,
+                                     job.elems, job.tb, config, copt),
+        cert.json());
+  }
+
+  serve::ServiceReport report = run_batch({job}, opt);
+  ASSERT_EQ(report.jobs.size(), 1u);
+  const serve::JobResult& r = report.jobs[0];
+  EXPECT_EQ(r.state, serve::JobState::kDegraded);
+  EXPECT_EQ(r.cause, "proven-wrong");
+  EXPECT_EQ(r.chosen_config, "baseline");
+  // Proven-wrong is permanent evidence, not a transient blip: exactly
+  // one attempt, every candidate quarantined with the same cause.
+  EXPECT_EQ(r.attempts, 1);
+  ASSERT_FALSE(r.quarantined.empty());
+  for (const auto& q : r.quarantined)
+    EXPECT_EQ(q.cause, np::FailureCause::kProvenWrong);
+}
+
+}  // namespace
+}  // namespace cudanp

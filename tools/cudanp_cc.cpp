@@ -31,6 +31,18 @@
 //                         execution watchdog cancels a launch (0 = auto:
 //                         CUDANP_MAX_STEPS env var, else 2^26; negative
 //                         disables the watchdog; see docs/robustness.md)
+//   --certify             symbolic equivalence certification (the third
+//                         validation leg; see docs/robustness.md
+//                         "Certification"): prove every candidate
+//                         variant equivalent to the baseline, refute it
+//                         with a replayable counterexample, or fall back
+//                         to the empirical checks. Refuted variants are
+//                         quarantined as proven-wrong (exit 11 when one
+//                         is found)
+//   --certified-fast-path certified serving (implies --certify): proven
+//                         variants skip the per-run sanitized
+//                         cross-check and run unguarded for raw speed
+//                         (the watchdog still applies)
 //   --fallback=baseline   graceful degradation: pick the best candidate
 //                         variant that survives the sanitizer + watchdog +
 //                         output cross-check, falling back to the baseline
@@ -118,7 +130,10 @@
 // 9 when --resume was given a journal written for a different batch or
 // different options (no report is produced), 10 when a daemon refused a
 // --connect request with a structured reject (tenant-quota / queue-full /
-// draining / bad-manifest — the request never entered the pipeline).
+// draining / bad-manifest — the request never entered the pipeline),
+// 11 when --certify refuted a candidate variant (a replayable
+// counterexample proves it diverges from the baseline; takes precedence
+// over 3 and 6 — the strongest possible evidence of a transform bug).
 #include <cerrno>
 #include <cstring>
 #include <fstream>
@@ -165,6 +180,8 @@ struct CliOptions {
   bool report = false;
   bool preprocess = false;
   bool sanitize = false;
+  bool certify = false;
+  bool certified_fast_path = false;
   int error_limit = 100;
   int elems = 64;
   bool portable_races = false;
@@ -217,6 +234,7 @@ void usage() {
          "                 [--portable-races] [--jobs=<n>]\n"
          "                 [--engine=auto|ast|vm|check]\n"
          "                 [--watchdog-steps=<n>] [--fallback=baseline]\n"
+         "                 [--certify] [--certified-fast-path]\n"
          "       cudanp-cc --batch=<manifest> [--jobs=<n>]\n"
          "                 [--queue-cap=<n>] [--deadline-ms=<n>]\n"
          "                 [--retries=<n>] [--elems=<n>] [--tb=<n>]\n"
@@ -224,6 +242,7 @@ void usage() {
          "                 [--worker-mem-mb=<n>] [--worker-timeout-ms=<n>]\n"
          "                 [--journal=<file>] [--resume]\n"
          "                 [--commit-chunk=<n>] [--heartbeat-ms=<n>]\n"
+         "                 [--certify] [--certified-fast-path]\n"
          "                 [-o <file>]\n"
          "       cudanp-cc --serve=<socket> [batch flags]\n"
          "                 [--tenant-quota=<n>] [--max-pending=<n>]\n"
@@ -303,6 +322,11 @@ std::optional<CliOptions> parse_args(int argc, char** argv) {
       opt.preprocess = true;
     } else if (a == "--sanitize") {
       opt.sanitize = true;
+    } else if (a == "--certify") {
+      opt.certify = true;
+    } else if (a == "--certified-fast-path") {
+      opt.certify = true;
+      opt.certified_fast_path = true;
     } else if (a.rfind("--error-limit=", 0) == 0) {
       if (!parse_flag_int("--error-limit", value("--error-limit="), 0,
                           1 << 30, &opt.error_limit))
@@ -563,6 +587,8 @@ serve::ServiceOptions service_options_from_cli(const CliOptions& opt) {
   sopts.worker_read_timeout_ms = opt.worker_timeout_ms;
   sopts.worker_heartbeat_ms = opt.heartbeat_ms;
   sopts.commit_chunk = opt.commit_chunk;
+  sopts.certify = opt.certify;
+  sopts.certified_fast_path = opt.certified_fast_path;
   return sopts;
 }
 
@@ -792,8 +818,8 @@ int main(int argc, char** argv) {
 
   try {
     auto program = np::NpCompiler::parse(buffer.str());
-    const ir::Kernel* kernel =
-        pick_kernel(*program, opt->kernel, opt->sanitize || opt->fallback);
+    const bool guarded = opt->sanitize || opt->fallback || opt->certify;
+    const ir::Kernel* kernel = pick_kernel(*program, opt->kernel, guarded);
     if (!kernel) {
       std::cerr << "cudanp-cc: no kernel "
                 << (opt->kernel.empty() ? "with #pragma np loops"
@@ -814,7 +840,7 @@ int main(int argc, char** argv) {
     auto spec = sim::DeviceSpec::gtx680();
     spec.sm_version = opt->sm;
 
-    if (opt->sanitize || opt->fallback) {
+    if (guarded) {
       sim::SanitizerEngine::Options sopt;
       sopt.error_limit = static_cast<std::size_t>(opt->error_limit);
       sopt.race_mode = opt->portable_races
@@ -850,6 +876,8 @@ int main(int argc, char** argv) {
       vopt.interp.jobs = opt->jobs;
       vopt.interp.engine = opt->engine;
       vopt.interp.limits.max_steps_per_block = opt->watchdog_steps;
+      vopt.certify = opt->certify;
+      vopt.certified_fast_path = opt->certified_fast_path;
       const ir::Kernel& k = *kernel;
       const int n = opt->elems;
       const int tb = opt->tb;
@@ -871,10 +899,16 @@ int main(int argc, char** argv) {
         std::cerr << d.json() << "\n";
         for (const auto& f : d.quarantined)
           std::cerr << "cudanp-cc: " << f.str() << "\n";
+        // A refutation outranks ordinary degradation: the quarantine is
+        // backed by a replayable counterexample, not a single bad run.
+        for (const auto& f : d.quarantined)
+          if (f.cause == np::FailureCause::kProvenWrong) return 11;
         return d.pristine() ? 0 : 6;
       }
       auto report = np::NpCompiler::validate(k, configs, factory, spec, vopt);
       *os << report.summary() << "\n";
+      for (const auto& e : report.entries)
+        if (e.verdict == "refuted") return 11;
       return report.all_clean() ? 0 : 3;
     }
 
